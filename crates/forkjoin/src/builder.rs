@@ -1,0 +1,119 @@
+//! Pool configuration.
+//!
+//! [`PoolBuilder`] mirrors the knobs Java exposes on `ForkJoinPool`
+//! construction: parallelism degree, worker naming, and stack size —
+//! deep PowerList recursions (depth `log2 n` with real frames per level)
+//! appreciate an explicit stack on small-stack platforms.
+
+use crate::pool::ForkJoinPool;
+
+/// Fluent builder for [`ForkJoinPool`].
+///
+/// ```
+/// use forkjoin::PoolBuilder;
+///
+/// let pool = PoolBuilder::new()
+///     .threads(2)
+///     .name_prefix("paper-pool")
+///     .stack_size(4 * 1024 * 1024)
+///     .build();
+/// assert_eq!(pool.threads(), 2);
+/// assert_eq!(pool.install(|| 21 * 2), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoolBuilder {
+    threads: Option<usize>,
+    name_prefix: String,
+    stack_size: Option<usize>,
+}
+
+impl Default for PoolBuilder {
+    fn default() -> Self {
+        PoolBuilder {
+            threads: None,
+            name_prefix: "forkjoin-worker".to_string(),
+            stack_size: None,
+        }
+    }
+}
+
+impl PoolBuilder {
+    /// Starts a builder with defaults: `availableProcessors` workers,
+    /// `forkjoin-worker-<i>` names, platform stack size.
+    pub fn new() -> Self {
+        PoolBuilder::default()
+    }
+
+    /// Sets the number of workers (minimum 1 at build time).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the worker thread name prefix (threads are named
+    /// `<prefix>-<index>`).
+    pub fn name_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.name_prefix = prefix.into();
+        self
+    }
+
+    /// Sets the worker stack size in bytes.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> ForkJoinPool {
+        let threads = self.threads.unwrap_or_else(num_cpus::get).max(1);
+        ForkJoinPool::with_config(threads, &self.name_prefix, self.stack_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_builds() {
+        let pool = PoolBuilder::new().build();
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn explicit_threads() {
+        let pool = PoolBuilder::new().threads(3).build();
+        assert_eq!(pool.threads(), 3);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let pool = PoolBuilder::new().threads(0).build();
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn custom_names_visible_on_workers() {
+        let pool = PoolBuilder::new().threads(1).name_prefix("mypool").build();
+        let name = pool.install(|| std::thread::current().name().map(str::to_owned));
+        assert_eq!(name.as_deref(), Some("mypool-0"));
+    }
+
+    #[test]
+    fn custom_stack_size_supports_deep_recursion() {
+        let pool = PoolBuilder::new()
+            .threads(1)
+            .stack_size(16 * 1024 * 1024)
+            .build();
+        // A recursion that would be uncomfortable on tiny stacks.
+        fn depth(n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                1 + depth(n - 1)
+            }
+        }
+        assert_eq!(pool.install(|| depth(100_000)), 100_000);
+    }
+}

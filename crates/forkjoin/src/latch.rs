@@ -1,0 +1,229 @@
+//! One-shot and counting latches.
+//!
+//! Latches are the completion signals of the pool: every task that someone
+//! may wait on carries one. The design follows the classic two-phase wait
+//! (spin on an atomic flag, then block on a condvar) described in the
+//! fork-join literature; `parking_lot` primitives keep the blocked path
+//! cheap.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A one-shot boolean latch.
+///
+/// Starts unset; [`Latch::set`] flips it exactly once (further calls are
+/// idempotent) and wakes all waiters.
+#[derive(Default)]
+pub struct Latch {
+    done: AtomicBool,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    /// Creates an unset latch.
+    pub fn new() -> Self {
+        Latch::default()
+    }
+
+    /// `true` once [`Latch::set`] has been called.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Sets the latch and wakes all current waiters.
+    pub fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        // The lock guarantees no waiter can observe `done == false` and
+        // then miss the notification.
+        let _guard = self.mutex.lock();
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the latch is set.
+    pub fn wait(&self) {
+        if self.is_set() {
+            return;
+        }
+        let mut guard = self.mutex.lock();
+        while !self.is_set() {
+            self.cv.wait(&mut guard);
+        }
+    }
+
+    /// Blocks until the latch is set or `timeout` elapses.
+    /// Returns `true` when the latch is set.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        if self.is_set() {
+            return true;
+        }
+        let mut guard = self.mutex.lock();
+        if self.is_set() {
+            return true;
+        }
+        self.cv.wait_for(&mut guard, timeout);
+        self.is_set()
+    }
+}
+
+/// A latch that sets once a counter of outstanding tasks reaches zero.
+///
+/// Used by [`crate::scope`]: each spawned task increments before being
+/// queued and decrements on completion; the scope owner waits for the
+/// whole tree.
+pub struct CountLatch {
+    count: AtomicUsize,
+    inner: Latch,
+}
+
+impl CountLatch {
+    /// Creates a counting latch with an initial count.
+    ///
+    /// With `initial == 0` the latch starts **unset** — it only sets via a
+    /// [`CountLatch::decrement`] that brings an incremented count back to
+    /// zero, so callers typically hold one "owner" increment.
+    pub fn new(initial: usize) -> Self {
+        CountLatch {
+            count: AtomicUsize::new(initial),
+            inner: Latch::new(),
+        }
+    }
+
+    /// Registers one more outstanding task.
+    pub fn increment(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one task complete; sets the latch when the count reaches
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow (more decrements than increments), which would
+    /// indicate a scope bookkeeping bug.
+    pub fn decrement(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "CountLatch underflow");
+        if prev == 1 {
+            self.inner.set();
+        }
+    }
+
+    /// Current outstanding count (racy; diagnostics only).
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// `true` once the count has dropped to zero.
+    pub fn is_set(&self) -> bool {
+        self.inner.is_set()
+    }
+
+    /// Blocks until the count reaches zero.
+    pub fn wait(&self) {
+        self.inner.wait()
+    }
+
+    /// Blocks until the count reaches zero or the timeout elapses; returns
+    /// `true` when set.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        self.inner.wait_timeout(timeout)
+    }
+
+    /// The underlying one-shot latch (set when the count reaches zero);
+    /// lets waiters use latch-generic helpers such as the pool's
+    /// help-while-waiting loop.
+    pub fn inner_latch(&self) -> &Latch {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn latch_starts_unset() {
+        let l = Latch::new();
+        assert!(!l.is_set());
+        assert!(!l.wait_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn set_then_wait_returns_immediately() {
+        let l = Latch::new();
+        l.set();
+        assert!(l.is_set());
+        l.wait(); // must not block
+        assert!(l.wait_timeout(Duration::from_secs(0)));
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let l = Latch::new();
+        l.set();
+        l.set();
+        assert!(l.is_set());
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let l = Arc::new(Latch::new());
+        let l2 = Arc::clone(&l);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            l2.set();
+        });
+        l.wait();
+        assert!(l.is_set());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn count_latch_sets_at_zero() {
+        let c = CountLatch::new(2);
+        assert!(!c.is_set());
+        c.decrement();
+        assert!(!c.is_set());
+        c.decrement();
+        assert!(c.is_set());
+        c.wait(); // no block
+    }
+
+    #[test]
+    fn count_latch_tracks_increments() {
+        let c = CountLatch::new(1);
+        c.increment();
+        assert_eq!(c.count(), 2);
+        c.decrement();
+        assert!(!c.is_set());
+        c.decrement();
+        assert!(c.is_set());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn count_latch_underflow_panics() {
+        let c = CountLatch::new(0);
+        c.decrement();
+    }
+
+    #[test]
+    fn count_latch_cross_thread() {
+        let c = Arc::new(CountLatch::new(4));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let c2 = Arc::clone(&c);
+            handles.push(thread::spawn(move || c2.decrement()));
+        }
+        c.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.count(), 0);
+    }
+}

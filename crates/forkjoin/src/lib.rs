@@ -1,0 +1,88 @@
+//! # forkjoin — a work-stealing fork-join pool
+//!
+//! This crate is the scheduling substrate of the PowerList-streams
+//! reproduction: a from-scratch, safe-Rust equivalent of the JVM's
+//! `ForkJoinPool`, which is what both Java parallel streams and the JPLF
+//! framework execute on (paper, Sections III–IV). It provides:
+//!
+//! * [`ForkJoinPool`] — a fixed-size pool of workers with per-worker LIFO
+//!   deques, a global injector, and work stealing;
+//! * [`join`] — the two-way fork-join primitive (work-first execution,
+//!   claim-back, help-while-waiting) that divide-and-conquer recursions
+//!   bottom out in;
+//! * [`scope`] — structured spawning of dynamic task trees;
+//! * [`Latch`] / [`CountLatch`] — completion signalling;
+//! * scheduler [metrics](MetricsSnapshot) used by the benchmark harness
+//!   to report steal/join behaviour.
+//!
+//! The pool is deadlock-free on any size ≥ 1 because waiters *help*:
+//! a thread waiting on a forked task keeps executing other runnable tasks
+//! rather than blocking, so a single worker can execute an arbitrarily
+//! nested join tree (validated by tests in the join module).
+//!
+//! ```
+//! use forkjoin::{ForkJoinPool, join};
+//!
+//! let pool = ForkJoinPool::new(4);
+//! let sum: u64 = pool.install(|| {
+//!     fn rec(lo: u64, hi: u64) -> u64 {
+//!         if hi - lo <= 64 { return (lo..hi).sum(); }
+//!         let mid = lo + (hi - lo) / 2;
+//!         let (a, b) = join(move || rec(lo, mid), move || rec(mid, hi));
+//!         a + b
+//!     }
+//!     rec(0, 1 << 16)
+//! });
+//! assert_eq!(sum, (1u64 << 16) * ((1 << 16) - 1) / 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod latch;
+pub mod metrics;
+pub mod pool;
+pub mod scope;
+pub mod task;
+
+mod join;
+
+pub use builder::PoolBuilder;
+pub use join::{join, join_on, par_for_each_index};
+pub use latch::{CountLatch, Latch};
+pub use metrics::MetricsSnapshot;
+pub use pool::ForkJoinPool;
+pub use scope::{scope, scope_on, Scope};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<ForkJoinPool> = OnceLock::new();
+
+/// The process-wide default pool, sized like Java's common ForkJoinPool
+/// (`availableProcessors` workers), created lazily on first use.
+///
+/// [`join`] and [`scope`] migrate onto this pool when called from a
+/// non-worker thread; computations that need an explicit size should
+/// create their own [`ForkJoinPool`] and use [`join_on`] / [`scope_on`]
+/// or [`ForkJoinPool::install`].
+pub fn global_pool() -> &'static ForkJoinPool {
+    GLOBAL.get_or_init(ForkJoinPool::with_default_parallelism)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_pool_is_singleton() {
+        let a: *const ForkJoinPool = global_pool();
+        let b: *const ForkJoinPool = global_pool();
+        assert_eq!(a, b);
+        assert!(global_pool().threads() >= 1);
+    }
+
+    #[test]
+    fn global_pool_runs_work() {
+        assert_eq!(global_pool().install(|| 21 * 2), 42);
+    }
+}

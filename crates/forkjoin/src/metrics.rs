@@ -1,0 +1,119 @@
+//! Scheduler instrumentation.
+//!
+//! Counters are updated with relaxed atomics (they are statistics, not
+//! synchronisation) and snapshotted for tests and benchmark reports: the
+//! tie-vs-zip ablation, for instance, reports steal counts alongside wall
+//! time to explain scheduling behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters owned by the pool.
+#[derive(Default)]
+pub struct Counters {
+    /// Jobs actually executed by workers (stubs that found their slot
+    /// already claimed still count — they were scheduled).
+    pub executed: AtomicU64,
+    /// Successful steals from the global injector.
+    pub injector_steals: AtomicU64,
+    /// Successful steals from a peer worker's deque.
+    pub peer_steals: AtomicU64,
+    /// `join` invocations.
+    pub joins: AtomicU64,
+    /// Fork halves claimed back by the forking thread (no thief arrived).
+    pub joins_inline: AtomicU64,
+    /// Fork halves executed by a thief.
+    pub joins_stolen: AtomicU64,
+    /// Times a worker went to sleep for lack of work.
+    pub parks: AtomicU64,
+    /// Fire-and-forget `spawn` calls.
+    pub spawns: AtomicU64,
+}
+
+impl Counters {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters into an owned snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            executed: self.executed.load(Ordering::Relaxed),
+            injector_steals: self.injector_steals.load(Ordering::Relaxed),
+            peer_steals: self.peer_steals.load(Ordering::Relaxed),
+            joins: self.joins.load(Ordering::Relaxed),
+            joins_inline: self.joins_inline.load(Ordering::Relaxed),
+            joins_stolen: self.joins_stolen.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            spawns: self.spawns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// See [`Counters::executed`].
+    pub executed: u64,
+    /// See [`Counters::injector_steals`].
+    pub injector_steals: u64,
+    /// See [`Counters::peer_steals`].
+    pub peer_steals: u64,
+    /// See [`Counters::joins`].
+    pub joins: u64,
+    /// See [`Counters::joins_inline`].
+    pub joins_inline: u64,
+    /// See [`Counters::joins_stolen`].
+    pub joins_stolen: u64,
+    /// See [`Counters::parks`].
+    pub parks: u64,
+    /// See [`Counters::spawns`].
+    pub spawns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference of two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            executed: self.executed - earlier.executed,
+            injector_steals: self.injector_steals - earlier.injector_steals,
+            peer_steals: self.peer_steals - earlier.peer_steals,
+            joins: self.joins - earlier.joins,
+            joins_inline: self.joins_inline - earlier.joins_inline,
+            joins_stolen: self.joins_stolen - earlier.joins_stolen,
+            parks: self.parks - earlier.parks,
+            spawns: self.spawns - earlier.spawns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = Counters::default();
+        Counters::bump(&c.executed);
+        Counters::bump(&c.executed);
+        Counters::bump(&c.joins);
+        let s = c.snapshot();
+        assert_eq!(s.executed, 2);
+        assert_eq!(s.joins, 1);
+        assert_eq!(s.parks, 0);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let c = Counters::default();
+        Counters::bump(&c.spawns);
+        let a = c.snapshot();
+        Counters::bump(&c.spawns);
+        Counters::bump(&c.peer_steals);
+        let b = c.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.spawns, 1);
+        assert_eq!(d.peer_steals, 1);
+        assert_eq!(d.executed, 0);
+    }
+}

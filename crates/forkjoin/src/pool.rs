@@ -1,0 +1,388 @@
+//! The work-stealing pool.
+//!
+//! Architecture (a deliberately faithful, safe-Rust rendition of the
+//! ForkJoinPool design that Java parallel streams rely on):
+//!
+//! * one **global injector** (`crossbeam_deque::Injector`) receives work
+//!   submitted from outside the pool;
+//! * each worker owns a **LIFO deque** (`crossbeam_deque::Worker`); forked
+//!   halves of a `join` are pushed there, giving the depth-first,
+//!   cache-friendly execution order fork-join schedulers want;
+//! * idle workers **steal** FIFO from peers or the injector, spreading the
+//!   breadth-first ends of the task tree across cores;
+//! * a worker that waits on a latch **helps**: it keeps executing other
+//!   tasks instead of blocking, which is what makes nested `join`s
+//!   deadlock-free on any pool size (including a single thread).
+//!
+//! Idle workers park on a condvar and are woken whenever new work is
+//! pushed. All signalling is two-phase (atomic fast path, lock only when
+//! sleepers exist).
+
+use crate::latch::Latch;
+use crate::metrics::{Counters, MetricsSnapshot};
+use crate::task::{run_captured, unwrap_or_resume, Job, TaskResult};
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shared state between the pool handle and its workers.
+pub(crate) struct PoolState {
+    pub(crate) injector: Injector<Job>,
+    pub(crate) stealers: Vec<Stealer<Job>>,
+    pub(crate) counters: Counters,
+    shutdown: AtomicBool,
+    sleepers: AtomicUsize,
+    sleep_mutex: Mutex<()>,
+    sleep_cv: Condvar,
+}
+
+impl PoolState {
+    /// Wakes workers after new work has been made visible.
+    pub(crate) fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.sleep_mutex.lock();
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    fn park(&self) {
+        Counters::bump(&self.counters.parks);
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut g = self.sleep_mutex.lock();
+            // Re-check under the lock: work may have been pushed between
+            // our last scan and registering as a sleeper.
+            if !self.shutdown.load(Ordering::SeqCst) && self.injector.is_empty() {
+                // Timed wait so that a lost wakeup can never wedge the
+                // pool; the timeout re-enters the scan loop.
+                self.sleep_cv.wait_for(&mut g, Duration::from_millis(1));
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+thread_local! {
+    /// The deque owned by this thread when it is a pool worker.
+    static LOCAL_DEQUE: RefCell<Option<Deque<Job>>> = const { RefCell::new(None) };
+    /// Identity of the pool this thread works for, plus its worker index.
+    static WORKER_CTX: RefCell<Option<(Arc<PoolState>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Returns the pool/index of the current thread when it is a worker.
+pub(crate) fn current_worker() -> Option<(Arc<PoolState>, usize)> {
+    WORKER_CTX.with(|c| c.borrow().clone())
+}
+
+/// Pushes a job to the current worker's local deque (LIFO end).
+/// Must only be called from a worker thread.
+pub(crate) fn push_local(state: &PoolState, job: Job) {
+    LOCAL_DEQUE.with(|l| {
+        l.borrow()
+            .as_ref()
+            .expect("push_local outside a worker thread")
+            .push(job)
+    });
+    state.notify();
+}
+
+/// Finds one runnable job for worker `index`: local deque first, then the
+/// injector, then peers (starting after our own index to spread load).
+pub(crate) fn find_job(state: &PoolState, index: usize) -> Option<Job> {
+    // 1. Own deque (LIFO: newest fork first — depth-first descent).
+    let local = LOCAL_DEQUE.with(|l| l.borrow().as_ref().and_then(|d| d.pop()));
+    if local.is_some() {
+        return local;
+    }
+    // 2. Global injector (FIFO batch steal into our deque).
+    loop {
+        let stolen = LOCAL_DEQUE.with(|l| {
+            let b = l.borrow();
+            match b.as_ref() {
+                Some(d) => state.injector.steal_batch_and_pop(d),
+                None => state.injector.steal(),
+            }
+        });
+        match stolen {
+            Steal::Success(job) => {
+                Counters::bump(&state.counters.injector_steals);
+                return Some(job);
+            }
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    // 3. Peer deques (FIFO end: the oldest — largest — task of a victim).
+    let n = state.stealers.len();
+    for off in 1..=n {
+        let victim = (index + off) % n;
+        if victim == index {
+            continue;
+        }
+        loop {
+            match state.stealers[victim].steal() {
+                Steal::Success(job) => {
+                    Counters::bump(&state.counters.peer_steals);
+                    return Some(job);
+                }
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+/// Runs jobs until `latch` is set. This is the "help while waiting"
+/// discipline: a joiner never blocks while runnable work exists, which is
+/// what makes nested joins safe on a single-threaded pool.
+pub(crate) fn help_until(state: &PoolState, index: usize, latch: &Latch) {
+    while !latch.is_set() {
+        match find_job(state, index) {
+            Some(job) => {
+                Counters::bump(&state.counters.executed);
+                job();
+            }
+            None => {
+                // No runnable work: the awaited task is in flight on
+                // another worker. Short timed wait, then rescan (the task
+                // may spawn helpable children).
+                latch.wait_timeout(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+fn worker_loop(state: Arc<PoolState>, index: usize, deque: Deque<Job>) {
+    LOCAL_DEQUE.with(|l| *l.borrow_mut() = Some(deque));
+    WORKER_CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&state), index)));
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match find_job(&state, index) {
+            Some(job) => {
+                Counters::bump(&state.counters.executed);
+                job();
+            }
+            None => state.park(),
+        }
+    }
+}
+
+/// A work-stealing fork-join thread pool.
+///
+/// The equivalent of Java's `ForkJoinPool`: sized from the number of
+/// available processors by default, executing recursive task trees with
+/// work stealing. Dropping the pool shuts its workers down (pending
+/// fire-and-forget `spawn`s may be discarded; everything awaited through
+/// [`ForkJoinPool::install`] or [`crate::join`] has completed by then).
+pub struct ForkJoinPool {
+    state: Arc<PoolState>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ForkJoinPool {
+    /// Creates a pool with `threads` workers (min 1).
+    pub fn new(threads: usize) -> Self {
+        ForkJoinPool::with_config(threads, "forkjoin-worker", None)
+    }
+
+    /// Creates a pool with explicit worker naming and stack size; used
+    /// by [`crate::PoolBuilder`].
+    pub(crate) fn with_config(threads: usize, name_prefix: &str, stack_size: Option<usize>) -> Self {
+        let threads = threads.max(1);
+        let deques: Vec<Deque<Job>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let state = Arc::new(PoolState {
+            injector: Injector::new(),
+            stealers,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            sleep_mutex: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let st = Arc::clone(&state);
+                let mut b = std::thread::Builder::new().name(format!("{name_prefix}-{i}"));
+                if let Some(bytes) = stack_size {
+                    b = b.stack_size(bytes);
+                }
+                b.spawn(move || worker_loop(st, i, d))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ForkJoinPool { state, handles }
+    }
+
+    /// Creates a pool sized like Java's common pool:
+    /// `availableProcessors` workers.
+    pub fn with_default_parallelism() -> Self {
+        ForkJoinPool::new(num_cpus::get())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.state.stealers.len()
+    }
+
+    /// Runs `f` on the pool and blocks until it returns, propagating
+    /// panics. When called from a worker of this same pool, `f` runs
+    /// inline (matching rayon / ForkJoinPool semantics).
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        if let Some((state, _)) = current_worker() {
+            if Arc::ptr_eq(&state, &self.state) {
+                return f();
+            }
+        }
+        let latch = Arc::new(Latch::new());
+        let slot: Arc<Mutex<Option<TaskResult<R>>>> = Arc::new(Mutex::new(None));
+        let job: Job = {
+            let latch = Arc::clone(&latch);
+            let slot = Arc::clone(&slot);
+            Box::new(move || {
+                let r = run_captured(f);
+                *slot.lock() = Some(r);
+                latch.set();
+            })
+        };
+        self.state.injector.push(job);
+        self.state.notify();
+        latch.wait();
+        let r = slot.lock().take().expect("latch set implies result stored");
+        unwrap_or_resume(r)
+    }
+
+    /// Fire-and-forget execution of `f` on the pool.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        Counters::bump(&self.state.counters.spawns);
+        self.state.injector.push(Box::new(f));
+        self.state.notify();
+    }
+
+    /// Snapshot of the scheduler counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state.counters.snapshot()
+    }
+
+    pub(crate) fn state(&self) -> &Arc<PoolState> {
+        &self.state
+    }
+}
+
+impl Drop for ForkJoinPool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.state.sleep_mutex.lock();
+            self.state.sleep_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ForkJoinPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForkJoinPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn install_returns_value() {
+        let pool = ForkJoinPool::new(2);
+        let r = pool.install(|| 6 * 7);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn install_runs_on_worker_thread() {
+        let pool = ForkJoinPool::new(2);
+        let name = pool.install(|| std::thread::current().name().map(str::to_owned));
+        assert!(name.unwrap().starts_with("forkjoin-worker-"));
+    }
+
+    #[test]
+    fn nested_install_runs_inline() {
+        let pool = Arc::new(ForkJoinPool::new(1));
+        // A nested install from a worker must not deadlock on a 1-thread
+        // pool — it runs inline.
+        let p2 = Arc::clone(&pool);
+        let r = pool.install(move || p2.install(|| 5));
+        assert_eq!(r, 5);
+    }
+
+    #[test]
+    fn install_propagates_panics() {
+        let pool = ForkJoinPool::new(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| -> i32 { panic!("worker bang") })
+        }));
+        assert!(r.is_err());
+        // The pool is still usable afterwards.
+        assert_eq!(pool.install(|| 1), 1);
+    }
+
+    #[test]
+    fn spawn_executes() {
+        let pool = ForkJoinPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let latch = Arc::new(Latch::new());
+        for i in 0..16 {
+            let c = Arc::clone(&counter);
+            let l = Arc::clone(&latch);
+            pool.spawn(move || {
+                if c.fetch_add(1, Ordering::SeqCst) == 15 {
+                    l.set();
+                }
+                let _ = i;
+            });
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        assert!(pool.metrics().spawns >= 16);
+    }
+
+    #[test]
+    fn many_installs_in_sequence() {
+        let pool = ForkJoinPool::new(3);
+        for i in 0..100i64 {
+            assert_eq!(pool.install(move || i * 2), i * 2);
+        }
+        assert!(pool.metrics().executed >= 100);
+    }
+
+    #[test]
+    fn threads_reports_size() {
+        assert_eq!(ForkJoinPool::new(3).threads(), 3);
+        assert_eq!(ForkJoinPool::new(0).threads(), 1); // clamped
+        assert!(ForkJoinPool::with_default_parallelism().threads() >= 1);
+    }
+
+    #[test]
+    fn drop_terminates_workers() {
+        let pool = ForkJoinPool::new(4);
+        pool.install(|| ());
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,184 @@
+//! Structured task scopes.
+//!
+//! A [`Scope`] lets a computation spawn an unbounded, dynamic set of
+//! tasks and guarantees all of them (including transitively spawned ones)
+//! have finished before [`scope`] returns — the structured-concurrency
+//! contract of `ForkJoinTask::invokeAll` / rayon's `scope`.
+//!
+//! Tasks are `'static` (data is shared via `Arc`, matching the rest of
+//! this repository's Arc-based storage design); the scope handle itself
+//! is cheaply clonable and can be captured by tasks to spawn more work.
+
+use crate::latch::CountLatch;
+use crate::pool::{current_worker, help_until, push_local};
+use crate::ForkJoinPool;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Handle for spawning tasks into a running scope.
+pub struct Scope {
+    latch: Arc<CountLatch>,
+    panic: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
+}
+
+impl Clone for Scope {
+    fn clone(&self) -> Self {
+        Scope {
+            latch: Arc::clone(&self.latch),
+            panic: Arc::clone(&self.panic),
+        }
+    }
+}
+
+impl Scope {
+    /// Spawns a task belonging to this scope. The task may capture a
+    /// clone of the scope and spawn further tasks; the scope will not
+    /// complete until the whole tree has.
+    pub fn spawn(&self, f: impl FnOnce(&Scope) + Send + 'static) {
+        self.latch.increment();
+        let me = self.clone();
+        let job = Box::new(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&me)));
+            if let Err(payload) = r {
+                let mut slot = me.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            me.latch.decrement();
+        });
+        match current_worker() {
+            Some((state, _)) => push_local(&state, job),
+            None => crate::global_pool().spawn(job),
+        }
+    }
+
+    /// Number of tasks still outstanding (racy; diagnostics only).
+    pub fn pending(&self) -> usize {
+        self.latch.count()
+    }
+}
+
+/// Runs `f` with a [`Scope`], then waits for every spawned task.
+///
+/// The first panic from any task is re-thrown here after the scope has
+/// quiesced. Runs on the current pool when called from a worker, else on
+/// the [global pool](crate::global_pool).
+pub fn scope<R>(f: impl FnOnce(&Scope) -> R + Send + 'static) -> R
+where
+    R: Send + 'static,
+{
+    match current_worker() {
+        Some((state, index)) => {
+            let latch = Arc::new(CountLatch::new(1)); // owner increment
+            let sc = Scope {
+                latch: Arc::clone(&latch),
+                panic: Arc::new(Mutex::new(None)),
+            };
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&sc)));
+            latch.decrement(); // release the owner increment
+            help_until(&state, index, latch_as_latch(&latch));
+            if let Some(p) = sc.panic.lock().take() {
+                std::panic::resume_unwind(p);
+            }
+            match r {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        None => crate::global_pool().install(move || scope(f)),
+    }
+}
+
+/// Runs a scope pinned to a specific pool.
+pub fn scope_on<R>(pool: &ForkJoinPool, f: impl FnOnce(&Scope) -> R + Send + 'static) -> R
+where
+    R: Send + 'static,
+{
+    pool.install(move || scope(f))
+}
+
+// CountLatch wraps a Latch; expose the inner latch for help_until without
+// widening the latch API surface.
+fn latch_as_latch(c: &CountLatch) -> &crate::latch::Latch {
+    c.inner_latch()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        let pool = ForkJoinPool::new(3);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        scope_on(&pool, move |s| {
+            for _ in 0..64 {
+                let n3 = Arc::clone(&n2);
+                s.spawn(move |_| {
+                    n3.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn nested_spawns_are_awaited() {
+        let pool = ForkJoinPool::new(2);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        scope_on(&pool, move |s| {
+            for _ in 0..4 {
+                let n3 = Arc::clone(&n2);
+                s.spawn(move |s| {
+                    for _ in 0..4 {
+                        let n4 = Arc::clone(&n3);
+                        s.spawn(move |_| {
+                            n4.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn scope_single_thread_pool_terminates() {
+        let pool = ForkJoinPool::new(1);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        scope_on(&pool, move |s| {
+            let n3 = Arc::clone(&n2);
+            s.spawn(move |s| {
+                let n4 = Arc::clone(&n3);
+                s.spawn(move |_| {
+                    n4.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let pool = ForkJoinPool::new(2);
+        let v = scope_on(&pool, |_| 123);
+        assert_eq!(v, 123);
+    }
+
+    #[test]
+    fn scope_propagates_task_panic() {
+        let pool = ForkJoinPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope_on(&pool, |s| {
+                s.spawn(|_| panic!("task bang"));
+            })
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.install(|| 9), 9); // pool survives
+    }
+}

@@ -1,0 +1,123 @@
+//! Task plumbing: the type-erased job unit and the claimable task slot.
+//!
+//! The pool moves [`Job`]s — boxed `FnOnce` closures — between deques.
+//! A [`TaskSlot`] solves the fork-join "who runs the forked half?"
+//! problem without unsafe pointer games: the closure lives in a shared
+//! slot, a stub job in the deque *claims* it, and the forking thread may
+//! claim it back first if no thief arrived. Exactly one claimant receives
+//! the closure.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The unit of work the pool schedules: a type-erased, send-able closure.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A single-claim container for a closure shared between a queued stub
+/// and the thread that forked it.
+///
+/// `claim` is linearised by the internal lock, so between the forking
+/// thread (claiming back after finishing its own half) and a thief
+/// (running the queued stub), exactly one obtains the closure.
+pub struct TaskSlot<F> {
+    inner: Mutex<Option<F>>,
+}
+
+impl<F> TaskSlot<F> {
+    /// Wraps a closure into a shareable slot.
+    pub fn new(f: F) -> Arc<Self> {
+        Arc::new(TaskSlot {
+            inner: Mutex::new(Some(f)),
+        })
+    }
+
+    /// Takes the closure if it has not been claimed yet.
+    pub fn claim(&self) -> Option<F> {
+        self.inner.lock().take()
+    }
+
+    /// `true` when the closure has already been claimed (racy;
+    /// diagnostics only).
+    pub fn is_claimed(&self) -> bool {
+        self.inner.lock().is_none()
+    }
+}
+
+/// Outcome of a task that may have panicked; panics are carried to the
+/// joining thread and resumed there, matching `std::thread::JoinHandle`
+/// and Java's ForkJoinTask behaviour.
+pub type TaskResult<R> = std::thread::Result<R>;
+
+/// Runs a closure, capturing a panic instead of unwinding through the
+/// scheduler.
+pub fn run_captured<R>(f: impl FnOnce() -> R) -> TaskResult<R> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+}
+
+/// Unwraps a [`TaskResult`], resuming the captured panic on the current
+/// thread.
+pub fn unwrap_or_resume<R>(r: TaskResult<R>) -> R {
+    match r {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn slot_yields_closure_once() {
+        let slot = TaskSlot::new(|| 42);
+        assert!(!slot.is_claimed());
+        let f = slot.claim().expect("first claim succeeds");
+        assert_eq!(f(), 42);
+        assert!(slot.claim().is_none());
+        assert!(slot.is_claimed());
+    }
+
+    #[test]
+    fn concurrent_claims_are_exclusive() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            let slot = TaskSlot::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            let mut handles = vec![];
+            for _ in 0..4 {
+                let s = Arc::clone(&slot);
+                handles.push(std::thread::spawn(move || {
+                    if let Some(f) = s.claim() {
+                        f();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        // Each of the 50 slots must have executed exactly once.
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn run_captured_passes_values() {
+        assert_eq!(unwrap_or_resume(run_captured(|| 7)), 7);
+    }
+
+    #[test]
+    fn run_captured_captures_panics() {
+        let r = run_captured(|| -> i32 { panic!("boom") });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn unwrap_or_resume_rethrows() {
+        let r = run_captured(|| -> i32 { panic!("boom") });
+        let _ = unwrap_or_resume(r);
+    }
+}

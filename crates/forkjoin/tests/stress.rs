@@ -1,0 +1,136 @@
+//! Stress and property tests for the fork-join pool.
+//!
+//! These exercise the scheduler under randomized shapes: unbalanced join
+//! trees, mixed spawn/join workloads, many pools in one process, and
+//! determinism of results under nondeterministic scheduling.
+
+use forkjoin::{join, join_on, par_for_each_index, scope_on, ForkJoinPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Reference sequential sum for validation.
+fn seq_sum(v: &[u64]) -> u64 {
+    v.iter().sum()
+}
+
+/// Parallel sum by recursive join over an Arc'd slice.
+fn par_sum(pool: &ForkJoinPool, v: Arc<Vec<u64>>, grain: usize) -> u64 {
+    fn rec(v: Arc<Vec<u64>>, lo: usize, hi: usize, grain: usize) -> u64 {
+        if hi - lo <= grain {
+            return v[lo..hi].iter().sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let v2 = Arc::clone(&v);
+        let (a, b) = join(
+            move || rec(v, lo, mid, grain),
+            move || rec(v2, mid, hi, grain),
+        );
+        a + b
+    }
+    let n = v.len();
+    pool.install(move || rec(v, 0, n, grain.max(1)))
+}
+
+#[test]
+fn par_sum_matches_sequential_all_pool_sizes() {
+    let data: Vec<u64> = (0..10_000).map(|i| i * i % 97).collect();
+    let expected = seq_sum(&data);
+    let shared = Arc::new(data);
+    for threads in [1, 2, 3, 4, 8] {
+        let pool = ForkJoinPool::new(threads);
+        assert_eq!(
+            par_sum(&pool, Arc::clone(&shared), 64),
+            expected,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn unbalanced_tree_completes() {
+    // Splits 1/7th vs 6/7ths: stresses stealing and the help loop.
+    let pool = ForkJoinPool::new(4);
+    fn rec(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 32 {
+            return (lo..hi).sum();
+        }
+        let cut = lo + (hi - lo) / 7 + 1;
+        let (a, b) = join(move || rec(lo, cut), move || rec(cut, hi));
+        a + b
+    }
+    let r = pool.install(|| rec(0, 100_000));
+    assert_eq!(r, 100_000u64 * 99_999 / 2);
+}
+
+#[test]
+fn interleaved_scopes_and_joins() {
+    let pool = ForkJoinPool::new(3);
+    let hits = Arc::new(AtomicU64::new(0));
+    let h = Arc::clone(&hits);
+    scope_on(&pool, move |s| {
+        for _ in 0..8 {
+            let h2 = Arc::clone(&h);
+            s.spawn(move |_| {
+                let (a, b) = join(|| 3u64, || 4u64);
+                h2.fetch_add(a + b, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 56);
+}
+
+#[test]
+fn many_pools_coexist() {
+    let pools: Vec<ForkJoinPool> = (1..=4).map(ForkJoinPool::new).collect();
+    for (i, p) in pools.iter().enumerate() {
+        assert_eq!(p.install(move || i * 10), i * 10);
+    }
+    // joins pinned to different pools interleaved
+    let (a, _) = join_on(&pools[0], || 1, || 2);
+    let (b, _) = join_on(&pools[3], || 3, || 4);
+    assert_eq!(a + b, 4);
+}
+
+#[test]
+fn par_for_each_index_grain_edges() {
+    let pool = ForkJoinPool::new(2);
+    for (len, grain) in [(0usize, 1usize), (1, 1), (7, 1), (1024, 1024), (1000, 3)] {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        pool.install(move || {
+            par_for_each_index(len, grain, move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), len as u64, "len={len} grain={grain}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_trees_sum_correctly(
+        data in proptest::collection::vec(0u64..1000, 1..2000),
+        grain in 1usize..128,
+        threads in 1usize..5,
+    ) {
+        let pool = ForkJoinPool::new(threads);
+        let expected = seq_sum(&data);
+        let got = par_sum(&pool, Arc::new(data), grain);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_runs(
+        data in proptest::collection::vec(0u64..1000, 64..512),
+    ) {
+        let pool = ForkJoinPool::new(4);
+        let shared = Arc::new(data);
+        let first = par_sum(&pool, Arc::clone(&shared), 16);
+        for _ in 0..4 {
+            prop_assert_eq!(par_sum(&pool, Arc::clone(&shared), 16), first);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The multithreading executor: fork-join parallel recursion.
+//!
+//! This is JPLF's tested executor (paper, Section III: "the tested
+//! implementation uses the ForkJoinPool executor, as is the
+//! parallelisation of Java Streams"). Each deconstruction forks the two
+//! half-computations with [`forkjoin::join`]; below a size threshold the
+//! recursion continues sequentially on the worker (the descending phase —
+//! including `create_left`/`create_right` parameter descent and
+//! `transform_halves` data transforms — still runs, only the forking
+//! stops).
+
+use crate::executor::Executor;
+use crate::function::{compute_sequential, Decomp, PowerFunction};
+use forkjoin::{join, ForkJoinPool};
+use powerlist::PowerView;
+use std::sync::Arc;
+
+/// Fork-join executor with an explicit pool and leaf granularity.
+pub struct ForkJoinExecutor {
+    pool: Arc<ForkJoinPool>,
+    leaf_size: usize,
+}
+
+impl ForkJoinExecutor {
+    /// Executor on a dedicated pool of `threads` workers; forking stops
+    /// at sublists of `leaf_size` elements.
+    pub fn new(threads: usize, leaf_size: usize) -> Self {
+        ForkJoinExecutor {
+            pool: Arc::new(ForkJoinPool::new(threads)),
+            leaf_size: leaf_size.max(1),
+        }
+    }
+
+    /// Executor over an existing pool.
+    pub fn with_pool(pool: Arc<ForkJoinPool>, leaf_size: usize) -> Self {
+        ForkJoinExecutor {
+            pool,
+            leaf_size: leaf_size.max(1),
+        }
+    }
+
+    /// The underlying pool (for metrics inspection).
+    pub fn pool(&self) -> &Arc<ForkJoinPool> {
+        &self.pool
+    }
+
+    /// The splitting threshold.
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+}
+
+fn par_compute<F>(f: F, input: PowerView<F::Elem>, leaf: usize) -> F::Out
+where
+    F: PowerFunction + Clone + Sync,
+{
+    if input.len() <= leaf || input.is_singleton() {
+        // The leaf kernel (paper §V: the basic case applied to a whole
+        // sub-list); defaults to the template recursion.
+        return f.leaf_case(&input);
+    }
+    let (l, r) = match f.decomposition() {
+        Decomp::Tie => input.untie().expect("non-singleton"),
+        Decomp::Zip => input.unzip().expect("non-singleton"),
+    };
+    let (fl, fr) = (f.create_left(), f.create_right());
+    match f.transform_halves(&l, &r) {
+        None => {
+            let (lo, ro) = join(
+                move || par_compute(fl, l, leaf),
+                move || par_compute(fr, r, leaf),
+            );
+            f.combine(lo, ro)
+        }
+        Some((l2, r2)) => {
+            let (lo, ro) = join(
+                move || par_compute(fl, l2.view(), leaf),
+                move || par_compute(fr, r2.view(), leaf),
+            );
+            f.combine(lo, ro)
+        }
+    }
+}
+
+impl Executor for ForkJoinExecutor {
+    fn execute<F>(&self, f: &F, input: &PowerView<F::Elem>) -> F::Out
+    where
+        F: PowerFunction + Clone + Sync,
+    {
+        let f = f.clone();
+        let input = input.clone();
+        let leaf = self.leaf_size;
+        self.pool.install(move || par_compute(f, input, leaf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SequentialExecutor;
+    use powerlist::{tabulate, PowerList};
+
+    #[derive(Clone)]
+    struct Sum;
+
+    impl PowerFunction for Sum {
+        type Elem = i64;
+        type Out = i64;
+        fn decomposition(&self) -> Decomp {
+            Decomp::Tie
+        }
+        fn basic_case(&self, v: &i64) -> i64 {
+            *v
+        }
+        fn create_left(&self) -> Self {
+            Sum
+        }
+        fn create_right(&self) -> Self {
+            Sum
+        }
+        fn combine(&self, l: i64, r: i64) -> i64 {
+            l + r
+        }
+    }
+
+    /// Map returning a PowerList via zip recombination — checks result
+    /// ordering under parallel execution.
+    #[derive(Clone)]
+    struct Square;
+
+    impl PowerFunction for Square {
+        type Elem = i64;
+        type Out = PowerList<i64>;
+        fn decomposition(&self) -> Decomp {
+            Decomp::Zip
+        }
+        fn basic_case(&self, v: &i64) -> PowerList<i64> {
+            PowerList::singleton(v * v)
+        }
+        fn create_left(&self) -> Self {
+            Square
+        }
+        fn create_right(&self) -> Self {
+            Square
+        }
+        fn combine(&self, l: PowerList<i64>, r: PowerList<i64>) -> PowerList<i64> {
+            PowerList::zip(l, r)
+        }
+    }
+
+    #[test]
+    fn matches_sequential_sum() {
+        let p = tabulate(1 << 12, |i| i as i64).unwrap();
+        let seq = SequentialExecutor::new().execute(&Sum, &p.clone().view());
+        for threads in [1, 2, 4] {
+            let exec = ForkJoinExecutor::new(threads, 64);
+            assert_eq!(exec.execute(&Sum, &p.clone().view()), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_order_preserved() {
+        let p = tabulate(256, |i| i as i64).unwrap();
+        let exec = ForkJoinExecutor::new(3, 8);
+        let out = exec.execute(&Square, &p.clone().view());
+        let expected: Vec<i64> = (0..256).map(|i: i64| i * i).collect();
+        assert_eq!(out.into_vec(), expected);
+    }
+
+    #[test]
+    fn leaf_size_extremes_agree() {
+        let p = tabulate(128, |i| i as i64 % 13).unwrap();
+        let a = ForkJoinExecutor::new(2, 1).execute(&Sum, &p.clone().view());
+        let b = ForkJoinExecutor::new(2, 128).execute(&Sum, &p.clone().view());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn singleton_input() {
+        let p = PowerList::singleton(9i64);
+        assert_eq!(ForkJoinExecutor::new(2, 4).execute(&Sum, &p.clone().view()), 9);
+    }
+
+    #[test]
+    fn shared_pool_reuse() {
+        let pool = Arc::new(ForkJoinPool::new(2));
+        let e1 = ForkJoinExecutor::with_pool(Arc::clone(&pool), 16);
+        let e2 = ForkJoinExecutor::with_pool(Arc::clone(&pool), 4);
+        let p = tabulate(64, |i| i as i64).unwrap();
+        assert_eq!(e1.execute(&Sum, &p.clone().view()), e2.execute(&Sum, &p.clone().view()));
+        assert!(pool.metrics().executed > 0);
+    }
+}

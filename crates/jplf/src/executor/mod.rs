@@ -1,0 +1,37 @@
+//! Executors: the separated execution strategies of JPLF.
+//!
+//! "An important advantage of the framework is the fact that the
+//! execution is managed separately from the PowerList function
+//! definition" (paper, Section III). The [`Executor`] trait captures
+//! that separation: every executor runs any [`PowerFunction`] purely
+//! through its four primitives.
+//!
+//! * [`SequentialExecutor`] — the reference template-method recursion;
+//! * [`ForkJoinExecutor`] — multithreading on the work-stealing pool
+//!   (JPLF's tested executor, like Java parallel streams);
+//! * [`MpiExecutor`] — SPMD execution over the simulated MPI substrate:
+//!   scatter of descended leaf problems, local computation, binomial
+//!   combine tree.
+
+pub mod forkjoin_exec;
+pub mod mpi;
+pub mod sequential;
+
+pub use forkjoin_exec::ForkJoinExecutor;
+pub use mpi::MpiExecutor;
+pub use sequential::SequentialExecutor;
+
+use crate::function::PowerFunction;
+use powerlist::PowerView;
+
+/// A strategy for running [`PowerFunction`]s.
+///
+/// `Clone + Sync` on the function lets executors replicate instances
+/// across workers/ranks; all JPLF-style function objects are cheap
+/// parameter carriers, so cloning is trivial.
+pub trait Executor {
+    /// Runs `f` on `input` and returns the function's result.
+    fn execute<F>(&self, f: &F, input: &PowerView<F::Elem>) -> F::Out
+    where
+        F: PowerFunction + Clone + Sync;
+}

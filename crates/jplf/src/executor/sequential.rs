@@ -1,0 +1,72 @@
+//! The sequential executor: the reference semantics.
+
+use crate::executor::Executor;
+use crate::function::{compute_sequential, PowerFunction};
+use powerlist::PowerView;
+
+/// Runs the template-method recursion on the calling thread.
+///
+/// Every other executor is tested against this one: for any function and
+/// input, all executors must return the same value (the determinism
+/// property of the PowerList algebra).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SequentialExecutor;
+
+impl SequentialExecutor {
+    /// Creates the executor.
+    pub fn new() -> Self {
+        SequentialExecutor
+    }
+}
+
+impl Executor for SequentialExecutor {
+    fn execute<F>(&self, f: &F, input: &PowerView<F::Elem>) -> F::Out
+    where
+        F: PowerFunction + Clone + Sync,
+    {
+        compute_sequential(f, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Decomp;
+    use powerlist::{tabulate, PowerList};
+
+    #[derive(Clone)]
+    struct Max;
+
+    impl PowerFunction for Max {
+        type Elem = i64;
+        type Out = i64;
+        fn decomposition(&self) -> Decomp {
+            Decomp::Zip
+        }
+        fn basic_case(&self, v: &i64) -> i64 {
+            *v
+        }
+        fn create_left(&self) -> Self {
+            Max
+        }
+        fn create_right(&self) -> Self {
+            Max
+        }
+        fn combine(&self, l: i64, r: i64) -> i64 {
+            l.max(r)
+        }
+    }
+
+    #[test]
+    fn computes_max() {
+        let p = tabulate(32, |i| ((i * 37) % 61) as i64).unwrap();
+        let expected = *p.iter().max().unwrap();
+        assert_eq!(SequentialExecutor::new().execute(&Max, &p.clone().view()), expected);
+    }
+
+    #[test]
+    fn singleton_is_basic_case() {
+        let p = PowerList::singleton(-5i64);
+        assert_eq!(SequentialExecutor::new().execute(&Max, &p.clone().view()), -5);
+    }
+}

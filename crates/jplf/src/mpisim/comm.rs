@@ -1,0 +1,221 @@
+//! In-process MPI-like communicator.
+//!
+//! JPLF's cluster executors run over a Java MPI binding; this repository
+//! has no cluster, so the substitution (documented in DESIGN.md) is an
+//! in-process message-passing substrate with the same programming model:
+//! SPMD ranks (threads), point-to-point typed `send`/`recv` with tags,
+//! and collectives built on top. The code paths exercised — segment
+//! scatter, local leaf computation, tree combine — are the ones the
+//! paper's MPI executors use.
+//!
+//! Messages are type-erased (`Box<dyn Any>`); `recv::<M>` downcasts and
+//! panics on a type or tag mismatch, which in an SPMD program indicates a
+//! protocol bug, not a runtime condition to handle.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::sync::Arc;
+
+struct Message {
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// One rank's endpoint of the simulated communicator.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// senders[d] delivers to rank `d`'s inbox from this rank.
+    senders: Vec<Sender<Message>>,
+    /// inboxes[s] receives messages sent by rank `s` to this rank.
+    inboxes: Vec<Receiver<Message>>,
+}
+
+impl Comm {
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends `msg` to rank `dst` with a protocol `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dst` is out of range or the destination rank has
+    /// already terminated.
+    pub fn send<M: Send + 'static>(&self, dst: usize, tag: u64, msg: M) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        self.senders[dst]
+            .send(Message {
+                tag,
+                payload: Box::new(msg),
+            })
+            .expect("destination rank terminated before receiving");
+    }
+
+    /// Receives the next message from rank `src`, which must carry `tag`
+    /// and payload type `M`. Blocks until it arrives.
+    ///
+    /// Delivery is FIFO per (src, dst) pair; a tag mismatch means the
+    /// SPMD protocol desynchronised and is treated as a bug (panic).
+    pub fn recv<M: Send + 'static>(&self, src: usize, tag: u64) -> M {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let m = self.inboxes[src]
+            .recv()
+            .expect("source rank terminated without sending");
+        assert_eq!(
+            m.tag, tag,
+            "rank {}: expected tag {tag} from {src}, got {}",
+            self.rank, m.tag
+        );
+        *m.payload
+            .downcast::<M>()
+            .expect("message payload type mismatch")
+    }
+}
+
+/// Runs an SPMD program on `size` simulated ranks (one thread each) and
+/// returns the per-rank results in rank order.
+///
+/// Panics in any rank are propagated after all ranks have been joined.
+pub fn run_mpi<R, F>(size: usize, program: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
+    assert!(size >= 1, "need at least one rank");
+    // Channel matrix: channel[s][d] carries s → d.
+    let mut senders_by_src: Vec<Vec<Sender<Message>>> = Vec::with_capacity(size);
+    let mut inboxes_by_dst: Vec<Vec<Option<Receiver<Message>>>> =
+        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    for s in 0..size {
+        let mut row = Vec::with_capacity(size);
+        for inbox_row in inboxes_by_dst.iter_mut() {
+            let (tx, rx) = unbounded();
+            row.push(tx);
+            inbox_row[s] = Some(rx);
+        }
+        senders_by_src.push(row);
+    }
+
+    let program = Arc::new(program);
+    let mut handles = Vec::with_capacity(size);
+    for (rank, inbox_row) in inboxes_by_dst.into_iter().enumerate() {
+        // Rank `rank` sends along its own row of the matrix: entry `d`
+        // is the channel rank → d.
+        let senders = senders_by_src[rank].to_vec();
+        let inboxes = inbox_row
+            .into_iter()
+            .map(|o| o.expect("inbox built for every pair"))
+            .collect::<Vec<_>>();
+        let comm = Comm {
+            rank,
+            size,
+            senders,
+            inboxes,
+        };
+        let prog = Arc::clone(&program);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("mpisim-rank-{rank}"))
+                .spawn(move || prog(comm))
+                .expect("failed to spawn rank thread"),
+        );
+    }
+    // Drop our copies of the senders so rank termination is observable.
+    drop(senders_by_src);
+
+    let mut results = Vec::with_capacity(size);
+    let mut panic: Option<Box<dyn Any + Send>> = None;
+    for h in handles {
+        match h.join() {
+            Ok(r) => results.push(r),
+            Err(p) => panic = Some(p),
+        }
+    }
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let r = run_mpi(1, |c| {
+            assert_eq!(c.rank(), 0);
+            assert_eq!(c.size(), 1);
+            42
+        });
+        assert_eq!(r, vec![42]);
+    }
+
+    #[test]
+    fn ping_pong() {
+        let r = run_mpi(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, 123i64);
+                c.recv::<i64>(1, 8)
+            } else {
+                let x = c.recv::<i64>(0, 7);
+                c.send(0, 8, x * 2);
+                x
+            }
+        });
+        assert_eq!(r, vec![246, 123]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let n = 5;
+        let r = run_mpi(n, move |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 1, c.rank());
+            c.recv::<usize>(prev, 1)
+        });
+        assert_eq!(r, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn self_send() {
+        let r = run_mpi(1, |c| {
+            c.send(0, 3, String::from("loop"));
+            c.recv::<String>(0, 3)
+        });
+        assert_eq!(r, vec!["loop".to_string()]);
+    }
+
+    #[test]
+    fn typed_payloads() {
+        let r = run_mpi(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![1.5f64, 2.5]);
+                0.0
+            } else {
+                c.recv::<Vec<f64>>(0, 1).iter().sum()
+            }
+        });
+        assert_eq!(r[1], 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tag_mismatch_is_a_bug() {
+        run_mpi(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 5i32);
+            } else {
+                let _ = c.recv::<i32>(0, 2);
+            }
+        });
+    }
+}

@@ -1,0 +1,12 @@
+//! Simulated MPI substrate: SPMD ranks as threads, typed point-to-point
+//! messages, and binomial-tree collectives.
+//!
+//! This is the repository's substitution for the Java MPI binding the
+//! JPLF cluster executors use (see DESIGN.md): same programming model and
+//! communication structure, in-process transport.
+
+pub mod collective;
+pub mod comm;
+
+pub use collective::{allgather, allreduce, alltoall, barrier, bcast, gather, reduce, scatter};
+pub use comm::{run_mpi, Comm};

@@ -1,0 +1,293 @@
+//! Multi-way divide-and-conquer: JPLF's PList functions.
+//!
+//! "The JPLF also includes PList functions, that express multi-way
+//! divide-and-conquer computations [21]" (paper, Section III). A
+//! [`PListFunction`] generalises [`PowerFunction`](crate::PowerFunction)
+//! to recursions that split into *n* sub-problems per level, where *n*
+//! may differ from level to level (chosen by [`PListFunction::arity`]
+//! from the current length).
+
+use crate::function::Decomp;
+use forkjoin::{join, ForkJoinPool};
+use powerlist::PList;
+use std::sync::Arc;
+
+/// A shareable associative binary operator over `T`.
+pub type BinOp<T> = Arc<dyn Fn(&T, &T) -> T + Send + Sync>;
+
+/// A multi-way divide-and-conquer function over [`PList`]s.
+pub trait PListFunction: Send + Sized + 'static {
+    /// Element type of the input.
+    type Elem: Clone + Send + Sync + 'static;
+    /// Result type.
+    type Out: Send + 'static;
+
+    /// The arity to split a list of length `len` with at this level.
+    /// Returning `< 2` — or a non-divisor of `len` — stops the
+    /// decomposition and sends the list to [`PListFunction::leaf_case`].
+    fn arity(&self, len: usize) -> usize;
+
+    /// Which *n*-way operator deconstructs the input.
+    fn decomposition(&self) -> Decomp;
+
+    /// Value on singletons.
+    fn basic_case(&self, value: &Self::Elem) -> Self::Out;
+
+    /// Descending phase: the function instance for child `index` of an
+    /// `arity`-way split.
+    fn create_child(&self, index: usize, arity: usize) -> Self;
+
+    /// Ascending phase: merges the children's results in order.
+    fn combine_n(&self, parts: Vec<Self::Out>) -> Self::Out;
+
+    /// Value on an undecomposable non-singleton list. The default
+    /// treats the elements as an all-the-way split — `combine_n` over
+    /// the per-element basic cases — which is correct whenever
+    /// `combine_n` is associative across regroupings (true for the
+    /// reduce/map-shaped functions PLists are used for). Override for
+    /// functions with stricter structure.
+    fn leaf_case(&self, list: &PList<Self::Elem>) -> Self::Out {
+        if list.is_singleton() {
+            return self.basic_case(&list[0]);
+        }
+        let outs = list.iter().map(|e| self.basic_case(e)).collect();
+        self.combine_n(outs)
+    }
+}
+
+/// Sequential template-method recursion for PList functions — the
+/// reference semantics.
+pub fn compute_plist_sequential<F: PListFunction>(f: &F, input: &PList<F::Elem>) -> F::Out {
+    if input.is_singleton() {
+        return f.basic_case(&input[0]);
+    }
+    let k = f.arity(input.len());
+    if k < 2 || input.len() % k != 0 {
+        return f.leaf_case(input);
+    }
+    let parts = match f.decomposition() {
+        Decomp::Tie => input.clone().untie_n(k),
+        Decomp::Zip => input.clone().unzip_n(k),
+    }
+    .expect("divisibility checked above");
+    let outs = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| compute_plist_sequential(&f.create_child(i, k), &part))
+        .collect();
+    f.combine_n(outs)
+}
+
+/// Fork-join parallel execution of a PList function: each level's `k`
+/// sub-problems fan out on the pool (binary join tree over the part
+/// list), with sequential computation below `leaf_size`.
+pub fn compute_plist_parallel<F>(
+    pool: &ForkJoinPool,
+    f: &F,
+    input: &PList<F::Elem>,
+    leaf_size: usize,
+) -> F::Out
+where
+    F: PListFunction + Clone + Sync,
+{
+    let f = f.clone();
+    let input = input.clone();
+    let leaf = leaf_size.max(1);
+    pool.install(move || par_rec(f, input, leaf))
+}
+
+fn par_rec<F>(f: F, input: PList<F::Elem>, leaf: usize) -> F::Out
+where
+    F: PListFunction + Clone + Sync,
+{
+    if input.len() <= leaf || input.is_singleton() {
+        return compute_plist_sequential(&f, &input);
+    }
+    let k = f.arity(input.len());
+    if k < 2 || input.len() % k != 0 {
+        return f.leaf_case(&input);
+    }
+    let parts = match f.decomposition() {
+        Decomp::Tie => input.untie_n(k),
+        Decomp::Zip => input.unzip_n(k),
+    }
+    .expect("divisibility checked above");
+    let tasks: Vec<(F, PList<F::Elem>)> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| (f.create_child(i, k), part))
+        .collect();
+    let outs = par_map(tasks, leaf);
+    f.combine_n(outs)
+}
+
+fn par_map<F>(mut tasks: Vec<(F, PList<F::Elem>)>, leaf: usize) -> Vec<F::Out>
+where
+    F: PListFunction + Clone + Sync,
+{
+    match tasks.len() {
+        0 => Vec::new(),
+        1 => {
+            let (f, p) = tasks.pop().expect("len 1");
+            vec![par_rec(f, p, leaf)]
+        }
+        _ => {
+            let right = tasks.split_off(tasks.len() / 2);
+            let (mut l, mut r) = join(
+                move || par_map(tasks, leaf),
+                move || par_map(right, leaf),
+            );
+            l.append(&mut r);
+            l
+        }
+    }
+}
+
+/// Multi-way reduce: the canonical PList function (associative operator
+/// over `arity`-way tie splits).
+pub struct NWayReduce<T> {
+    arity: usize,
+    op: BinOp<T>,
+}
+
+impl<T> Clone for NWayReduce<T> {
+    fn clone(&self) -> Self {
+        NWayReduce {
+            arity: self.arity,
+            op: Arc::clone(&self.op),
+        }
+    }
+}
+
+impl<T> NWayReduce<T> {
+    /// Reduce with the given associative operator, splitting `arity`
+    /// ways per level.
+    pub fn new(arity: usize, op: impl Fn(&T, &T) -> T + Send + Sync + 'static) -> Self {
+        NWayReduce {
+            arity: arity.max(2),
+            op: Arc::new(op),
+        }
+    }
+}
+
+impl<T> PListFunction for NWayReduce<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    type Elem = T;
+    type Out = T;
+
+    fn arity(&self, len: usize) -> usize {
+        if len.is_multiple_of(self.arity) {
+            self.arity
+        } else if len.is_multiple_of(2) {
+            2 // degrade gracefully for lengths the arity does not divide
+        } else {
+            1
+        }
+    }
+
+    fn decomposition(&self) -> Decomp {
+        Decomp::Tie
+    }
+
+    fn basic_case(&self, v: &T) -> T {
+        v.clone()
+    }
+
+    fn create_child(&self, _index: usize, _arity: usize) -> Self {
+        self.clone()
+    }
+
+    fn combine_n(&self, parts: Vec<T>) -> T {
+        let mut it = parts.into_iter();
+        let first = it.next().expect("combine_n of at least one part");
+        it.fold(first, |a, b| (self.op)(&a, &b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plist(n: usize) -> PList<i64> {
+        PList::from_vec((1..=n as i64).collect()).unwrap()
+    }
+
+    #[test]
+    fn three_way_reduce_sums() {
+        let f = NWayReduce::new(3, |a: &i64, b: &i64| a + b);
+        let p = plist(27);
+        assert_eq!(compute_plist_sequential(&f, &p), 27 * 28 / 2);
+    }
+
+    #[test]
+    fn arity_degrades_for_awkward_lengths() {
+        let f = NWayReduce::new(3, |a: &i64, b: &i64| a + b);
+        // 20 = 2·2·5: levels fall back to 2-way, then a leaf of 5.
+        let p = plist(20);
+        assert_eq!(compute_plist_sequential(&f, &p), 210);
+        // A prime length is a single leaf.
+        let p = plist(13);
+        assert_eq!(compute_plist_sequential(&f, &p), 91);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = ForkJoinPool::new(3);
+        let f = NWayReduce::new(4, |a: &i64, b: &i64| a + b);
+        for n in [1usize, 4, 16, 64, 256, 20, 100] {
+            let p = plist(n);
+            let seq = compute_plist_sequential(&f, &p);
+            let par = compute_plist_parallel(&pool, &f, &p, 8);
+            assert_eq!(seq, par, "n={n}");
+        }
+    }
+
+    #[test]
+    fn noncommutative_order_preserved() {
+        let f = NWayReduce::new(3, |a: &String, b: &String| format!("{a}{b}"));
+        let p = PList::from_vec((0..9).map(|i| i.to_string()).collect()).unwrap();
+        assert_eq!(compute_plist_sequential(&f, &p), "012345678");
+        let pool = ForkJoinPool::new(2);
+        assert_eq!(compute_plist_parallel(&pool, &f, &p, 1), "012345678");
+    }
+
+    #[test]
+    fn zip_decomposition_commutative_ok() {
+        // With a commutative op, zip regrouping yields the same sum.
+        #[derive(Clone)]
+        struct ZipSum;
+        impl PListFunction for ZipSum {
+            type Elem = i64;
+            type Out = i64;
+            fn arity(&self, len: usize) -> usize {
+                if len.is_multiple_of(3) {
+                    3
+                } else {
+                    1
+                }
+            }
+            fn decomposition(&self) -> Decomp {
+                Decomp::Zip
+            }
+            fn basic_case(&self, v: &i64) -> i64 {
+                *v
+            }
+            fn create_child(&self, _: usize, _: usize) -> Self {
+                ZipSum
+            }
+            fn combine_n(&self, parts: Vec<i64>) -> i64 {
+                parts.into_iter().sum()
+            }
+        }
+        let p = plist(27);
+        assert_eq!(compute_plist_sequential(&ZipSum, &p), 27 * 28 / 2);
+    }
+
+    #[test]
+    fn singleton_plist() {
+        let f = NWayReduce::new(3, |a: &i64, b: &i64| a + b);
+        assert_eq!(compute_plist_sequential(&f, &plist(1)), 1);
+    }
+}

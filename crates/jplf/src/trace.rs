@@ -1,0 +1,222 @@
+//! Phase instrumentation: measuring the three phases of a PowerList
+//! function execution.
+//!
+//! Section III distinguishes the *descending/splitting*, *leaf*, and
+//! *ascending/combining* phases; the paper's analysis (Section V) hinges
+//! on where a function does its work — `map`/`reduce`/`fft` do nothing
+//! on the way down, the polynomial evaluation squares `x` per level,
+//! Eq.-5 functions transform whole sublists. [`compute_traced`] runs the
+//! sequential template while timing and counting each phase, so that
+//! claim can be *measured* per function (see the `phase_profile` rows in
+//! the examples and tests).
+
+use crate::function::{Decomp, PowerFunction};
+use powerlist::PowerView;
+use std::time::Instant;
+
+/// Counts and cumulative times of the three execution phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTrace {
+    /// Deconstruction steps performed (interior nodes).
+    pub splits: u64,
+    /// Basic cases evaluated (singletons reached).
+    pub leaves: u64,
+    /// Combine steps performed (interior nodes).
+    pub combines: u64,
+    /// Nanoseconds in the descending phase (deconstruction +
+    /// `create_*` + `transform_halves`).
+    pub descend_ns: u64,
+    /// Nanoseconds in the leaf phase (`basic_case`).
+    pub leaf_ns: u64,
+    /// Nanoseconds in the ascending phase (`combine`).
+    pub ascend_ns: u64,
+}
+
+impl PhaseTrace {
+    /// Fraction of traced time spent descending — near zero for
+    /// map/reduce/FFT, substantial for Eq.-5 data-transforming
+    /// functions.
+    pub fn descend_share(&self) -> f64 {
+        let total = (self.descend_ns + self.leaf_ns + self.ascend_ns) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.descend_ns as f64 / total
+        }
+    }
+
+    /// Fraction of traced time spent combining.
+    pub fn ascend_share(&self) -> f64 {
+        let total = (self.descend_ns + self.leaf_ns + self.ascend_ns) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.ascend_ns as f64 / total
+        }
+    }
+}
+
+/// Runs the sequential template while tracing the three phases.
+pub fn compute_traced<F: PowerFunction>(
+    f: &F,
+    input: &PowerView<F::Elem>,
+) -> (F::Out, PhaseTrace) {
+    let mut trace = PhaseTrace::default();
+    let out = go(f, input, &mut trace);
+    (out, trace)
+}
+
+fn go<F: PowerFunction>(f: &F, input: &PowerView<F::Elem>, trace: &mut PhaseTrace) -> F::Out {
+    if input.is_singleton() {
+        let t0 = Instant::now();
+        let out = f.basic_case(input.singleton_value());
+        trace.leaf_ns += t0.elapsed().as_nanos() as u64;
+        trace.leaves += 1;
+        return out;
+    }
+
+    // Descending phase.
+    let t0 = Instant::now();
+    let (l, r) = match f.decomposition() {
+        Decomp::Tie => input.untie().expect("non-singleton"),
+        Decomp::Zip => input.unzip().expect("non-singleton"),
+    };
+    let (fl, fr) = (f.create_left(), f.create_right());
+    let transformed = f.transform_halves(&l, &r);
+    trace.descend_ns += t0.elapsed().as_nanos() as u64;
+    trace.splits += 1;
+
+    let (lo, ro) = match transformed {
+        None => (go(&fl, &l, trace), go(&fr, &r, trace)),
+        Some((l2, r2)) => (go(&fl, &l2.view(), trace), go(&fr, &r2.view(), trace)),
+    };
+
+    // Ascending phase.
+    let t0 = Instant::now();
+    let out = f.combine(lo, ro);
+    trace.ascend_ns += t0.elapsed().as_nanos() as u64;
+    trace.combines += 1;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlist::{tabulate, PowerList, PowerView};
+
+    #[derive(Clone)]
+    struct Sum;
+
+    impl PowerFunction for Sum {
+        type Elem = i64;
+        type Out = i64;
+        fn decomposition(&self) -> Decomp {
+            Decomp::Tie
+        }
+        fn basic_case(&self, v: &i64) -> i64 {
+            *v
+        }
+        fn create_left(&self) -> Self {
+            Sum
+        }
+        fn create_right(&self) -> Self {
+            Sum
+        }
+        fn combine(&self, l: i64, r: i64) -> i64 {
+            l + r
+        }
+    }
+
+    /// Eq.-5 style: heavy descending phase.
+    #[derive(Clone)]
+    struct HeavyDescent;
+
+    impl PowerFunction for HeavyDescent {
+        type Elem = i64;
+        type Out = PowerList<i64>;
+        fn decomposition(&self) -> Decomp {
+            Decomp::Tie
+        }
+        fn basic_case(&self, v: &i64) -> PowerList<i64> {
+            PowerList::singleton(*v)
+        }
+        fn create_left(&self) -> Self {
+            HeavyDescent
+        }
+        fn create_right(&self) -> Self {
+            HeavyDescent
+        }
+        fn combine(&self, l: PowerList<i64>, r: PowerList<i64>) -> PowerList<i64> {
+            PowerList::tie(l, r)
+        }
+        fn transform_halves(
+            &self,
+            l: &PowerView<i64>,
+            r: &PowerView<i64>,
+        ) -> crate::TransformedHalves<i64> {
+            let a = powerlist::ops::zip_with(&l.to_powerlist(), &r.to_powerlist(), |x, y| x + y)
+                .unwrap();
+            let b = powerlist::ops::zip_with(&l.to_powerlist(), &r.to_powerlist(), |x, y| x - y)
+                .unwrap();
+            Some((a, b))
+        }
+    }
+
+    #[test]
+    fn counts_match_tree_shape() {
+        let p = tabulate(64, |i| i as i64).unwrap();
+        let (out, t) = compute_traced(&Sum, &p.view());
+        assert_eq!(out, (0..64).sum::<i64>());
+        assert_eq!(t.leaves, 64);
+        assert_eq!(t.splits, 63);
+        assert_eq!(t.combines, 63);
+    }
+
+    #[test]
+    fn singleton_has_no_interior_phases() {
+        let p = PowerList::singleton(5i64);
+        let (out, t) = compute_traced(&Sum, &p.view());
+        assert_eq!(out, 5);
+        assert_eq!(t, PhaseTrace {
+            leaves: 1,
+            leaf_ns: t.leaf_ns,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn traced_result_matches_untraced() {
+        let p = tabulate(128, |i| (i as i64 * 7) % 13).unwrap();
+        let v = p.view();
+        let plain = crate::compute_sequential(&Sum, &v);
+        let (traced, _) = compute_traced(&Sum, &v);
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn descent_share_distinguishes_function_classes() {
+        // The Section V claim, measured: map/reduce-style functions do
+        // ~no descending work; Eq.-5 functions do a lot.
+        let p = tabulate(1 << 12, |i| i as i64).unwrap();
+        let v = p.view();
+        let (_, light) = compute_traced(&Sum, &v);
+        let (_, heavy) = compute_traced(&HeavyDescent, &v);
+        assert!(
+            heavy.descend_share() > light.descend_share(),
+            "heavy {} vs light {}",
+            heavy.descend_share(),
+            light.descend_share()
+        );
+        assert!(heavy.descend_share() > 0.3, "{}", heavy.descend_share());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = tabulate(256, |i| i as i64).unwrap();
+        let (_, t) = compute_traced(&Sum, &p.view());
+        let leaf_share =
+            t.leaf_ns as f64 / (t.descend_ns + t.leaf_ns + t.ascend_ns).max(1) as f64;
+        let total = t.descend_share() + t.ascend_share() + leaf_share;
+        assert!((total - 1.0).abs() < 1e-9 || t.descend_ns + t.leaf_ns + t.ascend_ns == 0);
+    }
+}

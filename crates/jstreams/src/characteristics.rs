@@ -1,0 +1,174 @@
+//! Spliterator characteristics, including the paper's `POWER2`.
+//!
+//! Java's `Spliterator` advertises structural properties as an `int` of
+//! OR-ed flag constants. The adaptation adds one flag: **`POWER2`**,
+//! reported by `SpliteratorPower2` implementations to assert that the
+//! number of elements is a power of two — "necessary in order to verify
+//! that we work with a stream on which we may apply PowerList functions"
+//! (paper, Section IV.A). This module is a minimal, dependency-free
+//! bitset mirroring that scheme.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// A set of spliterator characteristic flags.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Characteristics(u32);
+
+impl Characteristics {
+    /// Element order is defined and must be preserved.
+    pub const ORDERED: Characteristics = Characteristics(1 << 0);
+    /// All elements are distinct.
+    pub const DISTINCT: Characteristics = Characteristics(1 << 1);
+    /// Elements are sorted.
+    pub const SORTED: Characteristics = Characteristics(1 << 2);
+    /// `estimate_size` is an exact count.
+    pub const SIZED: Characteristics = Characteristics(1 << 3);
+    /// No element is null-like (always true in Rust; kept for parity).
+    pub const NONNULL: Characteristics = Characteristics(1 << 4);
+    /// The source cannot be structurally modified during traversal.
+    pub const IMMUTABLE: Characteristics = Characteristics(1 << 5);
+    /// Concurrent modification of the source is safe.
+    pub const CONCURRENT: Characteristics = Characteristics(1 << 6);
+    /// All splits are themselves `SIZED`.
+    pub const SUBSIZED: Characteristics = Characteristics(1 << 7);
+    /// **The adaptation's flag**: element count is a power of two, so
+    /// PowerList functions apply.
+    pub const POWER2: Characteristics = Characteristics(1 << 8);
+
+    /// The empty set of flags.
+    pub const fn empty() -> Characteristics {
+        Characteristics(0)
+    }
+
+    /// `true` when every flag in `other` is present in `self`.
+    #[inline]
+    pub fn contains(self, other: Characteristics) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Characteristics) -> Characteristics {
+        Characteristics(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: Characteristics) -> Characteristics {
+        Characteristics(self.0 & other.0)
+    }
+
+    /// Removes the flags of `other`.
+    #[inline]
+    pub fn without(self, other: Characteristics) -> Characteristics {
+        Characteristics(self.0 & !other.0)
+    }
+
+    /// Raw bits (diagnostics).
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The default set for PowerList spliterators: ordered, exactly
+    /// sized (and so after splitting), immutable, power-of-two.
+    pub fn powerlist_default() -> Characteristics {
+        Self::ORDERED
+            .union(Self::SIZED)
+            .union(Self::SUBSIZED)
+            .union(Self::IMMUTABLE)
+            .union(Self::NONNULL)
+            .union(Self::POWER2)
+    }
+}
+
+impl BitOr for Characteristics {
+    type Output = Characteristics;
+    fn bitor(self, rhs: Characteristics) -> Characteristics {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for Characteristics {
+    type Output = Characteristics;
+    fn bitand(self, rhs: Characteristics) -> Characteristics {
+        self.intersect(rhs)
+    }
+}
+
+impl fmt::Debug for Characteristics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: [(Characteristics, &str); 9] = [
+            (Characteristics::ORDERED, "ORDERED"),
+            (Characteristics::DISTINCT, "DISTINCT"),
+            (Characteristics::SORTED, "SORTED"),
+            (Characteristics::SIZED, "SIZED"),
+            (Characteristics::NONNULL, "NONNULL"),
+            (Characteristics::IMMUTABLE, "IMMUTABLE"),
+            (Characteristics::CONCURRENT, "CONCURRENT"),
+            (Characteristics::SUBSIZED, "SUBSIZED"),
+            (Characteristics::POWER2, "POWER2"),
+        ];
+        let mut first = true;
+        write!(f, "Characteristics(")?;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "∅")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_union() {
+        let c = Characteristics::ORDERED | Characteristics::SIZED;
+        assert!(c.contains(Characteristics::ORDERED));
+        assert!(c.contains(Characteristics::SIZED));
+        assert!(!c.contains(Characteristics::POWER2));
+        assert!(c.contains(Characteristics::empty()));
+        assert!(c.contains(c));
+    }
+
+    #[test]
+    fn without_removes() {
+        let c = Characteristics::powerlist_default().without(Characteristics::POWER2);
+        assert!(!c.contains(Characteristics::POWER2));
+        assert!(c.contains(Characteristics::SIZED));
+    }
+
+    #[test]
+    fn intersect_keeps_common() {
+        let a = Characteristics::ORDERED | Characteristics::POWER2;
+        let b = Characteristics::SIZED | Characteristics::POWER2;
+        assert_eq!(a & b, Characteristics::POWER2);
+    }
+
+    #[test]
+    fn powerlist_default_has_power2() {
+        let c = Characteristics::powerlist_default();
+        assert!(c.contains(Characteristics::POWER2));
+        assert!(c.contains(Characteristics::ORDERED));
+        assert!(c.contains(Characteristics::SUBSIZED));
+        assert!(!c.contains(Characteristics::SORTED));
+    }
+
+    #[test]
+    fn debug_lists_flags() {
+        let s = format!("{:?}", Characteristics::ORDERED | Characteristics::POWER2);
+        assert!(s.contains("ORDERED"));
+        assert!(s.contains("POWER2"));
+        assert_eq!(format!("{:?}", Characteristics::empty()), "Characteristics(∅)");
+    }
+}

@@ -1,0 +1,194 @@
+//! The `collect` template method: the divide-and-conquer driver.
+//!
+//! This is the execution skeleton of the adaptation (paper, Section IV):
+//! the spliterator directs the **descending/splitting phase**, the
+//! collector's supplier+accumulator (or specialised `leaf`) implement the
+//! **leaf phase**, and the combiner implements the **ascending/combining
+//! phase**. The parallel driver runs the two halves of every split with
+//! [`forkjoin::join`], exactly as Java's `ForkJoinPool` executes the
+//! stream's computation tree.
+//!
+//! Splitting stops when the remaining size drops to `leaf_size` — the
+//! explicit analogue of the JVM's implementation-defined granularity
+//! ("the splitting is automatically stopped when a limit that depends on
+//! the system is attained", Section V).
+
+use crate::collector::Collector;
+use crate::spliterator::Spliterator;
+use forkjoin::{join, ForkJoinPool};
+use std::sync::Arc;
+
+/// Sequential collect: drains the spliterator without splitting, through
+/// the collector's leaf routine — what a non-parallel Java stream does
+/// (no combiner involved).
+pub fn collect_seq<T, S, C>(mut source: S, collector: &C) -> C::Out
+where
+    S: Spliterator<T>,
+    C: Collector<T>,
+{
+    let acc = collector.leaf(&mut source);
+    collector.finish(acc)
+}
+
+/// Chooses a leaf granularity for a source of `len` elements on a pool of
+/// `threads` workers: enough leaves for load balance (~4 per worker, the
+/// ForkJoinPool heuristic), but never below 1.
+pub fn default_leaf_size(len: usize, threads: usize) -> usize {
+    (len / (4 * threads.max(1))).max(1)
+}
+
+/// Parallel collect on `pool`: recursively splits to `leaf_size`, runs
+/// leaves through the collector, and combines sibling results — encounter
+/// order is preserved (`combine(left, right)` with `left` the split-off
+/// prefix).
+pub fn collect_par<T, S, C>(pool: &ForkJoinPool, source: S, collector: Arc<C>, leaf_size: usize) -> C::Out
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    C: Collector<T> + 'static,
+    C::Acc: 'static,
+{
+    let leaf_size = leaf_size.max(1);
+    let c2 = Arc::clone(&collector);
+    let acc = pool.install(move || recurse(source, c2, leaf_size));
+    collector.finish(acc)
+}
+
+fn recurse<T, S, C>(mut source: S, collector: Arc<C>, leaf_size: usize) -> C::Acc
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    C: Collector<T> + 'static,
+    C::Acc: 'static,
+{
+    if source.estimate_size() <= leaf_size {
+        return collector.leaf(&mut source);
+    }
+    match source.try_split() {
+        None => collector.leaf(&mut source),
+        Some(prefix) => {
+            let c_left = Arc::clone(&collector);
+            let c_right = Arc::clone(&collector);
+            let (left, right) = join(
+                move || recurse(prefix, c_left, leaf_size),
+                move || recurse(source, c_right, leaf_size),
+            );
+            collector.combine(left, right)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{CountCollector, JoiningCollector, ReduceCollector, VecCollector};
+    use crate::spliterator::SliceSpliterator;
+    use crate::tie::TieSpliterator;
+    use crate::zip::ZipSpliterator;
+    use powerlist::tabulate;
+
+    fn pool() -> ForkJoinPool {
+        ForkJoinPool::new(3)
+    }
+
+    #[test]
+    fn seq_collect_to_vec() {
+        let s = SliceSpliterator::new(vec![1, 2, 3, 4, 5]);
+        assert_eq!(collect_seq(s, &VecCollector), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_collect_to_vec_preserves_order() {
+        let p = pool();
+        let s = SliceSpliterator::new((0..1000).collect());
+        let out = collect_par(&p, s, Arc::new(VecCollector), 16);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_reduce_matches_seq() {
+        let p = pool();
+        let data: Vec<i64> = (1..=100).collect();
+        let seq = collect_seq(
+            SliceSpliterator::new(data.clone()),
+            &ReduceCollector::new(0, |a, b| a + b),
+        );
+        let par = collect_par(
+            &p,
+            SliceSpliterator::new(data),
+            Arc::new(ReduceCollector::new(0, |a, b| a + b)),
+            8,
+        );
+        assert_eq!(seq, 5050);
+        assert_eq!(par, 5050);
+    }
+
+    #[test]
+    fn count_collector_parallel() {
+        let p = pool();
+        let s = SliceSpliterator::new(vec![0u8; 777]);
+        assert_eq!(collect_par(&p, s, Arc::new(CountCollector), 10), 777);
+    }
+
+    #[test]
+    fn tie_spliterator_vec_collect_is_identity() {
+        let p = pool();
+        let list = tabulate(64, |i| i as i32).unwrap();
+        let s = TieSpliterator::over(list.clone());
+        let out = collect_par(&p, s, Arc::new(VecCollector), 4);
+        assert_eq!(out, list.into_vec());
+    }
+
+    #[test]
+    fn zip_spliterator_with_vec_collector_scrambles() {
+        // Deliberate negative test: zip decomposition + concatenating
+        // combiner does NOT reconstruct the source (the Section IV.A
+        // observation that motivates zipAll). With leaf_size 1 on length
+        // 4, concatenating the four residue classes gives the bit-
+        // reversal permutation.
+        let p = pool();
+        let list = tabulate(4, |i| i).unwrap();
+        let s = ZipSpliterator::over(list);
+        let out = collect_par(&p, s, Arc::new(VecCollector), 1);
+        assert_eq!(out, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn joining_collector_separator_at_merges_only() {
+        let p = pool();
+        let words: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let s = SliceSpliterator::new(words);
+        // leaf_size 1: every word is its own leaf; 3 combines insert 3
+        // separators.
+        let out = collect_par(&p, s, Arc::new(JoiningCollector::new(",")), 1);
+        assert_eq!(out, "a,b,c,d");
+        // Sequential: no combiner, no separators (paper's remark).
+        let s = SliceSpliterator::new(
+            ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
+        );
+        assert_eq!(collect_seq(s, &JoiningCollector::new(",")), "abcd");
+    }
+
+    #[test]
+    fn leaf_size_equal_to_len_is_sequential() {
+        let p = pool();
+        let s = SliceSpliterator::new((0..32).collect::<Vec<_>>());
+        let out = collect_par(&p, s, Arc::new(VecCollector), 32);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_leaf_size_heuristic() {
+        assert_eq!(default_leaf_size(1 << 20, 8), 1 << 15);
+        assert_eq!(default_leaf_size(10, 8), 1);
+        assert_eq!(default_leaf_size(0, 4), 1);
+        assert_eq!(default_leaf_size(100, 0), 25);
+    }
+
+    #[test]
+    fn singleton_source() {
+        let p = pool();
+        let s = SliceSpliterator::new(vec![42]);
+        assert_eq!(collect_par(&p, s, Arc::new(VecCollector), 1), vec![42]);
+    }
+}

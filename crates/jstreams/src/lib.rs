@@ -1,0 +1,71 @@
+//! # jstreams — Java-Streams semantics in Rust, with the PowerList adaptation
+//!
+//! This crate reproduces the machinery of the paper *"Enhancing Java
+//! Streams API with PowerList Computation"*: a stream pipeline whose
+//! parallel execution is directed by a splittable iterator
+//! ([`Spliterator`]) and whose terminal mutable reduction
+//! ([`Stream::collect`] with a [`Collector`]) acts as the **template
+//! method of a divide-and-conquer skeleton**:
+//!
+//! * the splitting phase is controlled by *which spliterator* the stream
+//!   was created from — [`TieSpliterator`] halves (`p | q`),
+//!   [`ZipSpliterator`] splits by parity (`p ♮ q`) exactly like the
+//!   paper's `trySplit`;
+//! * the leaf phase runs the collector's supplier + accumulator (or an
+//!   overridden [`Collector::leaf`] kernel);
+//! * the combining phase runs the combiner — for PowerList results,
+//!   [`PowerArray::tie_all`](powerlist::PowerArray::tie_all) /
+//!   [`PowerArray::zip_all`](powerlist::PowerArray::zip_all);
+//! * the [`Characteristics::POWER2`] flag gates PowerList collects, and
+//!   [`SharedState`] + [`HookedZipSpliterator`] implement the paper's
+//!   split-phase ↔ collect-phase communication mechanism (the Java
+//!   inner-class trick).
+//!
+//! ## The paper's identity example
+//!
+//! ```
+//! use jstreams::{power_stream, collect_powerlist, Decomposition};
+//! use powerlist::tabulate;
+//!
+//! let data = tabulate(16, |i| i as f64).unwrap();
+//! // create the stream from a ZipSpliterator, collect with zipAll:
+//! let stream = power_stream(data.clone(), Decomposition::Zip);
+//! let out = collect_powerlist(stream, Decomposition::Zip).unwrap();
+//! assert_eq!(out, data); // decomposition and combining verified
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod characteristics;
+pub mod collect;
+pub mod collector;
+pub mod nway;
+pub mod ops;
+pub mod power;
+pub mod shared;
+pub mod spliterator;
+pub mod stream;
+pub mod tie;
+pub mod truncate;
+pub mod zip;
+
+pub use characteristics::Characteristics;
+pub use collect::{collect_par, collect_seq, default_leaf_size};
+pub use nway::{
+    collect_nway_par, collect_nway_seq, NTieSpliterator, NWayCollector, NWayDecomposition,
+    NWaySpliterator, NZipSpliterator, PListCollector,
+};
+pub use collector::{
+    Collector, CountCollector, ExtremumCollector, FnCollector, JoiningCollector,
+    ReduceCollector, VecCollector,
+};
+pub use power::{
+    collect_powerlist, power_stream, Decomposition, PowerListCollector, PowerMapCollector,
+    PowerSpliterator,
+};
+pub use shared::SharedState;
+pub use spliterator::{require_power2, ItemSource, SliceSpliterator, Spliterator};
+pub use stream::{stream_support, Stream};
+pub use tie::TieSpliterator;
+pub use truncate::{LimitSpliterator, PeekSpliterator, SkipSpliterator};
+pub use zip::{HookedZipSpliterator, ZipSpliterator};

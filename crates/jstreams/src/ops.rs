@@ -1,0 +1,221 @@
+//! Intermediate operations as spliterator adapters.
+//!
+//! Java streams build a pipeline of lazy stages over the source
+//! spliterator; splitting the pipeline splits the source and re-wraps the
+//! stages. [`MapSpliterator`] and [`FilterSpliterator`] reproduce that:
+//! they implement [`Spliterator`] by delegating structure (split, size,
+//! characteristics) to the inner source and transforming elements on the
+//! way out, so a mapped/filtered stream parallelises exactly like its
+//! source.
+
+use crate::characteristics::Characteristics;
+use crate::spliterator::{ItemSource, Spliterator};
+use std::sync::Arc;
+
+/// Lazily applies `f` to every element of an inner spliterator.
+///
+/// Carries the input element type `T` as a parameter so the compiler can
+/// tie the inner source's item type to the mapping function.
+pub struct MapSpliterator<T, S, F> {
+    inner: S,
+    f: Arc<F>,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T, S, F> MapSpliterator<T, S, F> {
+    /// Wraps `inner`, mapping elements through `f`.
+    pub fn new(inner: S, f: Arc<F>) -> Self {
+        MapSpliterator { inner, f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T, U, S, F> ItemSource<U> for MapSpliterator<T, S, F>
+where
+    S: ItemSource<T>,
+    F: Fn(T) -> U,
+{
+    fn try_advance(&mut self, action: &mut dyn FnMut(U)) -> bool {
+        let f = &self.f;
+        self.inner.try_advance(&mut |x| action(f(x)))
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(U)) {
+        let f = &self.f;
+        self.inner.for_each_remaining(&mut |x| action(f(x)))
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.inner.estimate_size()
+    }
+}
+
+impl<T, U, S, F> Spliterator<U> for MapSpliterator<T, S, F>
+where
+    T: Send,
+    S: Spliterator<T>,
+    F: Fn(T) -> U + Send + Sync,
+{
+    fn try_split(&mut self) -> Option<Self> {
+        let prefix = self.inner.try_split()?;
+        Some(MapSpliterator {
+            inner: prefix,
+            f: Arc::clone(&self.f),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        // Mapping preserves structure but not sortedness/distinctness.
+        self.inner
+            .characteristics()
+            .without(Characteristics::SORTED | Characteristics::DISTINCT)
+    }
+}
+
+/// Lazily drops elements failing a predicate.
+///
+/// Filtering destroys `SIZED`/`SUBSIZED`/`POWER2`: the surviving count is
+/// unknown before traversal, so a filtered stream no longer qualifies for
+/// PowerList collects — the same restriction the paper's `POWER2`
+/// characteristic encodes.
+pub struct FilterSpliterator<S, P> {
+    inner: S,
+    pred: Arc<P>,
+}
+
+impl<S, P> FilterSpliterator<S, P> {
+    /// Wraps `inner`, keeping only elements satisfying `pred`.
+    pub fn new(inner: S, pred: Arc<P>) -> Self {
+        FilterSpliterator { inner, pred }
+    }
+}
+
+impl<T, S, P> ItemSource<T> for FilterSpliterator<S, P>
+where
+    S: ItemSource<T>,
+    P: Fn(&T) -> bool,
+{
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        // Keep advancing the source until one element passes or it ends.
+        loop {
+            let pred = &self.pred;
+            let mut passed = false;
+            let more = self.inner.try_advance(&mut |x| {
+                if pred(&x) {
+                    passed = true;
+                    action(x);
+                }
+            });
+            if !more {
+                return false;
+            }
+            if passed {
+                return true;
+            }
+        }
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        let pred = &self.pred;
+        self.inner.for_each_remaining(&mut |x| {
+            if pred(&x) {
+                action(x);
+            }
+        })
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.inner.estimate_size() // an upper bound, as in Java
+    }
+}
+
+impl<T, S, P> Spliterator<T> for FilterSpliterator<S, P>
+where
+    S: Spliterator<T>,
+    P: Fn(&T) -> bool + Send + Sync,
+{
+    fn try_split(&mut self) -> Option<Self> {
+        let prefix = self.inner.try_split()?;
+        Some(FilterSpliterator {
+            inner: prefix,
+            pred: Arc::clone(&self.pred),
+        })
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        self.inner.characteristics().without(
+            Characteristics::SIZED | Characteristics::SUBSIZED | Characteristics::POWER2,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spliterator::SliceSpliterator;
+    use crate::zip::ZipSpliterator;
+    use powerlist::tabulate;
+
+    fn drain<T, S: ItemSource<T>>(s: &mut S) -> Vec<T> {
+        let mut out = vec![];
+        s.for_each_remaining(&mut |x| out.push(x));
+        out
+    }
+
+    #[test]
+    fn map_transforms_elements() {
+        let inner = SliceSpliterator::new(vec![1, 2, 3]);
+        let mut m = MapSpliterator::new(inner, Arc::new(|x: i32| x * 10));
+        assert_eq!(m.estimate_size(), 3);
+        assert_eq!(drain(&mut m), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn map_splits_like_source() {
+        let inner = ZipSpliterator::over(tabulate(8, |i| i as i32).unwrap());
+        let mut m = MapSpliterator::new(inner, Arc::new(|x: i32| x + 100));
+        let mut prefix = m.try_split().unwrap();
+        assert_eq!(drain(&mut prefix), vec![100, 102, 104, 106]);
+        assert_eq!(drain(&mut m), vec![101, 103, 105, 107]);
+    }
+
+    #[test]
+    fn map_keeps_power2() {
+        let inner = ZipSpliterator::over(tabulate(4, |i| i).unwrap());
+        let m = MapSpliterator::new(inner, Arc::new(|x: usize| x));
+        assert!(m.has_characteristics(Characteristics::POWER2));
+    }
+
+    #[test]
+    fn filter_drops_elements() {
+        let inner = SliceSpliterator::new((0..10).collect::<Vec<_>>());
+        let mut f = FilterSpliterator::new(inner, Arc::new(|x: &i32| x % 3 == 0));
+        assert_eq!(drain(&mut f), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn filter_try_advance_skips() {
+        let inner = SliceSpliterator::new(vec![1, 2, 3, 4]);
+        let mut f = FilterSpliterator::new(inner, Arc::new(|x: &i32| x % 2 == 0));
+        let mut seen = vec![];
+        while f.try_advance(&mut |x| seen.push(x)) {}
+        assert_eq!(seen, vec![2, 4]);
+    }
+
+    #[test]
+    fn filter_loses_power2() {
+        let inner = ZipSpliterator::over(tabulate(4, |i| i).unwrap());
+        let f = FilterSpliterator::new(inner, Arc::new(|_: &usize| true));
+        assert!(!f.has_characteristics(Characteristics::POWER2));
+        assert!(!f.has_characteristics(Characteristics::SIZED));
+        assert!(f.has_characteristics(Characteristics::ORDERED));
+    }
+
+    #[test]
+    fn stacked_adapters() {
+        let inner = SliceSpliterator::new((0..20).collect::<Vec<_>>());
+        let mapped = MapSpliterator::new(inner, Arc::new(|x: i32| x * 2));
+        let mut filtered = FilterSpliterator::new(mapped, Arc::new(|x: &i32| x % 8 == 0));
+        assert_eq!(drain(&mut filtered), vec![0, 8, 16, 24, 32]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared state between the splitting phase and the collect phase.
+//!
+//! Section V of the paper distils its inner-class trick into a general
+//! mechanism: the spliterator is defined *inside* the collector class, so
+//! it can "modify/update the state of the outer class instance"
+//! (`functionObject`), and the supplier creates containers "by copying
+//! the functionObject". [`SharedState`] is the Rust equivalent of that
+//! outer-instance channel: a cheaply clonable handle to synchronised
+//! state, handed both to the split hook and to the collector.
+//!
+//! The canonical use is the polynomial evaluation's `x_degree`: every
+//! split doubles a local exponent and performs a *synchronised
+//! max-update* of the global one, because "the global exponent is updated
+//! only if its value is less than the local iterator value … due to the
+//! non-determinism of parallel task execution".
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A clonable handle to state shared between splitting and collecting.
+pub struct SharedState<S> {
+    inner: Arc<Mutex<S>>,
+}
+
+impl<S> Clone for SharedState<S> {
+    fn clone(&self) -> Self {
+        SharedState {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S> SharedState<S> {
+    /// Wraps an initial value.
+    pub fn new(value: S) -> Self {
+        SharedState {
+            inner: Arc::new(Mutex::new(value)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the state (the paper's
+    /// `synchronized` block) and returns its result.
+    pub fn update<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Reads the state through a closure without cloning.
+    pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.inner.lock())
+    }
+}
+
+impl<S: Clone> SharedState<S> {
+    /// Snapshot of the current value.
+    pub fn get(&self) -> S {
+        self.inner.lock().clone()
+    }
+}
+
+impl<S: Ord + Copy> SharedState<S> {
+    /// The synchronised max-update of the paper: raises the global value
+    /// to `candidate` if it is larger; returns the value after the
+    /// update.
+    pub fn update_max(&self, candidate: S) -> S {
+        let mut g = self.inner.lock();
+        if *g < candidate {
+            *g = candidate;
+        }
+        *g
+    }
+}
+
+impl<S: Default> Default for SharedState<S> {
+    fn default() -> Self {
+        SharedState::new(S::default())
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for SharedState<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedState({:?})", self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn update_and_get() {
+        let s = SharedState::new(5);
+        s.update(|v| *v += 1);
+        assert_eq!(s.get(), 6);
+        assert_eq!(s.read(|v| *v * 2), 12);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedState::new(vec![1]);
+        let b = a.clone();
+        b.update(|v| v.push(2));
+        assert_eq!(a.get(), vec![1, 2]);
+    }
+
+    #[test]
+    fn update_max_is_monotone() {
+        let s = SharedState::new(4u32);
+        assert_eq!(s.update_max(2), 4); // lower candidate ignored
+        assert_eq!(s.update_max(8), 8);
+        assert_eq!(s.update_max(6), 8);
+        assert_eq!(s.get(), 8);
+    }
+
+    #[test]
+    fn update_max_under_contention() {
+        let s = SharedState::new(0u64);
+        let mut handles = vec![];
+        for t in 0..8 {
+            let s2 = s.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    s2.update_max(t * 100 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.get(), 799);
+    }
+
+    #[test]
+    fn default_and_debug() {
+        let s: SharedState<i32> = SharedState::default();
+        assert_eq!(s.get(), 0);
+        assert_eq!(format!("{s:?}"), "SharedState(0)");
+    }
+}

@@ -1,0 +1,206 @@
+//! The `Spliterator` abstraction: Java's splittable iterator in Rust.
+//!
+//! Two traits split Java's single interface so that leaf processing can be
+//! object-safe while splitting stays strongly typed:
+//!
+//! * [`ItemSource`] — the traversal half (`try_advance`,
+//!   `for_each_remaining`, `estimate_size`): object safe, what a
+//!   [`Collector`](crate::Collector)'s leaf override receives;
+//! * [`Spliterator`] — adds `try_split` (returning `Self`, like Java's
+//!   covariant `trySplit`) and `characteristics`.
+//!
+//! As in Java, `try_split` partitions off a **prefix** of the remaining
+//! elements into the returned spliterator, leaving `self` with the
+//! suffix; returning `None` means "too small to split" and the driver
+//! processes the rest sequentially.
+
+use crate::characteristics::Characteristics;
+use powerlist::{is_power_of_two, Error};
+
+/// The traversal half of a spliterator (object safe).
+pub trait ItemSource<T> {
+    /// Runs `action` on the next element, if any; returns `false` at the
+    /// end of the source.
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool;
+
+    /// Runs `action` on every remaining element. The default loops
+    /// [`ItemSource::try_advance`]; sources override it for speed.
+    ///
+    /// This is the hook Section V of the paper highlights: splitting
+    /// stops above singletons, and the remaining *sub-PowerList* is
+    /// processed by this method — collectors may specialise what "process
+    /// a leaf" means (e.g. run a sequential Horner at polynomial leaves).
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        while self.try_advance(action) {}
+    }
+
+    /// Exact or estimated count of remaining elements. Exact whenever
+    /// `SIZED` is advertised (all sources in this crate are).
+    fn estimate_size(&self) -> usize;
+}
+
+/// A splittable source of elements (Java's `Spliterator`).
+pub trait Spliterator<T>: ItemSource<T> + Send + Sized {
+    /// Splits off a prefix into a new spliterator, leaving `self` with
+    /// the suffix; `None` when the source is too small to split.
+    fn try_split(&mut self) -> Option<Self>;
+
+    /// Structural properties of this source.
+    fn characteristics(&self) -> Characteristics;
+
+    /// `true` when all flags in `c` are advertised.
+    fn has_characteristics(&self, c: Characteristics) -> bool {
+        self.characteristics().contains(c)
+    }
+}
+
+/// Verifies the `POWER2` contract of a spliterator: the flag must be
+/// advertised *and* the current size must actually be a power of two.
+///
+/// The paper performs this check before running a PowerList function on a
+/// stream ("for this spliterator we verify that it has the Power2
+/// characteristics"). Returns the offending length on failure.
+pub fn require_power2<T, S: Spliterator<T>>(s: &S) -> Result<(), Error> {
+    let n = s.estimate_size();
+    if !s.has_characteristics(Characteristics::POWER2) || !is_power_of_two(n) {
+        if n == 0 {
+            return Err(Error::Empty);
+        }
+        return Err(Error::NotPowerOfTwo(n));
+    }
+    Ok(())
+}
+
+/// A spliterator over an arbitrary vector, splitting linearly "in
+/// segments" — the default Java behaviour the paper contrasts with
+/// (Section IV.A: "By default, the partitioning is performed linearly,
+/// in segments, which is somehow similar to the operator tie").
+pub struct SliceSpliterator<T> {
+    data: std::sync::Arc<Vec<T>>,
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl<T> SliceSpliterator<T> {
+    /// Spliterator over all elements of `data`.
+    pub fn new(data: Vec<T>) -> Self {
+        let hi = data.len();
+        SliceSpliterator {
+            data: std::sync::Arc::new(data),
+            lo: 0,
+            hi,
+        }
+    }
+}
+
+impl<T: Clone> ItemSource<T> for SliceSpliterator<T> {
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        if self.lo == self.hi {
+            return false;
+        }
+        action(self.data[self.lo].clone());
+        self.lo += 1;
+        true
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        for i in self.lo..self.hi {
+            action(self.data[i].clone());
+        }
+        self.lo = self.hi;
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+impl<T: Clone + Send + Sync> Spliterator<T> for SliceSpliterator<T> {
+    fn try_split(&mut self) -> Option<Self> {
+        let n = self.hi - self.lo;
+        if n < 2 {
+            return None;
+        }
+        let mid = self.lo + n / 2;
+        let prefix = SliceSpliterator {
+            data: std::sync::Arc::clone(&self.data),
+            lo: self.lo,
+            hi: mid,
+        };
+        self.lo = mid;
+        Some(prefix)
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        Characteristics::ORDERED
+            | Characteristics::SIZED
+            | Characteristics::SUBSIZED
+            | Characteristics::IMMUTABLE
+            | Characteristics::NONNULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T, S: ItemSource<T>>(s: &mut S) -> Vec<T> {
+        let mut out = vec![];
+        s.for_each_remaining(&mut |x| out.push(x));
+        out
+    }
+
+    #[test]
+    fn slice_spliterator_traverses() {
+        let mut s = SliceSpliterator::new(vec![1, 2, 3]);
+        assert_eq!(s.estimate_size(), 3);
+        assert_eq!(drain(&mut s), vec![1, 2, 3]);
+        assert_eq!(s.estimate_size(), 0);
+        assert!(!s.try_advance(&mut |_| {}));
+    }
+
+    #[test]
+    fn slice_split_is_segment_wise() {
+        let mut s = SliceSpliterator::new(vec![1, 2, 3, 4, 5, 6]);
+        let mut prefix = s.try_split().expect("splittable");
+        assert_eq!(drain(&mut prefix), vec![1, 2, 3]);
+        assert_eq!(drain(&mut s), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn slice_split_stops_at_one() {
+        let mut s = SliceSpliterator::new(vec![9]);
+        assert!(s.try_split().is_none());
+        assert_eq!(drain(&mut s), vec![9]);
+    }
+
+    #[test]
+    fn slice_split_odd_length() {
+        let mut s = SliceSpliterator::new(vec![1, 2, 3, 4, 5]);
+        let mut prefix = s.try_split().unwrap();
+        let a = drain(&mut prefix);
+        let b = drain(&mut s);
+        assert_eq!(a.len() + b.len(), 5);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn slice_has_no_power2() {
+        let s = SliceSpliterator::new(vec![1, 2, 3, 4]);
+        assert!(!s.has_characteristics(Characteristics::POWER2));
+        assert!(s.has_characteristics(Characteristics::SIZED));
+        assert!(require_power2(&s).is_err());
+    }
+
+    #[test]
+    fn try_advance_one_at_a_time() {
+        let mut s = SliceSpliterator::new(vec![7, 8]);
+        let mut seen = vec![];
+        assert!(s.try_advance(&mut |x| seen.push(x)));
+        assert_eq!(s.estimate_size(), 1);
+        assert!(s.try_advance(&mut |x| seen.push(x)));
+        assert!(!s.try_advance(&mut |x| seen.push(x)));
+        assert_eq!(seen, vec![7, 8]);
+    }
+}

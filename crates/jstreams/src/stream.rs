@@ -1,0 +1,364 @@
+//! The `Stream` pipeline type.
+//!
+//! A [`Stream`] couples a [`Spliterator`] source with an execution mode
+//! (sequential / parallel, pool, leaf granularity) and offers the familiar
+//! operation set: `map` / `filter` intermediates, `collect` / `reduce` /
+//! `count` / `for_each` terminals. [`stream_support`] mirrors
+//! `StreamSupport.stream(spliterator, parallel)` — the way the paper
+//! creates a stream from a specialised spliterator.
+
+use crate::collect::{collect_par, collect_seq, default_leaf_size};
+use crate::collector::{Collector, CountCollector, ReduceCollector, VecCollector};
+use crate::ops::{FilterSpliterator, MapSpliterator};
+use crate::truncate::{LimitSpliterator, PeekSpliterator, SkipSpliterator};
+use crate::spliterator::Spliterator;
+use forkjoin::ForkJoinPool;
+use std::sync::Arc;
+
+/// A (possibly parallel) stream over a splittable source.
+pub struct Stream<T, S: Spliterator<T>> {
+    source: S,
+    parallel: bool,
+    pool: Option<Arc<ForkJoinPool>>,
+    leaf_size: Option<usize>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Creates a stream from a spliterator — `StreamSupport.stream(sp, par)`.
+pub fn stream_support<T, S: Spliterator<T>>(spliterator: S, parallel: bool) -> Stream<T, S> {
+    Stream {
+        source: spliterator,
+        parallel,
+        pool: None,
+        leaf_size: None,
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T, S> Stream<T, S>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+{
+    /// Switches to sequential execution (Java's `sequential()`).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Switches to parallel execution (Java's `parallel()`).
+    pub fn parallel(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+
+    /// `true` when terminal operations will run in parallel.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Pins parallel execution to a specific pool (default: the global
+    /// pool), like running a Java stream inside `pool.submit(...)`.
+    pub fn with_pool(mut self, pool: Arc<ForkJoinPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Overrides the leaf granularity (default: `len / (4 × workers)`).
+    pub fn with_leaf_size(mut self, leaf_size: usize) -> Self {
+        self.leaf_size = Some(leaf_size.max(1));
+        self
+    }
+
+    /// Direct access to the source spliterator's characteristics.
+    pub fn characteristics(&self) -> crate::Characteristics {
+        self.source.characteristics()
+    }
+
+    /// Exact/estimated element count of the source.
+    pub fn estimate_size(&self) -> usize {
+        self.source.estimate_size()
+    }
+
+    /// Lazy element transformation (intermediate operation).
+    pub fn map<U, F>(self, f: F) -> Stream<U, MapSpliterator<T, S, F>>
+    where
+        U: Send + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        Stream {
+            source: MapSpliterator::new(self.source, Arc::new(f)),
+            parallel: self.parallel,
+            pool: self.pool,
+            leaf_size: self.leaf_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Lazy element filtering (intermediate operation). Drops the
+    /// `POWER2`/`SIZED` characteristics, so the result no longer accepts
+    /// PowerList collects.
+    pub fn filter<P>(self, pred: P) -> Stream<T, FilterSpliterator<S, P>>
+    where
+        P: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        Stream {
+            source: FilterSpliterator::new(self.source, Arc::new(pred)),
+            parallel: self.parallel,
+            pool: self.pool,
+            leaf_size: self.leaf_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Truncates the stream to its first `n` elements (Java's
+    /// `limit`). Drops the `POWER2` characteristic.
+    pub fn limit(self, n: usize) -> Stream<T, LimitSpliterator<S>> {
+        Stream {
+            source: LimitSpliterator::new(self.source, n),
+            parallel: self.parallel,
+            pool: self.pool,
+            leaf_size: self.leaf_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Drops the first `n` elements (Java's `skip`). Drops the `POWER2`
+    /// characteristic.
+    pub fn skip(self, n: usize) -> Stream<T, SkipSpliterator<S>> {
+        Stream {
+            source: SkipSpliterator::new(self.source, n),
+            parallel: self.parallel,
+            pool: self.pool,
+            leaf_size: self.leaf_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Observes each element as it flows past (Java's `peek`). The
+    /// observer may run concurrently on a parallel stream.
+    pub fn peek<F>(self, observer: F) -> Stream<T, PeekSpliterator<S, F>>
+    where
+        T: Clone,
+        F: Fn(&T) + Send + Sync + 'static,
+    {
+        Stream {
+            source: PeekSpliterator::new(self.source, Arc::new(observer)),
+            parallel: self.parallel,
+            pool: self.pool,
+            leaf_size: self.leaf_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Terminal: the minimum element under `Ord`, or `None` on an empty
+    /// stream.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord + Clone + Sync,
+    {
+        self.collect(crate::collector::ExtremumCollector::min())
+    }
+
+    /// Terminal: the maximum element under `Ord`, or `None` on an empty
+    /// stream.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord + Clone + Sync,
+    {
+        self.collect(crate::collector::ExtremumCollector::max())
+    }
+
+    /// Terminal: runs the full mutable reduction described by
+    /// `collector` — the template method of the PowerList adaptation.
+    pub fn collect<C>(self, collector: C) -> C::Out
+    where
+        C: Collector<T> + 'static,
+        C::Acc: 'static,
+    {
+        if !self.parallel {
+            return collect_seq(self.source, &collector);
+        }
+        let n = self.source.estimate_size();
+        let leaf = self.leaf_size.unwrap_or_else(|| {
+            let threads = self
+                .pool
+                .as_ref()
+                .map(|p| p.threads())
+                .unwrap_or_else(|| forkjoin::global_pool().threads());
+            default_leaf_size(n, threads)
+        });
+        match &self.pool {
+            Some(pool) => collect_par(pool, self.source, Arc::new(collector), leaf),
+            None => collect_par(forkjoin::global_pool(), self.source, Arc::new(collector), leaf),
+        }
+    }
+
+    /// Terminal: reduction with an identity and an associative operator.
+    pub fn reduce<Op>(self, identity: T, op: Op) -> T
+    where
+        T: Clone + Sync,
+        Op: Fn(T, T) -> T + Send + Sync + 'static,
+    {
+        self.collect(ReduceCollector::new(identity, op))
+    }
+
+    /// Terminal: number of elements.
+    pub fn count(self) -> usize {
+        self.collect(CountCollector)
+    }
+
+    /// Terminal: gathers the elements into a vector (encounter order).
+    pub fn to_vec(self) -> Vec<T> {
+        self.collect(VecCollector)
+    }
+
+    /// Terminal: applies `f` to every element. Runs through the collect
+    /// machinery so parallel streams fan out; `f` must therefore be
+    /// shareable.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        struct ForEach<F>(F);
+        impl<T, F: Fn(T) + Send + Sync> Collector<T> for ForEach<F> {
+            type Acc = ();
+            type Out = ();
+            fn supplier(&self) {}
+            fn accumulate(&self, _: &mut (), item: T) {
+                (self.0)(item)
+            }
+            fn combine(&self, _: (), _: ()) {}
+            fn finish(&self, _: ()) {}
+        }
+        self.collect(ForEach(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spliterator::SliceSpliterator;
+    use crate::zip::ZipSpliterator;
+    use crate::Characteristics;
+    use powerlist::tabulate;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn ints(n: usize) -> SliceSpliterator<i64> {
+        SliceSpliterator::new((0..n as i64).collect())
+    }
+
+    #[test]
+    fn sequential_to_vec() {
+        let v = stream_support(ints(10), false).to_vec();
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_to_vec_ordered() {
+        let v = stream_support(ints(500), true).to_vec();
+        assert_eq!(v, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_filter_reduce_pipeline() {
+        let r = stream_support(ints(100), true)
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .reduce(0, |a, b| a + b);
+        // doubles of 0..100 divisible by 4 = 0,4,8,...,196 → sum = 4900
+        assert_eq!(r, 4900);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = stream_support(ints(1000), false)
+            .map(|x| x * x % 7)
+            .reduce(0, |a, b| a + b);
+        let par = stream_support(ints(1000), true)
+            .map(|x| x * x % 7)
+            .reduce(0, |a, b| a + b);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn count_after_filter() {
+        let c = stream_support(ints(100), true).filter(|x| x % 3 == 0).count();
+        assert_eq!(c, 34);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        stream_support(ints(256), true).for_each(move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn mode_toggles() {
+        let s = stream_support(ints(4), false);
+        assert!(!s.is_parallel());
+        let s = s.parallel();
+        assert!(s.is_parallel());
+        let s = s.sequential();
+        assert!(!s.is_parallel());
+    }
+
+    #[test]
+    fn pinned_pool_is_used() {
+        let pool = Arc::new(ForkJoinPool::new(2));
+        let before = pool.metrics();
+        let v = stream_support(ints(512), true)
+            .with_pool(Arc::clone(&pool))
+            .with_leaf_size(16)
+            .to_vec();
+        assert_eq!(v.len(), 512);
+        let after = pool.metrics().since(&before);
+        assert!(after.executed > 0, "work must run on the pinned pool");
+    }
+
+    #[test]
+    fn limit_and_skip_pipeline() {
+        let v = stream_support(ints(100), true).skip(10).limit(5).to_vec();
+        assert_eq!(v, vec![10, 11, 12, 13, 14]);
+        let v = stream_support(ints(100), false).limit(3).to_vec();
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_counts_elements() {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let v = stream_support(ints(64), true)
+            .peek(move |_| {
+                n2.fetch_add(1, Ordering::Relaxed);
+            })
+            .to_vec();
+        assert_eq!(v.len(), 64);
+        assert_eq!(n.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn min_max_terminals() {
+        assert_eq!(stream_support(ints(100), true).min(), Some(0));
+        assert_eq!(stream_support(ints(100), true).max(), Some(99));
+        // Empty after an over-aggressive skip:
+        assert_eq!(stream_support(ints(4), true).skip(10).min(), None);
+        // After filtering:
+        let m = stream_support(ints(100), true).filter(|x| x % 7 == 0).max();
+        assert_eq!(m, Some(98));
+    }
+
+    #[test]
+    fn power2_characteristic_flows_through_map() {
+        let z = ZipSpliterator::over(tabulate(8, |i| i as i64).unwrap());
+        let s = stream_support(z, true).map(|x| x + 1);
+        assert!(s.characteristics().contains(Characteristics::POWER2));
+        assert_eq!(s.estimate_size(), 8);
+        let s2 = s.filter(|_| true);
+        assert!(!s2.characteristics().contains(Characteristics::POWER2));
+    }
+}

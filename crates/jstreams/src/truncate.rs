@@ -1,0 +1,311 @@
+//! Truncating and observing adapters: `limit`, `skip`, `peek`.
+//!
+//! These complete the familiar Java stream surface. Both truncations
+//! exploit `SIZED`/`SUBSIZED` sources (all PowerList spliterators are):
+//! when the pipeline splits, the prefix — which precedes the suffix in
+//! encounter order — absorbs as much of the `skip` and receives as much
+//! of the `limit` allowance as its exact size dictates, so truncated
+//! streams still parallelise.
+//!
+//! Note that truncation destroys the `POWER2` characteristic (an
+//! arbitrary prefix length is not a power of two), which the
+//! characteristics propagation makes visible: a limited/skipped stream
+//! no longer qualifies for PowerList collects, exactly like a filtered
+//! one.
+
+use crate::characteristics::Characteristics;
+use crate::spliterator::{ItemSource, Spliterator};
+use std::sync::Arc;
+
+/// Truncates a source to its first `limit` elements (encounter order).
+pub struct LimitSpliterator<S> {
+    inner: S,
+    remaining: usize,
+}
+
+impl<S> LimitSpliterator<S> {
+    /// Keeps only the first `limit` elements of `inner`.
+    pub fn new(inner: S, limit: usize) -> Self {
+        LimitSpliterator {
+            inner,
+            remaining: limit,
+        }
+    }
+}
+
+impl<T, S: ItemSource<T>> ItemSource<T> for LimitSpliterator<S> {
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        if self.inner.try_advance(action) {
+            self.remaining -= 1;
+            true
+        } else {
+            self.remaining = 0;
+            false
+        }
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        while self.try_advance(action) {}
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.inner.estimate_size().min(self.remaining)
+    }
+}
+
+impl<T, S: Spliterator<T>> Spliterator<T> for LimitSpliterator<S> {
+    fn try_split(&mut self) -> Option<Self> {
+        if self.remaining < 2 {
+            return None;
+        }
+        let prefix = self.inner.try_split()?;
+        // The prefix precedes us: it takes allowance up to its exact
+        // size; we keep the rest.
+        let prefix_size = prefix.estimate_size();
+        let prefix_allow = self.remaining.min(prefix_size);
+        self.remaining -= prefix_allow;
+        Some(LimitSpliterator {
+            inner: prefix,
+            remaining: prefix_allow,
+        })
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        self.inner
+            .characteristics()
+            .without(Characteristics::POWER2)
+    }
+}
+
+/// Drops the first `skip` elements of a source (encounter order).
+pub struct SkipSpliterator<S> {
+    inner: S,
+    to_skip: usize,
+}
+
+impl<S> SkipSpliterator<S> {
+    /// Skips the first `skip` elements of `inner`.
+    pub fn new(inner: S, skip: usize) -> Self {
+        SkipSpliterator {
+            inner,
+            to_skip: skip,
+        }
+    }
+}
+
+impl<T, S: ItemSource<T>> ItemSource<T> for SkipSpliterator<S> {
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        while self.to_skip > 0 {
+            if !self.inner.try_advance(&mut |_| {}) {
+                self.to_skip = 0;
+                return false;
+            }
+            self.to_skip -= 1;
+        }
+        self.inner.try_advance(action)
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        while self.to_skip > 0 {
+            if !self.inner.try_advance(&mut |_| {}) {
+                self.to_skip = 0;
+                return;
+            }
+            self.to_skip -= 1;
+        }
+        self.inner.for_each_remaining(action)
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.inner.estimate_size().saturating_sub(self.to_skip)
+    }
+}
+
+impl<T, S: Spliterator<T>> Spliterator<T> for SkipSpliterator<S> {
+    fn try_split(&mut self) -> Option<Self> {
+        let prefix = self.inner.try_split()?;
+        // The prefix absorbs skip up to its exact size.
+        let prefix_size = prefix.estimate_size();
+        let prefix_skip = self.to_skip.min(prefix_size);
+        self.to_skip -= prefix_skip;
+        Some(SkipSpliterator {
+            inner: prefix,
+            to_skip: prefix_skip,
+        })
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        self.inner
+            .characteristics()
+            .without(Characteristics::POWER2)
+    }
+}
+
+/// Runs an observer on every element as it flows past (Java's `peek`).
+pub struct PeekSpliterator<S, F> {
+    inner: S,
+    observer: Arc<F>,
+}
+
+impl<S, F> PeekSpliterator<S, F> {
+    /// Observes elements of `inner` with `observer`.
+    pub fn new(inner: S, observer: Arc<F>) -> Self {
+        PeekSpliterator { inner, observer }
+    }
+}
+
+impl<T, S, F> ItemSource<T> for PeekSpliterator<S, F>
+where
+    S: ItemSource<T>,
+    T: Clone,
+    F: Fn(&T),
+{
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        let obs = &self.observer;
+        self.inner.try_advance(&mut |x| {
+            obs(&x);
+            action(x);
+        })
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        let obs = &self.observer;
+        self.inner.for_each_remaining(&mut |x| {
+            obs(&x);
+            action(x);
+        })
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.inner.estimate_size()
+    }
+}
+
+impl<T, S, F> Spliterator<T> for PeekSpliterator<S, F>
+where
+    S: Spliterator<T>,
+    T: Clone,
+    F: Fn(&T) + Send + Sync,
+{
+    fn try_split(&mut self) -> Option<Self> {
+        let prefix = self.inner.try_split()?;
+        Some(PeekSpliterator {
+            inner: prefix,
+            observer: Arc::clone(&self.observer),
+        })
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        self.inner.characteristics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spliterator::SliceSpliterator;
+    use crate::tie::TieSpliterator;
+    use powerlist::tabulate;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn drain<T, S: ItemSource<T>>(s: &mut S) -> Vec<T> {
+        let mut out = vec![];
+        s.for_each_remaining(&mut |x| out.push(x));
+        out
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut s = LimitSpliterator::new(SliceSpliterator::new((0..10).collect::<Vec<_>>()), 4);
+        assert_eq!(s.estimate_size(), 4);
+        assert_eq!(drain(&mut s), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn limit_longer_than_source() {
+        let mut s = LimitSpliterator::new(SliceSpliterator::new(vec![1, 2]), 10);
+        assert_eq!(s.estimate_size(), 2);
+        assert_eq!(drain(&mut s), vec![1, 2]);
+    }
+
+    #[test]
+    fn limit_zero_is_empty() {
+        let mut s = LimitSpliterator::new(SliceSpliterator::new(vec![1, 2]), 0);
+        assert_eq!(s.estimate_size(), 0);
+        assert!(drain(&mut s).is_empty());
+    }
+
+    #[test]
+    fn limit_split_preserves_prefix_semantics() {
+        // limit 5 over [0..8): prefix [0..4) gets allowance 4, suffix 1.
+        let mut s = LimitSpliterator::new(
+            TieSpliterator::over(tabulate(8, |i| i).unwrap()),
+            5,
+        );
+        let mut prefix = s.try_split().unwrap();
+        let mut all = drain(&mut prefix);
+        all.extend(drain(&mut s));
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn skip_drops_prefix() {
+        let mut s = SkipSpliterator::new(SliceSpliterator::new((0..10).collect::<Vec<_>>()), 7);
+        assert_eq!(s.estimate_size(), 3);
+        assert_eq!(drain(&mut s), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn skip_more_than_source() {
+        let mut s = SkipSpliterator::new(SliceSpliterator::new(vec![1, 2]), 5);
+        assert_eq!(s.estimate_size(), 0);
+        assert!(drain(&mut s).is_empty());
+    }
+
+    #[test]
+    fn skip_split_absorbs_in_prefix() {
+        // skip 3 over [0..8): prefix [0..4) absorbs all 3.
+        let mut s = SkipSpliterator::new(
+            TieSpliterator::over(tabulate(8, |i| i).unwrap()),
+            3,
+        );
+        let mut prefix = s.try_split().unwrap();
+        let mut all = drain(&mut prefix);
+        all.extend(drain(&mut s));
+        assert_eq!(all, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn skip_then_limit_composition() {
+        let inner = SliceSpliterator::new((0..20).collect::<Vec<_>>());
+        let skipped = SkipSpliterator::new(inner, 5);
+        let mut limited = LimitSpliterator::new(skipped, 4);
+        assert_eq!(drain(&mut limited), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn truncation_drops_power2() {
+        let s = LimitSpliterator::new(TieSpliterator::over(tabulate(8, |i| i).unwrap()), 3);
+        assert!(!s.has_characteristics(Characteristics::POWER2));
+        let s = SkipSpliterator::new(TieSpliterator::over(tabulate(8, |i| i).unwrap()), 3);
+        assert!(!s.has_characteristics(Characteristics::POWER2));
+    }
+
+    #[test]
+    fn peek_observes_everything() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let s2 = Arc::clone(&seen);
+        let mut s = PeekSpliterator::new(
+            SliceSpliterator::new((0..9i64).collect::<Vec<_>>()),
+            Arc::new(move |_: &i64| {
+                s2.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        let out = drain(&mut s);
+        assert_eq!(out.len(), 9);
+        assert_eq!(seen.load(Ordering::Relaxed), 9);
+    }
+}

@@ -1,0 +1,344 @@
+//! `ZipSpliterator`: splits a PowerList source like the **zip** operator.
+//!
+//! `try_split` partitions the remaining elements by parity: the returned
+//! prefix takes the even positions (the `p` of `p ♮ q`, starting at the
+//! current cursor), `self` keeps the odd positions, and both strides
+//! double — exactly the paper's `trySplit`:
+//!
+//! ```java
+//! int lo = start; int step = incr;
+//! if (start + step <= end) {
+//!     incr *= 2;
+//!     start += step;
+//!     return new ZipSpliterator(list, lo, end - step, incr);
+//! } else return null; // too small to split
+//! ```
+//!
+//! A zip-decomposed source "could not be recreated by using simple
+//! concatenation" (Section IV.A): collectors draining this spliterator
+//! must recombine partial results with
+//! [`PowerArray::zip_all`](powerlist::PowerArray::zip_all).
+//!
+//! [`HookedZipSpliterator`] adds the paper's splitting-phase mechanism:
+//! per-spliterator local state transformed on every split (the inner-class
+//! `PZipSpliterator` carrying `x_degree`), with shared state reachable
+//! from the hook closure.
+
+use crate::characteristics::Characteristics;
+use crate::spliterator::{ItemSource, Spliterator};
+use powerlist::{PowerList, PowerView, Storage};
+use std::sync::Arc;
+
+/// Spliterator decomposing a power-of-two source by parity (zip).
+///
+/// Carries the paper's `(list, start, end, incr)` descriptor with
+/// **inclusive** `end`.
+pub struct ZipSpliterator<T> {
+    storage: Storage<T>,
+    start: usize,
+    end: usize, // inclusive physical index of the last element
+    incr: usize,
+    level: u32,
+    exhausted: bool,
+}
+
+impl<T> ZipSpliterator<T> {
+    /// Spliterator over a whole PowerList.
+    pub fn over(list: PowerList<T>) -> Self {
+        let view = list.view();
+        Self::from_view(&view)
+    }
+
+    /// Spliterator over an existing no-copy view.
+    pub fn from_view(view: &PowerView<T>) -> Self {
+        ZipSpliterator {
+            storage: view.storage(),
+            start: view.start(),
+            end: view.start() + (view.len() - 1) * view.incr(),
+            incr: view.incr().max(1),
+            level: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Raw descriptor constructor (inclusive `end`), mirroring the
+    /// paper's `new ZipSpliterator<Double>(list, 0, list.size()-1)`.
+    pub fn from_parts(storage: Storage<T>, start: usize, end: usize, incr: usize) -> Self {
+        assert!(incr >= 1, "increment must be at least 1");
+        assert!(start <= end, "start must not exceed end");
+        assert!(end < storage.len(), "end out of bounds");
+        ZipSpliterator {
+            storage,
+            start,
+            end,
+            incr,
+            level: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Number of splits that produced this spliterator.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    fn remaining(&self) -> usize {
+        if self.exhausted {
+            0
+        } else {
+            (self.end - self.start) / self.incr + 1
+        }
+    }
+}
+
+impl<T: Clone> ItemSource<T> for ZipSpliterator<T> {
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        action(self.storage.get(self.start).clone());
+        if self.start + self.incr > self.end {
+            self.exhausted = true;
+        } else {
+            self.start += self.incr;
+        }
+        true
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        if self.exhausted {
+            return;
+        }
+        let mut i = self.start;
+        loop {
+            action(self.storage.get(i).clone());
+            if i + self.incr > self.end {
+                break;
+            }
+            i += self.incr;
+        }
+        self.exhausted = true;
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.remaining()
+    }
+}
+
+impl<T: Clone + Send + Sync> Spliterator<T> for ZipSpliterator<T> {
+    fn try_split(&mut self) -> Option<Self> {
+        // Paper: `if (start + step <= end)` — at least two elements left.
+        if self.exhausted || self.start + self.incr > self.end {
+            return None;
+        }
+        let lo = self.start;
+        let step = self.incr;
+        self.level += 1;
+        self.incr *= 2;
+        self.start += step;
+        Some(ZipSpliterator {
+            storage: self.storage.clone(),
+            start: lo,
+            end: self.end - step,
+            incr: self.incr,
+            level: self.level,
+            exhausted: false,
+        })
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        Characteristics::powerlist_default()
+    }
+}
+
+/// A [`ZipSpliterator`] with splitting-phase state: the Rust rendering of
+/// the paper's specialised inner-class spliterator.
+///
+/// `local` is per-spliterator state (the paper's per-instance
+/// `x_degree`); on every split the `hook` runs with mutable access to it
+/// and produces the local state for the split-off prefix. Shared,
+/// synchronised state (the outer `functionObject` of the paper's general
+/// mechanism) is captured inside the hook closure, typically as a
+/// [`SharedState`](crate::SharedState).
+pub struct HookedZipSpliterator<T, L> {
+    base: ZipSpliterator<T>,
+    local: L,
+    hook: Arc<dyn Fn(&mut L) -> L + Send + Sync>,
+}
+
+impl<T, L> HookedZipSpliterator<T, L> {
+    /// Wraps a zip spliterator with initial local state and a split hook.
+    pub fn new(
+        base: ZipSpliterator<T>,
+        local: L,
+        hook: Arc<dyn Fn(&mut L) -> L + Send + Sync>,
+    ) -> Self {
+        HookedZipSpliterator { base, local, hook }
+    }
+
+    /// The current local state.
+    pub fn local(&self) -> &L {
+        &self.local
+    }
+
+    /// The split level of the underlying spliterator.
+    pub fn level(&self) -> u32 {
+        self.base.level()
+    }
+}
+
+impl<T: Clone, L> ItemSource<T> for HookedZipSpliterator<T, L> {
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        self.base.try_advance(action)
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        self.base.for_each_remaining(action)
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.base.estimate_size()
+    }
+}
+
+impl<T, L> Spliterator<T> for HookedZipSpliterator<T, L>
+where
+    T: Clone + Send + Sync,
+    L: Send,
+{
+    fn try_split(&mut self) -> Option<Self> {
+        let prefix = self.base.try_split()?;
+        // Run the splitting-phase work: mutate our local state and derive
+        // the prefix's. (In the paper both halves observe the doubled
+        // x_degree; hooks implement that by mutate-then-clone.)
+        let prefix_local = (self.hook)(&mut self.local);
+        Some(HookedZipSpliterator {
+            base: prefix,
+            local: prefix_local,
+            hook: Arc::clone(&self.hook),
+        })
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        self.base.characteristics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spliterator::require_power2;
+    use powerlist::tabulate;
+
+    fn drain<T, S: ItemSource<T>>(s: &mut S) -> Vec<T> {
+        let mut out = vec![];
+        s.for_each_remaining(&mut |x| out.push(x));
+        out
+    }
+
+    fn spl(n: usize) -> ZipSpliterator<usize> {
+        ZipSpliterator::over(tabulate(n, |i| i).unwrap())
+    }
+
+    #[test]
+    fn traverses_in_order() {
+        let mut s = spl(8);
+        assert_eq!(s.estimate_size(), 8);
+        assert_eq!(drain(&mut s), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_gives_even_positions() {
+        let mut s = spl(8);
+        let mut prefix = s.try_split().unwrap();
+        assert_eq!(drain(&mut prefix), vec![0, 2, 4, 6]);
+        assert_eq!(drain(&mut s), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn recursive_zip_splits() {
+        // Two levels of zip splitting on [0..8): residue classes mod 4.
+        let mut s = spl(8);
+        let mut even = s.try_split().unwrap();
+        let mut ee = even.try_split().unwrap();
+        let mut oo = s.try_split().unwrap();
+        assert_eq!(drain(&mut ee), vec![0, 4]); // ≡ 0 (mod 4)
+        assert_eq!(drain(&mut even), vec![2, 6]); // ≡ 2 (mod 4)
+        assert_eq!(drain(&mut oo), vec![1, 5]); // ≡ 1 (mod 4)
+        assert_eq!(drain(&mut s), vec![3, 7]); // ≡ 3 (mod 4)
+    }
+
+    #[test]
+    fn singleton_does_not_split() {
+        let mut s = spl(1);
+        assert!(s.try_split().is_none());
+        assert_eq!(drain(&mut s), vec![0]);
+    }
+
+    #[test]
+    fn advertises_power2() {
+        let s = spl(4);
+        assert!(require_power2(&s).is_ok());
+    }
+
+    #[test]
+    fn levels_track_depth() {
+        let mut s = spl(8);
+        assert_eq!(s.level(), 0);
+        let p = s.try_split().unwrap();
+        assert_eq!(p.level(), 1);
+        assert_eq!(s.level(), 1);
+        let mut p = p;
+        let q = p.try_split().unwrap();
+        assert_eq!(q.level(), 2);
+    }
+
+    #[test]
+    fn hooked_split_transforms_local_state() {
+        // Model the polynomial x_degree: local doubles on each split and
+        // both halves see the doubled value.
+        let base = spl(8);
+        let hook: Arc<dyn Fn(&mut u64) -> u64 + Send + Sync> = Arc::new(|local| {
+            *local *= 2;
+            *local
+        });
+        let mut h = HookedZipSpliterator::new(base, 1u64, hook);
+        let mut left = h.try_split().unwrap();
+        assert_eq!(*h.local(), 2);
+        assert_eq!(*left.local(), 2);
+        let l2 = left.try_split().unwrap();
+        assert_eq!(*left.local(), 4);
+        assert_eq!(*l2.local(), 4);
+        // h was split once: its local stays 2 until it splits again.
+        assert_eq!(*h.local(), 2);
+    }
+
+    #[test]
+    fn hooked_shared_state_sees_max_level() {
+        use parking_lot::Mutex;
+        let shared = Arc::new(Mutex::new(1u64));
+        let s2 = Arc::clone(&shared);
+        let hook: Arc<dyn Fn(&mut u64) -> u64 + Send + Sync> = Arc::new(move |local| {
+            *local *= 2;
+            let mut g = s2.lock();
+            if *g < *local {
+                *g = *local; // synchronized max-update from the paper
+            }
+            *local
+        });
+        let mut h = HookedZipSpliterator::new(spl(8), 1u64, hook);
+        let mut a = h.try_split().unwrap();
+        let _ = a.try_split().unwrap();
+        let _ = h.try_split().unwrap();
+        assert_eq!(*shared.lock(), 4);
+    }
+
+    #[test]
+    fn zip_then_drain_partial() {
+        let mut s = spl(4);
+        let mut first = None;
+        s.try_advance(&mut |x| first = Some(x));
+        assert_eq!(first, Some(0));
+        assert_eq!(drain(&mut s), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests of the stream pipeline: random sources, random
+//! granularities, random pipelines — parallel always equals sequential.
+
+use jstreams::{
+    collect_powerlist, power_stream, stream_support, Decomposition, SliceSpliterator,
+};
+use powerlist::PowerList;
+use proptest::prelude::*;
+
+fn powerlist_i64(max_k: u32) -> impl Strategy<Value = PowerList<i64>> {
+    (0..=max_k)
+        .prop_flat_map(|k| proptest::collection::vec(-500i64..500, 1 << k as usize))
+        .prop_map(|v| PowerList::from_vec(v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn to_vec_preserves_order(v in proptest::collection::vec(any::<i32>(), 0..500),
+                              leaf in 1usize..64) {
+        let got = stream_support(SliceSpliterator::new(v.clone()), true)
+            .with_leaf_size(leaf)
+            .to_vec();
+        prop_assert_eq!(got, v);
+    }
+
+    #[test]
+    fn count_is_len(v in proptest::collection::vec(any::<u8>(), 0..300), leaf in 1usize..32) {
+        let n = v.len();
+        let got = stream_support(SliceSpliterator::new(v), true)
+            .with_leaf_size(leaf)
+            .count();
+        prop_assert_eq!(got, n);
+    }
+
+    #[test]
+    fn pipeline_parallel_equals_sequential(
+        v in proptest::collection::vec(-1000i64..1000, 0..400),
+        a in -5i64..5,
+        b in 1i64..7,
+        leaf in 1usize..32,
+    ) {
+        let seq = stream_support(SliceSpliterator::new(v.clone()), false)
+            .map(move |x| x * a)
+            .filter(move |x| x % b == 0)
+            .reduce(0, |p, q| p + q);
+        let par = stream_support(SliceSpliterator::new(v), true)
+            .with_leaf_size(leaf)
+            .map(move |x| x * a)
+            .filter(move |x| x % b == 0)
+            .reduce(0, |p, q| p + q);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn skip_limit_window(v in proptest::collection::vec(any::<i16>(), 0..300),
+                         skip in 0usize..50, limit in 0usize..50) {
+        let expected: Vec<i16> = v.iter().skip(skip).take(limit).copied().collect();
+        let got = stream_support(SliceSpliterator::new(v), true)
+            .skip(skip)
+            .limit(limit)
+            .to_vec();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn min_max_match_std(v in proptest::collection::vec(any::<i32>(), 0..300)) {
+        let want_min = v.iter().min().copied();
+        let want_max = v.iter().max().copied();
+        prop_assert_eq!(stream_support(SliceSpliterator::new(v.clone()), true).min(), want_min);
+        prop_assert_eq!(stream_support(SliceSpliterator::new(v), true).max(), want_max);
+    }
+
+    #[test]
+    fn power_stream_identity_under_all_leafs(p in powerlist_i64(8), leaf in 1usize..40,
+                                             zip in any::<bool>()) {
+        let d = if zip { Decomposition::Zip } else { Decomposition::Tie };
+        let out = collect_powerlist(power_stream(p.clone(), d).with_leaf_size(leaf), d).unwrap();
+        prop_assert_eq!(out, p);
+    }
+
+    #[test]
+    fn map_then_to_vec_equals_spec_under_tie(p in powerlist_i64(8), c in -9i64..9,
+                                             leaf in 1usize..32) {
+        // `to_vec` concatenates partial results, which only reconstructs
+        // encounter order for the TIE decomposition...
+        let spec = powerlist::ops::map(&p, |x| x ^ c);
+        let got = power_stream(p, Decomposition::Tie)
+            .with_leaf_size(leaf)
+            .map(move |x| x ^ c)
+            .to_vec();
+        prop_assert_eq!(got, spec.into_vec());
+    }
+
+    #[test]
+    fn zip_with_concatenation_is_inv(p in powerlist_i64(7)) {
+        // ... while ZIP + concatenation permutes by bit reversal when
+        // split to singletons — the Section IV.A observation that makes
+        // zipAll necessary, as a law.
+        let spec = powerlist::perm::inv_indexed(&p);
+        let got = power_stream(p, Decomposition::Zip)
+            .with_leaf_size(1)
+            .to_vec();
+        prop_assert_eq!(got, spec.into_vec());
+    }
+}

@@ -1,0 +1,237 @@
+//! Complex arithmetic for the FFT.
+//!
+//! A self-contained `f64` complex type (the dependency policy of this
+//! repository keeps numerics in-repo; see DESIGN.md §6). Only the
+//! operations the FFT catalogue needs are provided, all `#[inline]`.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Builds `re + im·i`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// A real number as a complex one.
+    #[inline]
+    pub const fn from_re(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — the point at angle `theta` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Complex {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// The principal `n`-th root of unity, `e^{2πi/n}`.
+    #[inline]
+    pub fn root_of_unity(n: usize) -> Complex {
+        Complex::cis(2.0 * std::f64::consts::PI / n as f64)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Complex {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// `true` when both parts differ from `other` by at most `eps` —
+    /// the comparison used by FFT correctness tests.
+    pub fn approx_eq(self, other: Complex, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// Integer power by repeated squaring (exact enough for the twiddle
+    /// factors used in tests; production twiddles use `cis` directly).
+    pub fn powi(self, mut n: u32) -> Complex {
+        let mut base = self;
+        let mut acc = Complex::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        acc
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Complex {
+        Complex::from_re(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn field_operations() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0)); // (1+2i)(3-i) = 5+5i
+        assert!(((a / b) * b).approx_eq(a, EPS));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn identities() {
+        let a = Complex::new(0.7, -0.3);
+        assert!((a + Complex::ZERO).approx_eq(a, EPS));
+        assert!((a * Complex::ONE).approx_eq(a, EPS));
+        assert!((a * Complex::I).approx_eq(Complex::new(0.3, 0.7), EPS));
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let w = Complex::root_of_unity(4);
+        assert!(w.approx_eq(Complex::I, EPS)); // e^{iπ/2}
+        assert!(w.powi(4).approx_eq(Complex::ONE, EPS));
+        let w8 = Complex::root_of_unity(8);
+        assert!(w8.powi(8).approx_eq(Complex::ONE, EPS));
+        assert!(w8.powi(4).approx_eq(-Complex::ONE, EPS));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        assert!((a * a.conj()).approx_eq(Complex::from_re(25.0), EPS));
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let a = Complex::new(0.9, 0.2);
+        let mut expect = Complex::ONE;
+        for n in 0..10u32 {
+            assert!(a.powi(n).approx_eq(expect, 1e-9), "n={n}");
+            expect = expect * a;
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Complex::new(1.0, 2.0)), "1.000000+2.000000i");
+        assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1.000000-2.000000i");
+    }
+}

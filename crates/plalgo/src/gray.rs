@@ -1,0 +1,106 @@
+//! Gray codes over PowerLists.
+//!
+//! The reflected binary Gray code has the classic PowerList shape:
+//!
+//! ```text
+//! gray(0)  = [ε]
+//! gray(n)  = (0 ++ gray(n-1)) | (1 ++ rev(gray(n-1)))
+//! ```
+//!
+//! — prepend a 0-bit to the codes, then a 1-bit to the *reversed* codes,
+//! and tie. The structural version is checked against the closed form
+//! `g(i) = i ⊕ (i >> 1)`.
+
+use powerlist::{PowerList, Result};
+
+/// The `n`-bit reflected Gray code as a PowerList of `2^n` words, by the
+/// structural recursion.
+pub fn gray_structural(bits: u32) -> Result<PowerList<u64>> {
+    assert!(bits < 63, "gray codes limited to 62 bits");
+    fn go(bits: u32) -> Vec<u64> {
+        if bits == 0 {
+            return vec![0];
+        }
+        let prev = go(bits - 1);
+        let hi = 1u64 << (bits - 1);
+        let mut out = Vec::with_capacity(prev.len() * 2);
+        out.extend(prev.iter().copied()); // 0 ++ gray(n-1)
+        out.extend(prev.iter().rev().map(|c| hi | c)); // 1 ++ rev(gray(n-1))
+        out
+    }
+    PowerList::from_vec(go(bits))
+}
+
+/// The closed form `g(i) = i ⊕ (i >> 1)`.
+pub fn gray_closed(bits: u32) -> Result<PowerList<u64>> {
+    assert!(bits < 63, "gray codes limited to 62 bits");
+    powerlist::tabulate(1usize << bits, |i| (i as u64) ^ ((i as u64) >> 1))
+}
+
+/// Decodes a Gray word back to its rank in the sequence.
+pub fn gray_decode(mut g: u64) -> u64 {
+    let mut b = 0u64;
+    while g != 0 {
+        b ^= g;
+        g >>= 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_bit_sequence() {
+        let g = gray_structural(3).unwrap();
+        assert_eq!(g.as_slice(), &[0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+    }
+
+    #[test]
+    fn structural_matches_closed_form() {
+        for bits in 0..12 {
+            assert_eq!(
+                gray_structural(bits).unwrap(),
+                gray_closed(bits).unwrap(),
+                "bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_codes_differ_in_one_bit() {
+        let g = gray_structural(8).unwrap();
+        for w in g.as_slice().windows(2) {
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1, "{:b} vs {:b}", w[0], w[1]);
+        }
+        // and the sequence is cyclic:
+        let first = g[0];
+        let last = g[g.len() - 1];
+        assert_eq!((first ^ last).count_ones(), 1);
+    }
+
+    #[test]
+    fn codes_are_a_permutation() {
+        let g = gray_structural(10).unwrap();
+        let mut seen = vec![false; 1 << 10];
+        for &c in g.iter() {
+            assert!(!seen[c as usize], "duplicate {c}");
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        for i in 0u64..1024 {
+            assert_eq!(gray_decode(i ^ (i >> 1)), i);
+        }
+    }
+
+    #[test]
+    fn zero_bits_is_singleton() {
+        let g = gray_structural(0).unwrap();
+        assert_eq!(g.as_slice(), &[0]);
+    }
+}

@@ -1,0 +1,282 @@
+//! `map` and `reduce` over PowerLists, through every execution route.
+//!
+//! Eq. 1 of the paper defines `map` by structural recursion; `reduce` is
+//! analogous. This module provides them:
+//!
+//! * as [`PowerFunction`]s ([`MapFunction`], [`ReduceFunction`]) runnable
+//!   by any JPLF executor (sequential / fork-join / MPI-sim), in both the
+//!   tie and zip variants ("alternative definitions based on the zip
+//!   operator could also be given");
+//! * as stream collects (via [`jstreams::PowerMapCollector`] /
+//!   [`jstreams::ReduceCollector`]) — wrapped here in the convenience
+//!   functions [`map_stream`] and [`reduce_stream`].
+//!
+//! All routes are tested against the sequential specification in
+//! [`powerlist::ops`].
+
+use jplf::{Decomp, PowerFunction};
+use jstreams::{power_stream, Decomposition, PowerMapCollector, ReduceCollector};
+use powerlist::PowerList;
+use std::sync::Arc;
+
+/// `map(f)` as a JPLF PowerFunction.
+///
+/// The decomposition operator is a parameter: both variants compute the
+/// same list (the algebra's Eq. 1 and its zip dual), with different
+/// memory access patterns — the subject of the tie-vs-zip ablation bench.
+pub struct MapFunction<T, U> {
+    decomp: Decomp,
+    f: Arc<dyn Fn(&T) -> U + Send + Sync>,
+}
+
+impl<T, U> Clone for MapFunction<T, U> {
+    fn clone(&self) -> Self {
+        MapFunction {
+            decomp: self.decomp,
+            f: Arc::clone(&self.f),
+        }
+    }
+}
+
+impl<T, U> MapFunction<T, U> {
+    /// Map with the given scalar function and decomposition operator.
+    pub fn new(decomp: Decomp, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Self {
+        MapFunction {
+            decomp,
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl<T, U> PowerFunction for MapFunction<T, U>
+where
+    T: Clone + Send + Sync + 'static,
+    U: Clone + Send + Sync + 'static,
+{
+    type Elem = T;
+    type Out = PowerList<U>;
+
+    fn decomposition(&self) -> Decomp {
+        self.decomp
+    }
+
+    fn basic_case(&self, v: &T) -> PowerList<U> {
+        PowerList::singleton((self.f)(v))
+    }
+
+    fn create_left(&self) -> Self {
+        self.clone()
+    }
+
+    fn create_right(&self) -> Self {
+        self.clone()
+    }
+
+    fn combine(&self, l: PowerList<U>, r: PowerList<U>) -> PowerList<U> {
+        match self.decomp {
+            Decomp::Tie => PowerList::tie(l, r),
+            Decomp::Zip => PowerList::zip(l, r),
+        }
+    }
+
+    /// Leaf kernel: map the sub-list with a tight loop instead of
+    /// recursing to singletons (paper §V's specialised basic case).
+    fn leaf_case(&self, view: &powerlist::PowerView<T>) -> PowerList<U> {
+        PowerList::from_vec(view.iter().map(|x| (self.f)(x)).collect())
+            .expect("map preserves the shape invariant")
+    }
+}
+
+/// A shareable associative binary operator over `T`.
+pub type ReduceOp<T> = Arc<dyn Fn(&T, &T) -> T + Send + Sync>;
+
+/// `reduce(op)` as a JPLF PowerFunction (requires an associative `op`).
+pub struct ReduceFunction<T> {
+    decomp: Decomp,
+    op: ReduceOp<T>,
+}
+
+impl<T> Clone for ReduceFunction<T> {
+    fn clone(&self) -> Self {
+        ReduceFunction {
+            decomp: self.decomp,
+            op: Arc::clone(&self.op),
+        }
+    }
+}
+
+impl<T> ReduceFunction<T> {
+    /// Reduce with the given associative operator and decomposition.
+    ///
+    /// With a non-commutative `op`, only `Decomp::Tie` computes the
+    /// left-to-right fold; the zip variant permutes operand order and is
+    /// correct only for commutative operators.
+    pub fn new(decomp: Decomp, op: impl Fn(&T, &T) -> T + Send + Sync + 'static) -> Self {
+        ReduceFunction {
+            decomp,
+            op: Arc::new(op),
+        }
+    }
+}
+
+impl<T> PowerFunction for ReduceFunction<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    type Elem = T;
+    type Out = T;
+
+    fn decomposition(&self) -> Decomp {
+        self.decomp
+    }
+
+    fn basic_case(&self, v: &T) -> T {
+        v.clone()
+    }
+
+    fn create_left(&self) -> Self {
+        self.clone()
+    }
+
+    fn create_right(&self) -> Self {
+        self.clone()
+    }
+
+    fn combine(&self, l: T, r: T) -> T {
+        (self.op)(&l, &r)
+    }
+
+    /// Leaf kernel: an in-order fold. Identical to the recursion for
+    /// associative operators (the zip variant's usual commutativity
+    /// caveat applies).
+    fn leaf_case(&self, view: &powerlist::PowerView<T>) -> T {
+        let mut it = view.iter();
+        let mut acc = it.next().expect("views are non-empty").clone();
+        for x in it {
+            acc = (self.op)(&acc, x);
+        }
+        acc
+    }
+}
+
+/// `map` through the streams adaptation: ZipSpliterator +
+/// [`PowerMapCollector`], parallel by default.
+pub fn map_stream<T, U>(
+    list: PowerList<T>,
+    decomposition: Decomposition,
+    f: impl Fn(T) -> U + Send + Sync + 'static,
+) -> PowerList<U>
+where
+    T: Clone + Send + Sync + 'static,
+    U: Send + 'static,
+{
+    power_stream(list, decomposition)
+        .collect(PowerMapCollector::new(decomposition, f))
+        .into_powerlist()
+        .expect("map preserves the shape invariant")
+}
+
+/// `reduce` through the streams adaptation.
+pub fn reduce_stream<T>(
+    list: PowerList<T>,
+    decomposition: Decomposition,
+    identity: T,
+    op: impl Fn(T, T) -> T + Send + Sync + 'static,
+) -> T
+where
+    T: Clone + Send + Sync + 'static,
+{
+    power_stream(list, decomposition).collect(ReduceCollector::new(identity, op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jplf::{Executor, ForkJoinExecutor, MpiExecutor, SequentialExecutor};
+    use powerlist::tabulate;
+
+    fn input() -> PowerList<i64> {
+        tabulate(256, |i| (i as i64 * 31 + 7) % 101).unwrap()
+    }
+
+    #[test]
+    fn map_function_tie_and_zip_agree() {
+        let p = input();
+        let spec = powerlist::ops::map(&p, |x| x * 2 + 1);
+        let v = p.view();
+        let tie = SequentialExecutor::new().execute(&MapFunction::new(Decomp::Tie, |x| x * 2 + 1), &v);
+        let zip = SequentialExecutor::new().execute(&MapFunction::new(Decomp::Zip, |x| x * 2 + 1), &v);
+        assert_eq!(tie, spec);
+        assert_eq!(zip, spec);
+    }
+
+    #[test]
+    fn map_function_all_executors_agree() {
+        let p = input();
+        let spec = powerlist::ops::map(&p, |x| x * x);
+        let v = p.view();
+        let f = MapFunction::new(Decomp::Zip, |x: &i64| x * x);
+        assert_eq!(SequentialExecutor::new().execute(&f, &v), spec);
+        assert_eq!(ForkJoinExecutor::new(3, 16).execute(&f, &v), spec);
+        assert_eq!(MpiExecutor::new(4).execute(&f, &v), spec);
+    }
+
+    #[test]
+    fn reduce_function_matches_fold() {
+        let p = input();
+        let spec = powerlist::ops::reduce(&p, |a, b| a + b);
+        let v = p.view();
+        let f = ReduceFunction::new(Decomp::Tie, |a: &i64, b: &i64| a + b);
+        assert_eq!(SequentialExecutor::new().execute(&f, &v), spec);
+        assert_eq!(ForkJoinExecutor::new(2, 8).execute(&f, &v), spec);
+        assert_eq!(MpiExecutor::new(8).execute(&f, &v), spec);
+    }
+
+    #[test]
+    fn reduce_noncommutative_needs_tie() {
+        // String concatenation: tie preserves order.
+        let p = tabulate(8, |i| i.to_string()).unwrap();
+        let f = ReduceFunction::new(Decomp::Tie, |a: &String, b: &String| format!("{a}{b}"));
+        assert_eq!(SequentialExecutor::new().execute(&f, &p.view()), "01234567");
+    }
+
+    #[test]
+    fn stream_map_matches_spec() {
+        let p = input();
+        let spec = powerlist::ops::map(&p, |x| x - 3);
+        for d in [Decomposition::Tie, Decomposition::Zip] {
+            assert_eq!(map_stream(p.clone(), d, |x| x - 3), spec, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn stream_reduce_matches_spec() {
+        let p = input();
+        let spec = powerlist::ops::reduce(&p, |a, b| a + b);
+        for d in [Decomposition::Tie, Decomposition::Zip] {
+            assert_eq!(reduce_stream(p.clone(), d, 0, |a, b| a + b), spec, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn leaf_kernels_match_template_recursion() {
+        // leaf_case must equal compute_sequential on any view, including
+        // strided ones (a zip-split residue class).
+        let p = input();
+        let v = p.clone().view();
+        let (even, odd) = v.unzip().unwrap();
+        for view in [&v, &even, &odd] {
+            let m = MapFunction::new(Decomp::Zip, |x: &i64| x * 5 - 2);
+            assert_eq!(m.leaf_case(view), jplf::compute_sequential(&m, view));
+            let r = ReduceFunction::new(Decomp::Tie, |a: &i64, b: &i64| a + b);
+            assert_eq!(r.leaf_case(view), jplf::compute_sequential(&r, view));
+        }
+    }
+
+    #[test]
+    fn singleton_map_reduce() {
+        let p = PowerList::singleton(5i64);
+        assert_eq!(map_stream(p.clone(), Decomposition::Zip, |x| x + 1).as_slice(), &[6]);
+        assert_eq!(reduce_stream(p, Decomposition::Tie, 0, |a, b| a + b), 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! `inv` as a JPLF PowerFunction — the paper's flagship example of a
+//! function that *needs both* deconstruction operators (Eq. 2):
+//! the input splits with **tie** while the output recombines with
+//! **zip** (or dually). Runs on every executor; tested against the
+//! index-arithmetic implementation in [`powerlist::perm`].
+
+use jplf::{Decomp, PowerFunction};
+use powerlist::PowerList;
+
+impl<T> PowerFunction for InvFunctionTyped<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    type Elem = T;
+    type Out = PowerList<T>;
+
+    fn decomposition(&self) -> Decomp {
+        Decomp::Tie
+    }
+
+    fn basic_case(&self, v: &T) -> PowerList<T> {
+        PowerList::singleton(v.clone())
+    }
+
+    fn create_left(&self) -> Self {
+        InvFunctionTyped::default()
+    }
+
+    fn create_right(&self) -> Self {
+        InvFunctionTyped::default()
+    }
+
+    /// The crossover that defines `inv`: tie-split children recombine
+    /// with **zip**.
+    fn combine(&self, l: PowerList<T>, r: PowerList<T>) -> PowerList<T> {
+        PowerList::zip(l, r)
+    }
+
+    /// Leaf kernel: bit-reverse the materialised sub-list by index
+    /// arithmetic.
+    fn leaf_case(&self, view: &powerlist::PowerView<T>) -> PowerList<T> {
+        powerlist::perm::inv_indexed(&view.to_powerlist())
+    }
+}
+
+/// Eq. 2 as a JPLF PowerFunction: `inv(p | q) = inv(p) ♮ inv(q)`. The
+/// function carries no parameters; the type parameter fixes the element
+/// type for the `PowerFunction` machinery.
+pub struct InvFunctionTyped<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Default for InvFunctionTyped<T> {
+    fn default() -> Self {
+        InvFunctionTyped {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T> Clone for InvFunctionTyped<T> {
+    fn clone(&self) -> Self {
+        InvFunctionTyped::default()
+    }
+}
+
+impl<T> std::fmt::Debug for InvFunctionTyped<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InvFunction")
+    }
+}
+
+/// `inv` through a JPLF executor.
+pub fn inv_via<E, T>(executor: &E, input: &PowerList<T>) -> PowerList<T>
+where
+    E: jplf::Executor,
+    T: Clone + Send + Sync + 'static,
+{
+    executor.execute(&InvFunctionTyped::<T>::default(), &input.clone().view())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jplf::{ForkJoinExecutor, MpiExecutor, SequentialExecutor};
+    use powerlist::perm::inv_indexed;
+    use powerlist::tabulate;
+
+    #[test]
+    fn matches_index_arithmetic() {
+        for k in 0..9 {
+            let p = tabulate(1 << k, |i| i as i64 * 5 - 3).unwrap();
+            let got = inv_via(&SequentialExecutor::new(), &p);
+            assert_eq!(got, inv_indexed(&p), "k={k}");
+        }
+    }
+
+    #[test]
+    fn all_executors_agree() {
+        let p = tabulate(256, |i| i).unwrap();
+        let expected = inv_indexed(&p);
+        assert_eq!(inv_via(&SequentialExecutor::new(), &p), expected);
+        assert_eq!(inv_via(&ForkJoinExecutor::new(3, 16), &p), expected);
+        assert_eq!(inv_via(&MpiExecutor::new(4), &p), expected);
+    }
+
+    #[test]
+    fn involution_through_executors() {
+        let p = tabulate(64, |i| (i * 31) % 17).unwrap();
+        let exec = ForkJoinExecutor::new(2, 8);
+        assert_eq!(inv_via(&exec, &inv_via(&exec, &p)), p);
+    }
+}

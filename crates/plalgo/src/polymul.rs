@@ -1,0 +1,122 @@
+//! Polynomial multiplication via the PowerList FFT — a downstream
+//! application composing two of the paper's catalogue functions
+//! (Eq. 3's FFT and the extended element-wise `×` of Section II).
+//!
+//! `mul(a, b) = ifft(fft(pad a) × fft(pad b))`, the classical
+//! convolution theorem route: O(n log n) against the O(n²) schoolbook
+//! baseline that the tests validate against.
+
+use crate::complex::Complex;
+use crate::fft::{fft_seq, ifft};
+use powerlist::{is_power_of_two, ops, PowerList};
+
+/// Schoolbook O(n²) multiplication — the correctness oracle.
+pub fn poly_mul_naive(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return vec![];
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// FFT-based multiplication of two coefficient slices (ascending
+/// order). Returns the product's coefficients, length
+/// `a.len() + b.len() - 1`.
+pub fn poly_mul_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return vec![];
+    }
+    let out_len = a.len() + b.len() - 1;
+    let mut n = 1usize;
+    while n < out_len {
+        n *= 2;
+    }
+    let pad = |s: &[f64]| -> PowerList<Complex> {
+        let mut v: Vec<Complex> = s.iter().map(|&x| Complex::from_re(x)).collect();
+        v.resize(n, Complex::ZERO);
+        PowerList::from_vec(v).expect("padded to a power of two")
+    };
+    debug_assert!(is_power_of_two(n));
+    let fa = fft_seq(&pad(a));
+    let fb = fft_seq(&pad(b));
+    // The extended element-wise × of the PowerList algebra:
+    let prod = ops::mul(&fa, &fb).expect("similar spectra");
+    let back = ifft(&prod);
+    back.iter().take(out_len).map(|z| z.re).collect()
+}
+
+/// Convolution of two equal-length power-of-two signals (cyclic padding
+/// avoided by doubling), exposed for signal-processing callers.
+pub fn convolve(a: &PowerList<f64>, b: &PowerList<f64>) -> Vec<f64> {
+    poly_mul_fft(a.as_slice(), b.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64], eps: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= eps)
+    }
+
+    #[test]
+    fn small_products() {
+        // (1 + x)(1 - x) = 1 - x²
+        let p = poly_mul_fft(&[1.0, 1.0], &[1.0, -1.0]);
+        assert!(close(&p, &[1.0, 0.0, -1.0], 1e-9), "{p:?}");
+        // (x)(x) = x²
+        let p = poly_mul_fft(&[0.0, 1.0], &[0.0, 1.0]);
+        assert!(close(&p, &[0.0, 0.0, 1.0], 1e-9), "{p:?}");
+    }
+
+    #[test]
+    fn matches_naive_various_sizes() {
+        for (la, lb) in [(1, 1), (2, 3), (5, 8), (16, 16), (31, 33), (64, 7)] {
+            let a: Vec<f64> = (0..la).map(|i| ((i * 7 + 1) % 5) as f64 - 2.0).collect();
+            let b: Vec<f64> = (0..lb).map(|i| ((i * 3 + 2) % 7) as f64 - 3.0).collect();
+            let fast = poly_mul_fft(&a, &b);
+            let slow = poly_mul_naive(&a, &b);
+            assert!(close(&fast, &slow, 1e-7), "la={la} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn identity_polynomial() {
+        let a = [3.0, -1.0, 2.0, 5.0];
+        let one = [1.0];
+        assert!(close(&poly_mul_fft(&a, &one), &a, 1e-9));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(poly_mul_fft(&[], &[1.0]).is_empty());
+        assert!(poly_mul_naive(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn product_degree_and_evaluation_agree() {
+        // P(x)·Q(x) evaluated at a point equals the product of the
+        // evaluations — ties polymul back to the vp machinery.
+        let a: Vec<f64> = (0..13).map(|i| (i % 4) as f64 - 1.5).collect();
+        let b: Vec<f64> = (0..9).map(|i| (i % 3) as f64).collect();
+        let prod = poly_mul_fft(&a, &b);
+        let x = 0.83;
+        let lhs = crate::poly::horner(&prod, x);
+        let rhs = crate::poly::horner(&a, x) * crate::poly::horner(&b, x);
+        assert!((lhs - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn convolve_powerlists() {
+        let a = PowerList::from_vec(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = PowerList::from_vec(vec![1.0, 0.0, -1.0, 0.0]).unwrap();
+        let c = convolve(&a, &b);
+        let expected = poly_mul_naive(a.as_slice(), b.as_slice());
+        assert!(close(&c, &expected, 1e-9));
+    }
+}

@@ -1,0 +1,293 @@
+//! Prefix sums (scan) over PowerLists — Ladner–Fischer.
+//!
+//! The prefix-sum recursion on PowerLists (one of the functions the
+//! paper's Section III lists as expressible in JPLF) uses the zip
+//! deconstruction:
+//!
+//! ```text
+//! ps([a])    = [a]
+//! ps(p ♮ q)  = (shift(t) ⊕ p) ♮ t   where t = ps(p ⊕ q)
+//! ```
+//!
+//! with `⊕` the extended operator and `shift` prepending the identity
+//! and dropping the last element. This is the Ladner–Fischer circuit:
+//! depth `O(log n)`, work `O(n)` per level.
+//!
+//! Provided: the structural recursion ([`scan_seq`]), a fork-join
+//! parallel version parallelising the element-wise phases
+//! ([`scan_par`]), and an exclusive-scan variant. All verified against a
+//! plain running fold.
+
+use forkjoin::ForkJoinPool;
+use powerlist::{PowerList, Result};
+use std::sync::Arc;
+
+/// A shareable associative binary operator over `T`.
+type ScanOp<T> = Arc<dyn Fn(&T, &T) -> T + Send + Sync>;
+
+/// Inclusive scan by plain left fold — the specification.
+pub fn scan_spec<T: Clone>(input: &[T], op: impl Fn(&T, &T) -> T) -> Vec<T> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc: Option<T> = None;
+    for x in input {
+        let next = match &acc {
+            None => x.clone(),
+            Some(a) => op(a, x),
+        };
+        out.push(next.clone());
+        acc = Some(next);
+    }
+    out
+}
+
+/// Inclusive scan via the PowerList recursion (sequential).
+///
+/// `identity` must satisfy `op(identity, x) = x`.
+pub fn scan_seq<T>(input: &PowerList<T>, identity: T, op: impl Fn(&T, &T) -> T + Copy) -> PowerList<T>
+where
+    T: Clone,
+{
+    fn go<T: Clone>(v: Vec<T>, identity: &T, op: impl Fn(&T, &T) -> T + Copy) -> Vec<T> {
+        let n = v.len();
+        if n == 1 {
+            return v;
+        }
+        // unzip: p = evens, q = odds
+        let mut p = Vec::with_capacity(n / 2);
+        let mut q = Vec::with_capacity(n / 2);
+        for (i, x) in v.into_iter().enumerate() {
+            if i % 2 == 0 {
+                p.push(x);
+            } else {
+                q.push(x);
+            }
+        }
+        // t = ps(p ⊕ q)
+        let sums: Vec<T> = p.iter().zip(q.iter()).map(|(a, b)| op(a, b)).collect();
+        let t = go(sums, identity, op);
+        // evens of the result: shift(t) ⊕ p
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n / 2 {
+            let shifted = if i == 0 { identity.clone() } else { t[i - 1].clone() };
+            out.push(op(&shifted, &p[i]));
+            out.push(t[i].clone());
+        }
+        out
+    }
+    PowerList::from_vec(go(input.clone().into_vec(), &identity, op))
+        .expect("scan preserves length")
+}
+
+/// Exclusive scan: result `i` is the fold of elements `0..i` (identity at
+/// position 0).
+pub fn scan_exclusive<T>(
+    input: &PowerList<T>,
+    identity: T,
+    op: impl Fn(&T, &T) -> T + Copy,
+) -> PowerList<T>
+where
+    T: Clone,
+{
+    let inc = scan_seq(input, identity.clone(), op);
+    let mut v = inc.into_vec();
+    v.pop();
+    v.insert(0, identity);
+    PowerList::from_vec(v).expect("shift preserves length")
+}
+
+/// Parallel inclusive scan: Blelloch two-phase (up-sweep / down-sweep)
+/// over the fork-join pool, with sequential tiles of `grain` elements.
+///
+/// `op` must be associative; results equal [`scan_seq`] exactly for exact
+/// types (integers) and up to reassociation error for floats.
+pub fn scan_par<T>(
+    pool: &ForkJoinPool,
+    input: &PowerList<T>,
+    identity: T,
+    op: impl Fn(&T, &T) -> T + Send + Sync + 'static,
+    grain: usize,
+) -> Result<PowerList<T>>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    let n = input.len();
+    let grain = grain.max(1);
+    let op = Arc::new(op);
+    let data = Arc::new(input.clone().into_vec());
+
+    // Tile layout: ceil(n / grain) tiles.
+    let tiles = n.div_ceil(grain);
+    if tiles <= 1 {
+        return Ok(scan_seq(input, identity, |a, b| op(a, b)));
+    }
+
+    // Phase 1 (up-sweep): per-tile totals, in parallel.
+    let totals: Vec<T> = {
+        let data = Arc::clone(&data);
+        let op = Arc::clone(&op);
+        pool.install(move || {
+            fn sweep<T: Clone + Send + Sync + 'static>(
+                data: Arc<Vec<T>>,
+                op: ScanOp<T>,
+                lo_tile: usize,
+                hi_tile: usize,
+                grain: usize,
+            ) -> Vec<T> {
+                if hi_tile - lo_tile == 1 {
+                    let lo = lo_tile * grain;
+                    let hi = ((lo_tile + 1) * grain).min(data.len());
+                    let mut acc = data[lo].clone();
+                    for x in &data[lo + 1..hi] {
+                        acc = op(&acc, x);
+                    }
+                    return vec![acc];
+                }
+                let mid = lo_tile + (hi_tile - lo_tile) / 2;
+                let (d2, o2) = (Arc::clone(&data), Arc::clone(&op));
+                let (mut l, mut r) = forkjoin::join(
+                    move || sweep(data, op, lo_tile, mid, grain),
+                    move || sweep(d2, o2, mid, hi_tile, grain),
+                );
+                l.append(&mut r);
+                l
+            }
+            let op2: ScanOp<T> = op;
+            sweep(data, op2, 0, tiles, grain)
+        })
+    };
+
+    // Phase 2: exclusive scan of the tile totals (small, sequential).
+    let mut offsets = Vec::with_capacity(tiles);
+    let mut acc = identity.clone();
+    for t in &totals {
+        offsets.push(acc.clone());
+        acc = op(&acc, t);
+    }
+
+    // Phase 3 (down-sweep): per-tile local scans seeded by the offsets.
+    let offsets = Arc::new(offsets);
+    let out: Vec<T> = {
+        let data = Arc::clone(&data);
+        let op2: ScanOp<T> = Arc::clone(&op) as _;
+        let offsets = Arc::clone(&offsets);
+        pool.install(move || {
+            fn down<T: Clone + Send + Sync + 'static>(
+                data: Arc<Vec<T>>,
+                op: ScanOp<T>,
+                offsets: Arc<Vec<T>>,
+                lo_tile: usize,
+                hi_tile: usize,
+                grain: usize,
+            ) -> Vec<T> {
+                if hi_tile - lo_tile == 1 {
+                    let lo = lo_tile * grain;
+                    let hi = ((lo_tile + 1) * grain).min(data.len());
+                    let mut acc = offsets[lo_tile].clone();
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for x in &data[lo..hi] {
+                        acc = op(&acc, x);
+                        out.push(acc.clone());
+                    }
+                    return out;
+                }
+                let mid = lo_tile + (hi_tile - lo_tile) / 2;
+                let (d2, o2, f2) = (Arc::clone(&data), Arc::clone(&op), Arc::clone(&offsets));
+                let (mut l, mut r) = forkjoin::join(
+                    move || down(data, op, offsets, lo_tile, mid, grain),
+                    move || down(d2, o2, f2, mid, hi_tile, grain),
+                );
+                l.append(&mut r);
+                l
+            }
+            down(data, op2, offsets, 0, tiles, grain)
+        })
+    };
+
+    PowerList::from_vec(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlist::tabulate;
+
+    fn input(n: usize) -> PowerList<i64> {
+        tabulate(n, |i| (i as i64 * 17 + 3) % 29 - 14).unwrap()
+    }
+
+    #[test]
+    fn spec_scan_works() {
+        assert_eq!(scan_spec(&[1, 2, 3, 4], |a, b| a + b), vec![1, 3, 6, 10]);
+        assert_eq!(scan_spec(&[5], |a, b| a + b), vec![5]);
+    }
+
+    #[test]
+    fn ladner_fischer_matches_spec() {
+        for k in 0..10 {
+            let p = input(1 << k);
+            let expected = scan_spec(p.as_slice(), |a, b| a + b);
+            let got = scan_seq(&p, 0, |a, b| a + b);
+            assert_eq!(got.as_slice(), &expected[..], "k={k}");
+        }
+    }
+
+    #[test]
+    fn works_with_max_monoid() {
+        let p = input(64);
+        let expected = scan_spec(p.as_slice(), |a, b| *a.max(b));
+        let got = scan_seq(&p, i64::MIN, |a, b| *a.max(b));
+        assert_eq!(got.as_slice(), &expected[..]);
+    }
+
+    #[test]
+    fn exclusive_scan_shifts() {
+        let p = PowerList::from_vec(vec![1i64, 2, 3, 4]).unwrap();
+        let ex = scan_exclusive(&p, 0, |a, b| a + b);
+        assert_eq!(ex.as_slice(), &[0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = ForkJoinPool::new(3);
+        for k in [0usize, 1, 4, 8, 11] {
+            let p = input(1 << k);
+            let expected = scan_seq(&p, 0, |a, b| a + b);
+            for grain in [1usize, 3, 16, 100] {
+                let got = scan_par(&pool, &p, 0, |a: &i64, b: &i64| a + b, grain).unwrap();
+                assert_eq!(got, expected, "k={k} grain={grain}");
+            }
+        }
+    }
+
+    #[test]
+    fn noncommutative_associative_op() {
+        // 2x2 integer matrix multiplication: associative, not commutative.
+        type M = [i64; 4];
+        fn mul(a: &M, b: &M) -> M {
+            [
+                a[0] * b[0] + a[1] * b[2],
+                a[0] * b[1] + a[1] * b[3],
+                a[2] * b[0] + a[3] * b[2],
+                a[2] * b[1] + a[3] * b[3],
+            ]
+        }
+        let id: M = [1, 0, 0, 1];
+        let p = tabulate(32, |i| {
+            let x = (i % 3) as i64 - 1;
+            [1, x, 0, 1]
+        })
+        .unwrap();
+        let expected = scan_spec(p.as_slice(), mul);
+        let got = scan_seq(&p, id, mul);
+        assert_eq!(got.as_slice(), &expected[..]);
+        let pool = ForkJoinPool::new(2);
+        let par = scan_par(&pool, &p, id, mul, 4).unwrap();
+        assert_eq!(par.as_slice(), &expected[..]);
+    }
+
+    #[test]
+    fn singleton_scan() {
+        let p = PowerList::singleton(7i64);
+        assert_eq!(scan_seq(&p, 0, |a, b| a + b).as_slice(), &[7]);
+    }
+}

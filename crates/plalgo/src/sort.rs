@@ -1,0 +1,212 @@
+//! Sorting networks over PowerLists: Batcher's odd-even merge sort and
+//! bitonic sort — two of the catalogue functions the paper lists
+//! (Section III: "Fast Fourier Transform, Batcher sort, Bitonic sort,
+//! Prefix sum, Gray codes, etc.").
+//!
+//! Both follow the PowerList divide-and-conquer shape: sort the tie
+//! halves recursively, then merge; the merges themselves recurse over
+//! **zip** deconstructions — like the FFT, these algorithms need both
+//! operators.
+
+use forkjoin::{join, ForkJoinPool};
+use powerlist::PowerList;
+use std::sync::Arc;
+
+/// Batcher's odd-even merge of two sorted runs of equal power-of-two
+/// length:
+///
+/// ```text
+/// oem(a, b) | len 1     = [min(a,b), max(a,b)]
+/// oem(a, b)             = cleanup(oem(evens a, evens b) ♮ oem(odds a, odds b))
+/// ```
+///
+/// where `cleanup` compare-exchanges each adjacent pair `(2i+1, 2i+2)`.
+pub fn odd_even_merge<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 1 {
+        let (x, y) = (a[0].clone(), b[0].clone());
+        return if x <= y { vec![x, y] } else { vec![y, x] };
+    }
+    let evens = |s: &[T]| s.iter().step_by(2).cloned().collect::<Vec<T>>();
+    let odds = |s: &[T]| s.iter().skip(1).step_by(2).cloned().collect::<Vec<T>>();
+    let v = odd_even_merge(&evens(a), &evens(b));
+    let w = odd_even_merge(&odds(a), &odds(b));
+    // zip v and w, then the cleanup comparator stage.
+    let mut out = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        out.push(v[i].clone());
+        out.push(w[i].clone());
+    }
+    for i in (1..2 * n - 1).step_by(2) {
+        if out[i] > out[i + 1] {
+            out.swap(i, i + 1);
+        }
+    }
+    out
+}
+
+/// Batcher's odd-even merge sort (sequential structural recursion).
+pub fn batcher_sort<T: Ord + Clone>(input: &PowerList<T>) -> PowerList<T> {
+    fn go<T: Ord + Clone>(v: &[T]) -> Vec<T> {
+        if v.len() == 1 {
+            return v.to_vec();
+        }
+        let mid = v.len() / 2;
+        let l = go(&v[..mid]);
+        let r = go(&v[mid..]);
+        odd_even_merge(&l, &r)
+    }
+    PowerList::from_vec(go(input.as_slice())).expect("sorting preserves length")
+}
+
+/// Parallel Batcher sort: the two tie halves sort in parallel on the
+/// pool; merges run sequentially (they are `O(n log n)` work at `O(n)`
+/// span and dominate only near the root).
+pub fn batcher_sort_par<T>(pool: &ForkJoinPool, input: &PowerList<T>, grain: usize) -> PowerList<T>
+where
+    T: Ord + Clone + Send + Sync + 'static,
+{
+    fn go<T: Ord + Clone + Send + Sync + 'static>(v: Arc<Vec<T>>, lo: usize, hi: usize, grain: usize) -> Vec<T> {
+        if hi - lo <= grain.max(1) {
+            let mut s = v[lo..hi].to_vec();
+            s.sort();
+            return s;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let v2 = Arc::clone(&v);
+        let (l, r) = join(
+            move || go(v, lo, mid, grain),
+            move || go(v2, mid, hi, grain),
+        );
+        odd_even_merge(&l, &r)
+    }
+    let n = input.len();
+    let data = Arc::new(input.clone().into_vec());
+    let out = pool.install(move || go(data, 0, n, grain));
+    PowerList::from_vec(out).expect("sorting preserves length")
+}
+
+/// Bitonic merge: input is a bitonic sequence; `dir` true = ascending.
+fn bitonic_merge<T: Ord + Clone>(v: &mut [T], dir: bool) {
+    let n = v.len();
+    if n <= 1 {
+        return;
+    }
+    let half = n / 2;
+    for i in 0..half {
+        if (v[i] > v[i + half]) == dir {
+            v.swap(i, i + half);
+        }
+    }
+    bitonic_merge(&mut v[..half], dir);
+    let (_, rest) = v.split_at_mut(half);
+    bitonic_merge(rest, dir);
+}
+
+fn bitonic_rec<T: Ord + Clone>(v: &mut [T], dir: bool) {
+    let n = v.len();
+    if n <= 1 {
+        return;
+    }
+    let half = n / 2;
+    bitonic_rec(&mut v[..half], true);
+    {
+        let (_, rest) = v.split_at_mut(half);
+        bitonic_rec(rest, false);
+    }
+    bitonic_merge(v, dir);
+}
+
+/// Bitonic sort (sequential): sort halves in opposite directions, then
+/// bitonic-merge.
+pub fn bitonic_sort<T: Ord + Clone>(input: &PowerList<T>) -> PowerList<T> {
+    let mut v = input.clone().into_vec();
+    bitonic_rec(&mut v, true);
+    PowerList::from_vec(v).expect("sorting preserves length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlist::tabulate;
+
+    fn scrambled(n: usize) -> PowerList<i64> {
+        tabulate(n, |i| ((i as i64 * 1103515245 + 12345) % 1000) - 500).unwrap()
+    }
+
+    fn is_sorted<T: Ord>(v: &[T]) -> bool {
+        v.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    #[test]
+    fn odd_even_merge_merges() {
+        let a = vec![1, 4, 7, 9];
+        let b = vec![2, 3, 8, 10];
+        let m = odd_even_merge(&a, &b);
+        assert_eq!(m, vec![1, 2, 3, 4, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn odd_even_merge_singletons() {
+        assert_eq!(odd_even_merge(&[5], &[2]), vec![2, 5]);
+        assert_eq!(odd_even_merge(&[2], &[5]), vec![2, 5]);
+        assert_eq!(odd_even_merge(&[3], &[3]), vec![3, 3]);
+    }
+
+    #[test]
+    fn batcher_sorts() {
+        for k in 0..10 {
+            let p = scrambled(1 << k);
+            let sorted = batcher_sort(&p);
+            assert!(is_sorted(sorted.as_slice()), "k={k}");
+            let mut expected = p.clone().into_vec();
+            expected.sort();
+            assert_eq!(sorted.into_vec(), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn batcher_par_matches_seq() {
+        let pool = ForkJoinPool::new(3);
+        let p = scrambled(1 << 10);
+        let seq = batcher_sort(&p);
+        for grain in [1usize, 16, 256] {
+            assert_eq!(batcher_sort_par(&pool, &p, grain), seq, "grain={grain}");
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts() {
+        for k in 0..10 {
+            let p = scrambled(1 << k);
+            let sorted = bitonic_sort(&p);
+            assert!(is_sorted(sorted.as_slice()), "k={k}");
+            let mut expected = p.clone().into_vec();
+            expected.sort();
+            assert_eq!(sorted.into_vec(), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sorts_handle_duplicates_and_sorted_input() {
+        let dup = PowerList::from_vec(vec![3i64, 3, 3, 3, 1, 1, 9, 9]).unwrap();
+        assert_eq!(
+            batcher_sort(&dup).as_slice(),
+            &[1, 1, 3, 3, 3, 3, 9, 9]
+        );
+        let asc = tabulate(16, |i| i as i64).unwrap();
+        assert_eq!(batcher_sort(&asc), asc);
+        assert_eq!(bitonic_sort(&asc), asc);
+        let desc = tabulate(16, |i| 15 - i as i64).unwrap();
+        assert_eq!(batcher_sort(&desc), asc);
+        assert_eq!(bitonic_sort(&desc), asc);
+    }
+
+    #[test]
+    fn singleton_sorts() {
+        let s = PowerList::singleton(42i64);
+        assert_eq!(batcher_sort(&s), s);
+        assert_eq!(bitonic_sort(&s), s);
+    }
+}

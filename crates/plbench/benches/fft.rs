@@ -1,0 +1,46 @@
+//! FFT benchmark: the flagship two-operator PowerList function (paper,
+//! Eq. 3). Compares the recursive sequential FFT, the streams-adaptation
+//! collect (with its specialised sequential leaf kernel), the JPLF
+//! fork-join executor, and — at small sizes — the naive O(n²) DFT to
+//! show the asymptotic gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jplf::Executor;
+use plbench::random_signal;
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for k in [10u32, 12, 14] {
+        let n = 1usize << k;
+        let signal = random_signal(n, 6);
+
+        group.bench_with_input(BenchmarkId::new("fft_seq", k), &n, |b, _| {
+            b.iter(|| plalgo::fft_seq(black_box(&signal)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("fft_stream", k), &n, |b, _| {
+            b.iter(|| plalgo::fft_stream(black_box(signal.clone())))
+        });
+
+        let view = signal.clone().view();
+        let exec = jplf::ForkJoinExecutor::new(num_cpus::get(), (n / 8).max(1));
+        group.bench_with_input(BenchmarkId::new("fft_jplf", k), &n, |b, _| {
+            b.iter(|| exec.execute(&plalgo::FftFunction, black_box(&view)))
+        });
+
+        if k == 10 {
+            group.bench_with_input(BenchmarkId::new("dft_naive", k), &n, |b, _| {
+                b.iter(|| plalgo::dft_naive(black_box(signal.as_slice())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Catalogue homomorphisms: prefix sums, maximum segment sum, `inv`,
+//! and the Walsh–Hadamard descent function — the remaining Section III
+//! functions, each against its natural sequential baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forkjoin::ForkJoinPool;
+use plbench::random_ints;
+use std::hint::black_box;
+
+fn bench_homomorphisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homomorphisms");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let pool = ForkJoinPool::with_default_parallelism();
+
+    for k in [12u32, 14, 16] {
+        let n = 1usize << k;
+        let data = random_ints(n, 8);
+
+        // Prefix sums: fold baseline, Ladner–Fischer, parallel tiles.
+        group.bench_with_input(BenchmarkId::new("scan_fold", k), &n, |b, _| {
+            b.iter(|| plalgo::scan_spec(black_box(data.as_slice()), |a, b| a + b))
+        });
+        group.bench_with_input(BenchmarkId::new("scan_ladner_fischer", k), &n, |b, _| {
+            b.iter(|| plalgo::scan_seq(black_box(&data), 0, |a, b| a + b))
+        });
+        group.bench_with_input(BenchmarkId::new("scan_par", k), &n, |b, _| {
+            b.iter(|| plalgo::scan_par(&pool, black_box(&data), 0, |a: &i64, b: &i64| a + b, 512))
+        });
+
+        // Maximum segment sum: Kadane vs the homomorphic stream collect.
+        group.bench_with_input(BenchmarkId::new("mss_kadane", k), &n, |b, _| {
+            b.iter(|| plalgo::mss_kadane(black_box(data.as_slice())))
+        });
+        group.bench_with_input(BenchmarkId::new("mss_stream", k), &n, |b, _| {
+            b.iter(|| plalgo::mss_stream(black_box(data.clone())))
+        });
+
+        // inv: index arithmetic vs structural recursion.
+        group.bench_with_input(BenchmarkId::new("inv_indexed", k), &n, |b, _| {
+            b.iter(|| powerlist::perm::inv_indexed(black_box(&data)))
+        });
+        group.bench_with_input(BenchmarkId::new("inv_structural", k), &n, |b, _| {
+            b.iter(|| powerlist::perm::inv_structural(black_box(&data)))
+        });
+    }
+
+    // WHT (Eq.-5 descent) at one representative size.
+    let f64data = powerlist::tabulate(1 << 12, |i| (i as f64).sin()).unwrap();
+    group.bench_function("wht_4096", |b| {
+        b.iter(|| plalgo::haar_like(black_box(&f64data)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_homomorphisms);
+criterion_main!(benches);

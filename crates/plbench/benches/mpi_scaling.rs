@@ -1,0 +1,43 @@
+//! Ablation C (paper, Section III): the MPI executor's distribution
+//! path, scaled over simulated ranks.
+//!
+//! "The MPI executors facilitates a much larger scalability and so
+//! better performance." On an in-process substrate the communication is
+//! memcpy-speed, so the interesting signal is the *overhead structure*
+//! (plan + scatter + combine tree) versus rank count, not absolute
+//! scaling; the `figures mpi` subcommand prints the cost-model scaling
+//! series alongside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jplf::{Decomp, Executor, MpiExecutor};
+use plbench::random_ints;
+use std::hint::black_box;
+
+fn bench_mpi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let n = 1usize << 16;
+    let data = random_ints(n, 4);
+    let view = data.view();
+    let reduce_fn = plalgo::ReduceFunction::new(Decomp::Tie, |a: &i64, b: &i64| a + b);
+    let vp = plalgo::VpFunction::new(0.99999);
+    let coeffs = plbench::random_coeffs(n, 5);
+    let cview = coeffs.view();
+
+    for ranks in [1usize, 2, 4, 8] {
+        let exec = MpiExecutor::new(ranks);
+        group.bench_with_input(BenchmarkId::new("reduce", ranks), &ranks, |b, _| {
+            b.iter(|| exec.execute(&reduce_fn, black_box(&view)))
+        });
+        group.bench_with_input(BenchmarkId::new("vp_poly", ranks), &ranks, |b, _| {
+            b.iter(|| exec.execute(&vp, black_box(&cview)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpi);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Sorting-network benchmark: Batcher odd-even merge sort and bitonic
+//! sort (two catalogue functions of paper Section III) against the
+//! standard library sort as the practical baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plbench::random_ints;
+use std::hint::black_box;
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorting");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let pool = forkjoin::ForkJoinPool::with_default_parallelism();
+
+    for k in [10u32, 12, 14] {
+        let n = 1usize << k;
+        let data = random_ints(n, 7);
+
+        group.bench_with_input(BenchmarkId::new("batcher", k), &n, |b, _| {
+            b.iter(|| plalgo::batcher_sort(black_box(&data)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("batcher_par", k), &n, |b, _| {
+            b.iter(|| plalgo::batcher_sort_par(&pool, black_box(&data), 256))
+        });
+
+        group.bench_with_input(BenchmarkId::new("bitonic", k), &n, |b, _| {
+            b.iter(|| plalgo::bitonic_sort(black_box(&data)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("std_sort", k), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone().into_vec();
+                v.sort();
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorting);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation A (paper, Section V): tie- vs zip-spliterator memory access
+//! patterns for map and reduce.
+//!
+//! "Definitions of the existing stream function — as map or reduce —
+//! based on a ZipSpliterator could make sense in some performance tests
+//! where different memory access patterns for the elements could give
+//! some differences; depending on the system (caches, etc.) … linear or
+//! cyclic data distributions could lead to better performance."
+//!
+//! Tie leaves are contiguous (linear distribution); zip leaves are
+//! strided residue classes (cyclic distribution). The combiner cost also
+//! differs: `tie_all` appends, `zip_all` interleaves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jstreams::Decomposition;
+use plbench::random_ints;
+use std::hint::black_box;
+
+fn bench_tie_vs_zip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tie_vs_zip");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for k in [14u32, 16, 18] {
+        let n = 1usize << k;
+        let data = random_ints(n, 2);
+
+        for (name, d) in [("tie", Decomposition::Tie), ("zip", Decomposition::Zip)] {
+            group.bench_with_input(BenchmarkId::new(format!("map_{name}"), k), &n, |b, _| {
+                b.iter(|| plalgo::map_stream(black_box(data.clone()), d, |x| x * 3 + 1))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("reduce_{name}"), k), &n, |b, _| {
+                b.iter(|| plalgo::reduce_stream(black_box(data.clone()), d, 0i64, |a, b| a + b))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tie_vs_zip);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Error types for PowerList construction and deconstruction.
+//!
+//! The PowerList algebra is only defined on lists whose length is a power
+//! of two, and its binary constructors are only defined on *similar* lists
+//! (same length, same element type). Rather than panicking, the public
+//! constructors return a typed [`Error`] so that callers — in particular
+//! the streams adaptation, which validates the `POWER2` characteristic
+//! before running a collect — can surface shape violations to their own
+//! users.
+
+use std::fmt;
+
+/// Convenient alias for results carrying a PowerList [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Shape violations of the PowerList / PList algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The length of the input is not a power of two.
+    ///
+    /// Carried value: the offending length. Raised by
+    /// [`PowerList::from_vec`](crate::PowerList::from_vec) and by the
+    /// `POWER2` characteristic check of the streams adaptation.
+    NotPowerOfTwo(usize),
+    /// An empty list was supplied where the theory requires at least a
+    /// singleton (PowerLists are non-empty by definition).
+    Empty,
+    /// The two operands of `tie` / `zip` are not *similar*: their lengths
+    /// differ.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// An *n*-way PList operator was applied to a list whose length is not
+    /// divisible by the arity.
+    NotDivisible {
+        /// Length of the list being deconstructed.
+        len: usize,
+        /// Requested arity.
+        arity: usize,
+    },
+    /// An *n*-way PList constructor received parts of unequal lengths.
+    RaggedParts {
+        /// The distinct lengths observed (first two shown).
+        first: usize,
+        /// A length differing from `first`.
+        other: usize,
+    },
+    /// An operator requiring arity ≥ 1 was invoked with arity 0.
+    ZeroArity,
+    /// A singleton was deconstructed; `tie` / `zip` deconstruction needs
+    /// length ≥ 2.
+    SingletonSplit,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotPowerOfTwo(n) => {
+                write!(f, "length {n} is not a power of two (POWER2 violated)")
+            }
+            Error::Empty => write!(f, "PowerLists are non-empty; got an empty input"),
+            Error::LengthMismatch { left, right } => write!(
+                f,
+                "tie/zip operands must be similar: left length {left} != right length {right}"
+            ),
+            Error::NotDivisible { len, arity } => {
+                write!(f, "length {len} is not divisible by arity {arity}")
+            }
+            Error::RaggedParts { first, other } => write!(
+                f,
+                "n-way parts must have equal lengths: saw {first} and {other}"
+            ),
+            Error::ZeroArity => write!(f, "n-way operators require arity >= 1"),
+            Error::SingletonSplit => {
+                write!(f, "cannot deconstruct a singleton with tie/zip")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(Error::NotPowerOfTwo(12).to_string().contains("12"));
+        assert!(Error::NotPowerOfTwo(12).to_string().contains("POWER2"));
+        assert!(Error::LengthMismatch { left: 4, right: 8 }
+            .to_string()
+            .contains("4"));
+        assert!(Error::NotDivisible { len: 10, arity: 3 }
+            .to_string()
+            .contains("arity 3"));
+        assert!(Error::RaggedParts { first: 2, other: 3 }
+            .to_string()
+            .contains("equal lengths"));
+        assert!(Error::Empty.to_string().contains("non-empty"));
+        assert!(Error::SingletonSplit.to_string().contains("singleton"));
+        assert!(Error::ZeroArity.to_string().contains(">= 1"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::NotPowerOfTwo(3), Error::NotPowerOfTwo(3));
+        assert_ne!(Error::NotPowerOfTwo(3), Error::NotPowerOfTwo(5));
+        assert_ne!(Error::Empty, Error::ZeroArity);
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Error::Empty);
+    }
+}

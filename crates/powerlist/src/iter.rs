@@ -1,0 +1,129 @@
+//! Iterators over PowerList views.
+
+use crate::view::PowerView;
+
+/// Iterator over the logical elements of a [`PowerView`], in order.
+///
+/// Walks the storage with the view's stride; `DoubleEndedIterator` and
+/// `ExactSizeIterator` are implemented so the iterator composes with the
+/// full standard adapter set.
+pub struct ViewIter<'a, T> {
+    view: &'a PowerView<T>,
+    front: usize,
+    back: usize, // exclusive
+}
+
+impl<'a, T> ViewIter<'a, T> {
+    pub(crate) fn new(view: &'a PowerView<T>) -> Self {
+        ViewIter {
+            view,
+            front: 0,
+            back: view.len(),
+        }
+    }
+}
+
+impl<'a, T> Iterator for ViewIter<'a, T> {
+    type Item = &'a T;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a T> {
+        if self.front == self.back {
+            return None;
+        }
+        let item = self.view.get(self.front);
+        self.front += 1;
+        Some(item)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl<'a, T> DoubleEndedIterator for ViewIter<'a, T> {
+    #[inline]
+    fn next_back(&mut self) -> Option<&'a T> {
+        if self.front == self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(self.view.get(self.back))
+    }
+}
+
+impl<'a, T> ExactSizeIterator for ViewIter<'a, T> {}
+
+impl<'a, T> IntoIterator for &'a PowerView<T> {
+    type Item = &'a T;
+    type IntoIter = ViewIter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::storage::Storage;
+    use crate::view::PowerView;
+
+    fn view_of(v: Vec<i32>) -> PowerView<i32> {
+        PowerView::full(Storage::new(v)).unwrap()
+    }
+
+    #[test]
+    fn forward_iteration() {
+        let v = view_of(vec![1, 2, 3, 4]);
+        let collected: Vec<i32> = v.iter().copied().collect();
+        assert_eq!(collected, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn strided_iteration_after_unzip() {
+        let v = view_of(vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        let (even, odd) = v.unzip().unwrap();
+        assert_eq!(even.iter().copied().collect::<Vec<_>>(), vec![0, 20, 40, 60]);
+        assert_eq!(odd.iter().copied().collect::<Vec<_>>(), vec![10, 30, 50, 70]);
+    }
+
+    #[test]
+    fn reverse_iteration() {
+        let v = view_of(vec![1, 2, 3, 4]);
+        let rev: Vec<i32> = v.iter().rev().copied().collect();
+        assert_eq!(rev, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn meet_in_the_middle() {
+        let v = view_of(vec![1, 2, 3, 4]);
+        let mut it = v.iter();
+        assert_eq!(it.next(), Some(&1));
+        assert_eq!(it.next_back(), Some(&4));
+        assert_eq!(it.next(), Some(&2));
+        assert_eq!(it.next_back(), Some(&3));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next_back(), None);
+    }
+
+    #[test]
+    fn exact_size() {
+        let v = view_of(vec![1, 2, 3, 4]);
+        let mut it = v.iter();
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn into_iterator_for_ref() {
+        let v = view_of(vec![7, 8]);
+        let mut sum = 0;
+        for x in &v {
+            sum += *x;
+        }
+        assert_eq!(sum, 15);
+    }
+}

@@ -1,0 +1,122 @@
+//! # PowerList and PList data structures
+//!
+//! This crate implements the recursive data structures underlying the paper
+//! *"Enhancing Java Streams API with PowerList Computation"*:
+//!
+//! * [`PowerList`] — a non-empty linear structure whose length is always a
+//!   power of two, with the two characteristic constructors of Misra's
+//!   PowerList algebra:
+//!   * **tie** (written `p | q` in the theory): the elements of `p`
+//!     followed by the elements of `q`;
+//!   * **zip** (written `p ♮ q`): the elements of `p` and `q` taken
+//!     alternately, starting with `p`.
+//! * [`PowerView`] — a *no-copy* descriptor `(storage, start, length,
+//!   increment)` over shared storage. The JPLF framework avoids copying by
+//!   only updating this "data structure information" when deconstructing;
+//!   the view type reproduces that design.
+//! * [`PowerArray`] — a growable container with `tie_all` / `zip_all`
+//!   mutable combiners. This is the accumulation container used by the
+//!   streams adaptation (the paper's Figure 2 class): it starts empty while
+//!   a collect is in flight, and is promoted to a [`PowerList`] once the
+//!   power-of-two invariant holds again.
+//! * [`PList`] — Kornerup's generalisation to arbitrary lengths and *n*-way
+//!   `tie` / `zip` operators, enabling multi-way divide-and-conquer.
+//!
+//! The algebra's laws (e.g. `unzip ∘ zip = id`, `untie ∘ tie = id`,
+//! `inv ∘ inv = id`, the tie/zip exchange law) are enforced by an extensive
+//! property-test suite in `tests/`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use powerlist::PowerList;
+//!
+//! let p = PowerList::from_vec(vec![0, 1, 2, 3]).unwrap();
+//! let q = PowerList::from_vec(vec![4, 5, 6, 7]).unwrap();
+//!
+//! // The two constructors:
+//! assert_eq!(PowerList::tie(p.clone(), q.clone()).as_slice(),
+//!            &[0, 1, 2, 3, 4, 5, 6, 7]);
+//! assert_eq!(PowerList::zip(p.clone(), q.clone()).as_slice(),
+//!            &[0, 4, 1, 5, 2, 6, 3, 7]);
+//!
+//! // ... and their inverses:
+//! let (l, r) = PowerList::zip(p.clone(), q.clone()).unzip().unwrap();
+//! assert_eq!((l, r), (p, q));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod iter;
+pub mod ops;
+pub mod perm;
+pub mod plist;
+pub mod powerarray;
+pub mod powerlist;
+pub mod storage;
+pub mod view;
+
+pub use error::{Error, Result};
+pub use plist::PList;
+pub use powerarray::PowerArray;
+pub use powerlist::{tabulate, PowerList};
+pub use storage::Storage;
+pub use view::PowerView;
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+///
+/// This is the central shape invariant of the PowerList theory: every
+/// PowerList has a length of exactly `2^k` for some `k ≥ 0`.
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Base-2 logarithm of a power of two.
+///
+/// Returns the *depth* of the divide-and-conquer tree of a PowerList of
+/// length `n` — the number of deconstruction steps to reach singletons.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two; use [`is_power_of_two`] to check
+/// first when the input is untrusted.
+#[inline]
+pub fn log2_exact(n: usize) -> u32 {
+    assert!(is_power_of_two(n), "log2_exact: {n} is not a power of two");
+    n.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_predicate() {
+        assert!(!is_power_of_two(0));
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(2));
+        assert!(!is_power_of_two(3));
+        assert!(is_power_of_two(4));
+        assert!(!is_power_of_two(6));
+        assert!(is_power_of_two(1 << 20));
+        assert!(!is_power_of_two((1 << 20) + 1));
+        assert!(is_power_of_two(usize::MAX / 2 + 1));
+    }
+
+    #[test]
+    fn log2_of_powers() {
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(2), 1);
+        assert_eq!(log2_exact(1024), 10);
+        assert_eq!(log2_exact(1 << 26), 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_rejects_non_powers() {
+        log2_exact(12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Extended element-wise operators on PowerLists.
+//!
+//! The FFT definition (paper, Eq. 3) uses `+` and `×` as *extensions* of
+//! the scalar operators: two similar PowerLists are combined by applying
+//! the scalar operator position-wise. This module provides the generic
+//! [`zip_with`] combinator plus the named extensions the paper uses
+//! (`add`, `sub`, `mul`) and scalar broadcasts (`x · p`, used in the
+//! polynomial evaluation definition, Eq. 4).
+//!
+//! An algebraic fact exploited by the property tests: extended operators
+//! commute with *both* deconstruction operators, i.e.
+//! `zip_with(f, p, q) = zip_with(f, p₀, q₀) | zip_with(f, p₁, q₁)` for the
+//! tie split and likewise for zip. This is what makes them trivially
+//! parallelisable on either decomposition.
+
+use crate::error::{Error, Result};
+use crate::powerlist::PowerList;
+use std::ops::{Add, Mul, Sub};
+
+/// Applies a binary scalar function position-wise to two similar
+/// PowerLists — the generic extended operator.
+///
+/// Fails with [`Error::LengthMismatch`] when the operands are not similar.
+pub fn zip_with<A, B, C>(
+    p: &PowerList<A>,
+    q: &PowerList<B>,
+    mut f: impl FnMut(&A, &B) -> C,
+) -> Result<PowerList<C>> {
+    if p.len() != q.len() {
+        return Err(Error::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    let elems: Vec<C> = p.iter().zip(q.iter()).map(|(a, b)| f(a, b)).collect();
+    PowerList::from_vec(elems)
+}
+
+/// Extended `+` on similar PowerLists (paper, Eq. 3).
+pub fn add<T>(p: &PowerList<T>, q: &PowerList<T>) -> Result<PowerList<T>>
+where
+    T: Add<Output = T> + Clone,
+{
+    zip_with(p, q, |a, b| a.clone() + b.clone())
+}
+
+/// Extended `-` on similar PowerLists (the `P - u × Q` half of Eq. 3).
+pub fn sub<T>(p: &PowerList<T>, q: &PowerList<T>) -> Result<PowerList<T>>
+where
+    T: Sub<Output = T> + Clone,
+{
+    zip_with(p, q, |a, b| a.clone() - b.clone())
+}
+
+/// Extended `×` on similar PowerLists (paper, Eq. 3).
+pub fn mul<T>(p: &PowerList<T>, q: &PowerList<T>) -> Result<PowerList<T>>
+where
+    T: Mul<Output = T> + Clone,
+{
+    zip_with(p, q, |a, b| a.clone() * b.clone())
+}
+
+/// Scalar broadcast `x · p`: multiplies every element by `x` (paper,
+/// Eq. 4: "every element of the list p is multiplied with x").
+pub fn scale<T>(x: &T, p: &PowerList<T>) -> PowerList<T>
+where
+    T: Mul<Output = T> + Clone,
+{
+    map(p, |a| x.clone() * a.clone())
+}
+
+/// Sequential element-wise map — the specification that all parallel map
+/// implementations in this repository are tested against.
+pub fn map<A, B>(p: &PowerList<A>, f: impl FnMut(&A) -> B) -> PowerList<B> {
+    PowerList::from_vec(p.iter().map(f).collect())
+        .expect("map preserves the shape invariant")
+}
+
+/// `shift`: prepends `first` and drops the last element, preserving the
+/// length — the auxiliary operator of the prefix-sum recursion
+/// (`ps(p ♮ q) = (shift(t) ⊕ p) ♮ t`).
+pub fn shift<T: Clone>(first: T, p: &PowerList<T>) -> PowerList<T> {
+    let mut v = Vec::with_capacity(p.len());
+    v.push(first);
+    v.extend(p.iter().take(p.len() - 1).cloned());
+    PowerList::from_vec(v).expect("shift preserves length")
+}
+
+/// Sequential left-to-right reduction with an associative operator — the
+/// specification all parallel reduce implementations are tested against.
+///
+/// The operator must be associative for the parallel versions to agree;
+/// this is the same contract Java's `Stream::reduce` imposes.
+pub fn reduce<T: Clone>(p: &PowerList<T>, mut op: impl FnMut(&T, &T) -> T) -> T {
+    let mut acc = p[0].clone();
+    for x in p.iter().skip(1) {
+        acc = op(&acc, x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(v: Vec<i64>) -> PowerList<i64> {
+        PowerList::from_vec(v).unwrap()
+    }
+
+    #[test]
+    fn zip_with_applies_positionwise() {
+        let p = pl(vec![1, 2, 3, 4]);
+        let q = pl(vec![10, 20, 30, 40]);
+        let r = zip_with(&p, &q, |a, b| a + b).unwrap();
+        assert_eq!(r.as_slice(), &[11, 22, 33, 44]);
+    }
+
+    #[test]
+    fn named_extensions() {
+        let p = pl(vec![5, 6]);
+        let q = pl(vec![2, 3]);
+        assert_eq!(add(&p, &q).unwrap().as_slice(), &[7, 9]);
+        assert_eq!(sub(&p, &q).unwrap().as_slice(), &[3, 3]);
+        assert_eq!(mul(&p, &q).unwrap().as_slice(), &[10, 18]);
+    }
+
+    #[test]
+    fn dissimilar_rejected() {
+        let p = pl(vec![1, 2]);
+        let q = pl(vec![1, 2, 3, 4]);
+        assert_eq!(
+            add(&p, &q).unwrap_err(),
+            Error::LengthMismatch { left: 2, right: 4 }
+        );
+    }
+
+    #[test]
+    fn scale_broadcasts() {
+        let p = pl(vec![1, 2, 3, 4]);
+        assert_eq!(scale(&3, &p).as_slice(), &[3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let p = pl(vec![1, 2, 3, 4]);
+        let m = map(&p, |x| x * x);
+        assert_eq!(m.as_slice(), &[1, 4, 9, 16]);
+        assert_eq!(m.len(), p.len());
+    }
+
+    #[test]
+    fn reduce_folds_left() {
+        let p = pl(vec![1, 2, 3, 4]);
+        assert_eq!(reduce(&p, |a, b| a + b), 10);
+        assert_eq!(reduce(&p, |a, b| *a.max(b)), 4);
+        let s = PowerList::singleton(42i64);
+        assert_eq!(reduce(&s, |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn shift_prepends_and_drops() {
+        let p = pl(vec![1, 2, 3, 4]);
+        assert_eq!(shift(0, &p).as_slice(), &[0, 1, 2, 3]);
+        let s = PowerList::singleton(9i64);
+        assert_eq!(shift(-1, &s).as_slice(), &[-1]);
+    }
+
+    #[test]
+    fn shift_supports_scan_recursion() {
+        // ps(p ♮ q) = (shift(t) ⊕ p) ♮ t with t = ps(p ⊕ q), length 4.
+        let input = pl(vec![1, 2, 3, 4]);
+        let (p, q) = input.clone().unzip().unwrap();
+        let sums = add(&p, &q).unwrap(); // [3, 7]
+        let t = pl(vec![3, 10]); // ps(sums), by hand
+        assert_eq!(reduce(&sums, |a, b| a + b), 10);
+        let evens = add(&shift(0, &t), &p).unwrap(); // [0+1, 3+3]
+        let result = PowerList::zip(evens, t);
+        assert_eq!(result.as_slice(), &[1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn extended_ops_commute_with_tie_split() {
+        // zip_with(f, p, q) = zip_with(f,p0,q0) | zip_with(f,p1,q1)
+        let p = pl(vec![1, 2, 3, 4]);
+        let q = pl(vec![5, 6, 7, 8]);
+        let whole = add(&p, &q).unwrap();
+        let (p0, p1) = p.untie().unwrap();
+        let (q0, q1) = q.untie().unwrap();
+        let split = PowerList::tie(add(&p0, &q0).unwrap(), add(&p1, &q1).unwrap());
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn extended_ops_commute_with_zip_split() {
+        let p = pl(vec![1, 2, 3, 4]);
+        let q = pl(vec![5, 6, 7, 8]);
+        let whole = mul(&p, &q).unwrap();
+        let (p0, p1) = p.unzip().unwrap();
+        let (q0, q1) = q.unzip().unwrap();
+        let split = PowerList::zip(mul(&p0, &q0).unwrap(), mul(&p1, &q1).unwrap());
+        assert_eq!(whole, split);
+    }
+}

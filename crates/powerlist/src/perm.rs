@@ -1,0 +1,137 @@
+//! Structural permutations: `inv` (bit-reversal) and `rev`.
+//!
+//! `inv` is the paper's flagship example of a function that *needs both*
+//! deconstruction operators (Eq. 2):
+//!
+//! ```text
+//! inv([a])   = [a]
+//! inv(p | q) = inv(p) ♮ inv(q)
+//! ```
+//!
+//! It permutes the input so that the element at index `b` moves to the
+//! position whose index is the bit-reversal of `b` (over `log2(len)`
+//! bits). `inv` is its own inverse — a law the property suite checks — and
+//! is the data reordering at the heart of iterative FFT implementations.
+//!
+//! Both a direct index-arithmetic implementation ([`inv_indexed`]) and the
+//! structural recursion of Eq. 2 ([`inv_structural`]) are provided; tests
+//! assert they agree, which validates the algebraic definition against the
+//! conventional one.
+
+use crate::powerlist::PowerList;
+use crate::view::PowerView;
+
+/// Reverses the low `bits` bits of `i`.
+#[inline]
+pub fn bit_reverse(i: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// `inv` by direct index arithmetic: element `b` lands at position
+/// `bit_reverse(b)`.
+pub fn inv_indexed<T: Clone>(p: &PowerList<T>) -> PowerList<T> {
+    let bits = p.depth();
+    let n = p.len();
+    let mut out: Vec<Option<T>> = vec![None; n];
+    for b in 0..n {
+        out[bit_reverse(b, bits)] = Some(p[b].clone());
+    }
+    PowerList::from_vec(out.into_iter().map(|x| x.expect("permutation is total")).collect())
+        .expect("permutation preserves length")
+}
+
+/// `inv` by the structural recursion of the paper's Eq. 2:
+/// `inv(p | q) = inv(p) ♮ inv(q)`.
+pub fn inv_structural<T: Clone>(p: &PowerList<T>) -> PowerList<T> {
+    fn go<T: Clone>(v: &PowerView<T>) -> PowerList<T> {
+        if v.is_singleton() {
+            return PowerList::singleton(v.singleton_value().clone());
+        }
+        let (l, r) = v.untie().expect("non-singleton");
+        PowerList::zip(go(&l), go(&r))
+    }
+    go(&p.clone().view())
+}
+
+/// The dual recursion `inv(p ♮ q) = inv(p) | inv(q)` — equal to
+/// [`inv_structural`] by the algebra's exchange laws; implemented
+/// separately so tests can confirm the duality.
+pub fn inv_structural_dual<T: Clone>(p: &PowerList<T>) -> PowerList<T> {
+    fn go<T: Clone>(v: &PowerView<T>) -> PowerList<T> {
+        if v.is_singleton() {
+            return PowerList::singleton(v.singleton_value().clone());
+        }
+        let (e, o) = v.unzip().expect("non-singleton");
+        PowerList::tie(go(&e), go(&o))
+    }
+    go(&p.clone().view())
+}
+
+/// List reversal via structural recursion:
+/// `rev(p | q) = rev(q) | rev(p)`.
+pub fn rev<T: Clone>(p: &PowerList<T>) -> PowerList<T> {
+    let mut v = p.clone().into_vec();
+    v.reverse();
+    PowerList::from_vec(v).expect("reverse preserves length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlist::tabulate;
+
+    #[test]
+    fn bit_reverse_basics() {
+        assert_eq!(bit_reverse(0, 3), 0);
+        assert_eq!(bit_reverse(1, 3), 4); // 001 -> 100
+        assert_eq!(bit_reverse(3, 3), 6); // 011 -> 110
+        assert_eq!(bit_reverse(0, 0), 0);
+        assert_eq!(bit_reverse(5, 4), 10); // 0101 -> 1010
+    }
+
+    #[test]
+    fn inv_on_eight_elements() {
+        let p = tabulate(8, |i| i).unwrap();
+        // index bit-reversals over 3 bits: 0,4,2,6,1,5,3,7
+        assert_eq!(inv_indexed(&p).as_slice(), &[0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn structural_matches_indexed() {
+        for k in 0..7 {
+            let p = tabulate(1 << k, |i| i as i64 * 3 - 5).unwrap();
+            assert_eq!(inv_structural(&p), inv_indexed(&p), "length 2^{k}");
+        }
+    }
+
+    #[test]
+    fn dual_recursion_agrees() {
+        for k in 0..7 {
+            let p = tabulate(1 << k, |i| i as i64).unwrap();
+            assert_eq!(inv_structural_dual(&p), inv_structural(&p), "length 2^{k}");
+        }
+    }
+
+    #[test]
+    fn inv_is_involution() {
+        let p = tabulate(64, |i| i * 7 % 13).unwrap();
+        assert_eq!(inv_indexed(&inv_indexed(&p)), p);
+    }
+
+    #[test]
+    fn inv_singleton_is_identity() {
+        let s = PowerList::singleton(99);
+        assert_eq!(inv_indexed(&s), s);
+        assert_eq!(inv_structural(&s), s);
+    }
+
+    #[test]
+    fn rev_reverses() {
+        let p = tabulate(8, |i| i).unwrap();
+        assert_eq!(rev(&p).as_slice(), &[7, 6, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(rev(&rev(&p)), p);
+    }
+}

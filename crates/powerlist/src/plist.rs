@@ -1,0 +1,346 @@
+//! [`PList`]: Kornerup's generalisation of PowerLists to arbitrary
+//! lengths and *n*-way divide-and-conquer.
+//!
+//! A PList has three constructors (paper, Section II): the singleton
+//! `[a]`, the *n*-way concatenation `(n-way |)`, and the *n*-way
+//! interleaving `(n-way ♮)`. For similar PLists `p.0 … p.(n-1)`:
+//!
+//! * `[ | i : i ∈ n̄ : p.i ]` concatenates them in index order;
+//! * `[ ♮ i : i ∈ n̄ : p.i ]` interleaves them, element `j` of part `i`
+//!   landing at position `j·n + i`.
+//!
+//! The paper's worked example (with `p.i = [3i, 3i+1, 3i+2]`, `n = 3`):
+//!
+//! ```
+//! use powerlist::PList;
+//!
+//! let parts: Vec<PList<i32>> = (0..3)
+//!     .map(|i| PList::from_vec(vec![i * 3, i * 3 + 1, i * 3 + 2]).unwrap())
+//!     .collect();
+//! assert_eq!(PList::tie_n(parts.clone()).unwrap().as_slice(),
+//!            &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+//! assert_eq!(PList::zip_n(parts).unwrap().as_slice(),
+//!            &[0, 3, 6, 1, 4, 7, 2, 5, 8]);
+//! ```
+//!
+//! The deconstructors [`PList::untie_n`] / [`PList::unzip_n`] require the
+//! length to be divisible by the arity. The paper notes that Java's binary
+//! `Spliterator::trySplit` cannot express these *n*-way splits; the
+//! `jstreams` crate implements the extension the paper sketches
+//! (`NWaySpliterator`), and the `jplf` executors run PList functions
+//! directly.
+
+use crate::error::{Error, Result};
+use crate::powerlist::PowerList;
+use std::fmt;
+use std::ops::Index;
+
+/// A non-empty list with *n*-way tie / zip (de)constructors.
+///
+/// Unlike [`PowerList`], the length may be any positive integer; shape
+/// obligations are checked per operation (divisibility by the arity).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PList<T> {
+    elems: Vec<T>,
+}
+
+impl<T> PList<T> {
+    /// The singleton constructor `[a]`.
+    pub fn singleton(value: T) -> Self {
+        PList { elems: vec![value] }
+    }
+
+    /// Wraps a non-empty vector.
+    pub fn from_vec(elems: Vec<T>) -> Result<Self> {
+        if elems.is_empty() {
+            return Err(Error::Empty);
+        }
+        Ok(PList { elems })
+    }
+
+    /// *n*-way **tie**: concatenates the similar parts in index order.
+    ///
+    /// Fails with [`Error::ZeroArity`] on an empty part list and
+    /// [`Error::RaggedParts`] when part lengths differ.
+    pub fn tie_n(parts: Vec<Self>) -> Result<Self> {
+        Self::check_parts(&parts)?;
+        let mut out = Vec::with_capacity(parts.len() * parts[0].len());
+        for p in parts {
+            out.extend(p.elems);
+        }
+        Ok(PList { elems: out })
+    }
+
+    /// *n*-way **zip**: interleaves the similar parts; element `j` of part
+    /// `i` lands at position `j·n + i`.
+    ///
+    /// Fails with [`Error::ZeroArity`] / [`Error::RaggedParts`] like
+    /// [`PList::tie_n`].
+    pub fn zip_n(parts: Vec<Self>) -> Result<Self> {
+        Self::check_parts(&parts)?;
+        let n = parts.len();
+        let m = parts[0].len();
+        let mut slots: Vec<std::vec::IntoIter<T>> =
+            parts.into_iter().map(|p| p.elems.into_iter()).collect();
+        let mut out = Vec::with_capacity(n * m);
+        for _ in 0..m {
+            for it in slots.iter_mut() {
+                out.push(it.next().expect("checked length"));
+            }
+        }
+        Ok(PList { elems: out })
+    }
+
+    fn check_parts(parts: &[Self]) -> Result<()> {
+        if parts.is_empty() {
+            return Err(Error::ZeroArity);
+        }
+        let first = parts[0].len();
+        for p in &parts[1..] {
+            if p.len() != first {
+                return Err(Error::RaggedParts {
+                    first,
+                    other: p.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// *n*-way **tie** deconstructor: splits into `n` contiguous blocks.
+    ///
+    /// Fails when `n == 0` or the length is not divisible by `n`.
+    pub fn untie_n(self, n: usize) -> Result<Vec<Self>> {
+        if n == 0 {
+            return Err(Error::ZeroArity);
+        }
+        if !self.len().is_multiple_of(n) {
+            return Err(Error::NotDivisible {
+                len: self.len(),
+                arity: n,
+            });
+        }
+        let m = self.len() / n;
+        let mut parts = Vec::with_capacity(n);
+        let mut it = self.elems.into_iter();
+        for _ in 0..n {
+            parts.push(PList {
+                elems: it.by_ref().take(m).collect(),
+            });
+        }
+        Ok(parts)
+    }
+
+    /// *n*-way **zip** deconstructor: part `i` receives the elements at
+    /// positions `≡ i (mod n)`.
+    ///
+    /// Fails when `n == 0` or the length is not divisible by `n`.
+    pub fn unzip_n(self, n: usize) -> Result<Vec<Self>> {
+        if n == 0 {
+            return Err(Error::ZeroArity);
+        }
+        if !self.len().is_multiple_of(n) {
+            return Err(Error::NotDivisible {
+                len: self.len(),
+                arity: n,
+            });
+        }
+        let m = self.len() / n;
+        let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::with_capacity(m)).collect();
+        for (i, x) in self.elems.into_iter().enumerate() {
+            parts[i % n].push(x);
+        }
+        Ok(parts.into_iter().map(|elems| PList { elems }).collect())
+    }
+
+    /// Length of the list (any positive integer).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// PLists are non-empty by definition; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` for length-one lists — the recursion base case.
+    #[inline]
+    pub fn is_singleton(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Borrow the elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.elems
+    }
+
+    /// Consume into the raw vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.elems
+    }
+
+    /// Iterate the elements in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.elems.iter()
+    }
+
+    /// Converts to a strict [`PowerList`] when the length is a power of
+    /// two. Every PowerList is a PList; the converse holds exactly when
+    /// this succeeds.
+    pub fn into_powerlist(self) -> Result<PowerList<T>> {
+        PowerList::from_vec(self.elems)
+    }
+}
+
+impl<T> From<PowerList<T>> for PList<T> {
+    fn from(p: PowerList<T>) -> Self {
+        PList {
+            elems: p.into_vec(),
+        }
+    }
+}
+
+impl<T> Index<usize> for PList<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.elems[i]
+    }
+}
+
+impl<T> IntoIterator for PList<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.into_iter()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PList(len={}) ", self.len())?;
+        f.debug_list().entries(self.elems.iter().take(8)).finish()
+    }
+}
+
+/// The ordered quantification `[ | i : i ∈ n̄ : f(i) ]` of the PList
+/// algebra: builds the parts from a generator and concatenates them.
+pub fn tie_quantified<T>(n: usize, mut f: impl FnMut(usize) -> PList<T>) -> Result<PList<T>> {
+    PList::tie_n((0..n).map(&mut f).collect())
+}
+
+/// The ordered quantification `[ ♮ i : i ∈ n̄ : f(i) ]`: builds the parts
+/// from a generator and interleaves them.
+pub fn zip_quantified<T>(n: usize, mut f: impl FnMut(usize) -> PList<T>) -> Result<PList<T>> {
+    PList::zip_n((0..n).map(&mut f).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts3() -> Vec<PList<i32>> {
+        (0..3)
+            .map(|i| PList::from_vec(vec![i * 3, i * 3 + 1, i * 3 + 2]).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_tie() {
+        let t = PList::tie_n(parts3()).unwrap();
+        assert_eq!(t.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn paper_example_zip() {
+        let z = PList::zip_n(parts3()).unwrap();
+        assert_eq!(z.as_slice(), &[0, 3, 6, 1, 4, 7, 2, 5, 8]);
+    }
+
+    #[test]
+    fn untie_inverts_tie_n() {
+        let parts = parts3();
+        let t = PList::tie_n(parts.clone()).unwrap();
+        assert_eq!(t.untie_n(3).unwrap(), parts);
+    }
+
+    #[test]
+    fn unzip_inverts_zip_n() {
+        let parts = parts3();
+        let z = PList::zip_n(parts.clone()).unwrap();
+        assert_eq!(z.unzip_n(3).unwrap(), parts);
+    }
+
+    #[test]
+    fn binary_case_agrees_with_powerlist() {
+        let p = PowerList::from_vec(vec![1, 2]).unwrap();
+        let q = PowerList::from_vec(vec![3, 4]).unwrap();
+        let tie2 = PList::tie_n(vec![p.clone().into(), q.clone().into()]).unwrap();
+        assert_eq!(
+            tie2.as_slice(),
+            PowerList::tie(p.clone(), q.clone()).as_slice()
+        );
+        let zip2 = PList::zip_n(vec![p.clone().into(), q.clone().into()]).unwrap();
+        assert_eq!(zip2.as_slice(), PowerList::zip(p, q).as_slice());
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert_eq!(PList::<i32>::tie_n(vec![]).unwrap_err(), Error::ZeroArity);
+        let ragged = vec![
+            PList::from_vec(vec![1, 2]).unwrap(),
+            PList::from_vec(vec![3]).unwrap(),
+        ];
+        assert_eq!(
+            PList::tie_n(ragged).unwrap_err(),
+            Error::RaggedParts { first: 2, other: 1 }
+        );
+        let p = PList::from_vec(vec![1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(
+            p.clone().untie_n(2).unwrap_err(),
+            Error::NotDivisible { len: 5, arity: 2 }
+        );
+        assert_eq!(p.clone().unzip_n(0).unwrap_err(), Error::ZeroArity);
+        assert_eq!(PList::from_vec(Vec::<i32>::new()).unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn arity_one_is_identity() {
+        let p = PList::from_vec(vec![4, 5, 6]).unwrap();
+        assert_eq!(p.clone().untie_n(1).unwrap(), vec![p.clone()]);
+        assert_eq!(p.clone().unzip_n(1).unwrap(), vec![p.clone()]);
+        assert_eq!(PList::tie_n(vec![p.clone()]).unwrap(), p);
+        assert_eq!(PList::zip_n(vec![p.clone()]).unwrap(), p);
+    }
+
+    #[test]
+    fn quantified_forms() {
+        let t = tie_quantified(3, |i| {
+            PList::from_vec(vec![i * 3, i * 3 + 1, i * 3 + 2]).unwrap()
+        })
+        .unwrap();
+        assert_eq!(t.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        let z = zip_quantified(3, |i| {
+            PList::from_vec(vec![i * 3, i * 3 + 1, i * 3 + 2]).unwrap()
+        })
+        .unwrap();
+        assert_eq!(z.as_slice(), &[0, 3, 6, 1, 4, 7, 2, 5, 8]);
+    }
+
+    #[test]
+    fn powerlist_roundtrip() {
+        let p = PList::from_vec(vec![1, 2, 3, 4]).unwrap();
+        let pow = p.clone().into_powerlist().unwrap();
+        assert_eq!(PList::from(pow), p);
+        let odd = PList::from_vec(vec![1, 2, 3]).unwrap();
+        assert_eq!(
+            odd.into_powerlist().unwrap_err(),
+            Error::NotPowerOfTwo(3)
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The growable accumulation container of the streams adaptation.
+//!
+//! The paper's Figure 2 introduces a `PowerList` class extending
+//! `ArrayList` with `tieAll` / `zipAll` methods, used as the **mutable
+//! result container** of `collect`: the *supplier* creates fresh empty
+//! instances, the *accumulator* appends leaf results, and the *combiner*
+//! merges two partial containers with `tieAll` (concatenation) or `zipAll`
+//! (interleaving). To keep the strict power-of-two invariant on the theory
+//! type, this Rust port separates the roles: [`crate::PowerList`] is the
+//! immutable algebra object, and [`PowerArray`] is the growable collect
+//! container, promoted back to a `PowerList` with
+//! [`PowerArray::into_powerlist`] once a collect completes.
+
+use crate::error::{Error, Result};
+use crate::powerlist::PowerList;
+use crate::{is_power_of_two};
+use std::fmt;
+
+/// Growable container with the `tie_all` / `zip_all` combiners of the
+/// paper's streams adaptation.
+///
+/// Unlike [`PowerList`], a `PowerArray` may be empty or of non-power-of-two
+/// length *while a collect is in flight*; shape is re-validated on
+/// promotion.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct PowerArray<T> {
+    elems: Vec<T>,
+}
+
+impl<T> PowerArray<T> {
+    /// Creates an empty container — the role of the collect *supplier*.
+    pub fn new() -> Self {
+        PowerArray { elems: Vec::new() }
+    }
+
+    /// Creates an empty container with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        PowerArray {
+            elems: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one element — the role of the collect *accumulator*.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        self.elems.push(value);
+    }
+
+    /// **tie** combiner: appends all elements of `other` after the
+    /// elements of `self` (the paper's `tieAll`).
+    ///
+    /// Used when the stream was decomposed with a `TieSpliterator`: tie
+    /// deconstruction is undone by plain concatenation.
+    pub fn tie_all(&mut self, other: Self) {
+        let mut other = other;
+        self.elems.append(&mut other.elems);
+    }
+
+    /// **zip** combiner: interleaves the elements of `self` and `other`,
+    /// starting with `self` (the paper's `zipAll`).
+    ///
+    /// Used when the stream was decomposed with a `ZipSpliterator`: "a
+    /// source split using a ZipSpliterator could not be recreated by using
+    /// simple concatenation" (paper, Section IV.A). Requires the two
+    /// partial containers to have equal lengths, which balanced power-of-
+    /// two splitting guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ; use [`PowerArray::try_zip_all`] for
+    /// the fallible variant.
+    pub fn zip_all(&mut self, other: Self) {
+        self.try_zip_all(other)
+            .expect("zip_all requires equally sized partial results")
+    }
+
+    /// Fallible [`PowerArray::zip_all`].
+    pub fn try_zip_all(&mut self, other: Self) -> Result<()> {
+        if self.elems.len() != other.elems.len() {
+            return Err(Error::LengthMismatch {
+                left: self.elems.len(),
+                right: other.elems.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.elems.len() * 2);
+        for (a, b) in self.elems.drain(..).zip(other.elems) {
+            out.push(a);
+            out.push(b);
+        }
+        self.elems = out;
+        Ok(())
+    }
+
+    /// Current number of accumulated elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// `true` when no elements have been accumulated yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Borrow the accumulated elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.elems
+    }
+
+    /// Promotes the container to a [`PowerList`], re-validating the
+    /// power-of-two shape invariant.
+    pub fn into_powerlist(self) -> Result<PowerList<T>> {
+        PowerList::from_vec(self.elems)
+    }
+
+    /// Consumes the container and returns the raw vector (no shape check).
+    pub fn into_vec(self) -> Vec<T> {
+        self.elems
+    }
+
+    /// `true` when the current length satisfies the PowerList invariant.
+    pub fn is_power2(&self) -> bool {
+        is_power_of_two(self.elems.len())
+    }
+}
+
+impl<T> From<Vec<T>> for PowerArray<T> {
+    fn from(v: Vec<T>) -> Self {
+        PowerArray { elems: v }
+    }
+}
+
+impl<T> Extend<T> for PowerArray<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.elems.extend(iter);
+    }
+}
+
+impl<T> FromIterator<T> for PowerArray<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        PowerArray {
+            elems: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PowerArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PowerArray(len={}) ", self.len())?;
+        f.debug_list().entries(self.elems.iter().take(8)).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let a: PowerArray<i32> = PowerArray::new();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert!(!a.is_power2()); // 0 is not a valid PowerList length
+    }
+
+    #[test]
+    fn accumulates_elements() {
+        let mut a = PowerArray::new();
+        a.push(1);
+        a.push(2);
+        assert_eq!(a.as_slice(), &[1, 2]);
+        assert!(a.is_power2());
+    }
+
+    #[test]
+    fn tie_all_concatenates() {
+        let mut a = PowerArray::from(vec![1, 2]);
+        a.tie_all(PowerArray::from(vec![3, 4]));
+        assert_eq!(a.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zip_all_interleaves() {
+        let mut a = PowerArray::from(vec![1, 2]);
+        a.zip_all(PowerArray::from(vec![3, 4]));
+        assert_eq!(a.as_slice(), &[1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn zip_all_rejects_unequal() {
+        let mut a = PowerArray::from(vec![1]);
+        let err = a.try_zip_all(PowerArray::from(vec![2, 3])).unwrap_err();
+        assert_eq!(err, Error::LengthMismatch { left: 1, right: 2 });
+    }
+
+    #[test]
+    fn combiner_agrees_with_powerlist_constructors() {
+        // The combiner on partial containers must compute the same list as
+        // the algebra's constructor — this is the collect soundness
+        // condition ("combiner compatible with accumulator").
+        let p = PowerList::from_vec(vec![5, 6, 7, 8]).unwrap();
+        let q = PowerList::from_vec(vec![1, 2, 3, 4]).unwrap();
+
+        let mut at = PowerArray::from(p.clone().into_vec());
+        at.tie_all(PowerArray::from(q.clone().into_vec()));
+        assert_eq!(
+            at.into_powerlist().unwrap(),
+            PowerList::tie(p.clone(), q.clone())
+        );
+
+        let mut az = PowerArray::from(p.clone().into_vec());
+        az.zip_all(PowerArray::from(q.clone().into_vec()));
+        assert_eq!(az.into_powerlist().unwrap(), PowerList::zip(p, q));
+    }
+
+    #[test]
+    fn promotion_validates_shape() {
+        let a = PowerArray::from(vec![1, 2, 3]);
+        assert_eq!(a.into_powerlist().unwrap_err(), Error::NotPowerOfTwo(3));
+        let b: PowerArray<i32> = PowerArray::new();
+        assert_eq!(b.into_powerlist().unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut a = PowerArray::new();
+        a.extend([1, 2, 3, 4]);
+        assert_eq!(a.len(), 4);
+        let b: PowerArray<i32> = (0..8).collect();
+        assert_eq!(b.len(), 8);
+        assert!(b.is_power2());
+    }
+}

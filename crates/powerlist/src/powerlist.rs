@@ -1,0 +1,395 @@
+//! The owned [`PowerList`] type: Misra's PowerList algebra.
+//!
+//! A PowerList is a non-empty list of *similar* elements whose length is a
+//! power of two. Its algebra has a singleton constructor `[a]` plus two
+//! binary constructors on similar lists:
+//!
+//! * `tie`: `p | q` — concatenation,
+//! * `zip`: `p ♮ q` — perfect interleaving,
+//!
+//! and the matching deconstructors [`PowerList::untie`] /
+//! [`PowerList::unzip`]. Every PowerList of length ≥ 2 has a *unique*
+//! decomposition under each operator, which is what makes structural
+//! induction (and hence divide-and-conquer program derivation) sound.
+
+use crate::error::{Error, Result};
+use crate::storage::Storage;
+use crate::view::PowerView;
+use crate::{is_power_of_two, log2_exact};
+use std::fmt;
+use std::ops::Index;
+
+/// An owned, non-empty list whose length is always a power of two.
+///
+/// The element buffer is contiguous (`Vec<T>`), so `tie` is a plain
+/// append and `zip` an interleave; the no-copy deconstruction story lives
+/// in [`PowerView`], obtained via [`PowerList::view`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PowerList<T> {
+    elems: Vec<T>,
+}
+
+impl<T> PowerList<T> {
+    /// The singleton constructor `[a]` — the base case of the algebra.
+    pub fn singleton(value: T) -> Self {
+        PowerList { elems: vec![value] }
+    }
+
+    /// Validates and wraps a vector. The length must be a non-zero power
+    /// of two.
+    pub fn from_vec(elems: Vec<T>) -> Result<Self> {
+        if elems.is_empty() {
+            return Err(Error::Empty);
+        }
+        if !is_power_of_two(elems.len()) {
+            return Err(Error::NotPowerOfTwo(elems.len()));
+        }
+        Ok(PowerList { elems })
+    }
+
+    /// **tie** constructor: elements of `p` followed by elements of `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operands are not similar (different lengths). Use
+    /// [`PowerList::try_tie`] for a fallible variant.
+    pub fn tie(p: Self, q: Self) -> Self {
+        Self::try_tie(p, q).expect("tie operands must be similar")
+    }
+
+    /// Fallible [`PowerList::tie`].
+    pub fn try_tie(mut p: Self, mut q: Self) -> Result<Self> {
+        if p.len() != q.len() {
+            return Err(Error::LengthMismatch {
+                left: p.len(),
+                right: q.len(),
+            });
+        }
+        p.elems.append(&mut q.elems);
+        Ok(p)
+    }
+
+    /// **zip** constructor: elements of `p` and `q` taken alternately,
+    /// starting with `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operands are not similar. Use
+    /// [`PowerList::try_zip`] for a fallible variant.
+    pub fn zip(p: Self, q: Self) -> Self {
+        Self::try_zip(p, q).expect("zip operands must be similar")
+    }
+
+    /// Fallible [`PowerList::zip`].
+    pub fn try_zip(p: Self, q: Self) -> Result<Self> {
+        if p.len() != q.len() {
+            return Err(Error::LengthMismatch {
+                left: p.len(),
+                right: q.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(p.len() * 2);
+        for (a, b) in p.elems.into_iter().zip(q.elems) {
+            out.push(a);
+            out.push(b);
+        }
+        Ok(PowerList { elems: out })
+    }
+
+    /// **tie** deconstructor: the unique `(p, q)` with `self = p | q`.
+    ///
+    /// Fails with [`Error::SingletonSplit`] on singletons.
+    pub fn untie(mut self) -> Result<(Self, Self)> {
+        if self.len() == 1 {
+            return Err(Error::SingletonSplit);
+        }
+        let right = self.elems.split_off(self.len() / 2);
+        Ok((PowerList { elems: self.elems }, PowerList { elems: right }))
+    }
+
+    /// **zip** deconstructor: the unique `(p, q)` with `self = p ♮ q`.
+    ///
+    /// Fails with [`Error::SingletonSplit`] on singletons.
+    pub fn unzip(self) -> Result<(Self, Self)> {
+        if self.len() == 1 {
+            return Err(Error::SingletonSplit);
+        }
+        let half = self.len() / 2;
+        let mut even = Vec::with_capacity(half);
+        let mut odd = Vec::with_capacity(half);
+        for (i, x) in self.elems.into_iter().enumerate() {
+            if i % 2 == 0 {
+                even.push(x);
+            } else {
+                odd.push(x);
+            }
+        }
+        Ok((PowerList { elems: even }, PowerList { elems: odd }))
+    }
+
+    /// Length of the list (always `2^k` for some `k ≥ 0`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// PowerLists are non-empty by definition; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `log2(len)` — the depth of the full divide-and-conquer tree.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        log2_exact(self.len())
+    }
+
+    /// `true` when the list holds exactly one element.
+    #[inline]
+    pub fn is_singleton(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Borrow the elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.elems
+    }
+
+    /// Mutable access to the elements. The length cannot change through a
+    /// slice, so the shape invariant is preserved.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.elems
+    }
+
+    /// Consumes the list and returns the raw element vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.elems
+    }
+
+    /// Iterate the elements in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.elems.iter()
+    }
+
+    /// Moves the elements into shared [`Storage`] and returns a full
+    /// no-copy [`PowerView`] over them.
+    pub fn view(self) -> PowerView<T> {
+        let storage = Storage::new(self.elems);
+        PowerView::full(storage).expect("PowerList invariant guarantees a valid view")
+    }
+}
+
+impl<T: Clone> PowerList<T> {
+    /// A PowerList of `len` copies of `value`. `len` must be a non-zero
+    /// power of two.
+    pub fn repeat(value: T, len: usize) -> Result<Self> {
+        if len == 0 {
+            return Err(Error::Empty);
+        }
+        if !is_power_of_two(len) {
+            return Err(Error::NotPowerOfTwo(len));
+        }
+        Ok(PowerList {
+            elems: vec![value; len],
+        })
+    }
+}
+
+impl<T> Index<usize> for PowerList<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.elems[i]
+    }
+}
+
+impl<T> IntoIterator for PowerList<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PowerList<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PowerList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PowerList(len={}) ", self.len())?;
+        f.debug_list().entries(self.elems.iter().take(8)).finish()?;
+        if self.len() > 8 {
+            write!(f, "…")?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates the PowerList `[f(0), f(1), ..., f(len-1)]`.
+///
+/// `len` must be a non-zero power of two. This is the `tabulate`
+/// convenience used throughout the algorithm catalogue and the benchmark
+/// workload generators.
+pub fn tabulate<T>(len: usize, mut f: impl FnMut(usize) -> T) -> Result<PowerList<T>> {
+    if len == 0 {
+        return Err(Error::Empty);
+    }
+    if !is_power_of_two(len) {
+        return Err(Error::NotPowerOfTwo(len));
+    }
+    Ok(PowerList {
+        elems: (0..len).map(&mut f).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(v: Vec<i32>) -> PowerList<i32> {
+        PowerList::from_vec(v).unwrap()
+    }
+
+    #[test]
+    fn singleton_has_length_one() {
+        let s = PowerList::singleton(7);
+        assert_eq!(s.len(), 1);
+        assert!(s.is_singleton());
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(PowerList::from_vec(vec![1]).is_ok());
+        assert!(PowerList::from_vec(vec![1, 2]).is_ok());
+        assert_eq!(
+            PowerList::from_vec(vec![1, 2, 3]).unwrap_err(),
+            Error::NotPowerOfTwo(3)
+        );
+        assert_eq!(
+            PowerList::from_vec(Vec::<i32>::new()).unwrap_err(),
+            Error::Empty
+        );
+    }
+
+    #[test]
+    fn tie_concatenates() {
+        let p = pl(vec![1, 2]);
+        let q = pl(vec![3, 4]);
+        assert_eq!(PowerList::tie(p, q).as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zip_interleaves() {
+        let p = pl(vec![1, 2]);
+        let q = pl(vec![3, 4]);
+        assert_eq!(PowerList::zip(p, q).as_slice(), &[1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn dissimilar_operands_rejected() {
+        let p = pl(vec![1, 2]);
+        let q = pl(vec![3, 4, 5, 6]);
+        assert_eq!(
+            PowerList::try_tie(p.clone(), q.clone()).unwrap_err(),
+            Error::LengthMismatch { left: 2, right: 4 }
+        );
+        assert_eq!(
+            PowerList::try_zip(p, q).unwrap_err(),
+            Error::LengthMismatch { left: 2, right: 4 }
+        );
+    }
+
+    #[test]
+    fn untie_inverts_tie() {
+        let p = pl(vec![1, 2]);
+        let q = pl(vec![3, 4]);
+        let (a, b) = PowerList::tie(p.clone(), q.clone()).untie().unwrap();
+        assert_eq!((a, b), (p, q));
+    }
+
+    #[test]
+    fn unzip_inverts_zip() {
+        let p = pl(vec![1, 2]);
+        let q = pl(vec![3, 4]);
+        let (a, b) = PowerList::zip(p.clone(), q.clone()).unzip().unwrap();
+        assert_eq!((a, b), (p, q));
+    }
+
+    #[test]
+    fn singleton_deconstruction_fails() {
+        assert_eq!(
+            PowerList::singleton(1).untie().unwrap_err(),
+            Error::SingletonSplit
+        );
+        assert_eq!(
+            PowerList::singleton(1).unzip().unwrap_err(),
+            Error::SingletonSplit
+        );
+    }
+
+    #[test]
+    fn misra_example_tie_zip_differ() {
+        // The canonical illustration: tie keeps blocks, zip interleaves.
+        let p = pl(vec![0, 1, 2, 3]);
+        let q = pl(vec![4, 5, 6, 7]);
+        assert_eq!(
+            PowerList::tie(p.clone(), q.clone()).as_slice(),
+            &[0, 1, 2, 3, 4, 5, 6, 7]
+        );
+        assert_eq!(
+            PowerList::zip(p, q).as_slice(),
+            &[0, 4, 1, 5, 2, 6, 3, 7]
+        );
+    }
+
+    #[test]
+    fn tabulate_generates() {
+        let t = tabulate(8, |i| i * i).unwrap();
+        assert_eq!(t.as_slice(), &[0, 1, 4, 9, 16, 25, 36, 49]);
+        assert_eq!(tabulate(3, |i| i).unwrap_err(), Error::NotPowerOfTwo(3));
+        assert_eq!(tabulate(0, |i| i).unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn repeat_fills() {
+        let r = PowerList::repeat(9, 4).unwrap();
+        assert_eq!(r.as_slice(), &[9, 9, 9, 9]);
+        assert!(PowerList::repeat(9, 5).is_err());
+    }
+
+    #[test]
+    fn view_roundtrip() {
+        let p = pl(vec![1, 2, 3, 4]);
+        let v = p.clone().view();
+        assert_eq!(v.to_powerlist(), p);
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let p = pl(vec![10, 20, 30, 40]);
+        assert_eq!(p[2], 30);
+        assert_eq!(p.iter().sum::<i32>(), 100);
+        assert_eq!((&p).into_iter().count(), 4);
+        assert_eq!(p.into_iter().last(), Some(40));
+    }
+
+    #[test]
+    fn mutation_through_slice() {
+        let mut p = pl(vec![1, 2, 3, 4]);
+        p.as_mut_slice()[0] = 99;
+        assert_eq!(p.as_slice(), &[99, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared, immutable element storage backing no-copy views.
+//!
+//! The JPLF framework's key optimisation (paper, Section V) is that the
+//! multithreaded executors never copy elements while descending: a split
+//! only rewrites the *data structure information* — a reference to the
+//! storage plus `(start, end, increment)`. [`Storage`] is that shared
+//! reference: a cheaply-clonable, thread-safe handle to an immutable
+//! element buffer.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Reference-counted immutable element buffer.
+///
+/// Cloning a `Storage` clones the `Arc`, not the elements, so views
+/// produced by deconstruction are O(1) regardless of list length. The
+/// buffer is immutable once constructed; result-producing algorithms
+/// allocate fresh storage for their output (mirroring the collect-based
+/// streams path) or write through [`PowerArray`](crate::PowerArray)
+/// accumulation.
+pub struct Storage<T> {
+    buf: Arc<[T]>,
+}
+
+impl<T> Storage<T> {
+    /// Wraps a vector of elements into shared storage.
+    pub fn new(elements: Vec<T>) -> Self {
+        Storage {
+            buf: Arc::from(elements),
+        }
+    }
+
+    /// Number of elements in the underlying buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Borrow the whole buffer as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf
+    }
+
+    /// Element at physical index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds, like slice indexing.
+    #[inline]
+    pub fn get(&self, i: usize) -> &T {
+        &self.buf[i]
+    }
+
+    /// Number of live handles to this buffer (diagnostic; used by tests to
+    /// verify that deconstruction does not copy).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+}
+
+impl<T> Clone for Storage<T> {
+    fn clone(&self) -> Self {
+        Storage {
+            buf: Arc::clone(&self.buf),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Storage<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Storage")
+            .field("len", &self.buf.len())
+            .field("handles", &Arc::strong_count(&self.buf))
+            .finish()
+    }
+}
+
+impl<T> From<Vec<T>> for Storage<T> {
+    fn from(v: Vec<T>) -> Self {
+        Storage::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_and_reads_elements() {
+        let s = Storage::new(vec![10, 20, 30]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(*s.get(0), 10);
+        assert_eq!(*s.get(2), 30);
+        assert_eq!(s.as_slice(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn clone_shares_not_copies() {
+        let s = Storage::new(vec![1u64; 1024]);
+        assert_eq!(s.handle_count(), 1);
+        let t = s.clone();
+        assert_eq!(s.handle_count(), 2);
+        // Same allocation: the slices have the same address.
+        assert_eq!(s.as_slice().as_ptr(), t.as_slice().as_ptr());
+        drop(t);
+        assert_eq!(s.handle_count(), 1);
+    }
+
+    #[test]
+    fn empty_storage_is_representable() {
+        // Storage itself allows emptiness; the PowerList invariant is
+        // enforced one level up.
+        let s: Storage<i32> = Storage::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let s = Storage::new(vec![1]);
+        s.get(1);
+    }
+}

@@ -1,0 +1,370 @@
+//! No-copy PowerList views: `(storage, start, length, increment)`.
+//!
+//! A [`PowerView`] is the "data structure information" of the JPLF design
+//! (paper, Section V): deconstruction with `tie` or `zip` produces two new
+//! views over the *same* storage in O(1), by arithmetic on the descriptor
+//! alone:
+//!
+//! * `untie`  — halves the length; the right half starts `len/2 * incr`
+//!   elements later, the increment is unchanged;
+//! * `unzip`  — halves the length; the odd view starts one `incr` later,
+//!   and both increments double.
+//!
+//! This is exactly the `(list, start, end, incr)` state that the paper's
+//! `ZipSpliterator` carries (Section IV.A), so the streams crate builds its
+//! spliterators directly on top of this type.
+
+use crate::error::{Error, Result};
+use crate::iter::ViewIter;
+use crate::powerlist::PowerList;
+use crate::storage::Storage;
+use crate::{is_power_of_two, log2_exact};
+use std::fmt;
+
+/// A power-of-two-length window into shared [`Storage`], with a stride.
+///
+/// Logical index `i` of the view maps to physical index
+/// `start + i * incr` of the storage. All deconstruction operators are
+/// O(1) and allocation-free.
+pub struct PowerView<T> {
+    storage: Storage<T>,
+    start: usize,
+    len: usize,
+    incr: usize,
+}
+
+impl<T> Clone for PowerView<T> {
+    fn clone(&self) -> Self {
+        PowerView {
+            storage: self.storage.clone(),
+            start: self.start,
+            len: self.len,
+            incr: self.incr,
+        }
+    }
+}
+
+impl<T> PowerView<T> {
+    /// Builds a view covering an entire storage buffer.
+    ///
+    /// Fails with [`Error::Empty`] / [`Error::NotPowerOfTwo`] when the
+    /// buffer violates the PowerList shape invariant.
+    pub fn full(storage: Storage<T>) -> Result<Self> {
+        let len = storage.len();
+        if len == 0 {
+            return Err(Error::Empty);
+        }
+        if !is_power_of_two(len) {
+            return Err(Error::NotPowerOfTwo(len));
+        }
+        Ok(PowerView {
+            storage,
+            start: 0,
+            len,
+            incr: 1,
+        })
+    }
+
+    /// Builds a view from raw descriptor parts.
+    ///
+    /// Validates the shape invariant and that every logical index stays in
+    /// bounds of the storage.
+    pub fn from_parts(storage: Storage<T>, start: usize, len: usize, incr: usize) -> Result<Self> {
+        if len == 0 {
+            return Err(Error::Empty);
+        }
+        if !is_power_of_two(len) {
+            return Err(Error::NotPowerOfTwo(len));
+        }
+        let last = start + (len - 1) * incr;
+        assert!(
+            last < storage.len(),
+            "view descriptor out of bounds: last physical index {last} >= storage length {}",
+            storage.len()
+        );
+        Ok(PowerView {
+            storage,
+            start,
+            len,
+            incr,
+        })
+    }
+
+    /// Number of logical elements in the view (always a power of two).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Views are never empty, by construction; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` when the view holds exactly one element — the base case of
+    /// every PowerList recursion.
+    #[inline]
+    pub fn is_singleton(&self) -> bool {
+        self.len == 1
+    }
+
+    /// Depth of the divide-and-conquer tree rooted at this view.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        log2_exact(self.len)
+    }
+
+    /// First physical index of the view.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Stride between consecutive logical elements.
+    #[inline]
+    pub fn incr(&self) -> usize {
+        self.incr
+    }
+
+    /// Borrow the logical element at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &T {
+        assert!(i < self.len, "index {i} out of bounds for view of length {}", self.len);
+        self.storage.get(self.start + i * self.incr)
+    }
+
+    /// The single element of a singleton view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the view is not a singleton.
+    #[inline]
+    pub fn singleton_value(&self) -> &T {
+        assert!(self.is_singleton(), "singleton_value on a view of length {}", self.len);
+        self.storage.get(self.start)
+    }
+
+    /// Deconstructs with **tie**: `(p, q)` such that `self = p | q`.
+    ///
+    /// O(1): only the descriptor is rewritten; the storage is shared.
+    pub fn untie(&self) -> Result<(Self, Self)> {
+        if self.is_singleton() {
+            return Err(Error::SingletonSplit);
+        }
+        let half = self.len / 2;
+        let left = PowerView {
+            storage: self.storage.clone(),
+            start: self.start,
+            len: half,
+            incr: self.incr,
+        };
+        let right = PowerView {
+            storage: self.storage.clone(),
+            start: self.start + half * self.incr,
+            len: half,
+            incr: self.incr,
+        };
+        Ok((left, right))
+    }
+
+    /// Deconstructs with **zip**: `(p, q)` such that `self = p ♮ q`
+    /// (`p` holds the even logical positions, `q` the odd ones).
+    ///
+    /// O(1): the start of `q` advances by one stride and both strides
+    /// double.
+    pub fn unzip(&self) -> Result<(Self, Self)> {
+        if self.is_singleton() {
+            return Err(Error::SingletonSplit);
+        }
+        let half = self.len / 2;
+        let even = PowerView {
+            storage: self.storage.clone(),
+            start: self.start,
+            len: half,
+            incr: self.incr * 2,
+        };
+        let odd = PowerView {
+            storage: self.storage.clone(),
+            start: self.start + self.incr,
+            len: half,
+            incr: self.incr * 2,
+        };
+        Ok((even, odd))
+    }
+
+    /// Iterate the logical elements in order.
+    pub fn iter(&self) -> ViewIter<'_, T> {
+        ViewIter::new(self)
+    }
+
+    /// Diagnostic used by tests: number of live handles on the storage.
+    pub fn storage_handles(&self) -> usize {
+        self.storage.handle_count()
+    }
+
+    /// A handle to the shared storage backing this view (O(1) clone).
+    ///
+    /// Exposed so that external splittable iterators — the stream
+    /// spliterators — can be built over the same no-copy descriptor
+    /// scheme.
+    pub fn storage(&self) -> Storage<T> {
+        self.storage.clone()
+    }
+}
+
+impl<T: Clone> PowerView<T> {
+    /// Materialises the view into an owned [`PowerList`] (copies the
+    /// `len()` logical elements).
+    pub fn to_powerlist(&self) -> PowerList<T> {
+        let v: Vec<T> = self.iter().cloned().collect();
+        PowerList::from_vec(v).expect("view length invariant guarantees a power of two")
+    }
+
+    /// Copies the logical elements into a plain vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PowerView<T> {
+    // Shows at most 8 elements so that debug output of huge views stays
+    // readable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PowerView {{ start: {}, len: {}, incr: {}, head: [",
+            self.start, self.len, self.incr
+        )?;
+        for i in 0..self.len.min(8) {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:?}", self.get(i))?;
+        }
+        if self.len > 8 {
+            write!(f, ", ...")?;
+        }
+        write!(f, "] }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_of(v: Vec<i32>) -> PowerView<i32> {
+        PowerView::full(Storage::new(v)).unwrap()
+    }
+
+    #[test]
+    fn full_view_reads_in_order() {
+        let v = view_of(vec![5, 6, 7, 8]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.depth(), 2);
+        assert_eq!(*v.get(0), 5);
+        assert_eq!(*v.get(3), 8);
+        assert_eq!(v.to_vec(), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn full_rejects_bad_shapes() {
+        assert_eq!(
+            PowerView::full(Storage::new(Vec::<i32>::new())).unwrap_err(),
+            Error::Empty
+        );
+        assert_eq!(
+            PowerView::full(Storage::new(vec![1, 2, 3])).unwrap_err(),
+            Error::NotPowerOfTwo(3)
+        );
+    }
+
+    #[test]
+    fn untie_splits_halves() {
+        let v = view_of(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let (l, r) = v.untie().unwrap();
+        assert_eq!(l.to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(r.to_vec(), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn unzip_splits_parity() {
+        let v = view_of(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let (e, o) = v.unzip().unwrap();
+        assert_eq!(e.to_vec(), vec![0, 2, 4, 6]);
+        assert_eq!(o.to_vec(), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn nested_mixed_deconstruction() {
+        // unzip then untie on the even part: strides compose.
+        let v = view_of(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let (e, _) = v.unzip().unwrap();
+        let (el, er) = e.untie().unwrap();
+        assert_eq!(el.to_vec(), vec![0, 2]);
+        assert_eq!(er.to_vec(), vec![4, 6]);
+        let (ee, eo) = e.unzip().unwrap();
+        assert_eq!(ee.to_vec(), vec![0, 4]);
+        assert_eq!(eo.to_vec(), vec![2, 6]);
+    }
+
+    #[test]
+    fn deconstruction_never_copies() {
+        let v = view_of((0..1024).collect());
+        let handles_before = v.storage_handles();
+        let (a, b) = v.unzip().unwrap();
+        let (c, d) = a.untie().unwrap();
+        // Five live views, one storage allocation.
+        assert_eq!(v.storage_handles(), handles_before + 4);
+        assert_eq!(*b.get(0), 1);
+        assert_eq!(*c.get(0), 0);
+        assert_eq!(*d.get(0), 512);
+    }
+
+    #[test]
+    fn singleton_split_is_error() {
+        let v = view_of(vec![42]);
+        assert!(v.is_singleton());
+        assert_eq!(*v.singleton_value(), 42);
+        assert_eq!(v.untie().unwrap_err(), Error::SingletonSplit);
+        assert_eq!(v.unzip().unwrap_err(), Error::SingletonSplit);
+    }
+
+    #[test]
+    fn from_parts_checks_bounds() {
+        let s = Storage::new(vec![0; 8]);
+        assert!(PowerView::from_parts(s.clone(), 0, 4, 2).is_ok());
+        assert!(PowerView::from_parts(s.clone(), 1, 4, 2).is_ok());
+        assert_eq!(
+            PowerView::from_parts(s.clone(), 0, 6, 1).unwrap_err(),
+            Error::NotPowerOfTwo(6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_parts_rejects_overrun() {
+        let s = Storage::new(vec![0; 8]);
+        let _ = PowerView::from_parts(s, 2, 4, 2); // last = 2 + 3*2 = 8
+    }
+
+    #[test]
+    fn to_powerlist_roundtrip() {
+        let v = view_of(vec![9, 8, 7, 6]);
+        let (_, o) = v.unzip().unwrap();
+        let p = o.to_powerlist();
+        assert_eq!(p.as_slice(), &[8, 6]);
+    }
+
+    #[test]
+    fn debug_formatting_truncates() {
+        let v = view_of((0..16).collect());
+        let s = format!("{v:?}");
+        assert!(s.contains("len: 16"));
+        assert!(s.contains("..."));
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests of the PowerList / PList algebra laws.
+//!
+//! These are the laws the paper's correctness story rests on (Section II):
+//! unique deconstruction, constructor/deconstructor inverses, the tie/zip
+//! exchange behaviour of `inv`, and the distribution of extended operators
+//! over both deconstructions.
+
+use powerlist::ops::{add, map, mul, reduce, zip_with};
+use powerlist::perm::{inv_indexed, inv_structural, inv_structural_dual, rev};
+use powerlist::{tabulate, PList, PowerArray, PowerList};
+use proptest::prelude::*;
+
+/// Strategy: a PowerList of i64 with length 2^k, 0 <= k <= max_k.
+fn powerlist_strategy(max_k: u32) -> impl Strategy<Value = PowerList<i64>> {
+    (0..=max_k)
+        .prop_flat_map(|k| proptest::collection::vec(-1000i64..1000, 1 << k as usize))
+        .prop_map(|v| PowerList::from_vec(v).expect("generated power-of-two length"))
+}
+
+/// Strategy: a pair of similar PowerLists.
+fn similar_pair(max_k: u32) -> impl Strategy<Value = (PowerList<i64>, PowerList<i64>)> {
+    (0..=max_k).prop_flat_map(|k| {
+        let n = 1usize << k;
+        (
+            proptest::collection::vec(-1000i64..1000, n),
+            proptest::collection::vec(-1000i64..1000, n),
+        )
+            .prop_map(|(a, b)| {
+                (
+                    PowerList::from_vec(a).unwrap(),
+                    PowerList::from_vec(b).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn untie_inverts_tie((p, q) in similar_pair(6)) {
+        let (a, b) = PowerList::tie(p.clone(), q.clone()).untie().unwrap();
+        prop_assert_eq!(a, p);
+        prop_assert_eq!(b, q);
+    }
+
+    #[test]
+    fn unzip_inverts_zip((p, q) in similar_pair(6)) {
+        let (a, b) = PowerList::zip(p.clone(), q.clone()).unzip().unwrap();
+        prop_assert_eq!(a, p);
+        prop_assert_eq!(b, q);
+    }
+
+    #[test]
+    fn tie_then_untie_roundtrips_any(p in powerlist_strategy(7)) {
+        prop_assume!(p.len() >= 2);
+        let (a, b) = p.clone().untie().unwrap();
+        prop_assert_eq!(PowerList::tie(a, b), p);
+    }
+
+    #[test]
+    fn zip_then_unzip_roundtrips_any(p in powerlist_strategy(7)) {
+        prop_assume!(p.len() >= 2);
+        let (a, b) = p.clone().unzip().unwrap();
+        prop_assert_eq!(PowerList::zip(a, b), p);
+    }
+
+    #[test]
+    fn view_deconstruction_matches_owned(p in powerlist_strategy(7)) {
+        prop_assume!(p.len() >= 2);
+        let v = p.clone().view();
+        let (vt_l, vt_r) = v.untie().unwrap();
+        let (ot_l, ot_r) = p.clone().untie().unwrap();
+        prop_assert_eq!(vt_l.to_powerlist(), ot_l);
+        prop_assert_eq!(vt_r.to_powerlist(), ot_r);
+        let (vz_e, vz_o) = v.unzip().unwrap();
+        let (oz_e, oz_o) = p.unzip().unwrap();
+        prop_assert_eq!(vz_e.to_powerlist(), oz_e);
+        prop_assert_eq!(vz_o.to_powerlist(), oz_o);
+    }
+
+    #[test]
+    fn inv_is_involution(p in powerlist_strategy(7)) {
+        prop_assert_eq!(inv_indexed(&inv_indexed(&p)), p);
+    }
+
+    #[test]
+    fn inv_implementations_agree(p in powerlist_strategy(6)) {
+        let a = inv_indexed(&p);
+        prop_assert_eq!(inv_structural(&p), a.clone());
+        prop_assert_eq!(inv_structural_dual(&p), a);
+    }
+
+    #[test]
+    fn inv_exchanges_tie_and_zip((p, q) in similar_pair(5)) {
+        // Eq. 2: inv(p | q) = inv(p) ♮ inv(q)
+        let lhs = inv_indexed(&PowerList::tie(p.clone(), q.clone()));
+        let rhs = PowerList::zip(inv_indexed(&p), inv_indexed(&q));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inv_exchanges_zip_and_tie((p, q) in similar_pair(5)) {
+        // The dual: inv(p ♮ q) = inv(p) | inv(q)
+        let lhs = inv_indexed(&PowerList::zip(p.clone(), q.clone()));
+        let rhs = PowerList::tie(inv_indexed(&p), inv_indexed(&q));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn rev_is_involution(p in powerlist_strategy(7)) {
+        prop_assert_eq!(rev(&rev(&p)), p);
+    }
+
+    #[test]
+    fn extended_add_distributes_over_tie((p, q) in similar_pair(6)) {
+        prop_assume!(p.len() >= 2);
+        let whole = add(&p, &q).unwrap();
+        let (p0, p1) = p.untie().unwrap();
+        let (q0, q1) = q.untie().unwrap();
+        let split = PowerList::tie(add(&p0, &q0).unwrap(), add(&p1, &q1).unwrap());
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn extended_mul_distributes_over_zip((p, q) in similar_pair(6)) {
+        prop_assume!(p.len() >= 2);
+        let whole = mul(&p, &q).unwrap();
+        let (p0, p1) = p.unzip().unwrap();
+        let (q0, q1) = q.unzip().unwrap();
+        let split = PowerList::zip(mul(&p0, &q0).unwrap(), mul(&p1, &q1).unwrap());
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn map_fusion(p in powerlist_strategy(7)) {
+        // map(g) . map(f) = map(g . f)
+        let two_pass = map(&map(&p, |x| x + 1), |x| x * 2);
+        let fused = map(&p, |x| (x + 1) * 2);
+        prop_assert_eq!(two_pass, fused);
+    }
+
+    #[test]
+    fn map_commutes_with_zip((p, q) in similar_pair(6)) {
+        // Eq. 1 (zip variant): map(f, p ♮ q) = map(f, p) ♮ map(f, q)
+        let lhs = map(&PowerList::zip(p.clone(), q.clone()), |x| x - 7);
+        let rhs = PowerList::zip(map(&p, |x| x - 7), map(&q, |x| x - 7));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn reduce_splits_associatively((p, q) in similar_pair(6)) {
+        // reduce(op, p | q) = op(reduce(op, p), reduce(op, q))
+        let whole = reduce(&PowerList::tie(p.clone(), q.clone()), |a, b| a + b);
+        let split = reduce(&p, |a, b| a + b) + reduce(&q, |a, b| a + b);
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn reduce_insensitive_to_decomposition(p in powerlist_strategy(7)) {
+        // For a commutative-associative op, reducing via tie or via zip
+        // decomposition yields the same result.
+        prop_assume!(p.len() >= 2);
+        let (t0, t1) = p.clone().untie().unwrap();
+        let (z0, z1) = p.clone().unzip().unwrap();
+        let via_tie = reduce(&t0, |a, b| a + b) + reduce(&t1, |a, b| a + b);
+        let via_zip = reduce(&z0, |a, b| a + b) + reduce(&z1, |a, b| a + b);
+        prop_assert_eq!(via_tie, via_zip);
+        prop_assert_eq!(via_tie, reduce(&p, |a, b| a + b));
+    }
+
+    #[test]
+    fn zip_with_length_preserved((p, q) in similar_pair(6)) {
+        let r = zip_with(&p, &q, |a, b| a.wrapping_mul(*b)).unwrap();
+        prop_assert_eq!(r.len(), p.len());
+    }
+
+    #[test]
+    fn powerarray_combiners_model_constructors((p, q) in similar_pair(6)) {
+        let mut at = PowerArray::from(p.clone().into_vec());
+        at.tie_all(PowerArray::from(q.clone().into_vec()));
+        prop_assert_eq!(at.into_powerlist().unwrap(),
+                        PowerList::tie(p.clone(), q.clone()));
+
+        let mut az = PowerArray::from(p.clone().into_vec());
+        az.zip_all(PowerArray::from(q.clone().into_vec()));
+        prop_assert_eq!(az.into_powerlist().unwrap(), PowerList::zip(p, q));
+    }
+
+    #[test]
+    fn plist_untie_roundtrip(v in proptest::collection::vec(-100i64..100, 1..60),
+                             n in 1usize..6) {
+        prop_assume!(v.len() % n == 0 && !v.is_empty());
+        let p = PList::from_vec(v).unwrap();
+        let parts = p.clone().untie_n(n).unwrap();
+        prop_assert_eq!(PList::tie_n(parts).unwrap(), p);
+    }
+
+    #[test]
+    fn plist_unzip_roundtrip(v in proptest::collection::vec(-100i64..100, 1..60),
+                             n in 1usize..6) {
+        prop_assume!(v.len() % n == 0 && !v.is_empty());
+        let p = PList::from_vec(v).unwrap();
+        let parts = p.clone().unzip_n(n).unwrap();
+        prop_assert_eq!(PList::zip_n(parts).unwrap(), p);
+    }
+
+    #[test]
+    fn tabulate_then_index(k in 0u32..8) {
+        let p = tabulate(1usize << k, |i| i as i64 * 2).unwrap();
+        for i in 0..p.len() {
+            prop_assert_eq!(p[i], i as i64 * 2);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Deep decomposition-path properties of the no-copy views.
+//!
+//! A PowerList view deconstructed by an arbitrary sequence of tie/zip
+//! choices must agree element-wise with the index arithmetic of the
+//! algebra. These tests drive the stride/offset computations through
+//! random paths — the exact machinery the spliterators (and hence every
+//! parallel collect) stand on.
+
+use powerlist::{tabulate, PowerList, PowerView};
+use proptest::prelude::*;
+
+/// Follows a path of (use_zip, go_right) choices from the root view and
+/// returns the reached view.
+fn follow(view: PowerView<usize>, path: &[(bool, bool)]) -> PowerView<usize> {
+    let mut v = view;
+    for &(use_zip, go_right) in path {
+        if v.is_singleton() {
+            break;
+        }
+        let (l, r) = if use_zip {
+            v.unzip().unwrap()
+        } else {
+            v.untie().unwrap()
+        };
+        v = if go_right { r } else { l };
+    }
+    v
+}
+
+/// The same path computed by index arithmetic on `0..n`: a tie step
+/// keeps a contiguous half, a zip step a parity class.
+fn follow_indices(n: usize, path: &[(bool, bool)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for &(use_zip, go_right) in path {
+        if idx.len() == 1 {
+            break;
+        }
+        let half = idx.len() / 2;
+        idx = if use_zip {
+            idx.iter()
+                .enumerate()
+                .filter(|(i, _)| (i % 2 == 1) == go_right)
+                .map(|(_, &x)| x)
+                .collect()
+        } else if go_right {
+            idx[half..].to_vec()
+        } else {
+            idx[..half].to_vec()
+        };
+    }
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_paths_match_index_arithmetic(
+        k in 0u32..10,
+        path in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..12),
+    ) {
+        let n = 1usize << k;
+        let list = tabulate(n, |i| i).unwrap();
+        let reached = follow(list.view(), &path);
+        let expected = follow_indices(n, &path);
+        prop_assert_eq!(reached.len(), expected.len());
+        for (i, &e) in expected.iter().enumerate() {
+            prop_assert_eq!(*reached.get(i), e, "position {} of path {:?}", i, &path);
+        }
+    }
+
+    #[test]
+    fn full_depth_paths_reach_correct_singleton(
+        k in 1u32..9,
+        bits in any::<u64>(),
+        zips in any::<u64>(),
+    ) {
+        // Choose one decomposition operator and one direction per level.
+        let n = 1usize << k;
+        let path: Vec<(bool, bool)> = (0..k)
+            .map(|d| ((zips >> d) & 1 == 1, (bits >> d) & 1 == 1))
+            .collect();
+        let list = tabulate(n, |i| i).unwrap();
+        let reached = follow(list.view(), &path);
+        prop_assert!(reached.is_singleton());
+        let expected = follow_indices(n, &path);
+        prop_assert_eq!(*reached.singleton_value(), expected[0]);
+    }
+
+    #[test]
+    fn sibling_views_partition_the_elements(
+        k in 1u32..10,
+        use_zip in any::<bool>(),
+    ) {
+        let n = 1usize << k;
+        let list = tabulate(n, |i| i).unwrap();
+        let v = list.view();
+        let (l, r) = if use_zip { v.unzip().unwrap() } else { v.untie().unwrap() };
+        let mut seen = vec![false; n];
+        for i in 0..l.len() {
+            seen[*l.get(i)] = true;
+        }
+        for i in 0..r.len() {
+            prop_assert!(!seen[*r.get(i)], "element {} in both halves", r.get(i));
+            seen[*r.get(i)] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b), "halves must cover the source");
+    }
+
+    #[test]
+    fn reconstruction_inverts_any_single_step(
+        k in 1u32..10,
+        use_zip in any::<bool>(),
+    ) {
+        let n = 1usize << k;
+        let list = tabulate(n, |i| i as i64 * 3).unwrap();
+        let (l, r) = if use_zip {
+            list.clone().unzip().unwrap()
+        } else {
+            list.clone().untie().unwrap()
+        };
+        let back = if use_zip {
+            PowerList::zip(l, r)
+        } else {
+            PowerList::tie(l, r)
+        };
+        prop_assert_eq!(back, list);
+    }
+}

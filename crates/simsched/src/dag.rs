@@ -1,0 +1,150 @@
+//! Fork-join task DAGs.
+//!
+//! A [`Dag`] is a set of tasks with costs (nanoseconds) and precedence
+//! edges. The divide-and-conquer computations of this repository produce
+//! *series-parallel* DAGs (split → two subtrees → combine), but the type
+//! accepts any DAG so the scheduler stays general.
+
+/// Task identifier: index into the DAG's task table.
+pub type TaskId = usize;
+
+/// One task: a cost and its predecessors.
+#[derive(Debug, Clone)]
+pub struct TaskNode {
+    /// Execution cost in nanoseconds.
+    pub cost: f64,
+    /// Tasks that must complete before this one starts.
+    pub deps: Vec<TaskId>,
+    /// Diagnostic label (tree level for D&C DAGs).
+    pub label: u32,
+}
+
+/// A directed acyclic task graph.
+#[derive(Debug, Default, Clone)]
+pub struct Dag {
+    tasks: Vec<TaskNode>,
+}
+
+impl Dag {
+    /// Empty DAG.
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Adds a task with `cost` ns depending on `deps`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id is not yet in the DAG (ids are created
+    /// in topological order by construction) or the cost is negative.
+    pub fn add(&mut self, cost: f64, deps: Vec<TaskId>, label: u32) -> TaskId {
+        assert!(cost >= 0.0, "task cost must be non-negative");
+        let id = self.tasks.len();
+        for &d in &deps {
+            assert!(d < id, "dependency {d} of task {id} does not exist yet");
+        }
+        self.tasks.push(TaskNode { cost, deps, label });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Borrow a task.
+    pub fn task(&self, id: TaskId) -> &TaskNode {
+        &self.tasks[id]
+    }
+
+    /// Iterate tasks in id (= topological) order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &TaskNode)> {
+        self.tasks.iter().enumerate()
+    }
+
+    /// **Work** `T₁`: total cost of all tasks — the sequential execution
+    /// time of the DAG.
+    pub fn work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.cost).sum()
+    }
+
+    /// **Span** `T∞`: the critical-path cost — the execution time on
+    /// unboundedly many cores.
+    pub fn span(&self) -> f64 {
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        let mut best: f64 = 0.0;
+        for (i, t) in self.tasks.iter().enumerate() {
+            let ready = t
+                .deps
+                .iter()
+                .map(|&d| finish[d])
+                .fold(0.0f64, f64::max);
+            finish[i] = ready + t.cost;
+            best = best.max(finish[i]);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::new();
+        assert!(d.is_empty());
+        assert_eq!(d.work(), 0.0);
+        assert_eq!(d.span(), 0.0);
+    }
+
+    #[test]
+    fn chain_work_equals_span() {
+        let mut d = Dag::new();
+        let a = d.add(10.0, vec![], 0);
+        let b = d.add(20.0, vec![a], 1);
+        let _c = d.add(30.0, vec![b], 2);
+        assert_eq!(d.work(), 60.0);
+        assert_eq!(d.span(), 60.0);
+    }
+
+    #[test]
+    fn diamond_span_is_longest_path() {
+        let mut d = Dag::new();
+        let s = d.add(5.0, vec![], 0);
+        let l = d.add(10.0, vec![s], 1);
+        let r = d.add(40.0, vec![s], 1);
+        let _j = d.add(5.0, vec![l, r], 2);
+        assert_eq!(d.work(), 60.0);
+        assert_eq!(d.span(), 5.0 + 40.0 + 5.0);
+    }
+
+    #[test]
+    fn independent_tasks_span_is_max() {
+        let mut d = Dag::new();
+        for c in [3.0, 9.0, 4.0] {
+            d.add(c, vec![], 0);
+        }
+        assert_eq!(d.work(), 16.0);
+        assert_eq!(d.span(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_dependency_rejected() {
+        let mut d = Dag::new();
+        d.add(1.0, vec![3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        let mut d = Dag::new();
+        d.add(-1.0, vec![], 0);
+    }
+}

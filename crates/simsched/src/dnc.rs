@@ -1,0 +1,160 @@
+//! Divide-and-conquer DAG builder.
+//!
+//! Translates a balanced binary divide-and-conquer computation — the
+//! shape of every PowerList function — into a task [`Dag`]: a split task
+//! per interior node (the descending phase), a leaf task per
+//! undecomposed sub-list, and a combine task per interior node (the
+//! ascending phase). Costs come from a caller-supplied [`DncCosts`]
+//! model, so the same builder serves the polynomial, map/reduce, and FFT
+//! predictions.
+
+use crate::dag::{Dag, TaskId};
+
+/// Cost model for one divide-and-conquer computation (all nanoseconds).
+pub trait DncCosts {
+    /// Cost of splitting a node holding `size` elements at `level`
+    /// (spliterator `try_split` + task spawn overhead).
+    fn split(&self, level: u32, size: usize) -> f64;
+    /// Cost of processing a leaf of `size` elements.
+    fn leaf(&self, size: usize) -> f64;
+    /// Cost of combining the two children of a node of `size` elements.
+    fn combine(&self, level: u32, size: usize) -> f64;
+}
+
+/// Simple closure-based cost model.
+pub struct FnCosts<S, L, C> {
+    /// Split cost `(level, size) → ns`.
+    pub split: S,
+    /// Leaf cost `size → ns`.
+    pub leaf: L,
+    /// Combine cost `(level, size) → ns`.
+    pub combine: C,
+}
+
+impl<S, L, C> DncCosts for FnCosts<S, L, C>
+where
+    S: Fn(u32, usize) -> f64,
+    L: Fn(usize) -> f64,
+    C: Fn(u32, usize) -> f64,
+{
+    fn split(&self, level: u32, size: usize) -> f64 {
+        (self.split)(level, size)
+    }
+    fn leaf(&self, size: usize) -> f64 {
+        (self.leaf)(size)
+    }
+    fn combine(&self, level: u32, size: usize) -> f64 {
+        (self.combine)(level, size)
+    }
+}
+
+/// Builds the DAG of a balanced binary D&C over `n` elements that stops
+/// splitting at `leaf_size`. Returns the DAG and the id of the root
+/// combine (or leaf) task.
+pub fn build_dnc(n: usize, leaf_size: usize, costs: &impl DncCosts) -> (Dag, TaskId) {
+    assert!(n >= 1, "need at least one element");
+    let leaf_size = leaf_size.max(1);
+    let mut dag = Dag::new();
+    let root = build_node(&mut dag, n, leaf_size, 0, costs, None);
+    (dag, root)
+}
+
+fn build_node(
+    dag: &mut Dag,
+    size: usize,
+    leaf_size: usize,
+    level: u32,
+    costs: &impl DncCosts,
+    parent_split: Option<TaskId>,
+) -> TaskId {
+    let deps = parent_split.map(|p| vec![p]).unwrap_or_default();
+    if size <= leaf_size || size == 1 {
+        return dag.add(costs.leaf(size), deps, level);
+    }
+    let split = dag.add(costs.split(level, size), deps, level);
+    let l = build_node(dag, size / 2, leaf_size, level + 1, costs, Some(split));
+    let r = build_node(dag, size - size / 2, leaf_size, level + 1, costs, Some(split));
+    dag.add(costs.combine(level, size), vec![l, r], level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::simulate;
+
+    fn unit_costs() -> impl DncCosts {
+        FnCosts {
+            split: |_, _| 1.0,
+            leaf: |s| s as f64,
+            combine: |_, _| 1.0,
+        }
+    }
+
+    #[test]
+    fn single_leaf_when_small() {
+        let (dag, root) = build_dnc(4, 8, &unit_costs());
+        assert_eq!(dag.len(), 1);
+        assert_eq!(root, 0);
+        assert_eq!(dag.work(), 4.0);
+    }
+
+    #[test]
+    fn two_level_tree_shape() {
+        // n=4, leaf=1 → 3 splits + 4 leaves + 3 combines = 10 tasks
+        let (dag, _) = build_dnc(4, 1, &unit_costs());
+        assert_eq!(dag.len(), 10);
+        // work = 3 + 4*1 + 3 = 10
+        assert_eq!(dag.work(), 10.0);
+    }
+
+    #[test]
+    fn leaf_work_conserved() {
+        // Total leaf cost equals n for the unit model, regardless of
+        // leaf_size.
+        for leaf_size in [1usize, 2, 4, 16, 64] {
+            let (dag, _) = build_dnc(64, leaf_size, &unit_costs());
+            let leaf_total: f64 = dag
+                .iter()
+                .filter(|(_, t)| t.cost > 1.0 || (t.deps.len() <= 1 && t.cost >= 1.0))
+                .map(|(_, t)| t.cost)
+                .sum();
+            // simpler: work minus (splits+combines)
+            let interior = (64 / leaf_size.max(1) - 1) as f64 * 2.0;
+            assert!((dag.work() - interior - 64.0).abs() < 1e-9, "leaf_size={leaf_size} leaf_total={leaf_total}");
+        }
+    }
+
+    #[test]
+    fn span_grows_logarithmically() {
+        let costs = unit_costs();
+        let (d16, _) = build_dnc(16, 1, &costs);
+        let (d64, _) = build_dnc(64, 1, &costs);
+        // span = log2(n) splits + 1 leaf + log2(n) combines
+        assert_eq!(d16.span(), 4.0 + 1.0 + 4.0);
+        assert_eq!(d64.span(), 6.0 + 1.0 + 6.0);
+    }
+
+    #[test]
+    fn parallel_speedup_emerges() {
+        let costs = FnCosts {
+            split: |_, _| 10.0,
+            leaf: |s| s as f64 * 2.0,
+            combine: |_, _| 10.0,
+        };
+        let (dag, _) = build_dnc(1 << 16, 1 << 12, &costs);
+        let t1 = simulate(&dag, 1).makespan;
+        let t8 = simulate(&dag, 8).makespan;
+        let speedup = t1 / t8;
+        assert!(speedup > 6.0, "expected near-linear speedup, got {speedup}");
+        assert!(speedup <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn uneven_sizes_handled() {
+        // Non-power-of-two n exercises the size - size/2 branch.
+        let (dag, _) = build_dnc(10, 3, &unit_costs());
+        assert!(dag.work() > 0.0);
+        let s = simulate(&dag, 4);
+        assert!(s.makespan > 0.0);
+    }
+}

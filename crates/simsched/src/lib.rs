@@ -1,0 +1,41 @@
+//! # simsched — deterministic fork-join schedule simulation
+//!
+//! The paper's evaluation ran on an 8-core machine; the container this
+//! reproduction executes in exposes **one** CPU, so parallel speedups
+//! are physically unobservable as wall-clock. This crate regenerates the
+//! figures' *shape* the honest way: a calibrated cost model
+//! ([`MachineModel`]), an exact task-DAG builder for balanced
+//! divide-and-conquer ([`dnc`]), and a deterministic greedy scheduler
+//! ([`schedule::simulate`]) whose makespans obey Brent's inequalities by
+//! construction (property-tested).
+//!
+//! The real multithreaded implementations are still executed and
+//! validated for correctness on the 1-core host; this crate only stands
+//! in for the *timing* of the missing cores. See DESIGN.md's
+//! substitution table.
+//!
+//! ```
+//! use simsched::{MachineModel, predict_poly};
+//!
+//! let m = MachineModel::paper_8core();
+//! let p = predict_poly(&m, 1 << 22, None, false);
+//! assert!(p.speedup > 6.0 && p.speedup <= 8.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dag;
+pub mod dnc;
+pub mod machine;
+pub mod predict;
+pub mod schedule;
+
+pub use dag::{Dag, TaskId, TaskNode};
+pub use dnc::{build_dnc, DncCosts, FnCosts};
+pub use machine::MachineModel;
+pub use predict::{
+    predict_map_collect, predict_poly, predict_poly_sweep, predict_scaling, MapCostModel,
+    PolyPrediction, JVM_ARTIFACT_FACTOR, JVM_ARTIFACT_SIZE,
+};
+pub use schedule::{simulate, Schedule};

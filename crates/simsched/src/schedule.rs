@@ -1,0 +1,243 @@
+//! Greedy list scheduling onto `P` virtual cores.
+//!
+//! Implements the classical greedy (work-conserving) scheduler: whenever
+//! a core is idle and a task is ready, it runs. Graham's bound guarantees
+//! the makespan is within 2× of optimal, and Brent's inequalities bound
+//! it by `max(T₁/P, T∞) ≤ T_P ≤ T₁/P + T∞` — both are asserted in the
+//! property tests, which is also how the simulator itself is validated.
+//!
+//! Determinism: ties are broken by task id, so a given DAG and core
+//! count always produce the same schedule.
+
+use crate::dag::{Dag, TaskId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The result of simulating a DAG on `cores` cores.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Simulated wall-clock time in nanoseconds.
+    pub makespan: f64,
+    /// Start time of each task (ns).
+    pub start: Vec<f64>,
+    /// Core each task ran on.
+    pub core: Vec<usize>,
+    /// Per-core busy time (ns) — for utilisation reports.
+    pub busy: Vec<f64>,
+}
+
+impl Schedule {
+    /// Fraction of core-time spent working, `work / (P × makespan)`.
+    pub fn utilisation(&self) -> f64 {
+        if self.makespan == 0.0 {
+            return 1.0;
+        }
+        let total: f64 = self.busy.iter().sum();
+        total / (self.busy.len() as f64 * self.makespan)
+    }
+}
+
+/// Simulates greedy execution of `dag` on `cores` cores; returns the
+/// schedule (deterministic for fixed inputs).
+pub fn simulate(dag: &Dag, cores: usize) -> Schedule {
+    let cores = cores.max(1);
+    let n = dag.len();
+    let mut indegree = vec![0usize; n];
+    let mut children: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    for (id, t) in dag.iter() {
+        indegree[id] = t.deps.len();
+        for &d in &t.deps {
+            children[d].push(id);
+        }
+    }
+
+    // Ready queue ordered by (ready_time, id); core pool by next-free
+    // time. We process in event order.
+    let mut ready: BinaryHeap<Reverse<(OrderedF64, TaskId)>> = BinaryHeap::new();
+    let mut ready_time = vec![0.0f64; n];
+    for (id, &deg) in indegree.iter().enumerate() {
+        if deg == 0 {
+            ready.push(Reverse((OrderedF64(0.0), id)));
+        }
+    }
+    let mut core_free: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..cores)
+        .map(|c| Reverse((OrderedF64(0.0), c)))
+        .collect();
+
+    let mut start = vec![0.0f64; n];
+    let mut core_of = vec![0usize; n];
+    let mut busy = vec![0.0f64; cores];
+    let mut finish = vec![0.0f64; n];
+    let mut makespan = 0.0f64;
+
+    while let Some(Reverse((OrderedF64(rt), id))) = ready.pop() {
+        let Reverse((OrderedF64(cf), core)) = core_free.pop().expect("cores never exhaust");
+        let s = rt.max(cf);
+        let t = dag.task(id);
+        let f = s + t.cost;
+        start[id] = s;
+        core_of[id] = core;
+        busy[core] += t.cost;
+        finish[id] = f;
+        makespan = makespan.max(f);
+        core_free.push(Reverse((OrderedF64(f), core)));
+        for &c in &children[id] {
+            indegree[c] -= 1;
+            ready_time[c] = ready_time[c].max(f);
+            if indegree[c] == 0 {
+                ready.push(Reverse((OrderedF64(ready_time[c]), c)));
+            }
+        }
+    }
+
+    Schedule {
+        makespan,
+        start,
+        core: core_of,
+        busy,
+    }
+}
+
+/// Total-order wrapper for finite f64 times (costs are finite and
+/// non-negative by DAG construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("times are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond() -> Dag {
+        let mut d = Dag::new();
+        let s = d.add(5.0, vec![], 0);
+        let l = d.add(10.0, vec![s], 1);
+        let r = d.add(40.0, vec![s], 1);
+        d.add(5.0, vec![l, r], 2);
+        d
+    }
+
+    #[test]
+    fn one_core_gives_work() {
+        let d = diamond();
+        let s = simulate(&d, 1);
+        assert_eq!(s.makespan, d.work());
+        assert!((s.utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_cores_give_span() {
+        let d = diamond();
+        let s = simulate(&d, 64);
+        assert_eq!(s.makespan, d.span());
+    }
+
+    #[test]
+    fn two_cores_diamond() {
+        let d = diamond();
+        let s = simulate(&d, 2);
+        // split 5, then 10 and 40 in parallel, join 5 → 5+40+5 = 50
+        assert_eq!(s.makespan, 50.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = diamond();
+        let a = simulate(&d, 3);
+        let b = simulate(&d, 3);
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.core, b.core);
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let d = diamond();
+        let s = simulate(&d, 4);
+        // join (task 3) starts only after both branches finish.
+        assert!(s.start[3] >= s.start[2] + 40.0);
+        assert!(s.start[1] >= 5.0 && s.start[2] >= 5.0);
+    }
+
+    /// Random series-parallel-ish DAG generator: layered, each task
+    /// depends on a random subset of the previous layer.
+    fn random_dag(layers: Vec<Vec<f64>>, seed: u64) -> Dag {
+        let mut d = Dag::new();
+        let mut prev: Vec<TaskId> = vec![];
+        let mut rng = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for (li, layer) in layers.into_iter().enumerate() {
+            let mut cur = vec![];
+            for cost in layer {
+                let deps: Vec<TaskId> = prev
+                    .iter()
+                    .copied()
+                    .filter(|_| {
+                        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        rng >> 62 == 0 || li % 2 == 0
+                    })
+                    .collect();
+                cur.push(d.add(cost, deps, li as u32));
+            }
+            prev = cur;
+        }
+        d
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn brent_bounds_hold(
+            layer_sizes in proptest::collection::vec(1usize..6, 1..5),
+            cores in 1usize..9,
+            seed in 0u64..1000,
+        ) {
+            let layers: Vec<Vec<f64>> = layer_sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (0..k).map(|j| ((i * 7 + j * 13 + seed as usize) % 50 + 1) as f64).collect())
+                .collect();
+            let d = random_dag(layers, seed);
+            let s = simulate(&d, cores);
+            let (t1, tinf, p) = (d.work(), d.span(), cores as f64);
+            // Lower bounds: T_P >= T1/P and T_P >= T∞
+            prop_assert!(s.makespan >= t1 / p - 1e-9);
+            prop_assert!(s.makespan >= tinf - 1e-9);
+            // Greedy upper bound: T_P <= T1/P + T∞
+            prop_assert!(s.makespan <= t1 / p + tinf + 1e-9);
+        }
+
+        #[test]
+        fn more_cores_never_slower(
+            layer_sizes in proptest::collection::vec(1usize..5, 1..4),
+            seed in 0u64..1000,
+        ) {
+            let layers: Vec<Vec<f64>> = layer_sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (0..k).map(|j| ((i * 5 + j * 11 + seed as usize) % 30 + 1) as f64).collect())
+                .collect();
+            let d = random_dag(layers, seed);
+            // Greedy scheduling has no anomaly on 1 vs many for these
+            // monotone checks against work/span extremes.
+            let one = simulate(&d, 1).makespan;
+            let inf = simulate(&d, 1024).makespan;
+            prop_assert!(inf <= one + 1e-9);
+            prop_assert!((one - d.work()).abs() < 1e-6);
+            prop_assert!((inf - d.span()).abs() < 1e-6);
+        }
+    }
+}

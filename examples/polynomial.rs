@@ -1,0 +1,81 @@
+//! The paper's benchmark scenario end-to-end: evaluating a polynomial
+//! given by its coefficient PowerList at a point, through every
+//! execution route, with the timing protocol of the evaluation section.
+//!
+//! ```sh
+//! cargo run --release --example polynomial [exponent]
+//! ```
+//!
+//! The optional exponent selects the coefficient count `2^k`
+//! (default 18; the paper sweeps 20..26 — see the `figures` binary in
+//! `plbench` for the full reproduction with the simulated-8-core
+//! series).
+
+use jplf::Executor;
+use std::time::Instant;
+
+fn main() {
+    let k: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(18);
+    let n = 1usize << k;
+    let x = 0.9999993;
+
+    println!("Polynomial evaluation, n = 2^{k} coefficients, x = {x}");
+
+    // The paper's workload: random coefficients.
+    let coeffs = plbench_gen(n);
+
+    // Reference: Horner.
+    let t0 = Instant::now();
+    let expected = plalgo::horner(coeffs.as_slice(), x);
+    println!("horner (reference)     : {:>10.3} ms  -> {expected:.6}", ms(t0));
+
+    // Paper baseline: simple sequential stream computation.
+    let t0 = Instant::now();
+    let seq = plalgo::eval_seq_stream(coeffs.clone(), x);
+    println!("sequential stream      : {:>10.3} ms  -> {seq:.6}", ms(t0));
+
+    // The adaptation: hooked ZipSpliterator + PolynomialCollector on a
+    // parallel stream (the paper's Section IV listing).
+    let t0 = Instant::now();
+    let par = plalgo::eval_par_stream(coeffs.clone(), x);
+    println!("parallel stream collect: {:>10.3} ms  -> {par:.6}", ms(t0));
+
+    // JPLF fork-join executor with the vp PowerFunction (Eq. 4).
+    let exec = jplf::ForkJoinExecutor::new(
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2),
+        (n / 16).max(1),
+    );
+    let view = coeffs.clone().view();
+    let t0 = Instant::now();
+    let jplf_val = exec.execute(&plalgo::VpFunction::new(x), &view);
+    println!("JPLF fork-join executor: {:>10.3} ms  -> {jplf_val:.6}", ms(t0));
+
+    // Simulated MPI executor.
+    let t0 = Instant::now();
+    let mpi_val = jplf::MpiExecutor::new(4).execute(&plalgo::VpFunction::new(x), &view);
+    println!("JPLF simulated MPI (4) : {:>10.3} ms  -> {mpi_val:.6}", ms(t0));
+
+    for (name, v) in [("seq", seq), ("par", par), ("jplf", jplf_val), ("mpi", mpi_val)] {
+        let tol = 1e-9 * (1.0 + expected.abs());
+        assert!((v - expected).abs() < tol.max(1e-6), "{name} diverged: {v} vs {expected}");
+    }
+    println!("all routes agree ✓");
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Seeded random coefficients in [-1, 1] (inline so the example only
+/// depends on the public crates).
+fn plbench_gen(n: usize) -> powerlist::PowerList<f64> {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    powerlist::tabulate(n, |_| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    })
+    .unwrap()
+}

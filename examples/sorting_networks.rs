@@ -1,0 +1,60 @@
+//! Sorting networks from the PowerList catalogue: Batcher's odd-even
+//! merge sort and bitonic sort, sequential and fork-join parallel,
+//! validated against the standard library.
+//!
+//! ```sh
+//! cargo run --release --example sorting_networks [exponent]
+//! ```
+
+use forkjoin::ForkJoinPool;
+use plalgo::{batcher_sort, batcher_sort_par, bitonic_sort};
+use powerlist::tabulate;
+use std::time::Instant;
+
+fn main() {
+    let k: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+    let n = 1usize << k;
+    println!("Sorting 2^{k} pseudo-random integers with PowerList networks");
+
+    let mut state = 12345u64;
+    let data = tabulate(n, |_| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 30) as i64 - (1 << 33)
+    })
+    .unwrap();
+
+    let mut expected = data.clone().into_vec();
+    let t0 = Instant::now();
+    expected.sort();
+    println!("std sort      : {:>9.3} ms", ms(t0));
+
+    let t0 = Instant::now();
+    let b = batcher_sort(&data);
+    println!("batcher (seq) : {:>9.3} ms", ms(t0));
+    assert_eq!(b.as_slice(), &expected[..]);
+
+    let pool = ForkJoinPool::with_default_parallelism();
+    let t0 = Instant::now();
+    let bp = batcher_sort_par(&pool, &data, 1 << 10);
+    println!("batcher (par) : {:>9.3} ms  ({} workers)", ms(t0), pool.threads());
+    assert_eq!(bp.as_slice(), &expected[..]);
+
+    let t0 = Instant::now();
+    let bi = bitonic_sort(&data);
+    println!("bitonic (seq) : {:>9.3} ms", ms(t0));
+    assert_eq!(bi.as_slice(), &expected[..]);
+
+    let m = pool.metrics();
+    println!(
+        "pool metrics: {} joins ({} stolen), {} executed tasks",
+        m.joins, m.joins_stolen, m.executed
+    );
+    println!("all sorts agree with std ✓");
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}

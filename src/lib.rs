@@ -1,0 +1,38 @@
+//! # powerlist-streams
+//!
+//! Umbrella crate of the reproduction of *"Enhancing Java Streams API
+//! with PowerList Computation"* (Niculescu, Bufnea, Sterca, 2020): it
+//! re-exports the workspace crates and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`powerlist`] | PowerList / PList algebra, no-copy views, PowerArray |
+//! | [`forkjoin`] | work-stealing fork-join pool (ForkJoinPool equivalent) |
+//! | [`jstreams`] | Java-Streams-like pipeline + the PowerList adaptation |
+//! | [`jplf`] | JPLF framework port: PowerFunction + three executors |
+//! | [`plalgo`] | algorithm catalogue: map/reduce, vp, FFT, scan, sorts, Gray |
+//! | [`simsched`] | deterministic multicore cost-model simulator (figures) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jstreams::{power_stream, collect_powerlist, Decomposition};
+//! use powerlist::tabulate;
+//!
+//! // A PowerList of 2^4 elements, streamed with zip decomposition and
+//! // reassembled with zipAll — the paper's identity example.
+//! let data = tabulate(16, |i| i as f64).unwrap();
+//! let out = collect_powerlist(
+//!     power_stream(data.clone(), Decomposition::Zip),
+//!     Decomposition::Zip,
+//! ).unwrap();
+//! assert_eq!(out, data);
+//! ```
+
+pub use forkjoin;
+pub use jplf;
+pub use jstreams;
+pub use plalgo;
+pub use powerlist;
+pub use simsched;

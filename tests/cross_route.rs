@@ -1,0 +1,135 @@
+//! Cross-route agreement: every algorithm must compute the same result
+//! through the sequential specification, the JPLF executors
+//! (sequential / fork-join / simulated MPI), and the streams adaptation.
+//! This is the determinism property the PowerList algebra guarantees and
+//! the reason the executor separation is safe.
+
+use jplf::{Decomp, Executor, ForkJoinExecutor, MpiExecutor, SequentialExecutor};
+use jstreams::Decomposition;
+use powerlist::{tabulate, PowerList};
+
+fn workload(n: usize) -> PowerList<i64> {
+    tabulate(n, |i| ((i as i64).wrapping_mul(2654435761) % 997) - 498).unwrap()
+}
+
+#[test]
+fn map_all_routes() {
+    let p = workload(1 << 10);
+    let spec = powerlist::ops::map(&p, |x| x * 3 - 1);
+    let v = p.clone().view();
+
+    for decomp in [Decomp::Tie, Decomp::Zip] {
+        let f = plalgo::MapFunction::new(decomp, |x: &i64| x * 3 - 1);
+        assert_eq!(SequentialExecutor::new().execute(&f, &v), spec);
+        assert_eq!(ForkJoinExecutor::new(2, 32).execute(&f, &v), spec);
+        assert_eq!(MpiExecutor::new(4).execute(&f, &v), spec);
+    }
+    for d in [Decomposition::Tie, Decomposition::Zip] {
+        assert_eq!(plalgo::map_stream(p.clone(), d, |x| x * 3 - 1), spec);
+    }
+}
+
+#[test]
+fn reduce_all_routes() {
+    let p = workload(1 << 10);
+    let spec = powerlist::ops::reduce(&p, |a, b| a + b);
+    let v = p.clone().view();
+
+    let f = plalgo::ReduceFunction::new(Decomp::Tie, |a: &i64, b: &i64| a + b);
+    assert_eq!(SequentialExecutor::new().execute(&f, &v), spec);
+    assert_eq!(ForkJoinExecutor::new(3, 16).execute(&f, &v), spec);
+    assert_eq!(MpiExecutor::new(8).execute(&f, &v), spec);
+    for d in [Decomposition::Tie, Decomposition::Zip] {
+        assert_eq!(plalgo::reduce_stream(p.clone(), d, 0, |a, b| a + b), spec);
+    }
+}
+
+#[test]
+fn polynomial_all_routes() {
+    let coeffs = tabulate(1 << 11, |i| ((i % 13) as f64 - 6.0) / 7.0).unwrap();
+    let x = -0.9999;
+    let expected = plalgo::horner(coeffs.as_slice(), x);
+    let close = |v: f64| (v - expected).abs() < 1e-9 * (1.0 + expected.abs());
+
+    assert!(close(plalgo::eval_seq_stream(coeffs.clone(), x)));
+    assert!(close(plalgo::eval_par_stream(coeffs.clone(), x)));
+    let v = coeffs.view();
+    let vp = plalgo::VpFunction::new(x);
+    assert!(close(SequentialExecutor::new().execute(&vp, &v)));
+    assert!(close(ForkJoinExecutor::new(2, 64).execute(&vp, &v)));
+    assert!(close(MpiExecutor::new(4).execute(&vp, &v)));
+}
+
+#[test]
+fn fft_all_routes() {
+    let signal =
+        tabulate(1 << 8, |i| plalgo::Complex::new((i % 11) as f64 - 5.0, (i % 4) as f64)).unwrap();
+    let spec = plalgo::fft_seq(&signal);
+    let close = |out: &PowerList<plalgo::Complex>| {
+        out.iter()
+            .zip(spec.iter())
+            .all(|(a, b)| a.approx_eq(*b, 1e-7))
+    };
+
+    assert!(close(&plalgo::fft_stream(signal.clone())));
+    let v = signal.view();
+    assert!(close(&SequentialExecutor::new().execute(&plalgo::FftFunction, &v)));
+    assert!(close(&ForkJoinExecutor::new(2, 16).execute(&plalgo::FftFunction, &v)));
+    assert!(close(&MpiExecutor::new(4).execute(&plalgo::FftFunction, &v)));
+}
+
+#[test]
+fn haar_all_executors() {
+    let p = tabulate(1 << 8, |i| (i as f64).cos()).unwrap();
+    let f = plalgo::TieDescentFunction::new(|a: &f64, b: &f64| a + b, |a: &f64, b: &f64| a - b);
+    let v = p.clone().view();
+    let spec = SequentialExecutor::new().execute(&f, &v);
+    assert_eq!(ForkJoinExecutor::new(3, 8).execute(&f, &v), spec);
+    assert_eq!(MpiExecutor::new(4).execute(&f, &v), spec);
+    assert_eq!(plalgo::haar_like(&p), spec);
+}
+
+#[test]
+fn scan_routes_agree() {
+    let p = workload(1 << 9);
+    let spec = plalgo::scan_spec(p.as_slice(), |a, b| a + b);
+    let seq = plalgo::scan_seq(&p, 0, |a, b| a + b);
+    assert_eq!(seq.as_slice(), &spec[..]);
+    let pool = forkjoin::ForkJoinPool::new(3);
+    let par = plalgo::scan_par(&pool, &p, 0, |a: &i64, b: &i64| a + b, 37).unwrap();
+    assert_eq!(par.as_slice(), &spec[..]);
+}
+
+#[test]
+fn sorting_routes_agree() {
+    let p = workload(1 << 9);
+    let mut expected = p.clone().into_vec();
+    expected.sort();
+    assert_eq!(plalgo::batcher_sort(&p).as_slice(), &expected[..]);
+    assert_eq!(plalgo::bitonic_sort(&p).as_slice(), &expected[..]);
+    let pool = forkjoin::ForkJoinPool::new(2);
+    assert_eq!(
+        plalgo::batcher_sort_par(&pool, &p, 64).as_slice(),
+        &expected[..]
+    );
+}
+
+#[test]
+fn executor_decomposition_matrix() {
+    // Same function under tie and zip decomposition, each on each
+    // executor: 2 × 3 = 6 routes, one answer.
+    let p = workload(1 << 8);
+    let spec = powerlist::ops::reduce(&p, |a, b| a.wrapping_add(*b));
+    let v = p.view();
+    for decomp in [Decomp::Tie, Decomp::Zip] {
+        let f = plalgo::ReduceFunction::new(decomp, |a: &i64, b: &i64| a.wrapping_add(*b));
+        let results = [
+            SequentialExecutor::new().execute(&f, &v),
+            ForkJoinExecutor::new(2, 16).execute(&f, &v),
+            MpiExecutor::new(4).execute(&f, &v),
+        ];
+        for r in results {
+            assert_eq!(r, spec, "{decomp:?}");
+        }
+    }
+}

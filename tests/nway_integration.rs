@@ -1,0 +1,130 @@
+//! Integration tests of the multi-way (PList) stack: the paper's
+//! future-work extension end-to-end — n-way spliterators feeding n-way
+//! collects, and PList functions on the fork-join pool, cross-checked
+//! against the binary machinery where both apply.
+
+use forkjoin::ForkJoinPool;
+use jplf::{
+    compute_plist_parallel, compute_plist_sequential, Decomp, Executor, NWayReduce,
+    SequentialExecutor,
+};
+use jstreams::{
+    collect_nway_par, collect_nway_seq, NTieSpliterator, NWayDecomposition, NZipSpliterator,
+    PListCollector,
+};
+use powerlist::{PList, PowerList};
+use std::sync::Arc;
+
+fn plist(n: usize) -> PList<i64> {
+    PList::from_vec((0..n as i64).map(|i| (i * 29 + 5) % 83).collect()).unwrap()
+}
+
+#[test]
+fn nway_identity_collect_across_arities_and_leaves() {
+    let pool = ForkJoinPool::new(2);
+    for n in [1usize, 3, 9, 27, 81, 12, 36] {
+        let p = plist(n);
+        for arity in [2usize, 3, 4] {
+            for leaf in [1usize, 3, 10] {
+                let tie = collect_nway_par(
+                    &pool,
+                    NTieSpliterator::over(p.clone()),
+                    Arc::new(PListCollector::new(NWayDecomposition::Tie)),
+                    arity,
+                    leaf,
+                );
+                assert_eq!(tie, p, "tie n={n} arity={arity} leaf={leaf}");
+                let zip = collect_nway_par(
+                    &pool,
+                    NZipSpliterator::over(p.clone()),
+                    Arc::new(PListCollector::new(NWayDecomposition::Zip)),
+                    arity,
+                    leaf,
+                );
+                assert_eq!(zip, p, "zip n={n} arity={arity} leaf={leaf}");
+            }
+        }
+    }
+}
+
+#[test]
+fn nway_seq_equals_par() {
+    let pool = ForkJoinPool::new(3);
+    let p = plist(54); // 2 · 27
+    let seq = collect_nway_seq(
+        NTieSpliterator::over(p.clone()),
+        &PListCollector::new(NWayDecomposition::Tie),
+    );
+    let par = collect_nway_par(
+        &pool,
+        NTieSpliterator::over(p.clone()),
+        Arc::new(PListCollector::new(NWayDecomposition::Tie)),
+        3,
+        2,
+    );
+    assert_eq!(seq, par);
+    assert_eq!(seq, p);
+}
+
+#[test]
+fn plist_function_agrees_with_binary_on_powers_of_two() {
+    // On power-of-two lengths with arity 2, the PList machinery must
+    // agree with the binary PowerFunction machinery.
+    let pow = powerlist::tabulate(256, |i| (i as i64 * 13) % 47).unwrap();
+    let binary = SequentialExecutor::new().execute(
+        &plalgo::ReduceFunction::new(Decomp::Tie, |a: &i64, b: &i64| a + b),
+        &pow.clone().view(),
+    );
+    let nway2 = compute_plist_sequential(
+        &NWayReduce::new(2, |a: &i64, b: &i64| a + b),
+        &PList::from(pow.clone()),
+    );
+    assert_eq!(binary, nway2);
+
+    // And a 4-way split of the same data computes the same sum.
+    let nway4 = compute_plist_sequential(
+        &NWayReduce::new(4, |a: &i64, b: &i64| a + b),
+        &PList::from(pow),
+    );
+    assert_eq!(binary, nway4);
+}
+
+#[test]
+fn plist_parallel_full_stack() {
+    let pool = ForkJoinPool::new(3);
+    let p = plist(243); // 3^5: pure 3-way tree
+    let f = NWayReduce::new(3, |a: &i64, b: &i64| a + b);
+    let expected: i64 = p.iter().sum();
+    assert_eq!(compute_plist_sequential(&f, &p), expected);
+    for leaf in [1usize, 9, 81, 300] {
+        assert_eq!(compute_plist_parallel(&pool, &f, &p, leaf), expected, "leaf={leaf}");
+    }
+}
+
+#[test]
+fn paper_quantified_forms_through_streams() {
+    // Build [ ♮ i : i ∈ 3̄ : p.i ] with the algebra, then verify the
+    // n-way zip spliterator deconstructs it back into the p.i.
+    let parts: Vec<PList<i64>> = (0..3)
+        .map(|i| PList::from_vec(vec![i * 3, i * 3 + 1, i * 3 + 2]).unwrap())
+        .collect();
+    let zipped = PList::zip_n(parts.clone()).unwrap();
+    use jstreams::{ItemSource, NWaySpliterator};
+    let split = NZipSpliterator::over(zipped).try_split_n(3).ok().unwrap();
+    for (mut s, expected) in split.into_iter().zip(parts) {
+        let mut got = vec![];
+        s.for_each_remaining(&mut |x| got.push(x));
+        assert_eq!(got, expected.into_vec());
+    }
+}
+
+#[test]
+fn powerlist_plist_interop() {
+    // A PowerList flows into the PList machinery and back.
+    let pow = powerlist::tabulate(64, |i| i as i64).unwrap();
+    let pl: PList<i64> = pow.clone().into();
+    let sum = compute_plist_sequential(&NWayReduce::new(4, |a: &i64, b: &i64| a + b), &pl);
+    assert_eq!(sum, (0..64).sum::<i64>());
+    let back: PowerList<i64> = pl.into_powerlist().unwrap();
+    assert_eq!(back, pow);
+}

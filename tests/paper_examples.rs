@@ -1,0 +1,147 @@
+//! Integration tests encoding the paper's own listings and worked
+//! examples, end-to-end across crates.
+
+use jplf::{Executor, SequentialExecutor};
+use jstreams::{
+    collect_powerlist, power_stream, stream_support, Characteristics, Decomposition,
+    JoiningCollector, PowerListCollector, SliceSpliterator, Spliterator, ZipSpliterator,
+};
+use powerlist::{tabulate, PList, PowerList};
+
+/// Section IV.B, first listing: create a ZipSpliterator over the data,
+/// make a parallel stream from it, collect with
+/// (PowerList::new, add, zipAll) — "an identity function, meant to
+/// verify the correct decomposition and combining".
+#[test]
+fn section_iv_identity_listing() {
+    let list_int: Vec<f64> = (0..256).map(|i| i as f64 * 1.5).collect();
+    let sp_it = ZipSpliterator::over(PowerList::from_vec(list_int.clone()).unwrap());
+    let my_stream = stream_support(sp_it, true);
+    let li = my_stream.collect(PowerListCollector::new(Decomposition::Zip));
+    assert_eq!(li.into_vec(), list_int);
+}
+
+/// Section IV's `collect` description: the words example — separator
+/// only appears where the combiner runs.
+#[test]
+fn section_iv_words_example() {
+    let words: Vec<String> = ["alpha", "beta", "gamma", "delta"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    // Parallel with singleton leaves: 3 combiner calls, 3 separators.
+    let par = stream_support(SliceSpliterator::new(words.clone()), true)
+        .with_leaf_size(1)
+        .collect(JoiningCollector::new(", "));
+    assert_eq!(par, "alpha, beta, gamma, delta");
+    // "if the stream hadn't been parallel, the combiner would not be
+    // used and so the comma wouldn't be added":
+    let seq = stream_support(SliceSpliterator::new(words), false)
+        .collect(JoiningCollector::new(", "));
+    assert_eq!(seq, "alphabetagammadelta");
+}
+
+/// Section IV.B, map obtained from the identity collect by applying an
+/// operation inside the accumulator.
+#[test]
+fn section_iv_map_from_accumulator() {
+    let data = tabulate(64, |i| i as f64).unwrap();
+    let out = plalgo::map_stream(data.clone(), Decomposition::Zip, |d| d * d);
+    let expected: Vec<f64> = data.iter().map(|d| d * d).collect();
+    assert_eq!(out.into_vec(), expected);
+}
+
+/// Section IV.B, final listing: the PolynomialValue execution — build
+/// the collector, its inner-class spliterator, check POWER2, stream,
+/// collect.
+#[test]
+fn section_iv_polynomial_listing() {
+    let coeffs = tabulate(1 << 12, |i| ((i % 7) as f64) - 3.0).unwrap();
+    let x = 0.999;
+    // The paper checks the POWER2 characteristic before running:
+    let pv = plalgo::PolynomialCollector::new(x);
+    let sp = plalgo::poly_spliterator(coeffs.clone(), &pv);
+    assert!(sp.has_characteristics(Characteristics::POWER2));
+    let result = stream_support(sp, true).collect(pv);
+    let expected = plalgo::horner(coeffs.as_slice(), x);
+    assert!((result - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+}
+
+/// Eq. 2: inv permutes index b to bit-reversal(b); the example list of
+/// Section II semantics.
+#[test]
+fn eq2_inv() {
+    let p = tabulate(16, |i| i as u32).unwrap();
+    let inv = powerlist::perm::inv_indexed(&p);
+    for b in 0..16usize {
+        let rev = powerlist::perm::bit_reverse(b, 4);
+        assert_eq!(inv[rev], b as u32);
+    }
+    // involution
+    assert_eq!(powerlist::perm::inv_indexed(&inv), p);
+}
+
+/// Eq. 3: fft agrees with the naive DFT (the algebraic specification).
+#[test]
+fn eq3_fft() {
+    let signal = tabulate(64, |i| plalgo::Complex::new((i % 5) as f64, -((i % 3) as f64))).unwrap();
+    let fast = plalgo::fft_seq(&signal);
+    let slow = plalgo::dft_naive(signal.as_slice());
+    for (a, b) in fast.iter().zip(&slow) {
+        assert!(a.approx_eq(*b, 1e-8), "{a} vs {b}");
+    }
+}
+
+/// Eq. 4: vp(p ♮ q, x) = vp(p, x²) + x·vp(q, x²), checked structurally.
+#[test]
+fn eq4_vp_recursion() {
+    let p = tabulate(32, |i| (i as f64).sin()).unwrap();
+    let x = 0.77;
+    let whole = SequentialExecutor::new().execute(&plalgo::VpFunction::new(x), &p.clone().view());
+    let (ev, od) = p.clone().unzip().unwrap();
+    let lhs = SequentialExecutor::new().execute(&plalgo::VpFunction::new(x * x), &ev.view());
+    let rhs = SequentialExecutor::new().execute(&plalgo::VpFunction::new(x * x), &od.view());
+    assert!((whole - (lhs + x * rhs)).abs() < 1e-12);
+}
+
+/// Section II's PList example with p.i = [3i, 3i+1, 3i+2].
+#[test]
+fn section_ii_plist_example() {
+    let parts: Vec<PList<i64>> = (0..3)
+        .map(|i| PList::from_vec(vec![i * 3, i * 3 + 1, i * 3 + 2]).unwrap())
+        .collect();
+    assert_eq!(
+        PList::tie_n(parts.clone()).unwrap().as_slice(),
+        &[0, 1, 2, 3, 4, 5, 6, 7, 8]
+    );
+    assert_eq!(
+        PList::zip_n(parts).unwrap().as_slice(),
+        &[0, 3, 6, 1, 4, 7, 2, 5, 8]
+    );
+}
+
+/// Section V: the POWER2 gate — non-power-of-two streams are rejected
+/// before a PowerList collect runs.
+#[test]
+fn section_v_power2_gate() {
+    let data = tabulate(32, |i| i as i64).unwrap();
+    // A filtered stream loses POWER2:
+    let filtered = power_stream(data, Decomposition::Tie).filter(|x| x % 3 != 0);
+    let err = collect_powerlist(filtered, Decomposition::Tie).unwrap_err();
+    assert!(matches!(err, powerlist::Error::NotPowerOfTwo(_)));
+}
+
+/// Section V: mismatching spliterator and combiner does NOT reproduce
+/// the source ("could not be recreated by using simple concatenation")
+/// — and the mismatch is exactly `inv`.
+#[test]
+fn section_v_zip_needs_zipall() {
+    let data = tabulate(32, |i| i as i64).unwrap();
+    let out = power_stream(data.clone(), Decomposition::Zip)
+        .with_leaf_size(1)
+        .collect(PowerListCollector::new(Decomposition::Tie))
+        .into_powerlist()
+        .unwrap();
+    assert_ne!(out, data);
+    assert_eq!(out, powerlist::perm::inv_indexed(&data));
+}

@@ -1,0 +1,103 @@
+//! Cross-crate property tests: random workloads through the full stack.
+
+use jstreams::{collect_powerlist, power_stream, Decomposition};
+use powerlist::PowerList;
+use proptest::prelude::*;
+
+fn powerlist_f64(max_k: u32) -> impl Strategy<Value = PowerList<f64>> {
+    (0..=max_k)
+        .prop_flat_map(|k| proptest::collection::vec(-1.0f64..1.0, 1 << k as usize))
+        .prop_map(|v| PowerList::from_vec(v).unwrap())
+}
+
+fn powerlist_i64(max_k: u32) -> impl Strategy<Value = PowerList<i64>> {
+    (0..=max_k)
+        .prop_flat_map(|k| proptest::collection::vec(-1000i64..1000, 1 << k as usize))
+        .prop_map(|v| PowerList::from_vec(v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper's identity verification, as a law: for any PowerList
+    /// and any matching (decomposition, combiner) pair, the parallel
+    /// collect reproduces the source.
+    #[test]
+    fn identity_collect_is_identity(p in powerlist_i64(9), zip in any::<bool>(),
+                                    leaf in 1usize..64) {
+        let d = if zip { Decomposition::Zip } else { Decomposition::Tie };
+        let out = collect_powerlist(
+            power_stream(p.clone(), d).with_leaf_size(leaf),
+            d,
+        ).unwrap();
+        prop_assert_eq!(out, p);
+    }
+
+    /// Parallel polynomial evaluation equals Horner for random
+    /// coefficients and points.
+    #[test]
+    fn poly_matches_horner(p in powerlist_f64(10), x in -1.1f64..1.1) {
+        let expected = plalgo::horner(p.as_slice(), x);
+        let got = plalgo::eval_par_stream(p, x);
+        let tol = 1e-9 * (1.0 + expected.abs());
+        prop_assert!((got - expected).abs() <= tol, "{got} vs {expected}");
+    }
+
+    /// Streams map equals the sequential specification under both
+    /// decompositions.
+    #[test]
+    fn stream_map_matches_spec(p in powerlist_i64(9), c in -5i64..5, zip in any::<bool>()) {
+        let d = if zip { Decomposition::Zip } else { Decomposition::Tie };
+        let spec = powerlist::ops::map(&p, |x| x * c);
+        prop_assert_eq!(plalgo::map_stream(p, d, move |x| x * c), spec);
+    }
+
+    /// Streams reduce equals the fold, both decompositions (addition is
+    /// commutative so zip order changes are invisible).
+    #[test]
+    fn stream_reduce_matches_fold(p in powerlist_i64(9), zip in any::<bool>()) {
+        let d = if zip { Decomposition::Zip } else { Decomposition::Tie };
+        let spec = powerlist::ops::reduce(&p, |a, b| a + b);
+        prop_assert_eq!(plalgo::reduce_stream(p, d, 0, |a, b| a + b), spec);
+    }
+
+    /// FFT followed by inverse FFT is the identity (numerically).
+    #[test]
+    fn fft_roundtrip(p in powerlist_f64(8)) {
+        let signal = powerlist::ops::map(&p, |&x| plalgo::Complex::from_re(x));
+        let back = plalgo::ifft(&plalgo::fft_seq(&signal));
+        for (a, b) in back.iter().zip(signal.iter()) {
+            prop_assert!(a.approx_eq(*b, 1e-8));
+        }
+    }
+
+    /// Batcher and bitonic both sort any input.
+    #[test]
+    fn sorts_sort(p in powerlist_i64(9)) {
+        let mut expected = p.clone().into_vec();
+        expected.sort();
+        prop_assert_eq!(plalgo::batcher_sort(&p).into_vec(), expected.clone());
+        prop_assert_eq!(plalgo::bitonic_sort(&p).into_vec(), expected);
+    }
+
+    /// Ladner–Fischer scan equals the running fold.
+    #[test]
+    fn scan_matches_fold(p in powerlist_i64(9)) {
+        let spec = plalgo::scan_spec(p.as_slice(), |a, b| a + b);
+        prop_assert_eq!(plalgo::scan_seq(&p, 0, |a, b| a + b).into_vec(), spec);
+    }
+
+    /// The simulator's schedules always obey Brent's inequalities for
+    /// the D&C DAGs the predictions are built from.
+    #[test]
+    fn predictions_obey_brent(k in 6u32..16, cores in 1usize..12) {
+        let n = 1usize << k;
+        let machine = simsched::MachineModel::paper_8core().with_cores(cores);
+        let pred = simsched::predict_poly(&machine, n, None, false);
+        // Speedup can never exceed core count (+ tolerance for the
+        // slightly cheaper sequential per-element constant).
+        prop_assert!(pred.speedup <= cores as f64 + 1e-9,
+                     "speedup {} cores {}", pred.speedup, cores);
+        prop_assert!(pred.par_ms > 0.0 && pred.seq_ms > 0.0);
+    }
+}
