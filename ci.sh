@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verify (ROADMAP.md) + formatting + lints.
+# Run from the repository root. Fails fast on the first broken step.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench sources unchanged: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `BenchmarkGroup` knobs, `BenchmarkId`,
+//! and `Bencher::iter`. Measurement is a plain warm-up + fixed-sample
+//! wall-clock loop; each benchmark prints one line with
+//! `[min median mean max]` of the per-iteration time, which is what the
+//! experiment notes (EXPERIMENTS.md) record.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id printed as `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct MeasureConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher<'a> {
+    config: MeasureConfig,
+    label: &'a str,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` through warm-up plus `sample_size` timed samples and
+    /// prints the per-iteration time statistics.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        // Calibrate iterations per sample from one timed call.
+        let once = Instant::now();
+        std::hint::black_box(f());
+        let rough = once.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.config.measurement_time / self.config.sample_size as u32;
+        let iters = (per_sample.as_nanos() / rough.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{:<40} time: [{} {} {} {}] ({} samples x {} iters)",
+            self.label,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(max),
+            samples.len(),
+            iters,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    config: MeasureConfig,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mut b = Bencher {
+            config: self.config,
+            label: &label,
+        };
+        f(&mut b, input);
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let mut b = Bencher {
+            config: self.config,
+            label: &label,
+        };
+        f(&mut b);
+    }
+
+    /// Ends the group (kept for API compatibility; prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("-- group {name} --");
+        BenchmarkGroup {
+            name,
+            config: MeasureConfig::default(),
+        }
+    }
+
+    /// Kept for API compatibility; command-line options are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("noop", 1), &1u32, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x + 1
+            })
+        });
+        g.bench_function("named", |b| b.iter(|| 2 + 2));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("us"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! Wraps `std::sync::mpsc` behind the `unbounded()` / `Sender` /
+//! `Receiver` names the MPI simulator uses. Delivery is FIFO per channel
+//! and `send`/`recv` report disconnection through `Result`, matching the
+//! real crate's observable behaviour for this workspace's usage (one
+//! dedicated channel per (source, destination) rank pair).
+
+use std::sync::mpsc;
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// Error returned when the receiving half has been dropped.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned when the sending half has been dropped with no queued
+/// messages left.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`; fails only when the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value).map_err(|e| SendError(e.0))
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next message; fails when all senders are gone and
+    /// the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive; `None` when no message is ready.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.try_recv().ok()
+    }
+}
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn disconnect_is_an_error() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+        let (tx2, rx2) = unbounded::<u8>();
+        drop(tx2);
+        assert_eq!(rx2.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap())
+            .join()
+            .unwrap();
+        tx.send(8).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Implements the `Injector` / `Worker` / `Stealer` / `Steal` surface the
+//! fork-join pool uses, over `Mutex<VecDeque>`. The real crate is
+//! lock-free; this one trades raw scalability (irrelevant on the 1-core
+//! build container) for zero external dependencies while preserving the
+//! scheduling semantics the pool relies on:
+//!
+//! * `Worker::pop` takes from the **back** (LIFO — depth-first descent);
+//! * `Stealer::steal` takes from the **front** (FIFO — the victim's
+//!   oldest, largest task);
+//! * `Injector` is a FIFO queue; `steal_batch_and_pop` moves a small
+//!   batch into the thief's deque and returns one task.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Outcome of a steal attempt.
+pub enum Steal<T> {
+    /// The source was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// Contention; the caller should retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// `true` for [`Steal::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Extracts the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn locked<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A worker-owned deque (LIFO pop end, FIFO steal end).
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a LIFO worker deque (the only flavour the pool uses).
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Pops the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    /// `true` when the deque holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+
+    /// Creates a stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A handle that steals from the FIFO end of a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task of the victim.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// `true` when the victim's deque is empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A global FIFO task queue shared by all workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Steals one task.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Moves a small batch into `dest` and returns one task directly.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = locked(&self.queue);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        // Migrate up to half the remainder (capped) like the real crate.
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut dq = locked(&dest.queue);
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(t) => dq.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// `true` when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert!(matches!(s.steal(), Steal::Success(1)));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_work() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let got = inj.steal_batch_and_pop(&w);
+        assert!(matches!(got, Steal::Success(0)));
+        assert!(!w.is_empty());
+        let total = 1 + w.len() + inj.len();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn empty_injector_reports_empty() {
+        let inj: Injector<u8> = Injector::new();
+        assert!(inj.is_empty());
+        assert!(matches!(inj.steal(), Steal::Empty));
+        let w = Worker::new_lifo();
+        assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Empty));
+    }
+}

@@ -132,7 +132,10 @@ pub fn par_for_each_index(len: usize, grain: usize, f: impl Fn(usize) + Send + S
         let mid = lo + (hi - lo) / 2;
         let f2 = Arc::clone(&f);
         let f3 = Arc::clone(&f);
-        join(move || go(lo, mid, grain, f2), move || go(mid, hi, grain, f3));
+        join(
+            move || go(lo, mid, grain, f2),
+            move || go(mid, hi, grain, f3),
+        );
     }
     go(0, len, grain.max(1), Arc::new(f));
 }

@@ -194,7 +194,11 @@ impl ForkJoinPool {
 
     /// Creates a pool with explicit worker naming and stack size; used
     /// by [`crate::PoolBuilder`].
-    pub(crate) fn with_config(threads: usize, name_prefix: &str, stack_size: Option<usize>) -> Self {
+    pub(crate) fn with_config(
+        threads: usize,
+        name_prefix: &str,
+        stack_size: Option<usize>,
+    ) -> Self {
         let threads = threads.max(1);
         let deques: Vec<Deque<Job>> = (0..threads).map(|_| Deque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();

@@ -103,7 +103,11 @@ fn par_for_each_index_grain_edges() {
                 h.fetch_add(1, Ordering::Relaxed);
             })
         });
-        assert_eq!(hits.load(Ordering::Relaxed), len as u64, "len={len} grain={grain}");
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            len as u64,
+            "len={len} grain={grain}"
+        );
     }
 }
 

@@ -10,7 +10,7 @@
 //! stops).
 
 use crate::executor::Executor;
-use crate::function::{compute_sequential, Decomp, PowerFunction};
+use crate::function::{Decomp, PowerFunction};
 use forkjoin::{join, ForkJoinPool};
 use powerlist::PowerView;
 use std::sync::Arc;
@@ -154,7 +154,11 @@ mod tests {
         let seq = SequentialExecutor::new().execute(&Sum, &p.clone().view());
         for threads in [1, 2, 4] {
             let exec = ForkJoinExecutor::new(threads, 64);
-            assert_eq!(exec.execute(&Sum, &p.clone().view()), seq, "threads={threads}");
+            assert_eq!(
+                exec.execute(&Sum, &p.clone().view()),
+                seq,
+                "threads={threads}"
+            );
         }
     }
 
@@ -178,7 +182,10 @@ mod tests {
     #[test]
     fn singleton_input() {
         let p = PowerList::singleton(9i64);
-        assert_eq!(ForkJoinExecutor::new(2, 4).execute(&Sum, &p.clone().view()), 9);
+        assert_eq!(
+            ForkJoinExecutor::new(2, 4).execute(&Sum, &p.clone().view()),
+            9
+        );
     }
 
     #[test]
@@ -187,7 +194,10 @@ mod tests {
         let e1 = ForkJoinExecutor::with_pool(Arc::clone(&pool), 16);
         let e2 = ForkJoinExecutor::with_pool(Arc::clone(&pool), 4);
         let p = tabulate(64, |i| i as i64).unwrap();
-        assert_eq!(e1.execute(&Sum, &p.clone().view()), e2.execute(&Sum, &p.clone().view()));
+        assert_eq!(
+            e1.execute(&Sum, &p.clone().view()),
+            e2.execute(&Sum, &p.clone().view())
+        );
         assert!(pool.metrics().executed > 0);
     }
 }

@@ -131,11 +131,7 @@ impl Executor for MpiExecutor {
             } else {
                 None
             };
-            let LeafProblem { leaf, stack } = scatter(
-                &comm,
-                0,
-                parts,
-            );
+            let LeafProblem { leaf, stack } = scatter(&comm, 0, parts);
 
             // Phase 3: local leaf computation with the descended
             // function (specialised leaf kernel where the function

@@ -61,12 +61,18 @@ mod tests {
     fn computes_max() {
         let p = tabulate(32, |i| ((i * 37) % 61) as i64).unwrap();
         let expected = *p.iter().max().unwrap();
-        assert_eq!(SequentialExecutor::new().execute(&Max, &p.clone().view()), expected);
+        assert_eq!(
+            SequentialExecutor::new().execute(&Max, &p.clone().view()),
+            expected
+        );
     }
 
     #[test]
     fn singleton_is_basic_case() {
         let p = PowerList::singleton(-5i64);
-        assert_eq!(SequentialExecutor::new().execute(&Max, &p.clone().view()), -5);
+        assert_eq!(
+            SequentialExecutor::new().execute(&Max, &p.clone().view()),
+            -5
+        );
     }
 }

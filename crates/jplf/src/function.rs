@@ -107,10 +107,7 @@ pub fn compute_sequential<F: PowerFunction>(f: &F, input: &PowerView<F::Elem>) -
     };
     let (fl, fr) = (f.create_left(), f.create_right());
     let (lo, ro) = match f.transform_halves(&l, &r) {
-        None => (
-            compute_sequential(&fl, &l),
-            compute_sequential(&fr, &r),
-        ),
+        None => (compute_sequential(&fl, &l), compute_sequential(&fr, &r)),
         Some((l2, r2)) => (
             compute_sequential(&fl, &l2.view()),
             compute_sequential(&fr, &r2.view()),

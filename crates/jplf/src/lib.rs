@@ -50,7 +50,7 @@ pub mod trace;
 
 pub use executor::{Executor, ForkJoinExecutor, MpiExecutor, SequentialExecutor};
 pub use function::{compute_on_list, compute_sequential, Decomp, PowerFunction, TransformedHalves};
-pub use trace::{compute_traced, PhaseTrace};
 pub use plist_function::{
     compute_plist_parallel, compute_plist_sequential, NWayReduce, PListFunction,
 };
+pub use trace::{compute_traced, PhaseTrace};

@@ -144,7 +144,7 @@ where
     let mut acc = value;
     let mut step = 1usize;
     while step < size {
-        if rank % (2 * step) == 0 {
+        if rank.is_multiple_of(2 * step) {
             let partner = rank + step;
             if partner < size {
                 let theirs = comm.recv::<M>(partner, ALLREDUCE_TAG);
@@ -236,7 +236,11 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let r = run_mpi(5, |c| {
-            let v = if c.rank() == 3 { Some("hi".to_string()) } else { None };
+            let v = if c.rank() == 3 {
+                Some("hi".to_string())
+            } else {
+                None
+            };
             bcast(&c, 3, v)
         });
         assert_eq!(r, vec!["hi".to_string(); 5]);

@@ -91,8 +91,9 @@ where
     assert!(size >= 1, "need at least one rank");
     // Channel matrix: channel[s][d] carries s → d.
     let mut senders_by_src: Vec<Vec<Sender<Message>>> = Vec::with_capacity(size);
-    let mut inboxes_by_dst: Vec<Vec<Option<Receiver<Message>>>> =
-        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    let mut inboxes_by_dst: Vec<Vec<Option<Receiver<Message>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
     for s in 0..size {
         let mut row = Vec::with_capacity(size);
         for inbox_row in inboxes_by_dst.iter_mut() {

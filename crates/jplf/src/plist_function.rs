@@ -133,10 +133,7 @@ where
         }
         _ => {
             let right = tasks.split_off(tasks.len() / 2);
-            let (mut l, mut r) = join(
-                move || par_map(tasks, leaf),
-                move || par_map(right, leaf),
-            );
+            let (mut l, mut r) = join(move || par_map(tasks, leaf), move || par_map(right, leaf));
             l.append(&mut r);
             l
         }

@@ -57,10 +57,7 @@ impl PhaseTrace {
 }
 
 /// Runs the sequential template while tracing the three phases.
-pub fn compute_traced<F: PowerFunction>(
-    f: &F,
-    input: &PowerView<F::Elem>,
-) -> (F::Out, PhaseTrace) {
+pub fn compute_traced<F: PowerFunction>(f: &F, input: &PowerView<F::Elem>) -> (F::Out, PhaseTrace) {
     let mut trace = PhaseTrace::default();
     let out = go(f, input, &mut trace);
     (out, trace)
@@ -177,11 +174,14 @@ mod tests {
         let p = PowerList::singleton(5i64);
         let (out, t) = compute_traced(&Sum, &p.view());
         assert_eq!(out, 5);
-        assert_eq!(t, PhaseTrace {
-            leaves: 1,
-            leaf_ns: t.leaf_ns,
-            ..Default::default()
-        });
+        assert_eq!(
+            t,
+            PhaseTrace {
+                leaves: 1,
+                leaf_ns: t.leaf_ns,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]
@@ -214,8 +214,7 @@ mod tests {
     fn shares_sum_to_one() {
         let p = tabulate(256, |i| i as i64).unwrap();
         let (_, t) = compute_traced(&Sum, &p.view());
-        let leaf_share =
-            t.leaf_ns as f64 / (t.descend_ns + t.leaf_ns + t.ascend_ns).max(1) as f64;
+        let leaf_share = t.leaf_ns as f64 / (t.descend_ns + t.leaf_ns + t.ascend_ns).max(1) as f64;
         let total = t.descend_share() + t.ascend_share() + leaf_share;
         assert!((total - 1.0).abs() < 1e-9 || t.descend_ns + t.leaf_ns + t.ascend_ns == 0);
     }

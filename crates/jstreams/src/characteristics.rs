@@ -169,6 +169,9 @@ mod tests {
         let s = format!("{:?}", Characteristics::ORDERED | Characteristics::POWER2);
         assert!(s.contains("ORDERED"));
         assert!(s.contains("POWER2"));
-        assert_eq!(format!("{:?}", Characteristics::empty()), "Characteristics(∅)");
+        assert_eq!(
+            format!("{:?}", Characteristics::empty()),
+            "Characteristics(∅)"
+        );
     }
 }

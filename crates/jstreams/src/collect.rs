@@ -18,6 +18,31 @@ use crate::spliterator::Spliterator;
 use forkjoin::{join, ForkJoinPool};
 use std::sync::Arc;
 
+/// Runs one leaf through the zero-copy path when both sides support it:
+/// if the source exposes a borrowed run
+/// ([`LeafAccess`](crate::spliterator::LeafAccess)) *and* the
+/// collector has a matching slice kernel, the leaf is computed directly
+/// over the borrow and the source marked drained; otherwise the cloning
+/// drain ([`Collector::leaf`]) runs as before.
+pub fn run_leaf<T, S, C>(source: &mut S, collector: &C) -> C::Acc
+where
+    S: Spliterator<T>,
+    C: Collector<T> + ?Sized,
+{
+    let done = match source.try_as_strided() {
+        Some((items, 1)) => collector.leaf_slice(items),
+        Some((items, step)) => collector.leaf_strided(items, step),
+        None => None,
+    };
+    match done {
+        Some(acc) => {
+            source.mark_drained();
+            acc
+        }
+        None => collector.leaf(source),
+    }
+}
+
 /// Sequential collect: drains the spliterator without splitting, through
 /// the collector's leaf routine — what a non-parallel Java stream does
 /// (no combiner involved).
@@ -26,7 +51,7 @@ where
     S: Spliterator<T>,
     C: Collector<T>,
 {
-    let acc = collector.leaf(&mut source);
+    let acc = run_leaf(&mut source, collector);
     collector.finish(acc)
 }
 
@@ -41,7 +66,12 @@ pub fn default_leaf_size(len: usize, threads: usize) -> usize {
 /// leaves through the collector, and combines sibling results — encounter
 /// order is preserved (`combine(left, right)` with `left` the split-off
 /// prefix).
-pub fn collect_par<T, S, C>(pool: &ForkJoinPool, source: S, collector: Arc<C>, leaf_size: usize) -> C::Out
+pub fn collect_par<T, S, C>(
+    pool: &ForkJoinPool,
+    source: S,
+    collector: Arc<C>,
+    leaf_size: usize,
+) -> C::Out
 where
     T: Send + 'static,
     S: Spliterator<T> + 'static,
@@ -62,10 +92,10 @@ where
     C::Acc: 'static,
 {
     if source.estimate_size() <= leaf_size {
-        return collector.leaf(&mut source);
+        return run_leaf(&mut source, &*collector);
     }
     match source.try_split() {
-        None => collector.leaf(&mut source),
+        None => run_leaf(&mut source, &*collector),
         Some(prefix) => {
             let c_left = Arc::clone(&collector);
             let c_right = Arc::clone(&collector);
@@ -163,9 +193,7 @@ mod tests {
         let out = collect_par(&p, s, Arc::new(JoiningCollector::new(",")), 1);
         assert_eq!(out, "a,b,c,d");
         // Sequential: no combiner, no separators (paper's remark).
-        let s = SliceSpliterator::new(
-            ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
-        );
+        let s = SliceSpliterator::new(["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect());
         assert_eq!(collect_seq(s, &JoiningCollector::new(",")), "abcd");
     }
 

@@ -56,6 +56,26 @@ pub trait Collector<T>: Send + Sync {
         source.for_each_remaining(&mut |x| self.accumulate(&mut acc, x));
         acc
     }
+
+    /// Zero-copy leaf kernel over a borrowed **contiguous** run. The
+    /// driver calls this (before the cloning drain) when the leaf's
+    /// spliterator exposes its remaining elements via
+    /// [`LeafAccess::try_as_slice`](crate::LeafAccess::try_as_slice);
+    /// returning `Some(acc)` consumes the leaf without per-element
+    /// callbacks or clones, returning `None` (the default) falls back to
+    /// [`Collector::leaf`]. An override must produce the same container
+    /// the accumulate-drain would.
+    fn leaf_slice(&self, _items: &[T]) -> Option<Self::Acc> {
+        None
+    }
+
+    /// Zero-copy leaf kernel over a borrowed **strided** run: the leaf's
+    /// elements are `items[0], items[step], items[2*step], …` (the shape
+    /// of a zip-split residue class). Same fallback contract as
+    /// [`Collector::leaf_slice`].
+    fn leaf_strided(&self, _items: &[T], _step: usize) -> Option<Self::Acc> {
+        None
+    }
 }
 
 /// Builds a collector from three closures (plus an identity finisher),
@@ -109,7 +129,7 @@ where
 /// (tie-compatible) list collector.
 pub struct VecCollector;
 
-impl<T: Send> Collector<T> for VecCollector {
+impl<T: Clone + Send> Collector<T> for VecCollector {
     type Acc = Vec<T>;
     type Out = Vec<T>;
 
@@ -128,6 +148,14 @@ impl<T: Send> Collector<T> for VecCollector {
 
     fn finish(&self, acc: Vec<T>) -> Vec<T> {
         acc
+    }
+
+    fn leaf_slice(&self, items: &[T]) -> Option<Vec<T>> {
+        Some(items.to_vec())
+    }
+
+    fn leaf_strided(&self, items: &[T], step: usize) -> Option<Vec<T>> {
+        Some(items.iter().step_by(step).cloned().collect())
     }
 }
 
@@ -171,6 +199,22 @@ where
     fn finish(&self, acc: T) -> T {
         acc
     }
+
+    fn leaf_slice(&self, items: &[T]) -> Option<T> {
+        let mut acc = self.identity.clone();
+        for x in items {
+            acc = (self.op)(acc, x.clone());
+        }
+        Some(acc)
+    }
+
+    fn leaf_strided(&self, items: &[T], step: usize) -> Option<T> {
+        let mut acc = self.identity.clone();
+        for x in items.iter().step_by(step) {
+            acc = (self.op)(acc, x.clone());
+        }
+        Some(acc)
+    }
 }
 
 /// Counting collector (`Stream::count`).
@@ -203,6 +247,17 @@ impl<T: Send> Collector<T> for CountCollector {
         let mut n = 0usize;
         source.for_each_remaining(&mut |_| n += 1);
         n
+    }
+
+    // A borrowed run's length is exact (the slice comes from the source's
+    // own storage, unlike a possibly-lying `estimate_size`), so counting
+    // needs no traversal at all.
+    fn leaf_slice(&self, items: &[T]) -> Option<usize> {
+        Some(items.len())
+    }
+
+    fn leaf_strided(&self, items: &[T], step: usize) -> Option<usize> {
+        Some(items.len().div_ceil(step))
     }
 }
 
@@ -271,6 +326,27 @@ impl<T: Ord + Send + Clone> Collector<T> for ExtremumCollector {
     fn finish(&self, acc: Option<T>) -> Option<T> {
         acc
     }
+
+    // Scan the borrowed run by reference and clone only the winner.
+    fn leaf_slice(&self, items: &[T]) -> Option<Option<T>> {
+        let mut best: Option<&T> = None;
+        for x in items {
+            if best.is_none_or(|b| self.better(x, b)) {
+                best = Some(x);
+            }
+        }
+        Some(best.cloned())
+    }
+
+    fn leaf_strided(&self, items: &[T], step: usize) -> Option<Option<T>> {
+        let mut best: Option<&T> = None;
+        for x in items.iter().step_by(step) {
+            if best.is_none_or(|b| self.better(x, b)) {
+                best = Some(x);
+            }
+        }
+        Some(best.cloned())
+    }
 }
 
 /// The paper's running example: concatenating words with a separator.
@@ -312,6 +388,18 @@ impl Collector<String> for JoiningCollector {
     fn finish(&self, acc: String) -> String {
         acc
     }
+
+    fn leaf_slice(&self, items: &[String]) -> Option<String> {
+        Some(items.concat())
+    }
+
+    fn leaf_strided(&self, items: &[String], step: usize) -> Option<String> {
+        let mut acc = String::new();
+        for s in items.iter().step_by(step) {
+            acc.push_str(s);
+        }
+        Some(acc)
+    }
 }
 
 #[cfg(test)]
@@ -321,10 +409,14 @@ mod tests {
 
     #[test]
     fn fn_collector_wraps_closures() {
-        let c = FnCollector::new(Vec::new, |v: &mut Vec<i32>, x| v.push(x), |mut a: Vec<i32>, mut b| {
-            a.append(&mut b);
-            a
-        });
+        let c = FnCollector::new(
+            Vec::new,
+            |v: &mut Vec<i32>, x| v.push(x),
+            |mut a: Vec<i32>, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
         let mut acc = c.supplier();
         c.accumulate(&mut acc, 1);
         c.accumulate(&mut acc, 2);

@@ -12,7 +12,12 @@
 //!   [`ZipSpliterator`] splits by parity (`p ♮ q`) exactly like the
 //!   paper's `trySplit`;
 //! * the leaf phase runs the collector's supplier + accumulator (or an
-//!   overridden [`Collector::leaf`] kernel);
+//!   overridden [`Collector::leaf`] kernel). When the leaf's spliterator
+//!   exposes its remaining elements as a borrowed run ([`LeafAccess`])
+//!   and the collector provides a matching slice kernel
+//!   ([`Collector::leaf_slice`] / [`Collector::leaf_strided`]), the
+//!   driver runs the leaf **zero-copy** over that borrow — no
+//!   per-element callback dispatch and no clones;
 //! * the combining phase runs the combiner — for PowerList results,
 //!   [`PowerArray::tie_all`](powerlist::PowerArray::tie_all) /
 //!   [`PowerArray::zip_all`](powerlist::PowerArray::zip_all);
@@ -50,21 +55,21 @@ pub mod truncate;
 pub mod zip;
 
 pub use characteristics::Characteristics;
-pub use collect::{collect_par, collect_seq, default_leaf_size};
+pub use collect::{collect_par, collect_seq, default_leaf_size, run_leaf};
+pub use collector::{
+    Collector, CountCollector, ExtremumCollector, FnCollector, JoiningCollector, ReduceCollector,
+    VecCollector,
+};
 pub use nway::{
     collect_nway_par, collect_nway_seq, NTieSpliterator, NWayCollector, NWayDecomposition,
     NWaySpliterator, NZipSpliterator, PListCollector,
-};
-pub use collector::{
-    Collector, CountCollector, ExtremumCollector, FnCollector, JoiningCollector,
-    ReduceCollector, VecCollector,
 };
 pub use power::{
     collect_powerlist, power_stream, Decomposition, PowerListCollector, PowerMapCollector,
     PowerSpliterator,
 };
 pub use shared::SharedState;
-pub use spliterator::{require_power2, ItemSource, SliceSpliterator, Spliterator};
+pub use spliterator::{require_power2, ItemSource, LeafAccess, SliceSpliterator, Spliterator};
 pub use stream::{stream_support, Stream};
 pub use tie::TieSpliterator;
 pub use truncate::{LimitSpliterator, PeekSpliterator, SkipSpliterator};

@@ -347,7 +347,12 @@ where
     C: NWayCollector<T> + 'static,
     C::Acc: 'static,
 {
-    fn go<T, S, C>(mut parts: Vec<S>, collector: Arc<C>, arity: usize, leaf_size: usize) -> Vec<C::Acc>
+    fn go<T, S, C>(
+        mut parts: Vec<S>,
+        collector: Arc<C>,
+        arity: usize,
+        leaf_size: usize,
+    ) -> Vec<C::Acc>
     where
         T: Send + 'static,
         S: NWaySpliterator<T> + 'static,
@@ -356,7 +361,12 @@ where
     {
         match parts.len() {
             0 => Vec::new(),
-            1 => vec![recurse(parts.pop().expect("len 1"), collector, arity, leaf_size)],
+            1 => vec![recurse(
+                parts.pop().expect("len 1"),
+                collector,
+                arity,
+                leaf_size,
+            )],
             _ => {
                 let right = parts.split_off(parts.len() / 2);
                 let c2 = Arc::clone(&collector);

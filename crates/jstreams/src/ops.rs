@@ -9,7 +9,7 @@
 //! source.
 
 use crate::characteristics::Characteristics;
-use crate::spliterator::{ItemSource, Spliterator};
+use crate::spliterator::{ItemSource, LeafAccess, Spliterator};
 use std::sync::Arc;
 
 /// Lazily applies `f` to every element of an inner spliterator.
@@ -25,7 +25,11 @@ pub struct MapSpliterator<T, S, F> {
 impl<T, S, F> MapSpliterator<T, S, F> {
     /// Wraps `inner`, mapping elements through `f`.
     pub fn new(inner: S, f: Arc<F>) -> Self {
-        MapSpliterator { inner, f, _marker: std::marker::PhantomData }
+        MapSpliterator {
+            inner,
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -48,6 +52,10 @@ where
         self.inner.estimate_size()
     }
 }
+
+// Mapping changes the element type lazily: there is no borrowed run of
+// already-transformed elements, so the default no-access impl applies.
+impl<T, U, S, F> LeafAccess<U> for MapSpliterator<T, S, F> {}
 
 impl<T, U, S, F> Spliterator<U> for MapSpliterator<T, S, F>
 where
@@ -129,6 +137,9 @@ where
     }
 }
 
+// The surviving elements are unknown before traversal: no borrowed run.
+impl<T, S, P> LeafAccess<T> for FilterSpliterator<S, P> {}
+
 impl<T, S, P> Spliterator<T> for FilterSpliterator<S, P>
 where
     S: Spliterator<T>,
@@ -143,9 +154,9 @@ where
     }
 
     fn characteristics(&self) -> Characteristics {
-        self.inner.characteristics().without(
-            Characteristics::SIZED | Characteristics::SUBSIZED | Characteristics::POWER2,
-        )
+        self.inner
+            .characteristics()
+            .without(Characteristics::SIZED | Characteristics::SUBSIZED | Characteristics::POWER2)
     }
 }
 

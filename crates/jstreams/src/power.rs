@@ -4,7 +4,7 @@
 
 use crate::characteristics::Characteristics;
 use crate::collector::Collector;
-use crate::spliterator::{ItemSource, Spliterator};
+use crate::spliterator::{ItemSource, LeafAccess, Spliterator};
 use crate::stream::{stream_support, Stream};
 use crate::tie::TieSpliterator;
 use crate::zip::ZipSpliterator;
@@ -62,6 +62,29 @@ impl<T: Clone> ItemSource<T> for PowerSpliterator<T> {
     }
 }
 
+impl<T> LeafAccess<T> for PowerSpliterator<T> {
+    fn try_as_slice(&self) -> Option<&[T]> {
+        match self {
+            PowerSpliterator::Tie(s) => s.try_as_slice(),
+            PowerSpliterator::Zip(s) => s.try_as_slice(),
+        }
+    }
+
+    fn try_as_strided(&self) -> Option<(&[T], usize)> {
+        match self {
+            PowerSpliterator::Tie(s) => s.try_as_strided(),
+            PowerSpliterator::Zip(s) => s.try_as_strided(),
+        }
+    }
+
+    fn mark_drained(&mut self) {
+        match self {
+            PowerSpliterator::Tie(s) => s.mark_drained(),
+            PowerSpliterator::Zip(s) => s.mark_drained(),
+        }
+    }
+}
+
 impl<T: Clone + Send + Sync> Spliterator<T> for PowerSpliterator<T> {
     fn try_split(&mut self) -> Option<Self> {
         match self {
@@ -107,7 +130,7 @@ impl PowerListCollector {
     }
 }
 
-impl<T: Send> Collector<T> for PowerListCollector {
+impl<T: Clone + Send> Collector<T> for PowerListCollector {
     type Acc = PowerArray<T>;
     type Out = PowerArray<T>;
 
@@ -129,6 +152,16 @@ impl<T: Send> Collector<T> for PowerListCollector {
 
     fn finish(&self, acc: PowerArray<T>) -> PowerArray<T> {
         acc
+    }
+
+    fn leaf_slice(&self, items: &[T]) -> Option<PowerArray<T>> {
+        Some(PowerArray::from(items.to_vec()))
+    }
+
+    fn leaf_strided(&self, items: &[T], step: usize) -> Option<PowerArray<T>> {
+        Some(PowerArray::from(
+            items.iter().step_by(step).cloned().collect::<Vec<T>>(),
+        ))
     }
 }
 
@@ -153,7 +186,7 @@ impl<F> PowerMapCollector<F> {
 
 impl<T, U, F> Collector<T> for PowerMapCollector<F>
 where
-    T: Send,
+    T: Clone + Send,
     U: Send,
     F: Fn(T) -> U + Send + Sync,
 {
@@ -178,6 +211,25 @@ where
 
     fn finish(&self, acc: PowerArray<U>) -> PowerArray<U> {
         acc
+    }
+
+    fn leaf_slice(&self, items: &[T]) -> Option<PowerArray<U>> {
+        Some(PowerArray::from(
+            items
+                .iter()
+                .map(|x| (self.f)(x.clone()))
+                .collect::<Vec<U>>(),
+        ))
+    }
+
+    fn leaf_strided(&self, items: &[T], step: usize) -> Option<PowerArray<U>> {
+        Some(PowerArray::from(
+            items
+                .iter()
+                .step_by(step)
+                .map(|x| (self.f)(x.clone()))
+                .collect::<Vec<U>>(),
+        ))
     }
 }
 

@@ -39,8 +39,45 @@ pub trait ItemSource<T> {
     fn estimate_size(&self) -> usize;
 }
 
+/// Borrowed-leaf capability: lets the collect driver read a leaf's
+/// remaining elements as a borrowed run instead of draining them through
+/// per-element callbacks.
+///
+/// This is the zero-copy half of the leaf-phase contract (the other half
+/// is [`Collector::leaf_slice`](crate::Collector::leaf_slice) /
+/// [`Collector::leaf_strided`](crate::Collector::leaf_strided)): when a
+/// source can expose its remaining elements as a slice of backing
+/// storage, the driver hands that slice to the collector's slice kernel
+/// and then calls [`LeafAccess::mark_drained`], skipping the cloning
+/// drain entirely. All methods have defaults that advertise no borrowed
+/// access, so adapter spliterators that transform or truncate elements
+/// (map, filter, limit, skip, peek) opt out with an empty `impl`.
+pub trait LeafAccess<T> {
+    /// The remaining elements as one contiguous borrowed run, or `None`
+    /// when the source is not contiguous (e.g. a zip-split residue class
+    /// with stride > 1) or cannot expose storage at all.
+    fn try_as_slice(&self) -> Option<&[T]> {
+        None
+    }
+
+    /// The remaining elements as a borrowed strided run `(items, step)`:
+    /// the elements are `items[0], items[step], items[2*step], …` up to
+    /// the end of `items`, whose last element is always included
+    /// (`items.len() % step == 1` for `step > 1`). The default derives
+    /// the contiguous case from [`LeafAccess::try_as_slice`].
+    fn try_as_strided(&self) -> Option<(&[T], usize)> {
+        self.try_as_slice().map(|s| (s, 1))
+    }
+
+    /// Declares the remaining elements consumed after a borrowed-leaf
+    /// kernel ran, so subsequent traversal observes an empty source. The
+    /// default does nothing (correct for sources that never return
+    /// `Some` above).
+    fn mark_drained(&mut self) {}
+}
+
 /// A splittable source of elements (Java's `Spliterator`).
-pub trait Spliterator<T>: ItemSource<T> + Send + Sized {
+pub trait Spliterator<T>: ItemSource<T> + LeafAccess<T> + Send + Sized {
     /// Splits off a prefix into a new spliterator, leaving `self` with
     /// the suffix; `None` when the source is too small to split.
     fn try_split(&mut self) -> Option<Self>;
@@ -112,6 +149,16 @@ impl<T: Clone> ItemSource<T> for SliceSpliterator<T> {
 
     fn estimate_size(&self) -> usize {
         self.hi - self.lo
+    }
+}
+
+impl<T> LeafAccess<T> for SliceSpliterator<T> {
+    fn try_as_slice(&self) -> Option<&[T]> {
+        Some(&self.data[self.lo..self.hi])
+    }
+
+    fn mark_drained(&mut self) {
+        self.lo = self.hi;
     }
 }
 

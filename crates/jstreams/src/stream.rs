@@ -10,8 +10,8 @@
 use crate::collect::{collect_par, collect_seq, default_leaf_size};
 use crate::collector::{Collector, CountCollector, ReduceCollector, VecCollector};
 use crate::ops::{FilterSpliterator, MapSpliterator};
-use crate::truncate::{LimitSpliterator, PeekSpliterator, SkipSpliterator};
 use crate::spliterator::Spliterator;
+use crate::truncate::{LimitSpliterator, PeekSpliterator, SkipSpliterator};
 use forkjoin::ForkJoinPool;
 use std::sync::Arc;
 
@@ -190,7 +190,12 @@ where
         });
         match &self.pool {
             Some(pool) => collect_par(pool, self.source, Arc::new(collector), leaf),
-            None => collect_par(forkjoin::global_pool(), self.source, Arc::new(collector), leaf),
+            None => collect_par(
+                forkjoin::global_pool(),
+                self.source,
+                Arc::new(collector),
+                leaf,
+            ),
         }
     }
 
@@ -209,7 +214,10 @@ where
     }
 
     /// Terminal: gathers the elements into a vector (encounter order).
-    pub fn to_vec(self) -> Vec<T> {
+    pub fn to_vec(self) -> Vec<T>
+    where
+        T: Clone,
+    {
         self.collect(VecCollector)
     }
 
@@ -283,7 +291,9 @@ mod tests {
 
     #[test]
     fn count_after_filter() {
-        let c = stream_support(ints(100), true).filter(|x| x % 3 == 0).count();
+        let c = stream_support(ints(100), true)
+            .filter(|x| x % 3 == 0)
+            .count();
         assert_eq!(c, 34);
     }
 

@@ -8,7 +8,7 @@
 //! splitting-phase hooks.
 
 use crate::characteristics::Characteristics;
-use crate::spliterator::{ItemSource, Spliterator};
+use crate::spliterator::{ItemSource, LeafAccess, Spliterator};
 use powerlist::{PowerList, PowerView, Storage};
 
 /// Spliterator decomposing a power-of-two source by halving (tie).
@@ -106,6 +106,33 @@ impl<T: Clone> ItemSource<T> for TieSpliterator<T> {
 
     fn estimate_size(&self) -> usize {
         self.remaining()
+    }
+}
+
+impl<T> LeafAccess<T> for TieSpliterator<T> {
+    // A tie run over a stride-1 view is a contiguous slab of the shared
+    // storage; strided views (built from an unzipped PowerView) still
+    // expose the borrowed strided form.
+    fn try_as_slice(&self) -> Option<&[T]> {
+        if self.exhausted {
+            Some(&[])
+        } else if self.incr == 1 {
+            Some(&self.storage.as_slice()[self.start..=self.end])
+        } else {
+            None
+        }
+    }
+
+    fn try_as_strided(&self) -> Option<(&[T], usize)> {
+        if self.exhausted {
+            Some((&[], 1))
+        } else {
+            Some((&self.storage.as_slice()[self.start..=self.end], self.incr))
+        }
+    }
+
+    fn mark_drained(&mut self) {
+        self.exhausted = true;
     }
 }
 

@@ -14,7 +14,7 @@
 //! one.
 
 use crate::characteristics::Characteristics;
-use crate::spliterator::{ItemSource, Spliterator};
+use crate::spliterator::{ItemSource, LeafAccess, Spliterator};
 use std::sync::Arc;
 
 /// Truncates a source to its first `limit` elements (encounter order).
@@ -55,6 +55,10 @@ impl<T, S: ItemSource<T>> ItemSource<T> for LimitSpliterator<S> {
         self.inner.estimate_size().min(self.remaining)
     }
 }
+
+// Truncation changes which elements remain without moving storage; the
+// inner run no longer matches the logical run, so no borrowed access.
+impl<T, S> LeafAccess<T> for LimitSpliterator<S> {}
 
 impl<T, S: Spliterator<T>> Spliterator<T> for LimitSpliterator<S> {
     fn try_split(&mut self) -> Option<Self> {
@@ -124,6 +128,8 @@ impl<T, S: ItemSource<T>> ItemSource<T> for SkipSpliterator<S> {
     }
 }
 
+impl<T, S> LeafAccess<T> for SkipSpliterator<S> {}
+
 impl<T, S: Spliterator<T>> Spliterator<T> for SkipSpliterator<S> {
     fn try_split(&mut self) -> Option<Self> {
         let prefix = self.inner.try_split()?;
@@ -184,6 +190,9 @@ where
     }
 }
 
+// A borrowed-run leaf would bypass the observer, so peek opts out.
+impl<T, S, F> LeafAccess<T> for PeekSpliterator<S, F> {}
+
 impl<T, S, F> Spliterator<T> for PeekSpliterator<S, F>
 where
     S: Spliterator<T>,
@@ -241,10 +250,7 @@ mod tests {
     #[test]
     fn limit_split_preserves_prefix_semantics() {
         // limit 5 over [0..8): prefix [0..4) gets allowance 4, suffix 1.
-        let mut s = LimitSpliterator::new(
-            TieSpliterator::over(tabulate(8, |i| i).unwrap()),
-            5,
-        );
+        let mut s = LimitSpliterator::new(TieSpliterator::over(tabulate(8, |i| i).unwrap()), 5);
         let mut prefix = s.try_split().unwrap();
         let mut all = drain(&mut prefix);
         all.extend(drain(&mut s));
@@ -268,10 +274,7 @@ mod tests {
     #[test]
     fn skip_split_absorbs_in_prefix() {
         // skip 3 over [0..8): prefix [0..4) absorbs all 3.
-        let mut s = SkipSpliterator::new(
-            TieSpliterator::over(tabulate(8, |i| i).unwrap()),
-            3,
-        );
+        let mut s = SkipSpliterator::new(TieSpliterator::over(tabulate(8, |i| i).unwrap()), 3);
         let mut prefix = s.try_split().unwrap();
         let mut all = drain(&mut prefix);
         all.extend(drain(&mut s));

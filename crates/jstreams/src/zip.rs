@@ -25,7 +25,7 @@
 //! from the hook closure.
 
 use crate::characteristics::Characteristics;
-use crate::spliterator::{ItemSource, Spliterator};
+use crate::spliterator::{ItemSource, LeafAccess, Spliterator};
 use powerlist::{PowerList, PowerView, Storage};
 use std::sync::Arc;
 
@@ -125,6 +125,34 @@ impl<T: Clone> ItemSource<T> for ZipSpliterator<T> {
     }
 }
 
+impl<T> LeafAccess<T> for ZipSpliterator<T> {
+    // Before any split the run is contiguous; after zip splits each
+    // residue class has stride > 1, where only the strided borrow exists
+    // (`try_as_slice` must return `None` — the combiner-facing contract
+    // the edge-case tests pin down).
+    fn try_as_slice(&self) -> Option<&[T]> {
+        if self.exhausted {
+            Some(&[])
+        } else if self.incr == 1 {
+            Some(&self.storage.as_slice()[self.start..=self.end])
+        } else {
+            None
+        }
+    }
+
+    fn try_as_strided(&self) -> Option<(&[T], usize)> {
+        if self.exhausted {
+            Some((&[], 1))
+        } else {
+            Some((&self.storage.as_slice()[self.start..=self.end], self.incr))
+        }
+    }
+
+    fn mark_drained(&mut self) {
+        self.exhausted = true;
+    }
+}
+
 impl<T: Clone + Send + Sync> Spliterator<T> for ZipSpliterator<T> {
     fn try_split(&mut self) -> Option<Self> {
         // Paper: `if (start + step <= end)` — at least two elements left.
@@ -198,6 +226,20 @@ impl<T: Clone, L> ItemSource<T> for HookedZipSpliterator<T, L> {
 
     fn estimate_size(&self) -> usize {
         self.base.estimate_size()
+    }
+}
+
+impl<T, L> LeafAccess<T> for HookedZipSpliterator<T, L> {
+    fn try_as_slice(&self) -> Option<&[T]> {
+        self.base.try_as_slice()
+    }
+
+    fn try_as_strided(&self) -> Option<(&[T], usize)> {
+        self.base.try_as_strided()
+    }
+
+    fn mark_drained(&mut self) {
+        self.base.mark_drained();
     }
 }
 

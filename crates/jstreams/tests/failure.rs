@@ -8,8 +8,8 @@
 
 use forkjoin::ForkJoinPool;
 use jstreams::{
-    collect_par, stream_support, Characteristics, Collector, ItemSource, SliceSpliterator,
-    Spliterator, VecCollector,
+    collect_par, stream_support, Characteristics, Collector, ItemSource, LeafAccess,
+    SliceSpliterator, Spliterator, VecCollector,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -115,6 +115,8 @@ impl ItemSource<i64> for SizeLiar {
     }
 }
 
+impl LeafAccess<i64> for SizeLiar {}
+
 impl Spliterator<i64> for SizeLiar {
     fn try_split(&mut self) -> Option<Self> {
         self.inner.try_split().map(|inner| SizeLiar { inner })
@@ -159,6 +161,8 @@ impl ItemSource<i64> for Unsplittable {
         self.inner.estimate_size()
     }
 }
+
+impl LeafAccess<i64> for Unsplittable {}
 
 impl Spliterator<i64> for Unsplittable {
     fn try_split(&mut self) -> Option<Self> {
@@ -205,8 +209,7 @@ fn hook_panic_propagates() {
 #[test]
 fn panic_in_sequential_collect_also_propagates() {
     let r = catch_unwind(AssertUnwindSafe(|| {
-        stream_support(SliceSpliterator::new((0..20i64).collect()), false)
-            .collect(PanickyCollector)
+        stream_support(SliceSpliterator::new((0..20i64).collect()), false).collect(PanickyCollector)
     }));
     assert!(r.is_err());
 }

@@ -1,0 +1,341 @@
+//! Edge cases of the borrowed-leaf (zero-copy) capability.
+//!
+//! Pins down the `LeafAccess` / `Collector::leaf_slice` contract at its
+//! boundaries: singleton leaves, strided zip residues where only the
+//! strided borrow exists, the POWER2 gate, panic propagation out of a
+//! slice kernel, and that the zero-copy dispatch actually bypasses the
+//! cloning drain.
+
+use forkjoin::ForkJoinPool;
+use jstreams::{
+    collect_par, collect_seq, power_stream, require_power2, run_leaf, Collector, Decomposition,
+    ItemSource, LeafAccess, ReduceCollector, SliceSpliterator, Spliterator, TieSpliterator,
+    VecCollector, ZipSpliterator,
+};
+use powerlist::tabulate;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Singleton leaves (leaf_size 1)
+// ---------------------------------------------------------------------
+
+#[test]
+fn leaf_size_one_tie_and_zip() {
+    // Every leaf is a single borrowed element; both decompositions must
+    // still reassemble correctly through their combiners.
+    let pool = ForkJoinPool::new(2);
+    let list = tabulate(16, |i| i as i64).unwrap();
+
+    let tie = collect_par(
+        &pool,
+        TieSpliterator::over(list.clone()),
+        Arc::new(ReduceCollector::new(0i64, |a, b| a + b)),
+        1,
+    );
+    assert_eq!(tie, (0..16).sum::<i64>());
+
+    // Zip with a concatenating collector at leaf 1 produces the
+    // bit-reversal permutation (the Section IV.A observation) — the
+    // borrowed singleton runs must reproduce it exactly like the
+    // cloning drain did.
+    let list4 = tabulate(4, |i| i).unwrap();
+    let out = collect_par(
+        &pool,
+        ZipSpliterator::over(list4),
+        Arc::new(VecCollector),
+        1,
+    );
+    assert_eq!(out, vec![0, 2, 1, 3]);
+}
+
+#[test]
+fn singleton_source_is_a_borrowed_leaf() {
+    let list = tabulate(1, |_| 41i64).unwrap();
+    let sp = TieSpliterator::over(list);
+    assert_eq!(sp.try_as_slice(), Some(&[41i64][..]));
+    assert_eq!(collect_seq(sp, &ReduceCollector::new(1, |a, b| a + b)), 42);
+}
+
+// ---------------------------------------------------------------------
+// Zip residues: only the strided borrow exists
+// ---------------------------------------------------------------------
+
+#[test]
+fn zip_residue_has_no_contiguous_borrow() {
+    let list = tabulate(8, |i| i as i64).unwrap();
+    let mut odds = ZipSpliterator::over(list);
+    let mut evens = odds.try_split().expect("length 8 splits");
+
+    // One zip split: stride 2 on both residue classes. A contiguous
+    // borrow would present storage order, not residue order, so the
+    // contract requires `None`.
+    assert_eq!(evens.try_as_slice(), None);
+    assert_eq!(odds.try_as_slice(), None);
+
+    // The strided borrow is the residue class: base slice begins at the
+    // class offset, ends exactly on its last member.
+    let (items, step) = evens.try_as_strided().expect("strided borrow");
+    assert_eq!(step, 2);
+    assert_eq!(items, &[0, 1, 2, 3, 4, 5, 6]);
+    assert_eq!(items.len() % step, 1, "last element always included");
+    let (items, step) = odds.try_as_strided().expect("strided borrow");
+    assert_eq!(step, 2);
+    assert_eq!(items, &[1, 2, 3, 4, 5, 6, 7]);
+
+    // Second split: stride 4 residues of the evens class.
+    let mut e2 = evens.try_split().expect("length 4 splits");
+    assert_eq!(e2.try_as_slice(), None);
+    let (items, step) = e2.try_as_strided().expect("strided borrow");
+    assert_eq!(step, 4);
+    assert_eq!(items, &[0, 1, 2, 3, 4]);
+
+    // Draining through run_leaf consumes the residue exactly once.
+    let sum = run_leaf(&mut e2, &ReduceCollector::new(0i64, |a, b| a + b));
+    assert_eq!(sum, 4, "residue class {{0, 4}}");
+    assert_eq!(e2.estimate_size(), 0, "borrowed leaf marked drained");
+    let again = run_leaf(&mut e2, &ReduceCollector::new(0i64, |a, b| a + b));
+    assert_eq!(again, 0, "drained source contributes the identity");
+}
+
+#[test]
+fn strided_kernel_agrees_with_cloning_drain_on_residues() {
+    // For every split depth, the strided kernel and the per-element
+    // drain must fold the same residue class.
+    let list = tabulate(32, |i| (i as i64) * 7 - 50).unwrap();
+    let mut sp = ZipSpliterator::over(list);
+    let mut frontier = vec![sp.try_split().unwrap()];
+    frontier.push(sp);
+    for _ in 0..2 {
+        let mut next = Vec::new();
+        for mut s in frontier {
+            next.push(s.try_split().unwrap());
+            next.push(s);
+        }
+        frontier = next;
+    }
+    let collector = ReduceCollector::new(0i64, |a, b| a + b);
+    for mut s in frontier {
+        assert_eq!(
+            s.try_as_slice(),
+            None,
+            "stride > 1 must refuse the contiguous borrow"
+        );
+        let (items, step) = s.try_as_strided().expect("residue borrow");
+        assert!(step > 1);
+        let zero_copy = collector.leaf_strided(items, step).unwrap();
+        let mut cloned = 0i64;
+        s.for_each_remaining(&mut |x| cloned += x);
+        assert_eq!(zero_copy, cloned);
+    }
+}
+
+// ---------------------------------------------------------------------
+// POWER2 gate
+// ---------------------------------------------------------------------
+
+#[test]
+fn power2_gate_rejects_non_power_lengths() {
+    // SliceSpliterator never advertises POWER2, whatever its length.
+    let s = SliceSpliterator::new((0..6i64).collect());
+    assert!(require_power2(&s).is_err());
+    let s = SliceSpliterator::new((0..8i64).collect());
+    assert!(
+        require_power2(&s).is_err(),
+        "flag missing, length irrelevant"
+    );
+
+    // Power spliterators advertise it and carry power-of-two lengths by
+    // construction; the gate passes at every split depth.
+    let list = tabulate(16, |i| i).unwrap();
+    let mut sp = TieSpliterator::over(list);
+    assert!(require_power2(&sp).is_ok());
+    let half = sp.try_split().unwrap();
+    assert!(require_power2(&half).is_ok());
+    assert!(require_power2(&sp).is_ok());
+}
+
+#[test]
+fn power2_gate_used_by_power_stream_paths() {
+    // PowerList construction itself refuses non-power-of-two shapes, so
+    // the stream entry point can never observe one.
+    assert!(powerlist::PowerList::from_vec(vec![1, 2, 3]).is_err());
+    assert!(powerlist::PowerList::from_vec(Vec::<i32>::new()).is_err());
+    let p = powerlist::PowerList::from_vec(vec![1i64, 2, 3, 4]).unwrap();
+    assert_eq!(
+        power_stream(p, Decomposition::Tie).reduce(0, |a, b| a + b),
+        10
+    );
+}
+
+// ---------------------------------------------------------------------
+// Panics inside leaf kernels
+// ---------------------------------------------------------------------
+
+/// A collector whose zero-copy kernel panics on a poison value, while
+/// its cloning drain would have succeeded — the panic must reach the
+/// caller, proving the kernel actually ran.
+struct PoisonSliceKernel;
+
+impl Collector<i64> for PoisonSliceKernel {
+    type Acc = i64;
+    type Out = i64;
+
+    fn supplier(&self) -> i64 {
+        0
+    }
+
+    fn accumulate(&self, acc: &mut i64, item: i64) {
+        *acc += item;
+    }
+
+    fn combine(&self, l: i64, r: i64) -> i64 {
+        l + r
+    }
+
+    fn finish(&self, acc: i64) -> i64 {
+        acc
+    }
+
+    fn leaf_slice(&self, items: &[i64]) -> Option<i64> {
+        assert!(
+            !items.contains(&13),
+            "poison element reached the slice kernel"
+        );
+        Some(items.iter().sum())
+    }
+
+    fn leaf_strided(&self, items: &[i64], step: usize) -> Option<i64> {
+        let run: Vec<i64> = items.iter().copied().step_by(step).collect();
+        self.leaf_slice(&run)
+    }
+}
+
+#[test]
+fn leaf_kernel_panic_propagates_par_and_seq() {
+    let pool = ForkJoinPool::new(2);
+    let list = tabulate(64, |i| i as i64).unwrap(); // contains 13
+
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        collect_par(
+            &pool,
+            TieSpliterator::over(list.clone()),
+            Arc::new(PoisonSliceKernel),
+            8,
+        )
+    }));
+    assert!(r.is_err(), "parallel kernel panic must reach the caller");
+
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        collect_seq(TieSpliterator::over(list.clone()), &PoisonSliceKernel)
+    }));
+    assert!(r.is_err(), "sequential kernel panic must reach the caller");
+
+    // The pool survives for later work, and clean inputs still collect.
+    let clean = tabulate(4, |i| (i as i64) + 100).unwrap();
+    let ok = collect_par(
+        &pool,
+        TieSpliterator::over(clean),
+        Arc::new(PoisonSliceKernel),
+        2,
+    );
+    assert_eq!(ok, 100 + 101 + 102 + 103);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch: the zero-copy path must bypass the cloning drain
+// ---------------------------------------------------------------------
+
+/// Counts which leaf route ran.
+struct RouteCounter {
+    slice_leaves: AtomicUsize,
+    strided_leaves: AtomicUsize,
+    cloned_items: AtomicUsize,
+}
+
+impl RouteCounter {
+    fn new() -> Self {
+        RouteCounter {
+            slice_leaves: AtomicUsize::new(0),
+            strided_leaves: AtomicUsize::new(0),
+            cloned_items: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Collector<i64> for RouteCounter {
+    type Acc = i64;
+    type Out = i64;
+
+    fn supplier(&self) -> i64 {
+        0
+    }
+
+    fn accumulate(&self, acc: &mut i64, item: i64) {
+        self.cloned_items.fetch_add(1, Ordering::Relaxed);
+        *acc += item;
+    }
+
+    fn combine(&self, l: i64, r: i64) -> i64 {
+        l + r
+    }
+
+    fn finish(&self, acc: i64) -> i64 {
+        acc
+    }
+
+    fn leaf_slice(&self, items: &[i64]) -> Option<i64> {
+        self.slice_leaves.fetch_add(1, Ordering::Relaxed);
+        Some(items.iter().sum())
+    }
+
+    fn leaf_strided(&self, items: &[i64], step: usize) -> Option<i64> {
+        self.strided_leaves.fetch_add(1, Ordering::Relaxed);
+        Some(items.iter().step_by(step).sum())
+    }
+}
+
+#[test]
+fn tie_collect_uses_only_slice_kernels() {
+    let pool = ForkJoinPool::new(2);
+    let list = tabulate(64, |i| i as i64).unwrap();
+    let collector = Arc::new(RouteCounter::new());
+    let out = collect_par(&pool, TieSpliterator::over(list), Arc::clone(&collector), 8);
+    assert_eq!(out, (0..64).sum::<i64>());
+    assert_eq!(collector.slice_leaves.load(Ordering::Relaxed), 8);
+    assert_eq!(collector.strided_leaves.load(Ordering::Relaxed), 0);
+    assert_eq!(
+        collector.cloned_items.load(Ordering::Relaxed),
+        0,
+        "zero-copy collect must never fall back to the cloning drain"
+    );
+}
+
+#[test]
+fn zip_collect_uses_strided_kernels_after_splitting() {
+    let pool = ForkJoinPool::new(2);
+    let list = tabulate(64, |i| i as i64).unwrap();
+    let collector = Arc::new(RouteCounter::new());
+    let out = collect_par(&pool, ZipSpliterator::over(list), Arc::clone(&collector), 8);
+    assert_eq!(out, (0..64).sum::<i64>());
+    assert_eq!(collector.slice_leaves.load(Ordering::Relaxed), 0);
+    assert_eq!(collector.strided_leaves.load(Ordering::Relaxed), 8);
+    assert_eq!(collector.cloned_items.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn opaque_sources_still_use_the_cloning_drain() {
+    // SliceSpliterator borrowed runs exist; but a collector without
+    // kernels — represented here by VecCollector's default on a source
+    // whose LeafAccess is hidden — must still work. The simplest opaque
+    // source in-tree is a mapped stream; at this level we just check the
+    // cloning route of RouteCounter by driving leaves directly.
+    let collector = RouteCounter::new();
+    let mut sp = SliceSpliterator::new((0..10i64).collect());
+    // Consume through the ItemSource drain only.
+    let mut acc = collector.supplier();
+    sp.for_each_remaining(&mut |x| collector.accumulate(&mut acc, x));
+    assert_eq!(acc, 45);
+    assert_eq!(collector.cloned_items.load(Ordering::Relaxed), 10);
+}

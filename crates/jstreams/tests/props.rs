@@ -1,9 +1,7 @@
 //! Property tests of the stream pipeline: random sources, random
 //! granularities, random pipelines — parallel always equals sequential.
 
-use jstreams::{
-    collect_powerlist, power_stream, stream_support, Decomposition, SliceSpliterator,
-};
+use jstreams::{collect_powerlist, power_stream, stream_support, Decomposition, SliceSpliterator};
 use powerlist::PowerList;
 use proptest::prelude::*;
 

@@ -171,10 +171,7 @@ mod tests {
         // ⊕ = max, ⊗ = min: a "tournament" transform; sanity-check that
         // element 0 becomes the maximum.
         let p = signal(32);
-        let f = TieDescentFunction::new(
-            |a: &f64, b: &f64| a.max(*b),
-            |a: &f64, b: &f64| a.min(*b),
-        );
+        let f = TieDescentFunction::new(|a: &f64, b: &f64| a.max(*b), |a: &f64, b: &f64| a.min(*b));
         let out = SequentialExecutor::new().execute(&f, &p.clone().view());
         let max = p.iter().fold(f64::MIN, |m, &x| m.max(x));
         assert_eq!(out[0], max);

@@ -67,7 +67,13 @@ fn butterfly(p_hat: Vec<Complex>, q_hat: Vec<Complex>, inverse: bool) -> Vec<Com
     out
 }
 
-fn fft_rec(input: &[Complex], stride: usize, offset: usize, n: usize, inverse: bool) -> Vec<Complex> {
+fn fft_rec(
+    input: &[Complex],
+    stride: usize,
+    offset: usize,
+    n: usize,
+    inverse: bool,
+) -> Vec<Complex> {
     if n == 1 {
         return vec![input[offset]];
     }
@@ -151,7 +157,11 @@ impl Collector<Complex> for FftCollector {
         acc.push(item);
     }
 
-    fn combine(&self, left: PowerArray<Complex>, right: PowerArray<Complex>) -> PowerArray<Complex> {
+    fn combine(
+        &self,
+        left: PowerArray<Complex>,
+        right: PowerArray<Complex>,
+    ) -> PowerArray<Complex> {
         PowerArray::from(butterfly(left.into_vec(), right.into_vec(), false))
     }
 
@@ -168,7 +178,28 @@ impl Collector<Complex> for FftCollector {
     }
 
     fn finish(&self, acc: PowerArray<Complex>) -> PowerList<Complex> {
-        acc.into_powerlist().expect("fft preserves the shape invariant")
+        acc.into_powerlist()
+            .expect("fft preserves the shape invariant")
+    }
+
+    /// Zero-copy leaf: `fft_rec` already walks `(slice, stride, offset)`
+    /// descriptors, so a borrowed residue class transforms in place —
+    /// no materialisation of the leaf sub-list at all.
+    fn leaf_slice(&self, items: &[Complex]) -> Option<PowerArray<Complex>> {
+        self.leaf_strided(items, 1)
+    }
+
+    fn leaf_strided(&self, items: &[Complex], step: usize) -> Option<PowerArray<Complex>> {
+        if items.is_empty() {
+            return Some(PowerArray::new());
+        }
+        let n = (items.len() - 1) / step + 1;
+        if n == 1 {
+            let mut acc = PowerArray::new();
+            acc.push(items[0]);
+            return Some(acc);
+        }
+        Some(PowerArray::from(fft_rec(items, step, 0, n, false)))
     }
 }
 
@@ -194,7 +225,10 @@ mod tests {
 
     fn signal(n: usize) -> PowerList<Complex> {
         tabulate(n, |i| {
-            Complex::new(((i * 13 + 5) % 23) as f64 - 11.0, ((i * 7) % 17) as f64 * 0.25)
+            Complex::new(
+                ((i * 13 + 5) % 23) as f64 - 11.0,
+                ((i * 7) % 17) as f64 * 0.25,
+            )
         })
         .unwrap()
     }

@@ -54,7 +54,10 @@ mod tests {
     #[test]
     fn three_bit_sequence() {
         let g = gray_structural(3).unwrap();
-        assert_eq!(g.as_slice(), &[0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+        assert_eq!(
+            g.as_slice(),
+            &[0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+        );
     }
 
     #[test]

@@ -33,13 +33,13 @@ pub use complex::Complex;
 pub use descent::{haar_like, TieDescentFunction};
 pub use fft::{dft_naive, fft_real, fft_seq, fft_stream, ifft, FftCollector, FftFunction};
 pub use gray::{gray_closed, gray_decode, gray_structural};
+pub use mapred::{map_stream, reduce_stream, MapFunction, ReduceFunction};
 pub use mss::{mss, mss_kadane, mss_spec, mss_stream, MssCollector, MssFunction, MssState};
 pub use perm::{inv_via, InvFunctionTyped};
-pub use polymul::{convolve, poly_mul_fft, poly_mul_naive};
-pub use mapred::{map_stream, reduce_stream, MapFunction, ReduceFunction};
 pub use poly::{
     eval_par_stream, eval_par_stream_with, eval_seq_stream, eval_tupled_stream, horner,
     poly_spliterator, PolynomialCollector, TupledVp, TupledVpCollector, VpFunction,
 };
+pub use polymul::{convolve, poly_mul_fft, poly_mul_naive};
 pub use scan::{scan_exclusive, scan_par, scan_seq, scan_spec};
 pub use sort::{batcher_sort, batcher_sort_par, bitonic_sort, odd_even_merge};

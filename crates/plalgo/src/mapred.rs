@@ -204,8 +204,10 @@ mod tests {
         let p = input();
         let spec = powerlist::ops::map(&p, |x| x * 2 + 1);
         let v = p.view();
-        let tie = SequentialExecutor::new().execute(&MapFunction::new(Decomp::Tie, |x| x * 2 + 1), &v);
-        let zip = SequentialExecutor::new().execute(&MapFunction::new(Decomp::Zip, |x| x * 2 + 1), &v);
+        let tie =
+            SequentialExecutor::new().execute(&MapFunction::new(Decomp::Tie, |x| x * 2 + 1), &v);
+        let zip =
+            SequentialExecutor::new().execute(&MapFunction::new(Decomp::Zip, |x| x * 2 + 1), &v);
         assert_eq!(tie, spec);
         assert_eq!(zip, spec);
     }
@@ -276,7 +278,10 @@ mod tests {
     #[test]
     fn singleton_map_reduce() {
         let p = PowerList::singleton(5i64);
-        assert_eq!(map_stream(p.clone(), Decomposition::Zip, |x| x + 1).as_slice(), &[6]);
+        assert_eq!(
+            map_stream(p.clone(), Decomposition::Zip, |x| x + 1).as_slice(),
+            &[6]
+        );
         assert_eq!(reduce_stream(p, Decomposition::Tie, 0, |a, b| a + b), 5);
     }
 }

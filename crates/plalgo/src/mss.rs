@@ -148,6 +148,24 @@ impl Collector<i64> for MssCollector {
     fn finish(&self, acc: Option<MssState>) -> i64 {
         acc.expect("MSS of a non-empty PowerList").best
     }
+
+    /// Zero-copy leaf: extend the homomorphic state directly over the
+    /// borrowed run.
+    fn leaf_slice(&self, items: &[i64]) -> Option<Option<MssState>> {
+        self.leaf_strided(items, 1)
+    }
+
+    fn leaf_strided(&self, items: &[i64], step: usize) -> Option<Option<MssState>> {
+        let mut acc: Option<MssState> = None;
+        for &v in items.iter().step_by(step) {
+            let leaf = MssState::leaf(v);
+            acc = Some(match acc {
+                None => leaf,
+                Some(s) => MssState::merge(s, leaf),
+            });
+        }
+        Some(acc)
+    }
 }
 
 /// MSS through the parallel streams adaptation.
@@ -186,7 +204,11 @@ mod tests {
     fn kadane_matches_spec() {
         for seed in 0..20 {
             let p = workload(64, seed);
-            assert_eq!(mss_kadane(p.as_slice()), mss_spec(p.as_slice()), "seed={seed}");
+            assert_eq!(
+                mss_kadane(p.as_slice()),
+                mss_spec(p.as_slice()),
+                "seed={seed}"
+            );
         }
     }
 
@@ -206,8 +228,14 @@ mod tests {
             ..SequentialExecutor::new().execute(&MssFunction, &p.clone().view())
         };
         let v = p.view();
-        assert_eq!(SequentialExecutor::new().execute(&MssFunction, &v), expected);
-        assert_eq!(ForkJoinExecutor::new(3, 16).execute(&MssFunction, &v), expected);
+        assert_eq!(
+            SequentialExecutor::new().execute(&MssFunction, &v),
+            expected
+        );
+        assert_eq!(
+            ForkJoinExecutor::new(3, 16).execute(&MssFunction, &v),
+            expected
+        );
         assert_eq!(MpiExecutor::new(4).execute(&MssFunction, &v), expected);
     }
 

@@ -218,6 +218,22 @@ impl Collector<f64> for PolynomialCollector {
     fn finish(&self, acc: PolyAcc) -> f64 {
         acc.val
     }
+
+    /// Zero-copy leaf: the same ascending accumulation in `y = x^stride`,
+    /// run directly over the borrowed coefficient run — a zip-split
+    /// residue class arrives as the strided form.
+    fn leaf_slice(&self, items: &[f64]) -> Option<PolyAcc> {
+        self.leaf_strided(items, 1)
+    }
+
+    fn leaf_strided(&self, items: &[f64], step: usize) -> Option<PolyAcc> {
+        let mut acc = self.supplier();
+        for &c in items.iter().step_by(step) {
+            acc.val += c * acc.pw;
+            acc.pw *= acc.y;
+        }
+        Some(acc)
+    }
 }
 
 /// Builds the specialised spliterator for [`PolynomialCollector`]: a
@@ -338,6 +354,22 @@ impl Collector<f64> for TupledVpCollector {
     fn finish(&self, acc: (f64, f64)) -> f64 {
         acc.0
     }
+
+    /// Zero-copy leaf: evaluate the block and its total power in one
+    /// pass over the borrowed run.
+    fn leaf_slice(&self, items: &[f64]) -> Option<(f64, f64)> {
+        self.leaf_strided(items, 1)
+    }
+
+    fn leaf_strided(&self, items: &[f64], step: usize) -> Option<(f64, f64)> {
+        let mut v = 0.0;
+        let mut pw = 1.0;
+        for &c in items.iter().step_by(step) {
+            v += c * pw;
+            pw *= self.x;
+        }
+        Some((v, pw))
+    }
 }
 
 /// End-to-end tupled evaluation through the streams adaptation (plain
@@ -423,7 +455,10 @@ mod tests {
     fn seq_stream_baseline_matches_horner() {
         let p = coeffs(1 << 10);
         let x = -0.5;
-        assert!(rel_close(eval_seq_stream(p.clone(), x), horner(p.as_slice(), x)));
+        assert!(rel_close(
+            eval_seq_stream(p.clone(), x),
+            horner(p.as_slice(), x)
+        ));
     }
 
     #[test]
@@ -476,8 +511,7 @@ mod tests {
             let p = coeffs(1 << k);
             let x = 0.998;
             let expected = horner(p.as_slice(), x);
-            let (v, pw) =
-                SequentialExecutor::new().execute(&TupledVp::new(x), &p.clone().view());
+            let (v, pw) = SequentialExecutor::new().execute(&TupledVp::new(x), &p.clone().view());
             assert!(rel_close(v, expected), "k={k}: {v} vs {expected}");
             assert!(rel_close(pw, x.powi(1 << k)), "power component");
         }

@@ -43,7 +43,11 @@ pub fn scan_spec<T: Clone>(input: &[T], op: impl Fn(&T, &T) -> T) -> Vec<T> {
 /// Inclusive scan via the PowerList recursion (sequential).
 ///
 /// `identity` must satisfy `op(identity, x) = x`.
-pub fn scan_seq<T>(input: &PowerList<T>, identity: T, op: impl Fn(&T, &T) -> T + Copy) -> PowerList<T>
+pub fn scan_seq<T>(
+    input: &PowerList<T>,
+    identity: T,
+    op: impl Fn(&T, &T) -> T + Copy,
+) -> PowerList<T>
 where
     T: Clone,
 {
@@ -68,14 +72,17 @@ where
         // evens of the result: shift(t) ⊕ p
         let mut out = Vec::with_capacity(n);
         for i in 0..n / 2 {
-            let shifted = if i == 0 { identity.clone() } else { t[i - 1].clone() };
+            let shifted = if i == 0 {
+                identity.clone()
+            } else {
+                t[i - 1].clone()
+            };
             out.push(op(&shifted, &p[i]));
             out.push(t[i].clone());
         }
         out
     }
-    PowerList::from_vec(go(input.clone().into_vec(), &identity, op))
-        .expect("scan preserves length")
+    PowerList::from_vec(go(input.clone().into_vec(), &identity, op)).expect("scan preserves length")
 }
 
 /// Exclusive scan: result `i` is the fold of elements `0..i` (identity at

@@ -67,7 +67,12 @@ pub fn batcher_sort_par<T>(pool: &ForkJoinPool, input: &PowerList<T>, grain: usi
 where
     T: Ord + Clone + Send + Sync + 'static,
 {
-    fn go<T: Ord + Clone + Send + Sync + 'static>(v: Arc<Vec<T>>, lo: usize, hi: usize, grain: usize) -> Vec<T> {
+    fn go<T: Ord + Clone + Send + Sync + 'static>(
+        v: Arc<Vec<T>>,
+        lo: usize,
+        hi: usize,
+        grain: usize,
+    ) -> Vec<T> {
         if hi - lo <= grain.max(1) {
             let mut s = v[lo..hi].to_vec();
             s.sort();
@@ -191,10 +196,7 @@ mod tests {
     #[test]
     fn sorts_handle_duplicates_and_sorted_input() {
         let dup = PowerList::from_vec(vec![3i64, 3, 3, 3, 1, 1, 9, 9]).unwrap();
-        assert_eq!(
-            batcher_sort(&dup).as_slice(),
-            &[1, 1, 3, 3, 3, 3, 9, 9]
-        );
+        assert_eq!(batcher_sort(&dup).as_slice(), &[1, 1, 3, 3, 3, 3, 9, 9]);
         let asc = tabulate(16, |i| i as i64).unwrap();
         assert_eq!(batcher_sort(&asc), asc);
         assert_eq!(bitonic_sort(&asc), asc);

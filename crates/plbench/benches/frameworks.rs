@@ -12,10 +12,45 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jplf::{Decomp, Executor};
-use jstreams::Decomposition;
+use jstreams::{
+    stream_support, Characteristics, Decomposition, ItemSource, LeafAccess, ReduceCollector,
+    Spliterator, TieSpliterator,
+};
 use plbench::random_ints;
 use std::hint::black_box;
 use std::sync::Arc;
+
+/// Hides a spliterator's `LeafAccess` capability so the collect driver
+/// takes the cloning per-element drain — keeps the seed's leaf cost
+/// measurable next to the zero-copy rows (the delta the Ablation B
+/// table in EXPERIMENTS.md reports).
+struct Opaque<S>(S);
+
+impl<T, S: ItemSource<T>> ItemSource<T> for Opaque<S> {
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        self.0.try_advance(action)
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        self.0.for_each_remaining(action)
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.0.estimate_size()
+    }
+}
+
+impl<T, S> LeafAccess<T> for Opaque<S> {}
+
+impl<T, S: Spliterator<T>> Spliterator<T> for Opaque<S> {
+    fn try_split(&mut self) -> Option<Self> {
+        self.0.try_split().map(Opaque)
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        self.0.characteristics()
+    }
+}
 
 fn bench_frameworks(c: &mut Criterion) {
     let mut group = c.benchmark_group("frameworks");
@@ -41,6 +76,13 @@ fn bench_frameworks(c: &mut Criterion) {
                 plalgo::reduce_stream(black_box(data.clone()), Decomposition::Tie, 0, |a, b| a + b)
             })
         });
+        group.bench_with_input(BenchmarkId::new("reduce_stream_cloning", k), &n, |b, _| {
+            b.iter(|| {
+                stream_support(Opaque(TieSpliterator::over(black_box(data.clone()))), true)
+                    .with_pool(Arc::clone(&pool))
+                    .collect(ReduceCollector::new(0i64, |a, b| a + b))
+            })
+        });
 
         // --- map (PowerList result: collect pays for container merges) ---
         let map_fn = plalgo::MapFunction::new(Decomp::Tie, |x: &i64| x * 2 + 1);
@@ -48,7 +90,9 @@ fn bench_frameworks(c: &mut Criterion) {
             b.iter(|| exec.execute(&map_fn, black_box(&view)))
         });
         group.bench_with_input(BenchmarkId::new("map_stream", k), &n, |b, _| {
-            b.iter(|| plalgo::map_stream(black_box(data.clone()), Decomposition::Tie, |x| x * 2 + 1))
+            b.iter(|| {
+                plalgo::map_stream(black_box(data.clone()), Decomposition::Tie, |x| x * 2 + 1)
+            })
         });
 
         // --- sequential reference ---

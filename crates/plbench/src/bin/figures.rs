@@ -195,7 +195,9 @@ fn tiezip(args: &Args) {
             sim_zip
         );
     }
-    println!("tie leaves are contiguous (linear distribution); zip leaves are strided residue classes");
+    println!(
+        "tie leaves are contiguous (linear distribution); zip leaves are strided residue classes"
+    );
 }
 
 fn main() {

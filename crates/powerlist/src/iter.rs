@@ -85,8 +85,14 @@ mod tests {
     fn strided_iteration_after_unzip() {
         let v = view_of(vec![0, 10, 20, 30, 40, 50, 60, 70]);
         let (even, odd) = v.unzip().unwrap();
-        assert_eq!(even.iter().copied().collect::<Vec<_>>(), vec![0, 20, 40, 60]);
-        assert_eq!(odd.iter().copied().collect::<Vec<_>>(), vec![10, 30, 50, 70]);
+        assert_eq!(
+            even.iter().copied().collect::<Vec<_>>(),
+            vec![0, 20, 40, 60]
+        );
+        assert_eq!(
+            odd.iter().copied().collect::<Vec<_>>(),
+            vec![10, 30, 50, 70]
+        );
     }
 
     #[test]

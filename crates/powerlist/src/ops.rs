@@ -72,8 +72,7 @@ where
 /// Sequential element-wise map — the specification that all parallel map
 /// implementations in this repository are tested against.
 pub fn map<A, B>(p: &PowerList<A>, f: impl FnMut(&A) -> B) -> PowerList<B> {
-    PowerList::from_vec(p.iter().map(f).collect())
-        .expect("map preserves the shape invariant")
+    PowerList::from_vec(p.iter().map(f).collect()).expect("map preserves the shape invariant")
 }
 
 /// `shift`: prepends `first` and drops the last element, preserving the

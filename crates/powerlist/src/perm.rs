@@ -39,8 +39,12 @@ pub fn inv_indexed<T: Clone>(p: &PowerList<T>) -> PowerList<T> {
     for b in 0..n {
         out[bit_reverse(b, bits)] = Some(p[b].clone());
     }
-    PowerList::from_vec(out.into_iter().map(|x| x.expect("permutation is total")).collect())
-        .expect("permutation preserves length")
+    PowerList::from_vec(
+        out.into_iter()
+            .map(|x| x.expect("permutation is total"))
+            .collect(),
+    )
+    .expect("permutation preserves length")
 }
 
 /// `inv` by the structural recursion of the paper's Eq. 2:

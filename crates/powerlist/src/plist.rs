@@ -306,7 +306,10 @@ mod tests {
             Error::NotDivisible { len: 5, arity: 2 }
         );
         assert_eq!(p.clone().unzip_n(0).unwrap_err(), Error::ZeroArity);
-        assert_eq!(PList::from_vec(Vec::<i32>::new()).unwrap_err(), Error::Empty);
+        assert_eq!(
+            PList::from_vec(Vec::<i32>::new()).unwrap_err(),
+            Error::Empty
+        );
     }
 
     #[test]
@@ -338,9 +341,6 @@ mod tests {
         let pow = p.clone().into_powerlist().unwrap();
         assert_eq!(PList::from(pow), p);
         let odd = PList::from_vec(vec![1, 2, 3]).unwrap();
-        assert_eq!(
-            odd.into_powerlist().unwrap_err(),
-            Error::NotPowerOfTwo(3)
-        );
+        assert_eq!(odd.into_powerlist().unwrap_err(), Error::NotPowerOfTwo(3));
     }
 }

@@ -12,8 +12,8 @@
 //! [`PowerArray::into_powerlist`] once a collect completes.
 
 use crate::error::{Error, Result};
+use crate::is_power_of_two;
 use crate::powerlist::PowerList;
-use crate::{is_power_of_two};
 use std::fmt;
 
 /// Growable container with the `tie_all` / `zip_all` combiners of the

@@ -349,10 +349,7 @@ mod tests {
             PowerList::tie(p.clone(), q.clone()).as_slice(),
             &[0, 1, 2, 3, 4, 5, 6, 7]
         );
-        assert_eq!(
-            PowerList::zip(p, q).as_slice(),
-            &[0, 4, 1, 5, 2, 6, 3, 7]
-        );
+        assert_eq!(PowerList::zip(p, q).as_slice(), &[0, 4, 1, 5, 2, 6, 3, 7]);
     }
 
     #[test]

@@ -19,14 +19,21 @@ use std::sync::Arc;
 /// streams path) or write through [`PowerArray`](crate::PowerArray)
 /// accumulation.
 pub struct Storage<T> {
-    buf: Arc<[T]>,
+    // `Arc<Vec<T>>` rather than `Arc<[T]>`: wrapping an existing vector
+    // is then a single small allocation (the Arc header) instead of the
+    // element-by-element move `Arc::<[T]>::from(Vec<T>)` performs, which
+    // dominated collect setup for multi-megabyte lists. The extra
+    // pointer hop is paid once per leaf, not per element, on the
+    // borrowed-slice path.
+    buf: Arc<Vec<T>>,
 }
 
 impl<T> Storage<T> {
-    /// Wraps a vector of elements into shared storage.
+    /// Wraps a vector of elements into shared storage — O(1), the vector
+    /// buffer is adopted, not copied.
     pub fn new(elements: Vec<T>) -> Self {
         Storage {
-            buf: Arc::from(elements),
+            buf: Arc::new(elements),
         }
     }
 

@@ -134,7 +134,11 @@ impl<T> PowerView<T> {
     /// Panics when `i >= self.len()`.
     #[inline]
     pub fn get(&self, i: usize) -> &T {
-        assert!(i < self.len, "index {i} out of bounds for view of length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of bounds for view of length {}",
+            self.len
+        );
         self.storage.get(self.start + i * self.incr)
     }
 
@@ -145,7 +149,11 @@ impl<T> PowerView<T> {
     /// Panics when the view is not a singleton.
     #[inline]
     pub fn singleton_value(&self) -> &T {
-        assert!(self.is_singleton(), "singleton_value on a view of length {}", self.len);
+        assert!(
+            self.is_singleton(),
+            "singleton_value on a view of length {}",
+            self.len
+        );
         self.storage.get(self.start)
     }
 

@@ -1,0 +1,171 @@
+//! Offline stand-in for `rand`.
+//!
+//! Provides the deterministic-workload subset the benches use:
+//! `StdRng::seed_from_u64` and `Rng::random_range` over integer and float
+//! ranges. The generator is SplitMix64 — not the real crate's ChaCha, but
+//! fully deterministic per seed, which is the property the workload
+//! generators (`plbench::random_ints` et al.) actually depend on.
+
+/// Core generator state (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seedable generators (the one constructor this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut SplitMix64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample(self, rng: &mut SplitMix64) -> f32 {
+        let r = (self.start as f64)..(self.end as f64);
+        r.sample(rng) as f32
+    }
+}
+
+/// Random-value methods available on any generator.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsMutSplitMix;
+
+    /// A uniform `bool`.
+    fn random_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Access to the underlying SplitMix64 core (implementation detail that
+/// keeps `random_range` monomorphic over one state type).
+pub trait AsMutSplitMix {
+    /// The generator core.
+    fn core(&mut self) -> &mut SplitMix64;
+}
+
+/// The standard seeded generator.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    core: SplitMix64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            core: SplitMix64 {
+                // Avoid the all-zero weak state and decorrelate tiny seeds.
+                state: seed ^ 0x5DEE_CE66_D1A4_F2B9,
+            },
+        }
+    }
+}
+
+impl AsMutSplitMix for StdRng {
+    fn core(&mut self) -> &mut SplitMix64 {
+        &mut self.core
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.core.next_u64()
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.core())
+    }
+}
+
+/// Named generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use super::{Rng, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0i64..1000), b.random_range(0i64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<i64> = (0..16).map(|_| a.random_range(0..1000)).collect();
+        let diff: Vec<i64> = (0..16).map(|_| c.random_range(0..1000)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let f = r.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn values_spread_across_range() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(r.random_range(0u8..10));
+        }
+        assert_eq!(seen.len(), 10);
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` here yields a plain sequential iterator, so downstream
+//! adaptors (`enumerate`, `map`, `sum`, …) are the std ones. This keeps
+//! the one bench row that references rayon compiling and honest on a
+//! single-core container, where rayon's own pool would also degenerate
+//! to sequential execution.
+
+pub mod prelude {
+    /// `&self` parallel iteration, sequential in this stand-in.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator `par_iter` returns.
+        type Iter: Iterator;
+
+        /// Iterates the collection by reference.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let sum: f64 = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, &a)| a * (i as f64 + 1.0))
+            .sum();
+        assert_eq!(sum, 1.0 + 4.0 + 9.0);
+    }
+}

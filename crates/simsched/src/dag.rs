@@ -79,11 +79,7 @@ impl Dag {
         let mut finish = vec![0.0f64; self.tasks.len()];
         let mut best: f64 = 0.0;
         for (i, t) in self.tasks.iter().enumerate() {
-            let ready = t
-                .deps
-                .iter()
-                .map(|&d| finish[d])
-                .fold(0.0f64, f64::max);
+            let ready = t.deps.iter().map(|&d| finish[d]).fold(0.0f64, f64::max);
             finish[i] = ready + t.cost;
             best = best.max(finish[i]);
         }

@@ -73,7 +73,14 @@ fn build_node(
     }
     let split = dag.add(costs.split(level, size), deps, level);
     let l = build_node(dag, size / 2, leaf_size, level + 1, costs, Some(split));
-    let r = build_node(dag, size - size / 2, leaf_size, level + 1, costs, Some(split));
+    let r = build_node(
+        dag,
+        size - size / 2,
+        leaf_size,
+        level + 1,
+        costs,
+        Some(split),
+    );
     dag.add(costs.combine(level, size), vec![l, r], level)
 }
 
@@ -120,7 +127,10 @@ mod tests {
                 .sum();
             // simpler: work minus (splits+combines)
             let interior = (64 / leaf_size.max(1) - 1) as f64 * 2.0;
-            assert!((dag.work() - interior - 64.0).abs() < 1e-9, "leaf_size={leaf_size} leaf_total={leaf_total}");
+            assert!(
+                (dag.work() - interior - 64.0).abs() < 1e-9,
+                "leaf_size={leaf_size} leaf_total={leaf_total}"
+            );
         }
     }
 

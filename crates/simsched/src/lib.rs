@@ -33,7 +33,7 @@ pub mod schedule;
 
 pub use dag::{Dag, TaskId, TaskNode};
 pub use dnc::{build_dnc, DncCosts, FnCosts};
-pub use machine::MachineModel;
+pub use machine::{MachineModel, ZERO_COPY_LEAF_FACTOR};
 pub use predict::{
     predict_map_collect, predict_poly, predict_poly_sweep, predict_scaling, MapCostModel,
     PolyPrediction, JVM_ARTIFACT_FACTOR, JVM_ARTIFACT_SIZE,

@@ -60,9 +60,8 @@ pub fn simulate(dag: &Dag, cores: usize) -> Schedule {
             ready.push(Reverse((OrderedF64(0.0), id)));
         }
     }
-    let mut core_free: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..cores)
-        .map(|c| Reverse((OrderedF64(0.0), c)))
-        .collect();
+    let mut core_free: BinaryHeap<Reverse<(OrderedF64, usize)>> =
+        (0..cores).map(|c| Reverse((OrderedF64(0.0), c))).collect();
 
     let mut start = vec![0.0f64; n];
     let mut core_of = vec![0usize; n];

@@ -45,7 +45,11 @@ fn main() {
     mags.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("dominant bins:");
     for (k, m) in mags.iter().take(3) {
-        println!("  {:>5} Hz  amplitude {:.3}", k, 2.0 * m / if *k == 0 { 2.0 } else { 1.0 });
+        println!(
+            "  {:>5} Hz  amplitude {:.3}",
+            k,
+            2.0 * m / if *k == 0 { 2.0 } else { 1.0 }
+        );
     }
     let top: Vec<usize> = mags.iter().take(3).map(|(k, _)| *k).collect();
     assert!(top.contains(&440) && top.contains(&1031) && top.contains(&0));

@@ -52,5 +52,8 @@ fn main() {
     // A PowerList is a PList; the conversion is shape-checked:
     let pl: PList<i64> = data.into();
     let pow: PowerList<i64> = pl.into_powerlist().unwrap();
-    println!("PList ↔ PowerList round-trip for 2^12 elements ✓ (len {})", pow.len());
+    println!(
+        "PList ↔ PowerList round-trip for 2^12 elements ✓ (len {})",
+        pow.len()
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
     // Reference: Horner.
     let t0 = Instant::now();
     let expected = plalgo::horner(coeffs.as_slice(), x);
-    println!("horner (reference)     : {:>10.3} ms  -> {expected:.6}", ms(t0));
+    println!(
+        "horner (reference)     : {:>10.3} ms  -> {expected:.6}",
+        ms(t0)
+    );
 
     // Paper baseline: simple sequential stream computation.
     let t0 = Instant::now();
@@ -45,22 +48,38 @@ fn main() {
 
     // JPLF fork-join executor with the vp PowerFunction (Eq. 4).
     let exec = jplf::ForkJoinExecutor::new(
-        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2),
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(2),
         (n / 16).max(1),
     );
     let view = coeffs.clone().view();
     let t0 = Instant::now();
     let jplf_val = exec.execute(&plalgo::VpFunction::new(x), &view);
-    println!("JPLF fork-join executor: {:>10.3} ms  -> {jplf_val:.6}", ms(t0));
+    println!(
+        "JPLF fork-join executor: {:>10.3} ms  -> {jplf_val:.6}",
+        ms(t0)
+    );
 
     // Simulated MPI executor.
     let t0 = Instant::now();
     let mpi_val = jplf::MpiExecutor::new(4).execute(&plalgo::VpFunction::new(x), &view);
-    println!("JPLF simulated MPI (4) : {:>10.3} ms  -> {mpi_val:.6}", ms(t0));
+    println!(
+        "JPLF simulated MPI (4) : {:>10.3} ms  -> {mpi_val:.6}",
+        ms(t0)
+    );
 
-    for (name, v) in [("seq", seq), ("par", par), ("jplf", jplf_val), ("mpi", mpi_val)] {
+    for (name, v) in [
+        ("seq", seq),
+        ("par", par),
+        ("jplf", jplf_val),
+        ("mpi", mpi_val),
+    ] {
         let tol = 1e-9 * (1.0 + expected.abs());
-        assert!((v - expected).abs() < tol.max(1e-6), "{name} diverged: {v} vs {expected}");
+        assert!(
+            (v - expected).abs() < tol.max(1e-6),
+            "{name} diverged: {v} vs {expected}"
+        );
     }
     println!("all routes agree ✓");
 }
@@ -74,7 +93,9 @@ fn ms(t: Instant) -> f64 {
 fn plbench_gen(n: usize) -> powerlist::PowerList<f64> {
     let mut state = 0x9E3779B97F4A7C15u64;
     powerlist::tabulate(n, |_| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
     })
     .unwrap()

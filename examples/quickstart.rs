@@ -15,12 +15,21 @@ fn main() {
     let q = PowerList::from_vec(vec![4, 5, 6, 7]).unwrap();
     println!("p             = {:?}", p.as_slice());
     println!("q             = {:?}", q.as_slice());
-    println!("tie(p, q)     = {:?}", PowerList::tie(p.clone(), q.clone()).as_slice());
-    println!("zip(p, q)     = {:?}", PowerList::zip(p.clone(), q.clone()).as_slice());
+    println!(
+        "tie(p, q)     = {:?}",
+        PowerList::tie(p.clone(), q.clone()).as_slice()
+    );
+    println!(
+        "zip(p, q)     = {:?}",
+        PowerList::zip(p.clone(), q.clone()).as_slice()
+    );
 
     // inv needs both operators: inv(p | q) = inv(p) ♮ inv(q)
     let r = tabulate(8, |i| i).unwrap();
-    println!("inv(0..8)     = {:?}", powerlist::perm::inv_indexed(&r).as_slice());
+    println!(
+        "inv(0..8)     = {:?}",
+        powerlist::perm::inv_indexed(&r).as_slice()
+    );
 
     // --- 2. The streams adaptation ---------------------------------
     // The paper's identity example: a ZipSpliterator-driven parallel
@@ -55,5 +64,7 @@ fn main() {
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
 }

@@ -21,7 +21,9 @@ fn main() {
 
     let mut state = 12345u64;
     let data = tabulate(n, |_| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 30) as i64 - (1 << 33)
     })
     .unwrap();
@@ -39,7 +41,11 @@ fn main() {
     let pool = ForkJoinPool::with_default_parallelism();
     let t0 = Instant::now();
     let bp = batcher_sort_par(&pool, &data, 1 << 10);
-    println!("batcher (par) : {:>9.3} ms  ({} workers)", ms(t0), pool.threads());
+    println!(
+        "batcher (par) : {:>9.3} ms  ({} workers)",
+        ms(t0),
+        pool.threads()
+    );
     assert_eq!(bp.as_slice(), &expected[..]);
 
     let t0 = Instant::now();

@@ -40,7 +40,9 @@ fn main() {
 
     let seq = SequentialExecutor::new();
     let par = ForkJoinExecutor::new(
-        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(2),
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(2),
         64,
     );
 
@@ -75,8 +77,14 @@ fn main() {
         / N as f64)
         .sqrt();
     let energy = (signal.iter().map(|x| x * x).sum::<f64>() / N as f64).sqrt();
-    println!("reconstruction RMSE: {rmse:.4} ({:.2}% of signal RMS)", 100.0 * rmse / energy);
-    assert!(rmse / energy < 0.15, "5% of WHT coefficients should capture a piecewise signal");
+    println!(
+        "reconstruction RMSE: {rmse:.4} ({:.2}% of signal RMS)",
+        100.0 * rmse / energy
+    );
+    assert!(
+        rmse / energy < 0.15,
+        "5% of WHT coefficients should capture a piecewise signal"
+    );
 
     // Sanity: without truncation the inverse is exact.
     let exact: Vec<f64> = wht(&seq, &coeffs).iter().map(|x| x / N as f64).collect();

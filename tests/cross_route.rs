@@ -62,8 +62,10 @@ fn polynomial_all_routes() {
 
 #[test]
 fn fft_all_routes() {
-    let signal =
-        tabulate(1 << 8, |i| plalgo::Complex::new((i % 11) as f64 - 5.0, (i % 4) as f64)).unwrap();
+    let signal = tabulate(1 << 8, |i| {
+        plalgo::Complex::new((i % 11) as f64 - 5.0, (i % 4) as f64)
+    })
+    .unwrap();
     let spec = plalgo::fft_seq(&signal);
     let close = |out: &PowerList<plalgo::Complex>| {
         out.iter()
@@ -73,9 +75,15 @@ fn fft_all_routes() {
 
     assert!(close(&plalgo::fft_stream(signal.clone())));
     let v = signal.view();
-    assert!(close(&SequentialExecutor::new().execute(&plalgo::FftFunction, &v)));
-    assert!(close(&ForkJoinExecutor::new(2, 16).execute(&plalgo::FftFunction, &v)));
-    assert!(close(&MpiExecutor::new(4).execute(&plalgo::FftFunction, &v)));
+    assert!(close(
+        &SequentialExecutor::new().execute(&plalgo::FftFunction, &v)
+    ));
+    assert!(close(
+        &ForkJoinExecutor::new(2, 16).execute(&plalgo::FftFunction, &v)
+    ));
+    assert!(close(
+        &MpiExecutor::new(4).execute(&plalgo::FftFunction, &v)
+    ));
 }
 
 #[test]

@@ -97,7 +97,11 @@ fn plist_parallel_full_stack() {
     let expected: i64 = p.iter().sum();
     assert_eq!(compute_plist_sequential(&f, &p), expected);
     for leaf in [1usize, 9, 81, 300] {
-        assert_eq!(compute_plist_parallel(&pool, &f, &p, leaf), expected, "leaf={leaf}");
+        assert_eq!(
+            compute_plist_parallel(&pool, &f, &p, leaf),
+            expected,
+            "leaf={leaf}"
+        );
     }
 }
 

@@ -36,8 +36,8 @@ fn section_iv_words_example() {
     assert_eq!(par, "alpha, beta, gamma, delta");
     // "if the stream hadn't been parallel, the combiner would not be
     // used and so the comma wouldn't be added":
-    let seq = stream_support(SliceSpliterator::new(words), false)
-        .collect(JoiningCollector::new(", "));
+    let seq =
+        stream_support(SliceSpliterator::new(words), false).collect(JoiningCollector::new(", "));
     assert_eq!(seq, "alphabetagammadelta");
 }
 
@@ -84,7 +84,10 @@ fn eq2_inv() {
 /// Eq. 3: fft agrees with the naive DFT (the algebraic specification).
 #[test]
 fn eq3_fft() {
-    let signal = tabulate(64, |i| plalgo::Complex::new((i % 5) as f64, -((i % 3) as f64))).unwrap();
+    let signal = tabulate(64, |i| {
+        plalgo::Complex::new((i % 5) as f64, -((i % 3) as f64))
+    })
+    .unwrap();
     let fast = plalgo::fft_seq(&signal);
     let slow = plalgo::dft_naive(signal.as_slice());
     for (a, b) in fast.iter().zip(&slow) {

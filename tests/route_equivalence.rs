@@ -1,0 +1,298 @@
+//! Differential route-equivalence harness.
+//!
+//! Every algorithm in the catalogue must produce the same answer through
+//! every execution route the repo implements:
+//!
+//! 1. the sequential specification (plain folds/loops over slices);
+//! 2. the streams adaptation's **cloning** collect (per-element drain
+//!    through `Collector::accumulate`);
+//! 3. the streams adaptation's **zero-copy** collect (borrowed-leaf
+//!    kernels via `LeafAccess` + `Collector::leaf_slice`);
+//! 4. the JPLF fork-join executor;
+//! 5. the simulated-MPI executor.
+//!
+//! Routes 2 and 3 share the same spliterators and collectors; the only
+//! difference is whether the driver is allowed to see the borrowed run.
+//! The [`Opaque`] wrapper below hides the `LeafAccess` capability of any
+//! spliterator, forcing the cloning drain — so each property pins the
+//! zero-copy kernels against the exact per-element semantics they
+//! replaced, on the same random input.
+
+use jplf::{Decomp, Executor, ForkJoinExecutor, MpiExecutor, SequentialExecutor};
+use jstreams::{
+    stream_support, Characteristics, Decomposition, ItemSource, LeafAccess, PowerMapCollector,
+    PowerSpliterator, ReduceCollector, Spliterator, TieSpliterator,
+};
+use powerlist::PowerList;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Route plumbing
+// ---------------------------------------------------------------------
+
+/// Delegating wrapper that hides a spliterator's `LeafAccess` capability
+/// (all methods keep their "no borrowed access" defaults), forcing the
+/// collect driver down the cloning per-element drain.
+struct Opaque<S>(S);
+
+impl<T, S: ItemSource<T>> ItemSource<T> for Opaque<S> {
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        self.0.try_advance(action)
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        self.0.for_each_remaining(action)
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.0.estimate_size()
+    }
+}
+
+// Deliberately empty: `try_as_slice`/`try_as_strided` answer `None`.
+impl<T, S> LeafAccess<T> for Opaque<S> {}
+
+impl<T, S: Spliterator<T>> Spliterator<T> for Opaque<S> {
+    fn try_split(&mut self) -> Option<Self> {
+        self.0.try_split().map(Opaque)
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        self.0.characteristics()
+    }
+}
+
+fn powerlist_i64(max_k: u32) -> impl Strategy<Value = PowerList<i64>> {
+    (0..=max_k)
+        .prop_flat_map(|k| proptest::collection::vec(-1000i64..1000, 1 << k as usize))
+        .prop_map(|v| PowerList::from_vec(v).unwrap())
+}
+
+fn powerlist_f64(max_k: u32) -> impl Strategy<Value = PowerList<f64>> {
+    (0..=max_k)
+        .prop_flat_map(|k| proptest::collection::vec(-1.0f64..1.0, 1 << k as usize))
+        .prop_map(|v| PowerList::from_vec(v).unwrap())
+}
+
+fn decomp_of(zip: bool) -> (Decomposition, Decomp) {
+    if zip {
+        (Decomposition::Zip, Decomp::Zip)
+    } else {
+        (Decomposition::Tie, Decomp::Tie)
+    }
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-8 * (1.0 + a.abs().max(b.abs()))
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Map: spec = cloning collect = zero-copy collect = fork-join =
+    /// MPI-sim, under both decompositions and arbitrary leaf sizes.
+    #[test]
+    fn map_routes_agree(p in powerlist_i64(9), c in -7i64..7, zip in any::<bool>(),
+                        leaf in 1usize..64) {
+        let (ds, dj) = decomp_of(zip);
+        let spec = powerlist::ops::map(&p, |x| x * c - 3);
+
+        // Zero-copy collect (PowerMapCollector has slice kernels).
+        let zero_copy = stream_support(PowerSpliterator::over(p.clone(), ds), true)
+            .with_leaf_size(leaf)
+            .collect(PowerMapCollector::new(ds, move |x: i64| x * c - 3))
+            .into_vec();
+        prop_assert_eq!(&zero_copy[..], spec.as_slice());
+
+        // Cloning collect: same spliterator and collector, capability hidden.
+        let cloning = stream_support(Opaque(PowerSpliterator::over(p.clone(), ds)), true)
+            .with_leaf_size(leaf)
+            .collect(PowerMapCollector::new(ds, move |x: i64| x * c - 3))
+            .into_vec();
+        prop_assert_eq!(&cloning[..], spec.as_slice());
+
+        // JPLF executors.
+        let f = plalgo::MapFunction::new(dj, move |x: &i64| x * c - 3);
+        let v = p.view();
+        prop_assert_eq!(SequentialExecutor::new().execute(&f, &v), spec.clone());
+        prop_assert_eq!(ForkJoinExecutor::new(2, leaf).execute(&f, &v), spec.clone());
+        prop_assert_eq!(MpiExecutor::new(4).execute(&f, &v), spec);
+    }
+
+    /// Reduce with a **non-commutative** (but associative) combine:
+    /// composition of affine maps `x ↦ a·x + b`. Tie decomposition only —
+    /// tie splits preserve contiguous order, which is exactly what a
+    /// non-commutative reduction requires (zip would interleave residue
+    /// classes and legitimately change the answer).
+    #[test]
+    fn reduce_noncommutative_routes_agree(
+        raw in (0u32..=8).prop_flat_map(|k| {
+            proptest::collection::vec((-9i64..9, -9i64..9), 1usize << k)
+        }),
+        leaf in 1usize..32,
+    ) {
+        let compose = |l: (i64, i64), r: (i64, i64)| {
+            (l.0.wrapping_mul(r.0), l.0.wrapping_mul(r.1).wrapping_add(l.1))
+        };
+        let spec = raw.iter().fold((1i64, 0i64), |acc, &x| compose(acc, x));
+        let p = PowerList::from_vec(raw).unwrap();
+
+        // Zero-copy (TieSpliterator exposes the borrowed run).
+        let zc = stream_support(TieSpliterator::over(p.clone()), true)
+            .with_leaf_size(leaf)
+            .collect(ReduceCollector::new((1i64, 0i64), compose));
+        prop_assert_eq!(zc, spec);
+
+        // Cloning drain, same collector.
+        let cl = stream_support(Opaque(TieSpliterator::over(p.clone())), true)
+            .with_leaf_size(leaf)
+            .collect(ReduceCollector::new((1i64, 0i64), compose));
+        prop_assert_eq!(cl, spec);
+
+        // JPLF routes.
+        let f = plalgo::ReduceFunction::new(Decomp::Tie, move |a: &(i64, i64), b: &(i64, i64)| {
+            compose(*a, *b)
+        });
+        let v = p.view();
+        prop_assert_eq!(SequentialExecutor::new().execute(&f, &v), spec);
+        prop_assert_eq!(ForkJoinExecutor::new(3, leaf).execute(&f, &v), spec);
+        prop_assert_eq!(MpiExecutor::new(4).execute(&f, &v), spec);
+    }
+
+    /// Commutative reduce agrees across routes under both decompositions.
+    #[test]
+    fn reduce_commutative_routes_agree(p in powerlist_i64(9), zip in any::<bool>(),
+                                       leaf in 1usize..64) {
+        let (ds, dj) = decomp_of(zip);
+        let spec = powerlist::ops::reduce(&p, |a, b| a + b);
+
+        let zc = stream_support(PowerSpliterator::over(p.clone(), ds), true)
+            .with_leaf_size(leaf)
+            .collect(ReduceCollector::new(0i64, |a, b| a + b));
+        prop_assert_eq!(zc, spec);
+
+        let cl = stream_support(Opaque(PowerSpliterator::over(p.clone(), ds)), true)
+            .with_leaf_size(leaf)
+            .collect(ReduceCollector::new(0i64, |a, b| a + b));
+        prop_assert_eq!(cl, spec);
+
+        let f = plalgo::ReduceFunction::new(dj, |a: &i64, b: &i64| a + b);
+        let v = p.view();
+        prop_assert_eq!(ForkJoinExecutor::new(2, leaf).execute(&f, &v), spec);
+        prop_assert_eq!(MpiExecutor::new(8).execute(&f, &v), spec);
+    }
+
+    /// Prefix scan: specification fold = sequential Ladner–Fischer =
+    /// parallel scan at arbitrary grain.
+    #[test]
+    fn scan_routes_agree(p in powerlist_i64(9), grain in 1usize..80) {
+        let spec = plalgo::scan_spec(p.as_slice(), |a, b| a + b);
+        let seq = plalgo::scan_seq(&p, 0, |a, b| a + b);
+        prop_assert_eq!(seq.as_slice(), &spec[..]);
+        let pool = forkjoin::ForkJoinPool::new(2);
+        let par = plalgo::scan_par(&pool, &p, 0, |a: &i64, b: &i64| a + b, grain).unwrap();
+        prop_assert_eq!(par.as_slice(), &spec[..]);
+    }
+
+    /// Polynomial evaluation: Horner = sequential stream = parallel
+    /// stream (zero-copy and cloning) = tupled-vp stream = JPLF routes.
+    #[test]
+    fn vp_routes_agree(coeffs in powerlist_f64(9), x in -0.99f64..0.99, leaf in 1usize..64) {
+        let spec = plalgo::horner(coeffs.as_slice(), x);
+
+        prop_assert!(rel_close(plalgo::eval_seq_stream(coeffs.clone(), x), spec));
+        prop_assert!(rel_close(plalgo::eval_par_stream(coeffs.clone(), x), spec));
+        prop_assert!(rel_close(plalgo::eval_tupled_stream(coeffs.clone(), x), spec));
+
+        // Tupled vp through the forced cloning drain.
+        let cl = stream_support(Opaque(TieSpliterator::over(coeffs.clone())), true)
+            .with_leaf_size(leaf)
+            .collect(plalgo::TupledVpCollector::new(x));
+        prop_assert!(rel_close(cl, spec));
+
+        let v = coeffs.view();
+        let vp = plalgo::VpFunction::new(x);
+        prop_assert!(rel_close(SequentialExecutor::new().execute(&vp, &v), spec));
+        prop_assert!(rel_close(ForkJoinExecutor::new(2, leaf).execute(&vp, &v), spec));
+        prop_assert!(rel_close(MpiExecutor::new(4).execute(&vp, &v), spec));
+    }
+
+    /// FFT: sequential spec = zero-copy stream (strided borrowed leaves)
+    /// = cloning stream = JPLF fork-join = MPI-sim.
+    #[test]
+    fn fft_routes_agree(re in powerlist_f64(7), leaf in 1usize..32) {
+        let signal = powerlist::ops::map(&re, |&x| plalgo::Complex::new(x, -x * 0.5));
+        let spec = plalgo::fft_seq(&signal);
+        let close = |out: &PowerList<plalgo::Complex>| {
+            out.iter().zip(spec.iter()).all(|(a, b)| a.approx_eq(*b, 1e-7))
+        };
+
+        prop_assert!(close(&plalgo::fft_stream(signal.clone())));
+
+        let cl = stream_support(
+            Opaque(PowerSpliterator::over(signal.clone(), Decomposition::Zip)),
+            true,
+        )
+        .with_leaf_size(leaf)
+        .collect(plalgo::FftCollector);
+        prop_assert!(close(&cl));
+
+        let v = signal.view();
+        prop_assert!(close(&ForkJoinExecutor::new(2, leaf).execute(&plalgo::FftFunction, &v)));
+        prop_assert!(close(&MpiExecutor::new(4).execute(&plalgo::FftFunction, &v)));
+    }
+
+    /// Sorting networks: Batcher (seq + par) and bitonic all agree with
+    /// the standard library sort.
+    #[test]
+    fn sort_routes_agree(p in powerlist_i64(9), grain in 1usize..128) {
+        let mut expected = p.clone().into_vec();
+        expected.sort();
+        let batcher = plalgo::batcher_sort(&p);
+        prop_assert_eq!(batcher.as_slice(), &expected[..]);
+        let bitonic = plalgo::bitonic_sort(&p);
+        prop_assert_eq!(bitonic.as_slice(), &expected[..]);
+        let pool = forkjoin::ForkJoinPool::new(2);
+        let par = plalgo::batcher_sort_par(&pool, &p, grain);
+        prop_assert_eq!(par.as_slice(), &expected[..]);
+    }
+
+    /// Gray codes: the structural (PowerList recursion) and closed-form
+    /// constructions coincide, decode correctly, and step one bit at a
+    /// time.
+    #[test]
+    fn gray_routes_agree(bits in 1u32..11) {
+        let structural = plalgo::gray_structural(bits).unwrap();
+        let closed = plalgo::gray_closed(bits).unwrap();
+        prop_assert_eq!(&structural, &closed);
+        for (i, &g) in structural.iter().enumerate() {
+            prop_assert_eq!(plalgo::gray_decode(g), i as u64);
+            if i > 0 {
+                let diff = g ^ structural[i - 1];
+                prop_assert_eq!(diff.count_ones(), 1, "step {i} flips {diff:#b}");
+            }
+        }
+    }
+
+    /// Maximum segment sum: spec = Kadane = zero-copy stream = cloning
+    /// stream = JPLF fork-join = MPI-sim.
+    #[test]
+    fn mss_routes_agree(p in powerlist_i64(9), leaf in 1usize..64) {
+        let spec = plalgo::mss_spec(p.as_slice());
+        prop_assert_eq!(plalgo::mss_kadane(p.as_slice()), spec);
+        prop_assert_eq!(plalgo::mss_stream(p.clone()), spec);
+
+        let cl = stream_support(Opaque(TieSpliterator::over(p.clone())), true)
+            .with_leaf_size(leaf)
+            .collect(plalgo::MssCollector);
+        prop_assert_eq!(cl, spec);
+
+        let v = p.view();
+        prop_assert_eq!(ForkJoinExecutor::new(2, leaf).execute(&plalgo::MssFunction, &v).best, spec);
+        prop_assert_eq!(MpiExecutor::new(4).execute(&plalgo::MssFunction, &v).best, spec);
+    }
+}
