@@ -11,6 +11,15 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --workspace (all crates incl. plobs, doc-tests)"
+cargo test -q --workspace
+
+echo "==> smoke: polynomial example emits a valid RunReport"
+# The example validates its own RunReport JSON and panics on a
+# malformed document; grep pins the success marker so a silent skip
+# also fails.
+cargo run --release --example polynomial 16 | grep -q "run report JSON: valid"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

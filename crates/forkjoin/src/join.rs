@@ -97,10 +97,12 @@ where
     let rb: TaskResult<RB> = match slot.claim() {
         Some(f) => {
             Counters::bump(&state.counters.joins_inline);
+            plobs::emit(plobs::Event::PoolJoin { stolen: false });
             run_captured(f)
         }
         None => {
             Counters::bump(&state.counters.joins_stolen);
+            plobs::emit(plobs::Event::PoolJoin { stolen: true });
             help_until(state, index, &b_latch);
             b_result
                 .lock()

@@ -17,12 +17,19 @@
 //! Idle workers park on a condvar and are woken whenever new work is
 //! pushed. All signalling is two-phase (atomic fast path, lock only when
 //! sleepers exist).
+//!
+//! Besides the always-on [`Counters`], every scheduling decision is also
+//! published as a structured [`plobs::Event`] (execute, steal with its
+//! source, park, join disposition) so a [`plobs::RunRecorder`] can
+//! attribute work to individual workers. When no sink is installed each
+//! emission is one relaxed atomic load.
 
 use crate::latch::Latch;
 use crate::metrics::{Counters, MetricsSnapshot};
 use crate::task::{run_captured, unwrap_or_resume, Job, TaskResult};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
+use plobs::{Event, StealSource};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -49,8 +56,11 @@ impl PoolState {
         }
     }
 
-    fn park(&self) {
+    fn park(&self, index: usize) {
         Counters::bump(&self.counters.parks);
+        plobs::emit(Event::PoolPark {
+            worker: index as u32,
+        });
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         {
             let mut g = self.sleep_mutex.lock();
@@ -110,6 +120,10 @@ pub(crate) fn find_job(state: &PoolState, index: usize) -> Option<Job> {
         match stolen {
             Steal::Success(job) => {
                 Counters::bump(&state.counters.injector_steals);
+                plobs::emit(Event::PoolSteal {
+                    worker: index as u32,
+                    source: StealSource::Injector,
+                });
                 return Some(job);
             }
             Steal::Empty => break,
@@ -127,6 +141,10 @@ pub(crate) fn find_job(state: &PoolState, index: usize) -> Option<Job> {
             match state.stealers[victim].steal() {
                 Steal::Success(job) => {
                     Counters::bump(&state.counters.peer_steals);
+                    plobs::emit(Event::PoolSteal {
+                        worker: index as u32,
+                        source: StealSource::Peer,
+                    });
                     return Some(job);
                 }
                 Steal::Empty => break,
@@ -145,6 +163,9 @@ pub(crate) fn help_until(state: &PoolState, index: usize, latch: &Latch) {
         match find_job(state, index) {
             Some(job) => {
                 Counters::bump(&state.counters.executed);
+                plobs::emit(Event::PoolExecute {
+                    worker: index as u32,
+                });
                 job();
             }
             None => {
@@ -167,9 +188,12 @@ fn worker_loop(state: Arc<PoolState>, index: usize, deque: Deque<Job>) {
         match find_job(&state, index) {
             Some(job) => {
                 Counters::bump(&state.counters.executed);
+                plobs::emit(Event::PoolExecute {
+                    worker: index as u32,
+                });
                 job();
             }
-            None => state.park(),
+            None => state.park(index),
         }
     }
 }

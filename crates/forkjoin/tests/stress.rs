@@ -111,6 +111,73 @@ fn par_for_each_index_grain_edges() {
     }
 }
 
+/// Parallel sum that detonates when the recursion reaches `bomb`.
+fn par_sum_with_bomb(pool: &ForkJoinPool, n: usize, grain: usize, bomb: usize) -> u64 {
+    fn rec(lo: usize, hi: usize, grain: usize, bomb: usize) -> u64 {
+        if hi - lo <= grain {
+            assert!(
+                !(lo..hi).contains(&bomb),
+                "bomb leaf reached at [{lo}, {hi})"
+            );
+            return (lo..hi).map(|i| i as u64).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = join(
+            move || rec(lo, mid, grain, bomb),
+            move || rec(mid, hi, grain, bomb),
+        );
+        a + b
+    }
+    pool.install(move || rec(0, n, grain, bomb))
+}
+
+#[test]
+fn pool_stays_reusable_after_panics_mid_tree() {
+    // A panicking leaf must propagate to the caller *and* leave the pool
+    // healthy: no stuck latch, no lost worker, no wedged deque. Rerun a
+    // full computation on the same pool after every detonation.
+    let pool = ForkJoinPool::new(4);
+    let n = 10_000usize;
+    let expected = (n as u64 - 1) * n as u64 / 2;
+    for round in 0..8 {
+        // Move the bomb around the tree: leftmost leaf, rightmost leaf,
+        // and interior positions all unwind through different join
+        // states (inline claim vs stolen-help).
+        let bomb = round * (n - 1) / 7;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_sum_with_bomb(&pool, n, 64, bomb)
+        }));
+        assert!(r.is_err(), "round {round}: bomb at {bomb} must propagate");
+        let clean = par_sum_with_bomb(&pool, n, 64, n + 1);
+        assert_eq!(clean, expected, "round {round}: pool broken after panic");
+    }
+    // Workers are all still alive and accepting injected work.
+    for i in 0..16 {
+        assert_eq!(pool.install(move || i * 3), i * 3);
+    }
+}
+
+#[test]
+fn scheduler_events_reach_an_installed_recorder() {
+    let data: Vec<u64> = (0..50_000).collect();
+    let expected = seq_sum(&data);
+    let shared = Arc::new(data);
+    let (got, report) = plobs::recorded(|| {
+        let pool = ForkJoinPool::new(4);
+        par_sum(&pool, shared, 32)
+    });
+    assert_eq!(got, expected);
+    // Other tests in this binary may emit concurrently, so assert lower
+    // bounds only: the recorded sum alone guarantees this much.
+    assert!(report.executed >= 1, "workers executed jobs: {report:?}");
+    assert!(report.joins >= 1, "joins recorded: {report:?}");
+    assert!(!report.per_worker.is_empty());
+    assert!(
+        report.joins_stolen <= report.joins,
+        "stolen joins are a subset: {report:?}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -12,8 +12,10 @@
 use crate::executor::Executor;
 use crate::function::{Decomp, PowerFunction};
 use forkjoin::{join, ForkJoinPool};
+use plobs::{Event, LeafRoute};
 use powerlist::PowerView;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Fork-join executor with an explicit pool and leaf granularity.
 pub struct ForkJoinExecutor {
@@ -50,36 +52,60 @@ impl ForkJoinExecutor {
     }
 }
 
-fn par_compute<F>(f: F, input: PowerView<F::Elem>, leaf: usize) -> F::Out
+fn par_compute<F>(f: F, input: PowerView<F::Elem>, leaf: usize, depth: u32) -> F::Out
 where
     F: PowerFunction + Clone + Sync,
 {
+    // Timing and event emission are gated on an installed sink — the
+    // zero-cost-when-disabled contract.
+    let observe = plobs::enabled();
     if input.len() <= leaf || input.is_singleton() {
         // The leaf kernel (paper §V: the basic case applied to a whole
         // sub-list); defaults to the template recursion.
-        return f.leaf_case(&input);
+        let items = input.len() as u64;
+        let t0 = if observe { Some(Instant::now()) } else { None };
+        let out = f.leaf_case(&input);
+        if let Some(t0) = t0 {
+            plobs::emit(Event::Leaf {
+                route: LeafRoute::Template,
+                items,
+                ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        return out;
     }
+    let t0 = if observe { Some(Instant::now()) } else { None };
     let (l, r) = match f.decomposition() {
         Decomp::Tie => input.untie().expect("non-singleton"),
         Decomp::Zip => input.unzip().expect("non-singleton"),
     };
     let (fl, fr) = (f.create_left(), f.create_right());
-    match f.transform_halves(&l, &r) {
-        None => {
-            let (lo, ro) = join(
-                move || par_compute(fl, l, leaf),
-                move || par_compute(fr, r, leaf),
-            );
-            f.combine(lo, ro)
-        }
-        Some((l2, r2)) => {
-            let (lo, ro) = join(
-                move || par_compute(fl, l2.view(), leaf),
-                move || par_compute(fr, r2.view(), leaf),
-            );
-            f.combine(lo, ro)
-        }
+    let transformed = f.transform_halves(&l, &r);
+    if let Some(t0) = t0 {
+        plobs::emit(Event::Split { depth });
+        plobs::emit(Event::DescendNs {
+            ns: t0.elapsed().as_nanos() as u64,
+        });
     }
+    let (lo, ro) = match transformed {
+        None => join(
+            move || par_compute(fl, l, leaf, depth + 1),
+            move || par_compute(fr, r, leaf, depth + 1),
+        ),
+        Some((l2, r2)) => join(
+            move || par_compute(fl, l2.view(), leaf, depth + 1),
+            move || par_compute(fr, r2.view(), leaf, depth + 1),
+        ),
+    };
+    let t0 = if observe { Some(Instant::now()) } else { None };
+    let out = f.combine(lo, ro);
+    if let Some(t0) = t0 {
+        plobs::emit(Event::Combine {
+            depth,
+            ns: t0.elapsed().as_nanos() as u64,
+        });
+    }
+    out
 }
 
 impl Executor for ForkJoinExecutor {
@@ -90,7 +116,7 @@ impl Executor for ForkJoinExecutor {
         let f = f.clone();
         let input = input.clone();
         let leaf = self.leaf_size;
-        self.pool.install(move || par_compute(f, input, leaf))
+        self.pool.install(move || par_compute(f, input, leaf, 0))
     }
 }
 

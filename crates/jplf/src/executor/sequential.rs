@@ -24,7 +24,13 @@ impl Executor for SequentialExecutor {
     where
         F: PowerFunction + Clone + Sync,
     {
-        compute_sequential(f, input)
+        if plobs::enabled() {
+            // Same recursion, but publishing split/leaf/combine events
+            // to the globally installed sink.
+            crate::trace::compute_with_sink(f, input, &plobs::GlobalSink)
+        } else {
+            compute_sequential(f, input)
+        }
     }
 }
 

@@ -53,4 +53,4 @@ pub use function::{compute_on_list, compute_sequential, Decomp, PowerFunction, T
 pub use plist_function::{
     compute_plist_parallel, compute_plist_sequential, NWayReduce, PListFunction,
 };
-pub use trace::{compute_traced, PhaseTrace};
+pub use trace::{compute_traced, compute_with_sink, PhaseTrace};

@@ -50,6 +50,14 @@ impl Comm {
     /// already terminated.
     pub fn send<M: Send + 'static>(&self, dst: usize, tag: u64, msg: M) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        // Every collective decomposes into these point-to-point sends,
+        // so this one site gives the observability layer the full
+        // per-rank traffic matrix.
+        plobs::emit(plobs::Event::MpiSend {
+            from: self.rank as u32,
+            to: dst as u32,
+            bytes: std::mem::size_of::<M>() as u64,
+        });
         self.senders[dst]
             .send(Message {
                 tag,

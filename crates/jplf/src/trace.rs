@@ -5,12 +5,19 @@
 //! *ascending/combining* phases; the paper's analysis (Section V) hinges
 //! on where a function does its work — `map`/`reduce`/`fft` do nothing
 //! on the way down, the polynomial evaluation squares `x` per level,
-//! Eq.-5 functions transform whole sublists. [`compute_traced`] runs the
-//! sequential template while timing and counting each phase, so that
-//! claim can be *measured* per function (see the `phase_profile` rows in
-//! the examples and tests).
+//! Eq.-5 functions transform whole sublists.
+//!
+//! The instrumented recursion is [`compute_with_sink`]: it publishes one
+//! structured [`plobs::Event`] per split, leaf and combine to any
+//! [`EventSink`] — the same event vocabulary the streams collect driver
+//! and the fork-join pool use, so JPLF executions aggregate into the
+//! same [`plobs::RunReport`]. [`compute_traced`] (the historical entry
+//! point) feeds a recorder that is **local to the call** — it is never
+//! installed globally, so concurrent traced runs cannot cross-talk —
+//! and condenses the report into the small [`PhaseTrace`] summary.
 
 use crate::function::{Decomp, PowerFunction};
+use plobs::{Event, EventSink, LeafRoute, RunRecorder, RunReport};
 use powerlist::PowerView;
 use std::time::Instant;
 
@@ -54,21 +61,56 @@ impl PhaseTrace {
             self.ascend_ns as f64 / total
         }
     }
+
+    /// Condenses a full [`RunReport`] into the per-phase summary. JPLF
+    /// leaves are singleton basic cases, recorded under the
+    /// [`LeafRoute::Template`] route.
+    pub fn from_report(report: &RunReport) -> PhaseTrace {
+        PhaseTrace {
+            splits: report.splits,
+            leaves: report.routes.total_leaves(),
+            combines: report.combines,
+            descend_ns: report.descend_ns,
+            leaf_ns: report.leaf_ns,
+            ascend_ns: report.ascend_ns,
+        }
+    }
 }
 
-/// Runs the sequential template while tracing the three phases.
+/// Runs the sequential template while tracing the three phases into a
+/// call-local recorder (never installed globally).
 pub fn compute_traced<F: PowerFunction>(f: &F, input: &PowerView<F::Elem>) -> (F::Out, PhaseTrace) {
-    let mut trace = PhaseTrace::default();
-    let out = go(f, input, &mut trace);
-    (out, trace)
+    let recorder = RunRecorder::new();
+    let out = compute_with_sink(f, input, &recorder);
+    (out, PhaseTrace::from_report(&recorder.finish()))
 }
 
-fn go<F: PowerFunction>(f: &F, input: &PowerView<F::Elem>, trace: &mut PhaseTrace) -> F::Out {
+/// Runs the sequential template, publishing one event per split, leaf
+/// and combine to `sink`. Pass [`plobs::GlobalSink`] to forward into
+/// whatever sink is globally installed, or a local
+/// [`RunRecorder`] for an isolated trace.
+pub fn compute_with_sink<F: PowerFunction>(
+    f: &F,
+    input: &PowerView<F::Elem>,
+    sink: &dyn EventSink,
+) -> F::Out {
+    go(f, input, 0, sink)
+}
+
+fn go<F: PowerFunction>(
+    f: &F,
+    input: &PowerView<F::Elem>,
+    depth: u32,
+    sink: &dyn EventSink,
+) -> F::Out {
     if input.is_singleton() {
         let t0 = Instant::now();
         let out = f.basic_case(input.singleton_value());
-        trace.leaf_ns += t0.elapsed().as_nanos() as u64;
-        trace.leaves += 1;
+        sink.record(&Event::Leaf {
+            route: LeafRoute::Template,
+            items: 1,
+            ns: t0.elapsed().as_nanos() as u64,
+        });
         return out;
     }
 
@@ -80,19 +122,26 @@ fn go<F: PowerFunction>(f: &F, input: &PowerView<F::Elem>, trace: &mut PhaseTrac
     };
     let (fl, fr) = (f.create_left(), f.create_right());
     let transformed = f.transform_halves(&l, &r);
-    trace.descend_ns += t0.elapsed().as_nanos() as u64;
-    trace.splits += 1;
+    sink.record(&Event::Split { depth });
+    sink.record(&Event::DescendNs {
+        ns: t0.elapsed().as_nanos() as u64,
+    });
 
     let (lo, ro) = match transformed {
-        None => (go(&fl, &l, trace), go(&fr, &r, trace)),
-        Some((l2, r2)) => (go(&fl, &l2.view(), trace), go(&fr, &r2.view(), trace)),
+        None => (go(&fl, &l, depth + 1, sink), go(&fr, &r, depth + 1, sink)),
+        Some((l2, r2)) => (
+            go(&fl, &l2.view(), depth + 1, sink),
+            go(&fr, &r2.view(), depth + 1, sink),
+        ),
     };
 
     // Ascending phase.
     let t0 = Instant::now();
     let out = f.combine(lo, ro);
-    trace.ascend_ns += t0.elapsed().as_nanos() as u64;
-    trace.combines += 1;
+    sink.record(&Event::Combine {
+        depth,
+        ns: t0.elapsed().as_nanos() as u64,
+    });
     out
 }
 

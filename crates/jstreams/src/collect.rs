@@ -16,7 +16,9 @@
 use crate::collector::Collector;
 use crate::spliterator::Spliterator;
 use forkjoin::{join, ForkJoinPool};
+use plobs::{Event, LeafRoute};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Runs one leaf through the zero-copy path when both sides support it:
 /// if the source exposes a borrowed run
@@ -24,23 +26,54 @@ use std::sync::Arc;
 /// collector has a matching slice kernel, the leaf is computed directly
 /// over the borrow and the source marked drained; otherwise the cloning
 /// drain ([`Collector::leaf`]) runs as before.
+///
+/// When an observability sink is installed (`plobs`), every leaf emits
+/// one [`Event::Leaf`] tagged with the route taken; timing and size
+/// queries are skipped entirely when no sink is listening.
 pub fn run_leaf<T, S, C>(source: &mut S, collector: &C) -> C::Acc
 where
     S: Spliterator<T>,
     C: Collector<T> + ?Sized,
 {
+    let observe = plobs::enabled();
+    let size = if observe {
+        source.estimate_size() as u64
+    } else {
+        0
+    };
+    let start = if observe { Some(Instant::now()) } else { None };
     let done = match source.try_as_strided() {
-        Some((items, 1)) => collector.leaf_slice(items),
-        Some((items, step)) => collector.leaf_strided(items, step),
+        // A step-1 run is contiguous: prefer the slice kernel, but a
+        // strided-only collector must still get the zero-copy path —
+        // `leaf_strided(items, 1)` covers exactly the same elements.
+        Some((items, 1)) => collector
+            .leaf_slice(items)
+            .map(|acc| (acc, LeafRoute::ZeroCopySlice))
+            .or_else(|| {
+                collector
+                    .leaf_strided(items, 1)
+                    .map(|acc| (acc, LeafRoute::ZeroCopyStrided))
+            }),
+        Some((items, step)) => collector
+            .leaf_strided(items, step)
+            .map(|acc| (acc, LeafRoute::ZeroCopyStrided)),
         None => None,
     };
-    match done {
-        Some(acc) => {
+    let (acc, route) = match done {
+        Some((acc, route)) => {
             source.mark_drained();
-            acc
+            (acc, route)
         }
-        None => collector.leaf(source),
+        None => (collector.leaf(source), LeafRoute::CloningDrain),
+    };
+    if let Some(start) = start {
+        plobs::emit(Event::Leaf {
+            route,
+            items: size,
+            ns: start.elapsed().as_nanos() as u64,
+        });
     }
+    acc
 }
 
 /// Sequential collect: drains the spliterator without splitting, through
@@ -80,11 +113,11 @@ where
 {
     let leaf_size = leaf_size.max(1);
     let c2 = Arc::clone(&collector);
-    let acc = pool.install(move || recurse(source, c2, leaf_size));
+    let acc = pool.install(move || recurse(source, c2, leaf_size, 0));
     collector.finish(acc)
 }
 
-fn recurse<T, S, C>(mut source: S, collector: Arc<C>, leaf_size: usize) -> C::Acc
+fn recurse<T, S, C>(mut source: S, collector: Arc<C>, leaf_size: usize, depth: u32) -> C::Acc
 where
     T: Send + 'static,
     S: Spliterator<T> + 'static,
@@ -94,16 +127,32 @@ where
     if source.estimate_size() <= leaf_size {
         return run_leaf(&mut source, &*collector);
     }
+    let observe = plobs::enabled();
+    let descend_start = if observe { Some(Instant::now()) } else { None };
     match source.try_split() {
         None => run_leaf(&mut source, &*collector),
         Some(prefix) => {
+            if let Some(start) = descend_start {
+                plobs::emit(Event::Split { depth });
+                plobs::emit(Event::DescendNs {
+                    ns: start.elapsed().as_nanos() as u64,
+                });
+            }
             let c_left = Arc::clone(&collector);
             let c_right = Arc::clone(&collector);
             let (left, right) = join(
-                move || recurse(prefix, c_left, leaf_size),
-                move || recurse(source, c_right, leaf_size),
+                move || recurse(prefix, c_left, leaf_size, depth + 1),
+                move || recurse(source, c_right, leaf_size, depth + 1),
             );
-            collector.combine(left, right)
+            let combine_start = if observe { Some(Instant::now()) } else { None };
+            let out = collector.combine(left, right);
+            if let Some(start) = combine_start {
+                plobs::emit(Event::Combine {
+                    depth,
+                    ns: start.elapsed().as_nanos() as u64,
+                });
+            }
+            out
         }
     }
 }

@@ -14,12 +14,33 @@
 //! only if its value is less than the local iterator value … due to the
 //! non-determinism of parallel task execution".
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
 
 /// A clonable handle to state shared between splitting and collecting.
 pub struct SharedState<S> {
     inner: Arc<Mutex<S>>,
+}
+
+impl<S> SharedState<S> {
+    /// Acquires the lock; when an observability sink is installed, each
+    /// acquisition is reported with whether the `try_lock` fast path
+    /// failed (i.e. the paper's `synchronized` block was contended).
+    fn lock(&self) -> MutexGuard<'_, S> {
+        if !plobs::enabled() {
+            return self.inner.lock();
+        }
+        match self.inner.try_lock() {
+            Some(g) => {
+                plobs::emit(plobs::Event::SharedStateLock { contended: false });
+                g
+            }
+            None => {
+                plobs::emit(plobs::Event::SharedStateLock { contended: true });
+                self.inner.lock()
+            }
+        }
+    }
 }
 
 impl<S> Clone for SharedState<S> {
@@ -41,19 +62,19 @@ impl<S> SharedState<S> {
     /// Runs `f` with exclusive access to the state (the paper's
     /// `synchronized` block) and returns its result.
     pub fn update<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
-        f(&mut self.inner.lock())
+        f(&mut self.lock())
     }
 
     /// Reads the state through a closure without cloning.
     pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> R {
-        f(&self.inner.lock())
+        f(&self.lock())
     }
 }
 
 impl<S: Clone> SharedState<S> {
     /// Snapshot of the current value.
     pub fn get(&self) -> S {
-        self.inner.lock().clone()
+        self.lock().clone()
     }
 }
 
@@ -62,7 +83,7 @@ impl<S: Ord + Copy> SharedState<S> {
     /// to `candidate` if it is larger; returns the value after the
     /// update.
     pub fn update_max(&self, candidate: S) -> S {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         if *g < candidate {
             *g = candidate;
         }
@@ -78,7 +99,7 @@ impl<S: Default> Default for SharedState<S> {
 
 impl<S: std::fmt::Debug> std::fmt::Debug for SharedState<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SharedState({:?})", self.inner.lock())
+        write!(f, "SharedState({:?})", self.lock())
     }
 }
 

@@ -60,9 +60,18 @@ impl<T, S: ItemSource<T>> ItemSource<T> for LimitSpliterator<S> {
 // inner run no longer matches the logical run, so no borrowed access.
 impl<T, S> LeafAccess<T> for LimitSpliterator<S> {}
 
+/// Allowance distribution treats the prefix's reported size as exact,
+/// which only `SIZED | SUBSIZED` sources guarantee. A filtered inner
+/// reports an upper bound: splitting there would hand the prefix
+/// allowance (or skip debt) it cannot fulfil, dropping or leaking
+/// elements. Such pipelines stay sequential — always correct.
+fn splittable_exactly<T>(inner: &impl Spliterator<T>) -> bool {
+    inner.has_characteristics(Characteristics::SIZED | Characteristics::SUBSIZED)
+}
+
 impl<T, S: Spliterator<T>> Spliterator<T> for LimitSpliterator<S> {
     fn try_split(&mut self) -> Option<Self> {
-        if self.remaining < 2 {
+        if self.remaining < 2 || !splittable_exactly(&self.inner) {
             return None;
         }
         let prefix = self.inner.try_split()?;
@@ -132,6 +141,9 @@ impl<T, S> LeafAccess<T> for SkipSpliterator<S> {}
 
 impl<T, S: Spliterator<T>> Spliterator<T> for SkipSpliterator<S> {
     fn try_split(&mut self) -> Option<Self> {
+        if !splittable_exactly(&self.inner) {
+            return None;
+        }
         let prefix = self.inner.try_split()?;
         // The prefix absorbs skip up to its exact size.
         let prefix_size = prefix.estimate_size();

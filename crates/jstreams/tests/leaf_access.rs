@@ -15,7 +15,16 @@ use jstreams::{
 use powerlist::tabulate;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serialises the tests in this binary. The plobs sink is process
+/// global: a collect running in one test while another test records
+/// would leak its leaf events into that test's `RunReport`. Every test
+/// that drives a collect takes this lock first.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 // ---------------------------------------------------------------------
 // Singleton leaves (leaf_size 1)
@@ -23,6 +32,7 @@ use std::sync::Arc;
 
 #[test]
 fn leaf_size_one_tie_and_zip() {
+    let _serial = serial();
     // Every leaf is a single borrowed element; both decompositions must
     // still reassemble correctly through their combiners.
     let pool = ForkJoinPool::new(2);
@@ -52,6 +62,7 @@ fn leaf_size_one_tie_and_zip() {
 
 #[test]
 fn singleton_source_is_a_borrowed_leaf() {
+    let _serial = serial();
     let list = tabulate(1, |_| 41i64).unwrap();
     let sp = TieSpliterator::over(list);
     assert_eq!(sp.try_as_slice(), Some(&[41i64][..]));
@@ -64,6 +75,7 @@ fn singleton_source_is_a_borrowed_leaf() {
 
 #[test]
 fn zip_residue_has_no_contiguous_borrow() {
+    let _serial = serial();
     let list = tabulate(8, |i| i as i64).unwrap();
     let mut odds = ZipSpliterator::over(list);
     let mut evens = odds.try_split().expect("length 8 splits");
@@ -101,6 +113,7 @@ fn zip_residue_has_no_contiguous_borrow() {
 
 #[test]
 fn strided_kernel_agrees_with_cloning_drain_on_residues() {
+    let _serial = serial();
     // For every split depth, the strided kernel and the per-element
     // drain must fold the same residue class.
     let list = tabulate(32, |i| (i as i64) * 7 - 50).unwrap();
@@ -137,6 +150,7 @@ fn strided_kernel_agrees_with_cloning_drain_on_residues() {
 
 #[test]
 fn power2_gate_rejects_non_power_lengths() {
+    let _serial = serial();
     // SliceSpliterator never advertises POWER2, whatever its length.
     let s = SliceSpliterator::new((0..6i64).collect());
     assert!(require_power2(&s).is_err());
@@ -158,6 +172,7 @@ fn power2_gate_rejects_non_power_lengths() {
 
 #[test]
 fn power2_gate_used_by_power_stream_paths() {
+    let _serial = serial();
     // PowerList construction itself refuses non-power-of-two shapes, so
     // the stream entry point can never observe one.
     assert!(powerlist::PowerList::from_vec(vec![1, 2, 3]).is_err());
@@ -214,6 +229,7 @@ impl Collector<i64> for PoisonSliceKernel {
 
 #[test]
 fn leaf_kernel_panic_propagates_par_and_seq() {
+    let _serial = serial();
     let pool = ForkJoinPool::new(2);
     let list = tabulate(64, |i| i as i64).unwrap(); // contains 13
 
@@ -298,6 +314,7 @@ impl Collector<i64> for RouteCounter {
 
 #[test]
 fn tie_collect_uses_only_slice_kernels() {
+    let _serial = serial();
     let pool = ForkJoinPool::new(2);
     let list = tabulate(64, |i| i as i64).unwrap();
     let collector = Arc::new(RouteCounter::new());
@@ -314,6 +331,7 @@ fn tie_collect_uses_only_slice_kernels() {
 
 #[test]
 fn zip_collect_uses_strided_kernels_after_splitting() {
+    let _serial = serial();
     let pool = ForkJoinPool::new(2);
     let list = tabulate(64, |i| i as i64).unwrap();
     let collector = Arc::new(RouteCounter::new());
@@ -326,6 +344,7 @@ fn zip_collect_uses_strided_kernels_after_splitting() {
 
 #[test]
 fn opaque_sources_still_use_the_cloning_drain() {
+    let _serial = serial();
     // SliceSpliterator borrowed runs exist; but a collector without
     // kernels — represented here by VecCollector's default on a source
     // whose LeafAccess is hidden — must still work. The simplest opaque
@@ -338,4 +357,139 @@ fn opaque_sources_still_use_the_cloning_drain() {
     sp.for_each_remaining(&mut |x| collector.accumulate(&mut acc, x));
     assert_eq!(acc, 45);
     assert_eq!(collector.cloned_items.load(Ordering::Relaxed), 10);
+}
+
+// ---------------------------------------------------------------------
+// Route observability: the plobs sink sees the same dispatch the
+// test-private counters do
+// ---------------------------------------------------------------------
+
+#[test]
+fn recorded_tie_collect_reports_slice_route_only() {
+    let _serial = serial();
+    let pool = ForkJoinPool::new(2);
+    let list = tabulate(64, |i| i as i64).unwrap();
+    let (out, report) = plobs::recorded(|| {
+        collect_par(
+            &pool,
+            TieSpliterator::over(list),
+            Arc::new(RouteCounter::new()),
+            8,
+        )
+    });
+    assert_eq!(out, (0..64).sum::<i64>());
+    assert_eq!(report.routes.zero_copy_slice.leaves, 8);
+    assert_eq!(report.routes.zero_copy_slice.items, 64);
+    assert_eq!(report.routes.zero_copy_strided.leaves, 0);
+    assert_eq!(report.routes.cloning_drain.leaves, 0);
+    // Tree shape: 8 leaves of a binary tree = 7 splits and 7 combines,
+    // one per depth level 0..=2.
+    assert_eq!(report.splits, 7);
+    assert_eq!(report.combines, 7);
+    assert_eq!(report.split_depths, vec![1, 2, 4]);
+    assert_eq!(report.max_split_depth(), 2);
+}
+
+#[test]
+fn recorded_zip_collect_reports_strided_route_only() {
+    let _serial = serial();
+    let pool = ForkJoinPool::new(2);
+    let list = tabulate(64, |i| i as i64).unwrap();
+    let (out, report) = plobs::recorded(|| {
+        collect_par(
+            &pool,
+            ZipSpliterator::over(list),
+            Arc::new(RouteCounter::new()),
+            8,
+        )
+    });
+    assert_eq!(out, (0..64).sum::<i64>());
+    assert_eq!(report.routes.zero_copy_strided.leaves, 8);
+    assert_eq!(report.routes.zero_copy_strided.items, 64);
+    assert_eq!(report.routes.zero_copy_slice.leaves, 0);
+    assert_eq!(report.routes.cloning_drain.leaves, 0);
+}
+
+// ---------------------------------------------------------------------
+// Regression: a strided-only collector on a contiguous leaf (step 1)
+// must still take the zero-copy path, not silently drop to the drain
+// ---------------------------------------------------------------------
+
+/// Implements only `leaf_strided` — like a collector whose kernel is
+/// written once for the general strided shape. Before the step-1
+/// fallback fix, `run_leaf` only tried `leaf_slice` on contiguous runs,
+/// so this collector was silently demoted to the cloning drain.
+struct StridedOnlyCollector {
+    strided_leaves: AtomicUsize,
+    cloned_items: AtomicUsize,
+}
+
+impl StridedOnlyCollector {
+    fn new() -> Self {
+        StridedOnlyCollector {
+            strided_leaves: AtomicUsize::new(0),
+            cloned_items: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Collector<i64> for StridedOnlyCollector {
+    type Acc = i64;
+    type Out = i64;
+
+    fn supplier(&self) -> i64 {
+        0
+    }
+
+    fn accumulate(&self, acc: &mut i64, item: i64) {
+        self.cloned_items.fetch_add(1, Ordering::Relaxed);
+        *acc += item;
+    }
+
+    fn combine(&self, l: i64, r: i64) -> i64 {
+        l + r
+    }
+
+    fn finish(&self, acc: i64) -> i64 {
+        acc
+    }
+
+    fn leaf_strided(&self, items: &[i64], step: usize) -> Option<i64> {
+        self.strided_leaves.fetch_add(1, Ordering::Relaxed);
+        Some(items.iter().step_by(step).sum())
+    }
+}
+
+#[test]
+fn strided_only_collector_gets_zero_copy_on_contiguous_leaves() {
+    let _serial = serial();
+    let pool = ForkJoinPool::new(2);
+    let list = tabulate(64, |i| i as i64).unwrap();
+    let collector = Arc::new(StridedOnlyCollector::new());
+    let (out, report) = plobs::recorded(|| {
+        collect_par(&pool, TieSpliterator::over(list), Arc::clone(&collector), 8)
+    });
+    assert_eq!(out, (0..64).sum::<i64>());
+    assert_eq!(
+        collector.strided_leaves.load(Ordering::Relaxed),
+        8,
+        "every contiguous leaf must reach leaf_strided(step = 1)"
+    );
+    assert_eq!(
+        collector.cloned_items.load(Ordering::Relaxed),
+        0,
+        "no leaf may fall back to the cloning drain"
+    );
+    assert_eq!(report.routes.zero_copy_strided.leaves, 8);
+    assert_eq!(report.routes.cloning_drain.leaves, 0);
+
+    // Sequential collect takes the same route: one whole-source leaf.
+    let list = tabulate(16, |i| i as i64).unwrap();
+    let collector = StridedOnlyCollector::new();
+    let (out, report) = plobs::recorded(|| collect_seq(TieSpliterator::over(list), &collector));
+    assert_eq!(out, (0..16).sum::<i64>());
+    assert_eq!(collector.strided_leaves.load(Ordering::Relaxed), 1);
+    assert_eq!(collector.cloned_items.load(Ordering::Relaxed), 0);
+    assert_eq!(report.routes.zero_copy_strided.leaves, 1);
+    assert_eq!(report.routes.zero_copy_strided.items, 16);
 }

@@ -1,0 +1,119 @@
+//! The structured event vocabulary shared by every instrumented layer.
+//!
+//! Each variant of [`Event`] corresponds to one occurrence the paper's
+//! evaluation cares about: tree structure (`Split`/`Combine`), leaf
+//! dispatch ([`LeafRoute`]), scheduler behaviour (`Pool*`), shared-state
+//! contention, and MPI-sim traffic. Events are small `Copy` values so
+//! emission never allocates.
+
+/// Which leaf kernel the collect driver dispatched to for one leaf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LeafRoute {
+    /// `Collector::leaf_slice` over a contiguous borrowed run.
+    ZeroCopySlice,
+    /// `Collector::leaf_strided` over a borrowed strided run.
+    ZeroCopyStrided,
+    /// The generic fallback: items cloned out one by one via
+    /// `try_advance` and fed to `accumulate`.
+    CloningDrain,
+    /// A leaf computed by a template/executor leaf case (JPLF) rather
+    /// than a streams collector kernel.
+    Template,
+}
+
+impl LeafRoute {
+    /// Stable lowercase name, used as the JSON key for the route.
+    pub fn name(self) -> &'static str {
+        match self {
+            LeafRoute::ZeroCopySlice => "zero_copy_slice",
+            LeafRoute::ZeroCopyStrided => "zero_copy_strided",
+            LeafRoute::CloningDrain => "cloning_drain",
+            LeafRoute::Template => "template",
+        }
+    }
+}
+
+/// Where a worker found a job it did not pop from its own deque.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StealSource {
+    /// The pool-global injector queue.
+    Injector,
+    /// Another worker's deque.
+    Peer,
+}
+
+/// One structured occurrence in an instrumented run.
+///
+/// Durations are in nanoseconds and are measured by the emitting site
+/// *only when a sink is installed* (see the crate-level
+/// zero-cost-when-disabled contract).
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// A spliterator was split; `depth` is the tree depth of the node
+    /// that split (root = 0).
+    Split {
+        /// Tree depth of the node that split.
+        depth: u32,
+    },
+    /// Time attributed to the descending phase (splitting and task
+    /// setup), excluding leaf and combine work.
+    DescendNs {
+        /// Nanoseconds spent descending.
+        ns: u64,
+    },
+    /// A leaf was evaluated.
+    Leaf {
+        /// Which kernel the driver dispatched to.
+        route: LeafRoute,
+        /// Number of items the leaf covered.
+        items: u64,
+        /// Nanoseconds spent inside the leaf kernel.
+        ns: u64,
+    },
+    /// Two child results were combined.
+    Combine {
+        /// Tree depth of the combining node (root = 0).
+        depth: u32,
+        /// Nanoseconds spent in the combiner.
+        ns: u64,
+    },
+    /// A pool worker executed one job.
+    PoolExecute {
+        /// Worker index within its pool.
+        worker: u32,
+    },
+    /// A pool worker obtained a job by stealing.
+    PoolSteal {
+        /// The thief.
+        worker: u32,
+        /// Where the job came from.
+        source: StealSource,
+    },
+    /// A pool worker parked (went to sleep awaiting work).
+    PoolPark {
+        /// Worker index within its pool.
+        worker: u32,
+    },
+    /// A `join` resolved; `stolen` is true when the pending half had
+    /// been stolen by another worker (the joiner helped while waiting).
+    PoolJoin {
+        /// Whether the pending half was executed by a thief.
+        stolen: bool,
+    },
+    /// A `SharedState` lock acquisition; `contended` is true when the
+    /// uncontended `try_lock` fast path failed and the caller blocked.
+    SharedStateLock {
+        /// Whether the acquisition had to block.
+        contended: bool,
+    },
+    /// One MPI-sim point-to-point message (collectives decompose into
+    /// these).
+    MpiSend {
+        /// Sending rank.
+        from: u32,
+        /// Receiving rank.
+        to: u32,
+        /// Payload size in bytes (`size_of` the message type).
+        bytes: u64,
+    },
+}

@@ -1,0 +1,412 @@
+//! The merged view of a recorded run, plus its JSON rendering.
+
+use std::fmt::Write as _;
+
+/// Leaf statistics for one dispatch route.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Number of leaves that took this route.
+    pub leaves: u64,
+    /// Total items those leaves covered.
+    pub items: u64,
+}
+
+/// Leaf counts broken down by [`LeafRoute`](crate::LeafRoute).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteHistogram {
+    /// Leaves served by `Collector::leaf_slice`.
+    pub zero_copy_slice: RouteStats,
+    /// Leaves served by `Collector::leaf_strided`.
+    pub zero_copy_strided: RouteStats,
+    /// Leaves that fell back to the cloning drain.
+    pub cloning_drain: RouteStats,
+    /// Leaves computed by a JPLF template leaf case.
+    pub template: RouteStats,
+}
+
+impl RouteHistogram {
+    /// Total number of leaves across all routes.
+    pub fn total_leaves(&self) -> u64 {
+        self.zero_copy_slice.leaves
+            + self.zero_copy_strided.leaves
+            + self.cloning_drain.leaves
+            + self.template.leaves
+    }
+
+    /// Total items across all routes.
+    pub fn total_items(&self) -> u64 {
+        self.zero_copy_slice.items
+            + self.zero_copy_strided.items
+            + self.cloning_drain.items
+            + self.template.items
+    }
+}
+
+/// Scheduler activity attributed to one pool worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index within its pool.
+    pub worker: u32,
+    /// Jobs this worker executed.
+    pub executed: u64,
+    /// Jobs it claimed from the global injector.
+    pub injector_steals: u64,
+    /// Jobs it stole from peer deques.
+    pub peer_steals: u64,
+    /// Times it parked awaiting work.
+    pub parks: u64,
+}
+
+/// MPI-sim traffic attributed to one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankStats {
+    /// Rank number.
+    pub rank: u32,
+    /// Messages this rank sent.
+    pub sends: u64,
+    /// Bytes this rank sent.
+    pub send_bytes: u64,
+    /// Messages this rank received.
+    pub recvs: u64,
+    /// Bytes this rank received.
+    pub recv_bytes: u64,
+}
+
+/// The merged result of one recorded section: tree shape, phase times,
+/// leaf-route histogram, scheduler activity and MPI traffic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Number of splits in the divide phase.
+    pub splits: u64,
+    /// Histogram of split counts by tree depth (index = depth), trimmed
+    /// of trailing zeros.
+    pub split_depths: Vec<u64>,
+    /// Nanoseconds attributed to the descending phase.
+    pub descend_ns: u64,
+    /// Leaf counts by dispatch route.
+    pub routes: RouteHistogram,
+    /// Nanoseconds spent inside leaf kernels.
+    pub leaf_ns: u64,
+    /// Number of combine steps in the ascending phase.
+    pub combines: u64,
+    /// Nanoseconds spent combining.
+    pub ascend_ns: u64,
+    /// Jobs executed across all pool workers.
+    pub executed: u64,
+    /// Per-worker scheduler activity (trimmed to the workers that did
+    /// anything).
+    pub per_worker: Vec<WorkerStats>,
+    /// Joins resolved.
+    pub joins: u64,
+    /// Joins whose pending half was executed by a thief.
+    pub joins_stolen: u64,
+    /// `SharedState` lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Acquisitions that had to block past the `try_lock` fast path.
+    pub lock_contended: u64,
+    /// Per-rank MPI-sim traffic (empty for non-MPI runs).
+    pub per_rank: Vec<RankStats>,
+}
+
+impl RunReport {
+    /// Deepest tree level at which a split occurred (0 when no splits).
+    pub fn max_split_depth(&self) -> u32 {
+        self.split_depths.len().saturating_sub(1) as u32
+    }
+
+    /// Total phase time: descend + leaf + ascend, in nanoseconds.
+    pub fn phase_ns(&self) -> u64 {
+        self.descend_ns + self.leaf_ns + self.ascend_ns
+    }
+
+    /// Fraction of phase time spent descending (0 when nothing timed).
+    pub fn descend_share(&self) -> f64 {
+        share(self.descend_ns, self.phase_ns())
+    }
+
+    /// Fraction of phase time spent in leaf kernels.
+    pub fn leaf_share(&self) -> f64 {
+        share(self.leaf_ns, self.phase_ns())
+    }
+
+    /// Fraction of phase time spent combining.
+    pub fn ascend_share(&self) -> f64 {
+        share(self.ascend_ns, self.phase_ns())
+    }
+
+    /// Total steals (injector + peer) across all workers.
+    pub fn steals(&self) -> u64 {
+        self.per_worker
+            .iter()
+            .map(|w| w.injector_steals + w.peer_steals)
+            .sum()
+    }
+
+    /// Steals per executed job (0 when nothing executed).
+    pub fn steal_ratio(&self) -> f64 {
+        share(self.steals(), self.executed)
+    }
+
+    /// Contended fraction of `SharedState` lock acquisitions.
+    pub fn contention_ratio(&self) -> f64 {
+        share(self.lock_contended, self.lock_acquisitions)
+    }
+
+    /// Renders the report as a self-describing JSON object (schema tag
+    /// `plobs.run_report.v1`). The output always passes
+    /// [`crate::json::validate`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\":\"plobs.run_report.v1\",");
+
+        out.push_str("\"tree\":{");
+        let _ = write!(
+            out,
+            "\"splits\":{},\"max_split_depth\":{},\"split_depths\":[",
+            self.splits,
+            self.max_split_depth()
+        );
+        push_u64_list(&mut out, self.split_depths.iter().copied());
+        let _ = write!(out, "],\"combines\":{}}},", self.combines);
+
+        out.push_str("\"phases\":{");
+        let _ = write!(
+            out,
+            "\"descend_ns\":{},\"leaf_ns\":{},\"ascend_ns\":{},\
+             \"descend_share\":{},\"leaf_share\":{},\"ascend_share\":{}}},",
+            self.descend_ns,
+            self.leaf_ns,
+            self.ascend_ns,
+            json_f64(self.descend_share()),
+            json_f64(self.leaf_share()),
+            json_f64(self.ascend_share()),
+        );
+
+        out.push_str("\"routes\":{");
+        push_route(&mut out, "zero_copy_slice", self.routes.zero_copy_slice);
+        out.push(',');
+        push_route(&mut out, "zero_copy_strided", self.routes.zero_copy_strided);
+        out.push(',');
+        push_route(&mut out, "cloning_drain", self.routes.cloning_drain);
+        out.push(',');
+        push_route(&mut out, "template", self.routes.template);
+        let _ = write!(
+            out,
+            ",\"total_leaves\":{},\"total_items\":{}}},",
+            self.routes.total_leaves(),
+            self.routes.total_items()
+        );
+
+        out.push_str("\"pool\":{");
+        let _ = write!(
+            out,
+            "\"executed\":{},\"joins\":{},\"joins_stolen\":{},\"steals\":{},\
+             \"steal_ratio\":{},\"workers\":[",
+            self.executed,
+            self.joins,
+            self.joins_stolen,
+            self.steals(),
+            json_f64(self.steal_ratio()),
+        );
+        for (i, w) in self.per_worker.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"worker\":{},\"executed\":{},\"injector_steals\":{},\
+                 \"peer_steals\":{},\"parks\":{}}}",
+                w.worker, w.executed, w.injector_steals, w.peer_steals, w.parks
+            );
+        }
+        out.push_str("]},");
+
+        let _ = write!(
+            out,
+            "\"shared_state\":{{\"acquisitions\":{},\"contended\":{},\
+             \"contention_ratio\":{}}},",
+            self.lock_acquisitions,
+            self.lock_contended,
+            json_f64(self.contention_ratio()),
+        );
+
+        out.push_str("\"mpi\":{\"ranks\":[");
+        for (i, r) in self.per_rank.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rank\":{},\"sends\":{},\"send_bytes\":{},\
+                 \"recvs\":{},\"recv_bytes\":{}}}",
+                r.rank, r.sends, r.send_bytes, r.recvs, r.recv_bytes
+            );
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Renders a short human-readable tree summary (used by the
+    /// polynomial example): one line per phase plus route and
+    /// scheduler totals.
+    pub fn tree_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  tree: {} splits (max depth {}), {} leaves, {} combines",
+            self.splits,
+            self.max_split_depth(),
+            self.routes.total_leaves(),
+            self.combines
+        );
+        let _ = writeln!(
+            out,
+            "  phases: descend {:.1}% | leaf {:.1}% | ascend {:.1}%  ({} ns timed)",
+            100.0 * self.descend_share(),
+            100.0 * self.leaf_share(),
+            100.0 * self.ascend_share(),
+            self.phase_ns()
+        );
+        let _ = writeln!(
+            out,
+            "  routes: slice {} / strided {} / cloned {} / template {} (leaves)",
+            self.routes.zero_copy_slice.leaves,
+            self.routes.zero_copy_strided.leaves,
+            self.routes.cloning_drain.leaves,
+            self.routes.template.leaves
+        );
+        let _ = write!(
+            out,
+            "  pool: {} executed, {} steals (ratio {:.2}), {} joins ({} stolen)",
+            self.executed,
+            self.steals(),
+            self.steal_ratio(),
+            self.joins,
+            self.joins_stolen
+        );
+        out
+    }
+}
+
+fn share(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// Formats a finite `f64` as a JSON number. Shares and ratios are
+/// always finite by construction.
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    format!("{:.6}", v)
+}
+
+fn push_u64_list(out: &mut String, items: impl Iterator<Item = u64>) {
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", v);
+    }
+}
+
+fn push_route(out: &mut String, name: &str, stats: RouteStats) {
+    let _ = write!(
+        out,
+        "\"{}\":{{\"leaves\":{},\"items\":{}}}",
+        name, stats.leaves, stats.items
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            splits: 7,
+            split_depths: vec![1, 2, 4],
+            descend_ns: 100,
+            routes: RouteHistogram {
+                zero_copy_slice: RouteStats {
+                    leaves: 8,
+                    items: 64,
+                },
+                ..Default::default()
+            },
+            leaf_ns: 700,
+            combines: 7,
+            ascend_ns: 200,
+            executed: 14,
+            per_worker: vec![
+                WorkerStats {
+                    worker: 0,
+                    executed: 8,
+                    injector_steals: 1,
+                    peer_steals: 0,
+                    parks: 2,
+                },
+                WorkerStats {
+                    worker: 1,
+                    executed: 6,
+                    injector_steals: 0,
+                    peer_steals: 3,
+                    parks: 1,
+                },
+            ],
+            joins: 7,
+            joins_stolen: 2,
+            lock_acquisitions: 10,
+            lock_contended: 1,
+            per_rank: vec![RankStats {
+                rank: 0,
+                sends: 3,
+                send_bytes: 24,
+                recvs: 3,
+                recv_bytes: 24,
+            }],
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one_when_timed() {
+        let r = sample();
+        let total = r.descend_share() + r.leaf_share() + r.ascend_share();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((r.leaf_share() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_has_zero_shares_not_nan() {
+        let r = RunReport::default();
+        assert_eq!(r.descend_share(), 0.0);
+        assert_eq!(r.steal_ratio(), 0.0);
+        assert_eq!(r.contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn steal_ratio_counts_both_sources() {
+        let r = sample();
+        assert_eq!(r.steals(), 4);
+        assert!((r.steal_ratio() - 4.0 / 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_valid_and_self_describing() {
+        let r = sample();
+        let json = r.to_json();
+        crate::json::validate(&json).unwrap();
+        assert!(json.starts_with("{\"schema\":\"plobs.run_report.v1\""));
+        assert!(json.contains("\"split_depths\":[1,2,4]"));
+        assert!(json.contains("\"zero_copy_slice\":{\"leaves\":8,\"items\":64}"));
+        assert!(json.contains("\"leaf_share\":0.700000"));
+        assert!(json.contains("\"ranks\":[{\"rank\":0"));
+    }
+
+    #[test]
+    fn empty_report_json_is_valid() {
+        crate::json::validate(&RunReport::default().to_json()).unwrap();
+    }
+}

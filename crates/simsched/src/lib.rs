@@ -29,6 +29,7 @@ pub mod dag;
 pub mod dnc;
 pub mod machine;
 pub mod predict;
+pub mod replay;
 pub mod schedule;
 
 pub use dag::{Dag, TaskId, TaskNode};
@@ -38,4 +39,5 @@ pub use predict::{
     predict_map_collect, predict_poly, predict_poly_sweep, predict_scaling, MapCostModel,
     PolyPrediction, JVM_ARTIFACT_FACTOR, JVM_ARTIFACT_SIZE,
 };
+pub use replay::{replay, replay_report};
 pub use schedule::{simulate, Schedule};

@@ -1,0 +1,136 @@
+//! Replaying a simulated schedule into the observability layer.
+//!
+//! A [`crate::schedule::simulate`] run produces the same information a
+//! real execution would hand to `plobs` — which task ran where, and what
+//! each split/leaf/combine cost — just with modelled nanoseconds instead
+//! of measured ones. This module replays a D&C DAG plus its [`Schedule`]
+//! into an [`EventSink`], so simulated runs aggregate into the exact
+//! same [`RunReport`] JSON as live `jstreams`/`jplf` executions and the
+//! two can be diffed row-for-row in `plbench` trajectories.
+//!
+//! Task kinds are recovered structurally from the series-parallel shape
+//! [`crate::build_dnc`] produces: a *split* forks two children
+//! (out-degree 2), a *combine* joins two subtree roots (in-degree 2),
+//! and everything else is a *leaf*. Leaves are recorded under the
+//! [`LeafRoute::Template`] route with `items = 0`, because the cost
+//! model does not retain per-leaf element counts — only counts and
+//! modelled nanoseconds are meaningful in a replayed report.
+
+use crate::dag::Dag;
+use crate::schedule::Schedule;
+use plobs::{Event, EventSink, LeafRoute, RunRecorder, RunReport};
+
+/// Replays `dag` + `schedule` into `sink`, one [`Event::PoolExecute`]
+/// per task (on the simulated core that ran it) plus the matching
+/// split/leaf/combine event with the task's modelled cost.
+///
+/// # Panics
+///
+/// Panics when `schedule` was not produced from `dag` (core assignments
+/// shorter than the task table).
+pub fn replay(dag: &Dag, schedule: &Schedule, sink: &dyn EventSink) {
+    assert!(
+        schedule.core.len() >= dag.len(),
+        "schedule covers {} tasks but the DAG has {}",
+        schedule.core.len(),
+        dag.len()
+    );
+    // Out-degree distinguishes splits from leaves.
+    let mut out_degree = vec![0usize; dag.len()];
+    for (_, t) in dag.iter() {
+        for &d in &t.deps {
+            out_degree[d] += 1;
+        }
+    }
+    for (id, t) in dag.iter() {
+        sink.record(&Event::PoolExecute {
+            worker: schedule.core[id] as u32,
+        });
+        let ns = t.cost as u64;
+        if t.deps.len() == 2 {
+            sink.record(&Event::Combine { depth: t.label, ns });
+        } else if out_degree[id] == 2 {
+            sink.record(&Event::Split { depth: t.label });
+            sink.record(&Event::DescendNs { ns });
+        } else {
+            sink.record(&Event::Leaf {
+                route: LeafRoute::Template,
+                items: 0,
+                ns,
+            });
+        }
+    }
+}
+
+/// Convenience wrapper: replays into a call-local recorder and returns
+/// the aggregated [`RunReport`]. Nothing is installed globally.
+pub fn replay_report(dag: &Dag, schedule: &Schedule) -> RunReport {
+    let recorder = RunRecorder::new();
+    replay(dag, schedule, &recorder);
+    recorder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnc::{build_dnc, FnCosts};
+    use crate::schedule::simulate;
+
+    fn costs() -> impl crate::dnc::DncCosts {
+        FnCosts {
+            split: |_, _| 3.0,
+            leaf: |s| s as f64,
+            combine: |_, _| 5.0,
+        }
+    }
+
+    #[test]
+    fn replayed_counts_match_tree_shape() {
+        // 64 elements, leaf 8 → 7 splits, 8 leaves, 7 combines.
+        let (dag, _) = build_dnc(64, 8, &costs());
+        let report = replay_report(&dag, &simulate(&dag, 4));
+        assert_eq!(report.splits, 7);
+        assert_eq!(report.combines, 7);
+        assert_eq!(report.routes.template.leaves, 8);
+        assert_eq!(report.routes.total_leaves(), 8);
+        assert_eq!(report.split_depths, vec![1, 2, 4]);
+        assert_eq!(report.max_split_depth(), 2);
+    }
+
+    #[test]
+    fn replayed_costs_match_dag_phases() {
+        let (dag, _) = build_dnc(64, 8, &costs());
+        let report = replay_report(&dag, &simulate(&dag, 4));
+        assert_eq!(report.descend_ns, 7 * 3);
+        assert_eq!(report.leaf_ns, 64);
+        assert_eq!(report.ascend_ns, 7 * 5);
+    }
+
+    #[test]
+    fn every_task_is_an_execute_on_its_core() {
+        let (dag, _) = build_dnc(128, 4, &costs());
+        let schedule = simulate(&dag, 3);
+        let report = replay_report(&dag, &schedule);
+        assert_eq!(report.executed, dag.len() as u64);
+        let per_core: u64 = report.per_worker.iter().map(|w| w.executed).sum();
+        assert_eq!(per_core, dag.len() as u64);
+        assert!(report.per_worker.len() <= 3);
+    }
+
+    #[test]
+    fn single_leaf_dag_is_just_a_leaf() {
+        let (dag, _) = build_dnc(4, 8, &costs());
+        let report = replay_report(&dag, &simulate(&dag, 2));
+        assert_eq!(report.splits, 0);
+        assert_eq!(report.combines, 0);
+        assert_eq!(report.routes.template.leaves, 1);
+        assert_eq!(report.leaf_ns, 4);
+    }
+
+    #[test]
+    fn replayed_report_serialises_to_valid_json() {
+        let (dag, _) = build_dnc(256, 16, &costs());
+        let report = replay_report(&dag, &simulate(&dag, 8));
+        plobs::json::validate(&report.to_json()).expect("replayed report must be valid JSON");
+    }
+}

@@ -82,6 +82,32 @@ fn main() {
         );
     }
     println!("all routes agree ✓");
+
+    // Instrumented re-run: one recorded pass over the parallel stream
+    // collect, the JPLF fork-join executor and the MPI simulation — all
+    // three feed the same event sink, so one report covers the whole
+    // tree. The timed runs above executed with no sink installed.
+    let (_, report) = plobs::recorded(|| {
+        plalgo::eval_par_stream(coeffs.clone(), x);
+        exec.execute(&plalgo::VpFunction::new(x), &view);
+        jplf::MpiExecutor::new(4).execute(&plalgo::VpFunction::new(x), &view);
+    });
+    println!("\nrun report (parallel stream + JPLF fork-join + MPI-sim):");
+    println!("{}", report.tree_summary());
+    if !report.per_rank.is_empty() {
+        let sends: u64 = report.per_rank.iter().map(|r| r.sends).sum();
+        let bytes: u64 = report.per_rank.iter().map(|r| r.send_bytes).sum();
+        println!(
+            "  mpi: {} ranks, {sends} messages, {bytes} bytes",
+            report.per_rank.len()
+        );
+    }
+    // The smoke test in ci.sh greps for this line: the report must
+    // serialise to strictly valid JSON.
+    match plobs::json::validate(&report.to_json()) {
+        Ok(()) => println!("run report JSON: valid"),
+        Err(e) => panic!("malformed RunReport JSON: {e}"),
+    }
 }
 
 fn ms(t: Instant) -> f64 {

@@ -25,6 +25,22 @@ use jstreams::{
 };
 use powerlist::PowerList;
 use proptest::prelude::*;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The recorded tests below install a **global** plobs sink, so any
+/// test running concurrently in this binary would leak its events into
+/// their reports (the Opaque-forced cloning drains especially). The
+/// route properties share this lock for reading; the recorded tests
+/// take it exclusively.
+static ROUTE_LOCK: RwLock<()> = RwLock::new(());
+
+fn shared() -> RwLockReadGuard<'static, ()> {
+    ROUTE_LOCK.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn exclusive() -> RwLockWriteGuard<'static, ()> {
+    ROUTE_LOCK.write().unwrap_or_else(|e| e.into_inner())
+}
 
 // ---------------------------------------------------------------------
 // Route plumbing
@@ -98,6 +114,7 @@ proptest! {
     #[test]
     fn map_routes_agree(p in powerlist_i64(9), c in -7i64..7, zip in any::<bool>(),
                         leaf in 1usize..64) {
+        let _shared = shared();
         let (ds, dj) = decomp_of(zip);
         let spec = powerlist::ops::map(&p, |x| x * c - 3);
 
@@ -135,6 +152,7 @@ proptest! {
         }),
         leaf in 1usize..32,
     ) {
+        let _shared = shared();
         let compose = |l: (i64, i64), r: (i64, i64)| {
             (l.0.wrapping_mul(r.0), l.0.wrapping_mul(r.1).wrapping_add(l.1))
         };
@@ -167,6 +185,7 @@ proptest! {
     #[test]
     fn reduce_commutative_routes_agree(p in powerlist_i64(9), zip in any::<bool>(),
                                        leaf in 1usize..64) {
+        let _shared = shared();
         let (ds, dj) = decomp_of(zip);
         let spec = powerlist::ops::reduce(&p, |a, b| a + b);
 
@@ -190,6 +209,7 @@ proptest! {
     /// parallel scan at arbitrary grain.
     #[test]
     fn scan_routes_agree(p in powerlist_i64(9), grain in 1usize..80) {
+        let _shared = shared();
         let spec = plalgo::scan_spec(p.as_slice(), |a, b| a + b);
         let seq = plalgo::scan_seq(&p, 0, |a, b| a + b);
         prop_assert_eq!(seq.as_slice(), &spec[..]);
@@ -202,6 +222,7 @@ proptest! {
     /// stream (zero-copy and cloning) = tupled-vp stream = JPLF routes.
     #[test]
     fn vp_routes_agree(coeffs in powerlist_f64(9), x in -0.99f64..0.99, leaf in 1usize..64) {
+        let _shared = shared();
         let spec = plalgo::horner(coeffs.as_slice(), x);
 
         prop_assert!(rel_close(plalgo::eval_seq_stream(coeffs.clone(), x), spec));
@@ -225,6 +246,7 @@ proptest! {
     /// = cloning stream = JPLF fork-join = MPI-sim.
     #[test]
     fn fft_routes_agree(re in powerlist_f64(7), leaf in 1usize..32) {
+        let _shared = shared();
         let signal = powerlist::ops::map(&re, |&x| plalgo::Complex::new(x, -x * 0.5));
         let spec = plalgo::fft_seq(&signal);
         let close = |out: &PowerList<plalgo::Complex>| {
@@ -250,6 +272,7 @@ proptest! {
     /// the standard library sort.
     #[test]
     fn sort_routes_agree(p in powerlist_i64(9), grain in 1usize..128) {
+        let _shared = shared();
         let mut expected = p.clone().into_vec();
         expected.sort();
         let batcher = plalgo::batcher_sort(&p);
@@ -266,6 +289,7 @@ proptest! {
     /// time.
     #[test]
     fn gray_routes_agree(bits in 1u32..11) {
+        let _shared = shared();
         let structural = plalgo::gray_structural(bits).unwrap();
         let closed = plalgo::gray_closed(bits).unwrap();
         prop_assert_eq!(&structural, &closed);
@@ -282,6 +306,7 @@ proptest! {
     /// stream = JPLF fork-join = MPI-sim.
     #[test]
     fn mss_routes_agree(p in powerlist_i64(9), leaf in 1usize..64) {
+        let _shared = shared();
         let spec = plalgo::mss_spec(p.as_slice());
         prop_assert_eq!(plalgo::mss_kadane(p.as_slice()), spec);
         prop_assert_eq!(plalgo::mss_stream(p.clone()), spec);
@@ -295,4 +320,72 @@ proptest! {
         prop_assert_eq!(ForkJoinExecutor::new(2, leaf).execute(&plalgo::MssFunction, &v).best, spec);
         prop_assert_eq!(MpiExecutor::new(4).execute(&plalgo::MssFunction, &v).best, spec);
     }
+}
+
+// ---------------------------------------------------------------------
+// Route accounting: the zero-copy dispatch is not just equivalent, it
+// is *taken*. These record the actual leaf routes through the plobs
+// sink and assert that zero-copy-capable pipelines never fall back to
+// the cloning drain (the regression the run_leaf dispatch fix closed).
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_copy_capable_routes_never_clone() {
+    let _exclusive = exclusive();
+    let p = PowerList::from_vec((0..512i64).collect()).unwrap();
+    let q = p.clone();
+    let ((tie_sum, zip_mapped), report) = plobs::recorded(move || {
+        // Tie leaves are contiguous: must resolve to `leaf_slice`.
+        let tie_sum = stream_support(TieSpliterator::over(p.clone()), true)
+            .with_leaf_size(16)
+            .collect(ReduceCollector::new(0i64, |a, b| a + b));
+        // Zip leaves are strided residue classes: must resolve to
+        // `leaf_strided`.
+        let zip_mapped =
+            stream_support(PowerSpliterator::over(p.clone(), Decomposition::Zip), true)
+                .with_leaf_size(16)
+                .collect(PowerMapCollector::new(Decomposition::Zip, |x: i64| x * 2))
+                .into_vec();
+        (tie_sum, zip_mapped)
+    });
+    assert_eq!(tie_sum, (0..512).sum::<i64>());
+    assert_eq!(
+        zip_mapped,
+        q.iter().map(|x| x * 2).collect::<Vec<_>>(),
+        "zip collect result"
+    );
+    assert_eq!(
+        report.routes.cloning_drain.leaves,
+        0,
+        "a zero-copy-capable route fell back to the cloning drain:\n{}",
+        report.tree_summary()
+    );
+    assert!(
+        report.routes.zero_copy_slice.leaves > 0,
+        "tie run took no slice leaves"
+    );
+    assert!(
+        report.routes.zero_copy_strided.leaves > 0,
+        "zip run took no strided leaves"
+    );
+    assert_eq!(report.routes.total_items(), 2 * 512);
+}
+
+#[test]
+fn hidden_leaf_access_takes_only_the_cloning_drain() {
+    let _exclusive = exclusive();
+    let p = PowerList::from_vec((0..256i64).collect()).unwrap();
+    let (sum, report) = plobs::recorded(move || {
+        stream_support(Opaque(TieSpliterator::over(p)), true)
+            .with_leaf_size(16)
+            .collect(ReduceCollector::new(0i64, |a, b| a + b))
+    });
+    assert_eq!(sum, (0..256).sum::<i64>());
+    assert_eq!(report.routes.zero_copy_slice.leaves, 0);
+    assert_eq!(report.routes.zero_copy_strided.leaves, 0);
+    assert!(
+        report.routes.cloning_drain.leaves > 0,
+        "opaque collect must drain per element:\n{}",
+        report.tree_summary()
+    );
 }
