@@ -20,6 +20,15 @@ echo "==> smoke: polynomial example emits a valid RunReport"
 # also fails.
 cargo run --release --example polynomial 16 | grep -q "run report JSON: valid"
 
+echo "==> smoke: split-policy A/B bench emits validated rows"
+# The bin strict-validates every row against the JSON validator and
+# exits non-zero on a malformed document; grep pins all three rows so
+# a silently skipped workload also fails.
+cargo run --release -p plbench --bin split_policy -- --runs 1 --exp 10 \
+    --out-dir target/ci-splitpolicy | tee /dev/stderr \
+    | grep -c "wrote target/ci-splitpolicy/BENCH_splitpolicy_" \
+    | grep -qx 3
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -103,6 +103,11 @@ impl<T> Stealer<T> {
     pub fn is_empty(&self) -> bool {
         locked(&self.queue).is_empty()
     }
+
+    /// Number of tasks queued in the victim's deque.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
 }
 
 impl<T> Clone for Stealer<T> {

@@ -43,6 +43,7 @@ pub mod latch;
 pub mod metrics;
 pub mod pool;
 pub mod scope;
+pub mod split;
 pub mod task;
 
 mod join;
@@ -51,8 +52,9 @@ pub use builder::PoolBuilder;
 pub use join::{join, join_on, par_for_each_index};
 pub use latch::{CountLatch, Latch};
 pub use metrics::MetricsSnapshot;
-pub use pool::ForkJoinPool;
+pub use pool::{current_probe, ForkJoinPool, WorkerProbe};
 pub use scope::{scope, scope_on, Scope};
+pub use split::{ceil_log2, demand_split, AdaptiveSplit, SplitPolicy, DEFAULT_DEPTH_SLACK};
 
 use std::sync::OnceLock;
 

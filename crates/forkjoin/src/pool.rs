@@ -88,6 +88,69 @@ pub(crate) fn current_worker() -> Option<(Arc<PoolState>, usize)> {
     WORKER_CTX.with(|c| c.borrow().clone())
 }
 
+/// A cheap pressure probe onto one pool worker, used by adaptive split
+/// policies to decide whether forking more tasks is worthwhile.
+///
+/// Both readings are a handful of relaxed/locked loads — safe to call on
+/// every node of a divide-and-conquer descent.
+#[derive(Clone)]
+pub struct WorkerProbe {
+    state: Arc<PoolState>,
+    index: usize,
+}
+
+impl WorkerProbe {
+    /// Index of the probed worker within its pool.
+    pub fn worker(&self) -> usize {
+        self.index
+    }
+
+    /// Number of workers in the probed pool.
+    pub fn threads(&self) -> usize {
+        self.state.stealers.len()
+    }
+
+    /// Queued (not yet claimed) tasks in the probed worker's deque.
+    ///
+    /// Only meaningful when called *on* the probed worker's own thread:
+    /// the local deque is thread-local, so from any other thread this
+    /// reads through the worker's stealer instead.
+    pub fn queue_depth(&self) -> usize {
+        let local = LOCAL_DEQUE.with(|l| l.borrow().as_ref().map(|d| d.len()));
+        match (local, current_worker()) {
+            (Some(n), Some((state, index)))
+                if index == self.index && Arc::ptr_eq(&state, &self.state) =>
+            {
+                n
+            }
+            _ => self.state.stealers[self.index].len(),
+        }
+    }
+
+    /// Pool-wide count of successful steals (injector + peer) so far.
+    /// Monotonic; adaptive splitters compare deltas between nodes to
+    /// detect that thieves are actively draining queued work.
+    pub fn steal_pressure(&self) -> u64 {
+        self.state.counters.injector_steals.load(Ordering::Relaxed)
+            + self.state.counters.peer_steals.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for WorkerProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerProbe")
+            .field("worker", &self.index)
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+/// Probe for the current thread when it is a pool worker; `None` on
+/// external threads.
+pub fn current_probe() -> Option<WorkerProbe> {
+    current_worker().map(|(state, index)| WorkerProbe { state, index })
+}
+
 /// Pushes a job to the current worker's local deque (LIFO end).
 /// Must only be called from a worker thread.
 pub(crate) fn push_local(state: &PoolState, job: Job) {
@@ -264,14 +327,19 @@ impl ForkJoinPool {
 
     /// Runs `f` on the pool and blocks until it returns, propagating
     /// panics. When called from a worker of this same pool, `f` runs
-    /// inline (matching rayon / ForkJoinPool semantics).
+    /// inline (matching rayon / ForkJoinPool semantics). A worker of a
+    /// *different* pool helps its own pool while waiting instead of
+    /// blocking on the submission latch, so re-entrant installs (e.g. a
+    /// collector's combine calling back into a parallel collect on the
+    /// global pool) can never wedge the caller's pool.
     pub fn install<R, F>(&self, f: F) -> R
     where
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
-        if let Some((state, _)) = current_worker() {
-            if Arc::ptr_eq(&state, &self.state) {
+        let caller = current_worker();
+        if let Some((state, _)) = &caller {
+            if Arc::ptr_eq(state, &self.state) {
                 return f();
             }
         }
@@ -288,9 +356,20 @@ impl ForkJoinPool {
         };
         self.state.injector.push(job);
         self.state.notify();
-        latch.wait();
+        match caller {
+            // Foreign-pool worker: keep executing the caller's own pool
+            // while the submission runs, instead of parking a worker.
+            Some((own_state, own_index)) => help_until(&own_state, own_index, &latch),
+            None => latch.wait(),
+        }
         let r = slot.lock().take().expect("latch set implies result stored");
         unwrap_or_resume(r)
+    }
+
+    /// Pressure probe for the calling thread when it is a worker of
+    /// *this* pool; `None` on external threads and foreign-pool workers.
+    pub fn probe(&self) -> Option<WorkerProbe> {
+        current_probe().filter(|p| Arc::ptr_eq(&p.state, &self.state))
     }
 
     /// Fire-and-forget execution of `f` on the pool.

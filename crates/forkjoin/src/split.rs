@@ -1,0 +1,167 @@
+//! Split-granularity policies for divide-and-conquer drivers.
+//!
+//! The paper leaves leaf granularity to the JVM ("the splitting is
+//! automatically stopped when a limit that depends on the system is
+//! attained", Section V). This module makes that limit an explicit,
+//! selectable policy shared by every recursive driver in the repository
+//! (the jstreams collect driver and the JPLF fork-join executor):
+//!
+//! * [`SplitPolicy::Fixed`] — the original static threshold: stop
+//!   splitting once a node's size drops to `leaf_size`. Deterministic
+//!   tree shape, kept as the mode that reproduces the paper's Figure 3.
+//! * [`SplitPolicy::Adaptive`] — demand-driven splitting from pool
+//!   pressure, the analogue of guiding forks by
+//!   `ForkJoinTask::getSurplusQueuedTaskCount`: a node keeps splitting
+//!   while the local worker's deque is (nearly) empty or steals are
+//!   being observed, bounded by a depth cap of `log2(threads) + slack`
+//!   and a minimum sequential cutoff so leaves stay large enough for the
+//!   zero-copy leaf kernels to pay off.
+//!
+//! The pressure inputs come from [`WorkerProbe`](crate::WorkerProbe)
+//! (local queue depth, pool-wide steal count), both a handful of cheap
+//! loads on the hot path.
+
+use crate::pool::current_probe;
+
+/// Depth slack over `log2(threads)` used when a policy does not carry
+/// its own: the cap allows `2^slack` leaves per worker, enough slack for
+/// stealing to balance skewed subtrees.
+pub const DEFAULT_DEPTH_SLACK: u32 = 4;
+
+/// `ceil(log2(n))` for `n ≥ 1` (0 for `n ≤ 1`) — the fork depth at
+/// which every worker of an `n`-thread pool can own a subtree.
+pub fn ceil_log2(n: usize) -> u32 {
+    n.max(1).next_power_of_two().trailing_zeros()
+}
+
+/// Tuning knobs of the demand-driven policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveSplit {
+    /// Sequential cutoff: nodes of an exactly-sized source at or below
+    /// this many elements are never split further, keeping leaves large
+    /// enough that per-leaf dispatch (and the zero-copy kernels behind
+    /// it) stays profitable.
+    pub min_leaf: usize,
+    /// Extra depth over `log2(threads)` the splitter may descend while
+    /// demand persists.
+    pub depth_slack: u32,
+    /// Surplus-task threshold: keep splitting while the local deque
+    /// holds at most this many queued tasks (the
+    /// `getSurplusQueuedTaskCount` heuristic).
+    pub surplus: usize,
+}
+
+impl Default for AdaptiveSplit {
+    fn default() -> Self {
+        AdaptiveSplit {
+            min_leaf: 1024,
+            depth_slack: DEFAULT_DEPTH_SLACK,
+            surplus: 2,
+        }
+    }
+}
+
+/// How a divide-and-conquer driver decides whether to split a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Stop splitting once a node's (exact) size drops to the given
+    /// leaf size — today's static behaviour, the Figure-3 reproduction
+    /// mode. Sources without an exact size split to the depth cap
+    /// instead (their size estimate is only an upper bound).
+    Fixed(usize),
+    /// Demand-driven splitting from pool pressure; see [`AdaptiveSplit`].
+    Adaptive(AdaptiveSplit),
+}
+
+impl SplitPolicy {
+    /// The adaptive policy with default tuning.
+    pub fn adaptive() -> SplitPolicy {
+        SplitPolicy::Adaptive(AdaptiveSplit::default())
+    }
+
+    /// `true` for [`SplitPolicy::Adaptive`].
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, SplitPolicy::Adaptive(_))
+    }
+
+    /// Hard bound on split depth for a pool of `threads` workers:
+    /// `log2(threads) + slack`. Applies to adaptive descent always and
+    /// to fixed descent over sources without an exact size.
+    pub fn depth_cap(&self, threads: usize) -> u32 {
+        let slack = match self {
+            SplitPolicy::Fixed(_) => DEFAULT_DEPTH_SLACK,
+            SplitPolicy::Adaptive(a) => a.depth_slack,
+        };
+        ceil_log2(threads) + slack
+    }
+}
+
+/// One demand-driven split decision, taken from the calling worker's
+/// pressure probe: split while the local deque holds at most `surplus`
+/// tasks **or** pool-wide steals have advanced past `steals_seen` (a
+/// thief is draining queued work, so feeding it is worthwhile).
+///
+/// Returns `(wants_split, steals_now)`; callers thread `steals_now`
+/// into child nodes so each level compares against its parent's
+/// observation. Off-pool callers always split (they are about to fork
+/// onto an idle pool).
+pub fn demand_split(surplus: usize, steals_seen: u64) -> (bool, u64) {
+    match current_probe() {
+        Some(probe) => {
+            let now = probe.steal_pressure();
+            (probe.queue_depth() <= surplus || now > steals_seen, now)
+        }
+        None => (true, steals_seen),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ForkJoinPool;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn depth_cap_grows_with_threads_and_slack() {
+        assert_eq!(SplitPolicy::Fixed(64).depth_cap(1), DEFAULT_DEPTH_SLACK);
+        assert_eq!(SplitPolicy::Fixed(64).depth_cap(8), 3 + DEFAULT_DEPTH_SLACK);
+        let tight = SplitPolicy::Adaptive(AdaptiveSplit {
+            depth_slack: 1,
+            ..AdaptiveSplit::default()
+        });
+        assert_eq!(tight.depth_cap(4), 3);
+    }
+
+    #[test]
+    fn adaptive_constructor_uses_defaults() {
+        let p = SplitPolicy::adaptive();
+        assert!(p.is_adaptive());
+        assert_eq!(p, SplitPolicy::Adaptive(AdaptiveSplit::default()));
+        assert!(!SplitPolicy::Fixed(16).is_adaptive());
+    }
+
+    #[test]
+    fn demand_split_off_pool_always_splits() {
+        let (wants, now) = demand_split(0, 7);
+        assert!(wants);
+        assert_eq!(now, 7, "off-pool callers keep their snapshot");
+    }
+
+    #[test]
+    fn demand_split_on_idle_worker_splits() {
+        let pool = ForkJoinPool::new(2);
+        let (wants, _) = pool.install(|| demand_split(2, u64::MAX));
+        // A freshly-installed task sees an empty local deque.
+        assert!(wants);
+    }
+}

@@ -158,6 +158,42 @@ fn pool_stays_reusable_after_panics_mid_tree() {
 }
 
 #[test]
+fn cross_pool_install_from_workers_does_not_deadlock() {
+    // A worker of pool A installing on pool B must keep servicing its
+    // own pool while the foreign latch is pending. With 1-worker pools
+    // the old `latch.wait()` path deadlocked as soon as A's only worker
+    // blocked on B while B's only worker blocked back on A.
+    let pool_a = Arc::new(ForkJoinPool::new(1));
+    let pool_b = Arc::new(ForkJoinPool::new(1));
+    for round in 0..32u64 {
+        let pb = Arc::clone(&pool_b);
+        let got = pool_a.install(move || round + pb.install(move || round * 2));
+        assert_eq!(got, round * 3, "round {round}");
+    }
+    // Ping-pong three levels deep: A -> B -> A again (re-entry on A is
+    // the same-pool inline path, taken from a B worker's help loop).
+    let pa = Arc::clone(&pool_a);
+    let pb = Arc::clone(&pool_b);
+    let got = pool_a.install(move || {
+        let pa2 = Arc::clone(&pa);
+        1 + pb.install(move || 10 + pa2.install(|| 100u64))
+    });
+    assert_eq!(got, 111);
+    // Fan-out: many workers of a wide pool all install on a narrow one.
+    let wide = Arc::new(ForkJoinPool::new(4));
+    let narrow = Arc::new(ForkJoinPool::new(1));
+    let hits = Arc::new(AtomicU64::new(0));
+    let (h, nr) = (Arc::clone(&hits), Arc::clone(&narrow));
+    wide.install(move || {
+        par_for_each_index(64, 1, move |i| {
+            let v = nr.install(move || i as u64 + 1);
+            h.fetch_add(v, Ordering::Relaxed);
+        })
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), (1..=64).sum::<u64>());
+}
+
+#[test]
 fn scheduler_events_reach_an_installed_recorder() {
     let data: Vec<u64> = (0..50_000).collect();
     let expected = seq_sum(&data);

@@ -11,34 +11,48 @@
 
 use crate::executor::Executor;
 use crate::function::{Decomp, PowerFunction};
-use forkjoin::{join, ForkJoinPool};
+use forkjoin::{demand_split, join, ForkJoinPool, SplitPolicy};
 use plobs::{Event, LeafRoute};
 use powerlist::PowerView;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Fork-join executor with an explicit pool and leaf granularity.
+/// Fork-join executor with an explicit pool and split policy.
 pub struct ForkJoinExecutor {
     pool: Arc<ForkJoinPool>,
-    leaf_size: usize,
+    policy: SplitPolicy,
 }
 
 impl ForkJoinExecutor {
     /// Executor on a dedicated pool of `threads` workers; forking stops
-    /// at sublists of `leaf_size` elements.
+    /// at sublists of `leaf_size` elements ([`SplitPolicy::Fixed`]).
     pub fn new(threads: usize, leaf_size: usize) -> Self {
         ForkJoinExecutor {
             pool: Arc::new(ForkJoinPool::new(threads)),
-            leaf_size: leaf_size.max(1),
+            policy: SplitPolicy::Fixed(leaf_size.max(1)),
         }
     }
 
-    /// Executor over an existing pool.
+    /// Executor on a dedicated pool of `threads` workers with
+    /// demand-driven forking ([`SplitPolicy::adaptive`]).
+    pub fn adaptive(threads: usize) -> Self {
+        ForkJoinExecutor {
+            pool: Arc::new(ForkJoinPool::new(threads)),
+            policy: SplitPolicy::adaptive(),
+        }
+    }
+
+    /// Executor over an existing pool with a fixed leaf threshold.
     pub fn with_pool(pool: Arc<ForkJoinPool>, leaf_size: usize) -> Self {
         ForkJoinExecutor {
             pool,
-            leaf_size: leaf_size.max(1),
+            policy: SplitPolicy::Fixed(leaf_size.max(1)),
         }
+    }
+
+    /// Executor over an existing pool under an explicit [`SplitPolicy`].
+    pub fn with_policy(pool: Arc<ForkJoinPool>, policy: SplitPolicy) -> Self {
+        ForkJoinExecutor { pool, policy }
     }
 
     /// The underlying pool (for metrics inspection).
@@ -46,20 +60,54 @@ impl ForkJoinExecutor {
         &self.pool
     }
 
-    /// The splitting threshold.
+    /// The sequential cutoff: the fixed threshold, or the adaptive
+    /// policy's minimum leaf.
     pub fn leaf_size(&self) -> usize {
-        self.leaf_size
+        match self.policy {
+            SplitPolicy::Fixed(n) => n,
+            SplitPolicy::Adaptive(a) => a.min_leaf,
+        }
+    }
+
+    /// The split policy in force.
+    pub fn policy(&self) -> SplitPolicy {
+        self.policy
     }
 }
 
-fn par_compute<F>(f: F, input: PowerView<F::Elem>, leaf: usize, depth: u32) -> F::Out
+fn par_compute<F>(
+    f: F,
+    input: PowerView<F::Elem>,
+    policy: SplitPolicy,
+    cap: u32,
+    depth: u32,
+    steals_seen: u64,
+) -> F::Out
 where
     F: PowerFunction + Clone + Sync,
 {
     // Timing and event emission are gated on an installed sink — the
     // zero-cost-when-disabled contract.
     let observe = plobs::enabled();
-    if input.len() <= leaf || input.is_singleton() {
+    // PowerViews are always exactly sized, so the size cutoff is sound
+    // under both policies; the adaptive policy additionally stops at the
+    // depth cap or when the worker has surplus queued work and no steals
+    // are observed.
+    let mut steals_next = steals_seen;
+    let stop = input.is_singleton()
+        || match policy {
+            SplitPolicy::Fixed(leaf) => input.len() <= leaf,
+            SplitPolicy::Adaptive(a) => {
+                if depth >= cap || input.len() <= a.min_leaf {
+                    true
+                } else {
+                    let (wants_split, now) = demand_split(a.surplus, steals_seen);
+                    steals_next = now;
+                    !wants_split
+                }
+            }
+        };
+    if stop {
         // The leaf kernel (paper §V: the basic case applied to a whole
         // sub-list); defaults to the template recursion.
         let items = input.len() as u64;
@@ -82,19 +130,22 @@ where
     let (fl, fr) = (f.create_left(), f.create_right());
     let transformed = f.transform_halves(&l, &r);
     if let Some(t0) = t0 {
-        plobs::emit(Event::Split { depth });
+        plobs::emit(Event::Split {
+            depth,
+            adaptive: policy.is_adaptive(),
+        });
         plobs::emit(Event::DescendNs {
             ns: t0.elapsed().as_nanos() as u64,
         });
     }
     let (lo, ro) = match transformed {
         None => join(
-            move || par_compute(fl, l, leaf, depth + 1),
-            move || par_compute(fr, r, leaf, depth + 1),
+            move || par_compute(fl, l, policy, cap, depth + 1, steals_next),
+            move || par_compute(fr, r, policy, cap, depth + 1, steals_next),
         ),
         Some((l2, r2)) => join(
-            move || par_compute(fl, l2.view(), leaf, depth + 1),
-            move || par_compute(fr, r2.view(), leaf, depth + 1),
+            move || par_compute(fl, l2.view(), policy, cap, depth + 1, steals_next),
+            move || par_compute(fr, r2.view(), policy, cap, depth + 1, steals_next),
         ),
     };
     let t0 = if observe { Some(Instant::now()) } else { None };
@@ -115,8 +166,12 @@ impl Executor for ForkJoinExecutor {
     {
         let f = f.clone();
         let input = input.clone();
-        let leaf = self.leaf_size;
-        self.pool.install(move || par_compute(f, input, leaf, 0))
+        let policy = self.policy;
+        let cap = policy.depth_cap(self.pool.threads());
+        self.pool.install(move || {
+            let steals = forkjoin::current_probe().map_or(0, |p| p.steal_pressure());
+            par_compute(f, input, policy, cap, 0, steals)
+        })
     }
 }
 
@@ -212,6 +267,25 @@ mod tests {
             ForkJoinExecutor::new(2, 4).execute(&Sum, &p.clone().view()),
             9
         );
+    }
+
+    #[test]
+    fn adaptive_matches_sequential() {
+        let p = tabulate(1 << 10, |i| i as i64 % 17).unwrap();
+        let seq = SequentialExecutor::new().execute(&Sum, &p.clone().view());
+        let exec = ForkJoinExecutor::adaptive(2);
+        assert!(exec.policy().is_adaptive());
+        assert_eq!(exec.execute(&Sum, &p.clone().view()), seq);
+        // Adaptive zip recombination preserves order too.
+        let q = tabulate(256, |i| i as i64).unwrap();
+        let small_cutoff = forkjoin::SplitPolicy::Adaptive(forkjoin::AdaptiveSplit {
+            min_leaf: 8,
+            ..Default::default()
+        });
+        let exec = ForkJoinExecutor::with_policy(Arc::new(ForkJoinPool::new(3)), small_cutoff);
+        let out = exec.execute(&Square, &q.view());
+        let expected: Vec<i64> = (0..256).map(|i: i64| i * i).collect();
+        assert_eq!(out.into_vec(), expected);
     }
 
     #[test]

@@ -122,7 +122,10 @@ fn go<F: PowerFunction>(
     };
     let (fl, fr) = (f.create_left(), f.create_right());
     let transformed = f.transform_halves(&l, &r);
-    sink.record(&Event::Split { depth });
+    sink.record(&Event::Split {
+        depth,
+        adaptive: false,
+    });
     sink.record(&Event::DescendNs {
         ns: t0.elapsed().as_nanos() as u64,
     });

@@ -8,17 +8,56 @@
 //! [`forkjoin::join`], exactly as Java's `ForkJoinPool` executes the
 //! stream's computation tree.
 //!
-//! Splitting stops when the remaining size drops to `leaf_size` — the
-//! explicit analogue of the JVM's implementation-defined granularity
-//! ("the splitting is automatically stopped when a limit that depends on
-//! the system is attained", Section V).
+//! Where the splitting stops is a [`SplitPolicy`] — the explicit
+//! analogue of the JVM's implementation-defined granularity ("the
+//! splitting is automatically stopped when a limit that depends on the
+//! system is attained", Section V). [`SplitPolicy::Fixed`] reproduces
+//! the static `leaf_size` threshold (and therefore the paper's tree
+//! shapes exactly); [`SplitPolicy::Adaptive`] splits on demand from
+//! pool pressure. The size-based stop only applies to sources that
+//! advertise `SIZED`: for adapted sources whose estimate is an upper
+//! bound (e.g. after `filter`), both policies descend to the depth cap
+//! and let `try_split` refusal terminate instead — otherwise an
+//! oversized "leaf" would silently serialize real work.
 
+use crate::characteristics::Characteristics;
 use crate::collector::Collector;
-use crate::spliterator::Spliterator;
-use forkjoin::{join, ForkJoinPool};
+use crate::spliterator::{ItemSource, Spliterator};
+use forkjoin::{current_probe, demand_split, join, ForkJoinPool, SplitPolicy};
 use plobs::{Event, LeafRoute};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Wraps an [`ItemSource`] to count the elements actually delivered to
+/// the consuming collector — the only correct `items` figure for a leaf
+/// of a non-SIZED pipeline, where `estimate_size` is an upper bound.
+/// Only used while an observability sink is installed.
+struct CountingSource<'a, T> {
+    inner: &'a mut dyn ItemSource<T>,
+    count: u64,
+}
+
+impl<T> ItemSource<T> for CountingSource<'_, T> {
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        let count = &mut self.count;
+        self.inner.try_advance(&mut |x| {
+            *count += 1;
+            action(x);
+        })
+    }
+
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        let count = &mut self.count;
+        self.inner.for_each_remaining(&mut |x| {
+            *count += 1;
+            action(x);
+        });
+    }
+
+    fn estimate_size(&self) -> usize {
+        self.inner.estimate_size()
+    }
+}
 
 /// Runs one leaf through the zero-copy path when both sides support it:
 /// if the source exposes a borrowed run
@@ -36,40 +75,56 @@ where
     C: Collector<T> + ?Sized,
 {
     let observe = plobs::enabled();
-    let size = if observe {
-        source.estimate_size() as u64
-    } else {
-        0
-    };
     let start = if observe { Some(Instant::now()) } else { None };
     let done = match source.try_as_strided() {
         // A step-1 run is contiguous: prefer the slice kernel, but a
         // strided-only collector must still get the zero-copy path —
         // `leaf_strided(items, 1)` covers exactly the same elements.
-        Some((items, 1)) => collector
-            .leaf_slice(items)
-            .map(|acc| (acc, LeafRoute::ZeroCopySlice))
-            .or_else(|| {
-                collector
-                    .leaf_strided(items, 1)
-                    .map(|acc| (acc, LeafRoute::ZeroCopyStrided))
-            }),
-        Some((items, step)) => collector
-            .leaf_strided(items, step)
-            .map(|acc| (acc, LeafRoute::ZeroCopyStrided)),
+        Some((items, 1)) => {
+            let n = items.len() as u64;
+            collector
+                .leaf_slice(items)
+                .map(|acc| (acc, LeafRoute::ZeroCopySlice, n))
+                .or_else(|| {
+                    collector
+                        .leaf_strided(items, 1)
+                        .map(|acc| (acc, LeafRoute::ZeroCopyStrided, n))
+                })
+        }
+        Some((items, step)) => {
+            // Strided-run contract: the last element of `items` is
+            // covered, so the leaf spans ceil(len / step) elements.
+            let n = items.len().div_ceil(step) as u64;
+            collector
+                .leaf_strided(items, step)
+                .map(|acc| (acc, LeafRoute::ZeroCopyStrided, n))
+        }
         None => None,
     };
-    let (acc, route) = match done {
-        Some((acc, route)) => {
+    let (acc, route, items) = match done {
+        Some((acc, route, n)) => {
             source.mark_drained();
-            (acc, route)
+            (acc, route, n)
         }
-        None => (collector.leaf(source), LeafRoute::CloningDrain),
+        // Cloning drain: the borrow length is not available, and for
+        // non-SIZED sources `estimate_size` is only an upper bound — so
+        // count what the collector actually receives (observed runs
+        // only; the unobserved path stays wrapper-free).
+        None if observe => {
+            let mut counting = CountingSource {
+                inner: source,
+                count: 0,
+            };
+            let acc = collector.leaf(&mut counting);
+            let n = counting.count;
+            (acc, LeafRoute::CloningDrain, n)
+        }
+        None => (collector.leaf(source), LeafRoute::CloningDrain, 0),
     };
     if let Some(start) = start {
         plobs::emit(Event::Leaf {
             route,
-            items: size,
+            items,
             ns: start.elapsed().as_nanos() as u64,
         });
     }
@@ -95,10 +150,12 @@ pub fn default_leaf_size(len: usize, threads: usize) -> usize {
     (len / (4 * threads.max(1))).max(1)
 }
 
-/// Parallel collect on `pool`: recursively splits to `leaf_size`, runs
+/// Parallel collect on `pool` with the static policy: recursively splits
+/// to `leaf_size` (for `SIZED` sources; to the depth cap otherwise), runs
 /// leaves through the collector, and combines sibling results — encounter
 /// order is preserved (`combine(left, right)` with `left` the split-off
-/// prefix).
+/// prefix). Equivalent to [`collect_par_with`] under
+/// [`SplitPolicy::Fixed`].
 pub fn collect_par<T, S, C>(
     pool: &ForkJoinPool,
     source: S,
@@ -111,20 +168,81 @@ where
     C: Collector<T> + 'static,
     C::Acc: 'static,
 {
-    let leaf_size = leaf_size.max(1);
-    let c2 = Arc::clone(&collector);
-    let acc = pool.install(move || recurse(source, c2, leaf_size, 0));
-    collector.finish(acc)
+    collect_par_with(
+        pool,
+        source,
+        collector,
+        SplitPolicy::Fixed(leaf_size.max(1)),
+    )
 }
 
-fn recurse<T, S, C>(mut source: S, collector: Arc<C>, leaf_size: usize, depth: u32) -> C::Acc
+/// Parallel collect on `pool` under an explicit [`SplitPolicy`].
+///
+/// The policy only shapes the task tree — which nodes become leaves and
+/// when — never the result: any policy produces the same output as
+/// [`collect_seq`] for a lawful collector, because siblings are always
+/// combined in encounter order.
+pub fn collect_par_with<T, S, C>(
+    pool: &ForkJoinPool,
+    source: S,
+    collector: Arc<C>,
+    policy: SplitPolicy,
+) -> C::Out
 where
     T: Send + 'static,
     S: Spliterator<T> + 'static,
     C: Collector<T> + 'static,
     C::Acc: 'static,
 {
-    if source.estimate_size() <= leaf_size {
+    let cap = policy.depth_cap(pool.threads());
+    let c2 = Arc::clone(&collector);
+    let acc = pool.install(move || {
+        let steals = current_probe().map_or(0, |p| p.steal_pressure());
+        recurse(source, c2, policy, cap, 0, steals)
+    });
+    collector.finish(acc)
+}
+
+fn recurse<T, S, C>(
+    mut source: S,
+    collector: Arc<C>,
+    policy: SplitPolicy,
+    cap: u32,
+    depth: u32,
+    steals_seen: u64,
+) -> C::Acc
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    C: Collector<T> + 'static,
+    C::Acc: 'static,
+{
+    // The size-based stop is only sound when the size is exact: for
+    // non-SIZED sources (filter adapters) the estimate is an upper
+    // bound, and stopping on it would serialize surviving work into one
+    // oversized leaf. Unsized sources descend to the depth cap and let
+    // `try_split` refusal terminate.
+    let sized = source.has_characteristics(Characteristics::SIZED);
+    let mut steals_next = steals_seen;
+    let stop = match policy {
+        SplitPolicy::Fixed(leaf_size) => {
+            if sized {
+                source.estimate_size() <= leaf_size
+            } else {
+                depth >= cap
+            }
+        }
+        SplitPolicy::Adaptive(a) => {
+            if depth >= cap || (sized && source.estimate_size() <= a.min_leaf) {
+                true
+            } else {
+                let (wants_split, now) = demand_split(a.surplus, steals_seen);
+                steals_next = now;
+                !wants_split
+            }
+        }
+    };
+    if stop {
         return run_leaf(&mut source, &*collector);
     }
     let observe = plobs::enabled();
@@ -133,7 +251,10 @@ where
         None => run_leaf(&mut source, &*collector),
         Some(prefix) => {
             if let Some(start) = descend_start {
-                plobs::emit(Event::Split { depth });
+                plobs::emit(Event::Split {
+                    depth,
+                    adaptive: policy.is_adaptive(),
+                });
                 plobs::emit(Event::DescendNs {
                     ns: start.elapsed().as_nanos() as u64,
                 });
@@ -141,8 +262,8 @@ where
             let c_left = Arc::clone(&collector);
             let c_right = Arc::clone(&collector);
             let (left, right) = join(
-                move || recurse(prefix, c_left, leaf_size, depth + 1),
-                move || recurse(source, c_right, leaf_size, depth + 1),
+                move || recurse(prefix, c_left, policy, cap, depth + 1, steals_next),
+                move || recurse(source, c_right, policy, cap, depth + 1, steals_next),
             );
             let combine_start = if observe { Some(Instant::now()) } else { None };
             let out = collector.combine(left, right);

@@ -55,11 +55,12 @@ pub mod truncate;
 pub mod zip;
 
 pub use characteristics::Characteristics;
-pub use collect::{collect_par, collect_seq, default_leaf_size, run_leaf};
+pub use collect::{collect_par, collect_par_with, collect_seq, default_leaf_size, run_leaf};
 pub use collector::{
     Collector, CountCollector, ExtremumCollector, FnCollector, JoiningCollector, ReduceCollector,
     VecCollector,
 };
+pub use forkjoin::{AdaptiveSplit, SplitPolicy};
 pub use nway::{
     collect_nway_par, collect_nway_seq, NTieSpliterator, NWayCollector, NWayDecomposition,
     NWaySpliterator, NZipSpliterator, PListCollector,

@@ -7,12 +7,12 @@
 //! `StreamSupport.stream(spliterator, parallel)` — the way the paper
 //! creates a stream from a specialised spliterator.
 
-use crate::collect::{collect_par, collect_seq, default_leaf_size};
+use crate::collect::{collect_par_with, collect_seq, default_leaf_size};
 use crate::collector::{Collector, CountCollector, ReduceCollector, VecCollector};
 use crate::ops::{FilterSpliterator, MapSpliterator};
 use crate::spliterator::Spliterator;
 use crate::truncate::{LimitSpliterator, PeekSpliterator, SkipSpliterator};
-use forkjoin::ForkJoinPool;
+use forkjoin::{ForkJoinPool, SplitPolicy};
 use std::sync::Arc;
 
 /// A (possibly parallel) stream over a splittable source.
@@ -20,7 +20,7 @@ pub struct Stream<T, S: Spliterator<T>> {
     source: S,
     parallel: bool,
     pool: Option<Arc<ForkJoinPool>>,
-    leaf_size: Option<usize>,
+    policy: Option<SplitPolicy>,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -30,7 +30,7 @@ pub fn stream_support<T, S: Spliterator<T>>(spliterator: S, parallel: bool) -> S
         source: spliterator,
         parallel,
         pool: None,
-        leaf_size: None,
+        policy: None,
         _marker: std::marker::PhantomData,
     }
 }
@@ -64,9 +64,20 @@ where
         self
     }
 
-    /// Overrides the leaf granularity (default: `len / (4 × workers)`).
+    /// Overrides the leaf granularity (default: `len / (4 × workers)`)
+    /// with a static threshold — shorthand for
+    /// [`Stream::with_split_policy`] and [`SplitPolicy::Fixed`].
     pub fn with_leaf_size(mut self, leaf_size: usize) -> Self {
-        self.leaf_size = Some(leaf_size.max(1));
+        self.policy = Some(SplitPolicy::Fixed(leaf_size.max(1)));
+        self
+    }
+
+    /// Selects how the parallel collect decides to split: the static
+    /// [`SplitPolicy::Fixed`] threshold (the paper-faithful default) or
+    /// demand-driven [`SplitPolicy::Adaptive`] splitting from pool
+    /// pressure.
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.policy = Some(policy);
         self
     }
 
@@ -90,7 +101,7 @@ where
             source: MapSpliterator::new(self.source, Arc::new(f)),
             parallel: self.parallel,
             pool: self.pool,
-            leaf_size: self.leaf_size,
+            policy: self.policy,
             _marker: std::marker::PhantomData,
         }
     }
@@ -106,7 +117,7 @@ where
             source: FilterSpliterator::new(self.source, Arc::new(pred)),
             parallel: self.parallel,
             pool: self.pool,
-            leaf_size: self.leaf_size,
+            policy: self.policy,
             _marker: std::marker::PhantomData,
         }
     }
@@ -118,7 +129,7 @@ where
             source: LimitSpliterator::new(self.source, n),
             parallel: self.parallel,
             pool: self.pool,
-            leaf_size: self.leaf_size,
+            policy: self.policy,
             _marker: std::marker::PhantomData,
         }
     }
@@ -130,7 +141,7 @@ where
             source: SkipSpliterator::new(self.source, n),
             parallel: self.parallel,
             pool: self.pool,
-            leaf_size: self.leaf_size,
+            policy: self.policy,
             _marker: std::marker::PhantomData,
         }
     }
@@ -146,7 +157,7 @@ where
             source: PeekSpliterator::new(self.source, Arc::new(observer)),
             parallel: self.parallel,
             pool: self.pool,
-            leaf_size: self.leaf_size,
+            policy: self.policy,
             _marker: std::marker::PhantomData,
         }
     }
@@ -179,22 +190,22 @@ where
         if !self.parallel {
             return collect_seq(self.source, &collector);
         }
-        let n = self.source.estimate_size();
-        let leaf = self.leaf_size.unwrap_or_else(|| {
+        let policy = self.policy.unwrap_or_else(|| {
+            let n = self.source.estimate_size();
             let threads = self
                 .pool
                 .as_ref()
                 .map(|p| p.threads())
                 .unwrap_or_else(|| forkjoin::global_pool().threads());
-            default_leaf_size(n, threads)
+            SplitPolicy::Fixed(default_leaf_size(n, threads))
         });
         match &self.pool {
-            Some(pool) => collect_par(pool, self.source, Arc::new(collector), leaf),
-            None => collect_par(
+            Some(pool) => collect_par_with(pool, self.source, Arc::new(collector), policy),
+            None => collect_par_with(
                 forkjoin::global_pool(),
                 self.source,
                 Arc::new(collector),
-                leaf,
+                policy,
             ),
         }
     }
@@ -360,6 +371,19 @@ mod tests {
         // After filtering:
         let m = stream_support(ints(100), true).filter(|x| x % 7 == 0).max();
         assert_eq!(m, Some(98));
+    }
+
+    #[test]
+    fn adaptive_policy_agrees_with_fixed() {
+        let fixed = stream_support(ints(1000), true)
+            .with_leaf_size(16)
+            .map(|x| x * 3)
+            .reduce(0, |a, b| a + b);
+        let adaptive = stream_support(ints(1000), true)
+            .with_split_policy(SplitPolicy::adaptive())
+            .map(|x| x * 3)
+            .reduce(0, |a, b| a + b);
+        assert_eq!(fixed, adaptive);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Split-policy integration tests: the non-SIZED depth-capped descent,
+//! exact leaf item accounting through filters, and re-entrant collects
+//! across pools.
+//!
+//! The recorded tests install a **global** plobs sink, so every test in
+//! this binary serializes on [`LOCK`] — cargo runs tests of one binary
+//! on multiple threads, and a concurrently running collect would leak
+//! its events into another test's report.
+
+use forkjoin::ForkJoinPool;
+use jstreams::{stream_support, AdaptiveSplit, ReduceCollector, SliceSpliterator, SplitPolicy};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The satellite-1 fix, observed: a filtered (non-SIZED) pipeline whose
+/// `estimate_size` upper bound never drops below the leaf size still
+/// splits — the old size-gated stop would have run the whole stream as
+/// one sequential leaf.
+#[test]
+fn filtered_collect_splits_beyond_size_gate() {
+    let _guard = lock();
+    let n = 1usize << 10;
+    let pool = Arc::new(ForkJoinPool::new(2));
+    // Leaf size == n: a SIZED source would never split under this
+    // policy, and the old size-gated recursion treated the filter's
+    // upper-bound estimate the same way.
+    let policy = SplitPolicy::Fixed(n);
+    let cap = policy.depth_cap(pool.threads());
+    let p2 = Arc::clone(&pool);
+    let (sum, report) = plobs::recorded(move || {
+        stream_support(SliceSpliterator::new((0..n as i64).collect()), true)
+            .with_pool(p2)
+            .with_split_policy(policy)
+            .filter(|x| x % 2 == 0)
+            .reduce(0i64, |a, b| a + b)
+    });
+    assert_eq!(sum, (0..n as i64).filter(|x| x % 2 == 0).sum::<i64>());
+    assert!(
+        report.splits > 0,
+        "non-SIZED pipeline must split past the size gate:\n{}",
+        report.tree_summary()
+    );
+    assert!(
+        report.max_split_depth() < cap,
+        "unsized descent must stop at the depth cap {cap}, saw {}",
+        report.max_split_depth()
+    );
+
+    // Control: the same policy on the SIZED, unfiltered source is a
+    // single sequential leaf — the gate itself is unchanged.
+    let p2 = Arc::clone(&pool);
+    let (_, control) = plobs::recorded(move || {
+        stream_support(SliceSpliterator::new((0..n as i64).collect()), true)
+            .with_pool(p2)
+            .with_split_policy(policy)
+            .reduce(0i64, |a, b| a + b)
+    });
+    assert_eq!(
+        control.splits, 0,
+        "SIZED source at leaf size must not split"
+    );
+}
+
+/// The satellite-2 fix, observed: leaf `items` totals through a filter
+/// equal the true surviving element count — not the pre-filter size
+/// estimate the old accounting reported.
+#[test]
+fn leaf_item_totals_are_exact_through_filters() {
+    let _guard = lock();
+    let n = 3000i64; // not a power of two, not a leaf multiple
+    let data: Vec<i64> = (0..n).collect();
+    let survivors = data.iter().filter(|x| *x % 3 == 0).count() as u64;
+    let pool = Arc::new(ForkJoinPool::new(2));
+    for policy in [
+        SplitPolicy::Fixed(64),
+        SplitPolicy::Adaptive(AdaptiveSplit {
+            min_leaf: 16,
+            ..AdaptiveSplit::default()
+        }),
+    ] {
+        let d = data.clone();
+        let p2 = Arc::clone(&pool);
+        let (sum, report) = plobs::recorded(move || {
+            stream_support(SliceSpliterator::new(d), true)
+                .with_pool(p2)
+                .with_split_policy(policy)
+                .filter(|x| x % 3 == 0)
+                .reduce(0i64, |a, b| a + b)
+        });
+        assert_eq!(sum, (0..n).filter(|x| x % 3 == 0).sum::<i64>());
+        assert_eq!(
+            report.routes.total_items(),
+            survivors,
+            "leaf items must count drained survivors under {:?}:\n{}",
+            policy,
+            report.tree_summary()
+        );
+    }
+}
+
+/// Zero-copy routes report borrow lengths: an unfiltered slice collect
+/// accounts every element exactly once.
+#[test]
+fn zero_copy_item_totals_are_exact() {
+    let _guard = lock();
+    let n = 2048i64;
+    let pool = Arc::new(ForkJoinPool::new(2));
+    let (sum, report) = plobs::recorded(move || {
+        stream_support(SliceSpliterator::new((0..n).collect()), true)
+            .with_pool(pool)
+            .with_split_policy(SplitPolicy::Fixed(128))
+            .collect(ReduceCollector::new(0i64, |a, b| a + b))
+    });
+    assert_eq!(sum, (0..n).sum::<i64>());
+    assert_eq!(report.routes.total_items(), n as u64);
+    assert_eq!(report.routes.cloning_drain.items, 0);
+}
+
+/// The satellite-3 fix, observed: a worker of one pool installing a
+/// parallel collect on a *different* pool helps its own pool while the
+/// foreign latch is pending instead of blocking a worker thread — with
+/// 1-worker pools on both sides this deadlocked before the fix.
+#[test]
+fn cross_pool_reentrant_collect_completes() {
+    let _guard = lock();
+    let pool_a = Arc::new(ForkJoinPool::new(1));
+    let pool_b = Arc::new(ForkJoinPool::new(1));
+    for round in 0..16 {
+        let pb = Arc::clone(&pool_b);
+        let n = 256 + round as i64;
+        let got = pool_a.install(move || {
+            stream_support(SliceSpliterator::new((0..n).collect()), true)
+                .with_pool(pb)
+                .with_split_policy(SplitPolicy::Fixed(16))
+                .reduce(0i64, |a, b| a + b)
+        });
+        assert_eq!(got, (0..n).sum::<i64>());
+    }
+}
+
+/// Same-pool re-entrancy: a map stage that itself runs a nested
+/// parallel collect on the same pool, under both policies.
+#[test]
+fn nested_same_pool_collect_completes() {
+    let _guard = lock();
+    let pool = Arc::new(ForkJoinPool::new(2));
+    for policy in [SplitPolicy::Fixed(8), SplitPolicy::adaptive()] {
+        let inner_pool = Arc::clone(&pool);
+        let inner_sum: i64 = (0..32i64).sum();
+        let total = stream_support(SliceSpliterator::new((0..64i64).collect()), true)
+            .with_pool(Arc::clone(&pool))
+            .with_split_policy(policy)
+            .map(move |x| {
+                let nested = stream_support(SliceSpliterator::new((0..32i64).collect()), true)
+                    .with_pool(Arc::clone(&inner_pool))
+                    .with_split_policy(SplitPolicy::Fixed(4))
+                    .reduce(0i64, |a, b| a + b);
+                assert_eq!(nested, inner_sum);
+                x + nested
+            })
+            .reduce(0i64, |a, b| a + b);
+        assert_eq!(total, (0..64i64).map(|x| x + inner_sum).sum::<i64>());
+    }
+}

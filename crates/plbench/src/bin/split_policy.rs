@@ -1,0 +1,300 @@
+//! Emits `BENCH_splitpolicy_*.json` A/B rows: Fixed vs Adaptive splitting.
+//!
+//! ```text
+//! split_policy [--runs R] [--exp K] [--out-dir DIR]
+//! ```
+//!
+//! Three rows are produced, one per workload shape:
+//!
+//! * `BENCH_splitpolicy_reduce.json` — a uniform-cost reduce at `2^K`
+//!   (default 2^16). Per-element cost is flat, so the static
+//!   `default_leaf_size` is already near-optimal; the adaptive policy
+//!   must stay within ~10% of it (its acceptance bound).
+//! * `BENCH_splitpolicy_poly.json` — a skewed-cost map+reduce: the
+//!   first `1/64` of the elements carry ~256× the work of the rest (a
+//!   spin kernel driven by the element value). A static leaf computed
+//!   from `n/(4·threads)` packs the whole hot prefix into a handful of
+//!   leaves; demand-driven splitting descends further while thieves are
+//!   active, spreading the hot region across more tasks.
+//! * `BENCH_splitpolicy_filtered.json` — a non-SIZED pipeline (filter
+//!   keep-half, then reduce). The size estimate is an upper bound here,
+//!   so the old size-gated recursion under-split; the row also records
+//!   each policy's split depth so the fix is visible in trajectories.
+//!
+//! Each row carries `fixed_ms` / `adaptive_ms` / `adaptive_ratio`
+//! columns plus both aggregated [`plobs::RunReport`]s, and is checked
+//! against the strict JSON validator before being written. Timings are
+//! honest wall-clock averages on the build machine; the skewed-cost
+//! advantage of demand-driven splitting materialises with ≥2 workers
+//! (on a 1-core builder the two arms do the same total work).
+
+use forkjoin::{AdaptiveSplit, ForkJoinPool, SplitPolicy};
+use jstreams::{default_leaf_size, stream_support, SliceSpliterator};
+use plbench::{ms, time_avg, PAPER_RUNS};
+use plobs::RunReport;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Spin iterations for the hot prefix of the skewed workload.
+const HEAVY_ITERS: u64 = 512;
+/// Spin iterations for the cold remainder.
+const LIGHT_ITERS: u64 = 2;
+/// Fraction of the input (as a divisor) that is hot.
+const HOT_DIVISOR: usize = 64;
+
+struct Args {
+    runs: usize,
+    exp: u32,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        runs: PAPER_RUNS,
+        exp: 16,
+        out_dir: PathBuf::from("."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--runs" => {
+                args.runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs needs an integer");
+            }
+            "--exp" => {
+                args.exp = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--exp needs an integer");
+            }
+            "--out-dir" => {
+                args.out_dir = PathBuf::from(it.next().expect("--out-dir needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// A fixed-point LCG spin: `iters` dependent multiply-adds, so the
+/// optimiser cannot elide the work and cost scales linearly with
+/// `iters`.
+fn spin(iters: u64, seed: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..iters {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+/// Times `f` under both policies and captures one recorded report per
+/// arm: `(fixed_ms, adaptive_ms, fixed_report, adaptive_report)`.
+fn ab<R>(
+    runs: usize,
+    mut f: impl FnMut(SplitPolicy) -> R,
+    fixed: SplitPolicy,
+    adaptive: SplitPolicy,
+) -> (f64, f64, RunReport, RunReport) {
+    // Warm caches, the allocator and the pool before either arm.
+    for _ in 0..2 {
+        f(fixed);
+        f(adaptive);
+    }
+    let (_, t_fixed) = time_avg(runs, || f(fixed));
+    let (_, t_adaptive) = time_avg(runs, || f(adaptive));
+    let (_, rep_fixed) = plobs::recorded(|| f(fixed));
+    let (_, rep_adaptive) = plobs::recorded(|| f(adaptive));
+    (ms(t_fixed), ms(t_adaptive), rep_fixed, rep_adaptive)
+}
+
+/// One trajectory row: identification, the A/B timings, and both
+/// embedded reports.
+#[allow(clippy::too_many_arguments)]
+fn row_json(
+    bench: &str,
+    n: usize,
+    runs: usize,
+    threads: usize,
+    fixed_leaf: usize,
+    fixed_ms: f64,
+    adaptive_ms: f64,
+    fixed_report: &RunReport,
+    adaptive_report: &RunReport,
+) -> String {
+    let ratio = if fixed_ms > 0.0 {
+        adaptive_ms / fixed_ms
+    } else {
+        1.0
+    };
+    format!(
+        concat!(
+            "{{\"schema\":\"plbench.splitpolicy.v1\",\"bench\":\"{}\",\"n\":{},\"runs\":{},",
+            "\"threads\":{},\"fixed_leaf_size\":{},",
+            "\"fixed_ms\":{:.6},\"adaptive_ms\":{:.6},\"adaptive_ratio\":{:.6},",
+            "\"fixed_report\":{},\"adaptive_report\":{}}}"
+        ),
+        bench,
+        n,
+        runs,
+        threads,
+        fixed_leaf,
+        fixed_ms,
+        adaptive_ms,
+        ratio,
+        fixed_report.to_json(),
+        adaptive_report.to_json()
+    )
+}
+
+fn write_row(out_dir: &PathBuf, name: &str, row: &str) {
+    if let Err(e) = plobs::json::validate(row) {
+        eprintln!("malformed split-policy row for {name}: {e}");
+        std::process::exit(1);
+    }
+    std::fs::create_dir_all(out_dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
+    let path = out_dir.join(name);
+    let mut file = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    writeln!(file, "{row}").expect("write row");
+    println!("wrote {}", path.display());
+}
+
+fn print_arm(label: &str, fixed_ms: f64, adaptive_ms: f64, fx: &RunReport, ad: &RunReport) {
+    println!("\n{label}:");
+    println!(
+        "  fixed {fixed_ms:.3} ms (max depth {}) | adaptive {adaptive_ms:.3} ms (max depth {}, ratio {:.3})",
+        fx.max_split_depth(),
+        ad.max_split_depth(),
+        adaptive_ms / fixed_ms.max(1e-12),
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let n = 1usize << args.exp;
+    let threads = num_cpus::get();
+    let pool = Arc::new(ForkJoinPool::new(threads));
+    let fixed_leaf = default_leaf_size(n, threads);
+    let fixed = SplitPolicy::Fixed(fixed_leaf);
+    // The adaptive cutoff must sit below the static leaf or the policy
+    // can never split finer than it on small smoke inputs.
+    let adaptive = SplitPolicy::Adaptive(AdaptiveSplit {
+        min_leaf: (fixed_leaf / 4).max(1),
+        ..AdaptiveSplit::default()
+    });
+    println!(
+        "split_policy: n = 2^{} = {n}, {} runs per arm, {} threads, fixed leaf {fixed_leaf}",
+        args.exp, args.runs, threads
+    );
+
+    // Workload 1: uniform-cost reduce.
+    let ints: Vec<i64> = (0..n as i64)
+        .map(|i| i.wrapping_mul(0x9E37) % 1009)
+        .collect();
+    let data = ints.clone();
+    let p2 = Arc::clone(&pool);
+    let (fixed_ms, adaptive_ms, fx, ad) = ab(
+        args.runs,
+        move |policy| {
+            stream_support(SliceSpliterator::new(data.clone()), true)
+                .with_pool(Arc::clone(&p2))
+                .with_split_policy(policy)
+                .reduce(0i64, |a, b| a + b)
+        },
+        fixed,
+        adaptive,
+    );
+    print_arm("uniform reduce", fixed_ms, adaptive_ms, &fx, &ad);
+    let row = row_json(
+        "reduce",
+        n,
+        args.runs,
+        threads,
+        fixed_leaf,
+        fixed_ms,
+        adaptive_ms,
+        &fx,
+        &ad,
+    );
+    write_row(&args.out_dir, "BENCH_splitpolicy_reduce.json", &row);
+
+    // Workload 2: skewed cost — a hot prefix of heavy spin elements.
+    let work: Vec<u64> = (0..n)
+        .map(|i| {
+            if i < n / HOT_DIVISOR {
+                HEAVY_ITERS
+            } else {
+                LIGHT_ITERS
+            }
+        })
+        .collect();
+    let p2 = Arc::clone(&pool);
+    let (fixed_ms, adaptive_ms, fx, ad) = ab(
+        args.runs,
+        move |policy| {
+            stream_support(SliceSpliterator::new(work.clone()), true)
+                .with_pool(Arc::clone(&p2))
+                .with_split_policy(policy)
+                .map(|iters| spin(iters, iters))
+                .reduce(0u64, |a, b| a.wrapping_add(b))
+        },
+        fixed,
+        adaptive,
+    );
+    print_arm("skewed-cost poly", fixed_ms, adaptive_ms, &fx, &ad);
+    let row = row_json(
+        "poly",
+        n,
+        args.runs,
+        threads,
+        fixed_leaf,
+        fixed_ms,
+        adaptive_ms,
+        &fx,
+        &ad,
+    );
+    write_row(&args.out_dir, "BENCH_splitpolicy_poly.json", &row);
+
+    // Workload 3: filter-heavy (non-SIZED) reduce — the size estimate
+    // is an upper bound, so splitting is depth-capped, not size-gated.
+    let data = ints;
+    let p2 = Arc::clone(&pool);
+    let (fixed_ms, adaptive_ms, fx, ad) = ab(
+        args.runs,
+        move |policy| {
+            stream_support(SliceSpliterator::new(data.clone()), true)
+                .with_pool(Arc::clone(&p2))
+                .with_split_policy(policy)
+                .filter(|x| x % 2 == 0)
+                .reduce(0i64, |a, b| a + b)
+        },
+        fixed,
+        adaptive,
+    );
+    print_arm("filtered reduce", fixed_ms, adaptive_ms, &fx, &ad);
+    assert!(
+        fx.splits > 0,
+        "non-SIZED filtered collect must split (old size-gated stop would not)"
+    );
+    let row = row_json(
+        "filtered",
+        n,
+        args.runs,
+        threads,
+        fixed_leaf,
+        fixed_ms,
+        adaptive_ms,
+        &fx,
+        &ad,
+    );
+    write_row(&args.out_dir, "BENCH_splitpolicy_filtered.json", &row);
+}

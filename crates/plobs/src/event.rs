@@ -54,6 +54,9 @@ pub enum Event {
     Split {
         /// Tree depth of the node that split.
         depth: u32,
+        /// Whether a demand-driven (adaptive) policy made this split
+        /// decision, as opposed to a static size threshold.
+        adaptive: bool,
     },
     /// Time attributed to the descending phase (splitting and task
     /// setup), excluding leaf and combine work.

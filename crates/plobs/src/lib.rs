@@ -36,7 +36,7 @@
 //! use plobs::{recorded, Event, LeafRoute};
 //!
 //! let (value, report) = recorded(|| {
-//!     plobs::emit(Event::Split { depth: 0 });
+//!     plobs::emit(Event::Split { depth: 0, adaptive: false });
 //!     plobs::emit(Event::Leaf { route: LeafRoute::ZeroCopySlice, items: 8, ns: 120 });
 //!     plobs::emit(Event::Leaf { route: LeafRoute::ZeroCopySlice, items: 8, ns: 110 });
 //!     plobs::emit(Event::Combine { depth: 0, ns: 40 });
@@ -164,7 +164,10 @@ mod tests {
     fn disabled_by_default_and_emissions_are_dropped() {
         let _serial = RECORD_GUARD.lock();
         assert!(!enabled());
-        emit(Event::Split { depth: 3 }); // must not panic or store
+        emit(Event::Split {
+            depth: 3,
+            adaptive: false,
+        }); // must not panic or store
     }
 
     #[test]

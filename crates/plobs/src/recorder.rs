@@ -38,6 +38,7 @@ fn zeroed<const N: usize>() -> [AtomicU64; N] {
 /// which provide the necessary happens-before edges.
 struct Shard {
     splits: AtomicU64,
+    splits_adaptive: AtomicU64,
     split_depths: [AtomicU64; MAX_DEPTH],
     descend_ns: AtomicU64,
     // Indexed by `LeafRoute as usize` (4 routes).
@@ -64,6 +65,7 @@ impl Shard {
     fn new() -> Self {
         Shard {
             splits: AtomicU64::new(0),
+            splits_adaptive: AtomicU64::new(0),
             split_depths: zeroed(),
             descend_ns: AtomicU64::new(0),
             route_leaves: zeroed(),
@@ -88,8 +90,11 @@ impl Shard {
 
     fn record(&self, event: &Event) {
         match *event {
-            Event::Split { depth } => {
+            Event::Split { depth, adaptive } => {
                 self.splits.fetch_add(1, Relaxed);
+                if adaptive {
+                    self.splits_adaptive.fetch_add(1, Relaxed);
+                }
                 self.split_depths[slot(depth, MAX_DEPTH)].fetch_add(1, Relaxed);
             }
             Event::DescendNs { ns } => {
@@ -215,6 +220,7 @@ impl RunRecorder {
 
         for shard in shards.iter() {
             report.splits += shard.splits.load(Relaxed);
+            report.splits_adaptive += shard.splits_adaptive.load(Relaxed);
             report.descend_ns += shard.descend_ns.load(Relaxed);
             report.leaf_ns += shard.leaf_ns.load(Relaxed);
             report.combines += shard.combines.load(Relaxed);
@@ -349,11 +355,21 @@ mod tests {
     #[test]
     fn depth_histogram_is_trimmed() {
         let rec = RunRecorder::new();
-        rec.record(&Event::Split { depth: 0 });
-        rec.record(&Event::Split { depth: 2 });
-        rec.record(&Event::Split { depth: 2 });
+        rec.record(&Event::Split {
+            depth: 0,
+            adaptive: false,
+        });
+        rec.record(&Event::Split {
+            depth: 2,
+            adaptive: true,
+        });
+        rec.record(&Event::Split {
+            depth: 2,
+            adaptive: true,
+        });
         let report = rec.finish();
         assert_eq!(report.splits, 3);
+        assert_eq!(report.splits_adaptive, 2);
         assert_eq!(report.split_depths, vec![1, 0, 2]);
         assert_eq!(report.max_split_depth(), 2);
     }
@@ -361,7 +377,10 @@ mod tests {
     #[test]
     fn out_of_range_indices_fold_into_last_slot() {
         let rec = RunRecorder::new();
-        rec.record(&Event::Split { depth: 9999 });
+        rec.record(&Event::Split {
+            depth: 9999,
+            adaptive: false,
+        });
         rec.record(&Event::PoolExecute { worker: 9999 });
         let report = rec.finish();
         assert_eq!(report.splits, 1);

@@ -78,6 +78,9 @@ pub struct RankStats {
 pub struct RunReport {
     /// Number of splits in the divide phase.
     pub splits: u64,
+    /// Splits decided by a demand-driven (adaptive) policy rather than a
+    /// static size threshold.
+    pub splits_adaptive: u64,
     /// Histogram of split counts by tree depth (index = depth), trimmed
     /// of trailing zeros.
     pub split_depths: Vec<u64>,
@@ -162,8 +165,9 @@ impl RunReport {
         out.push_str("\"tree\":{");
         let _ = write!(
             out,
-            "\"splits\":{},\"max_split_depth\":{},\"split_depths\":[",
+            "\"splits\":{},\"adaptive_splits\":{},\"max_split_depth\":{},\"split_depths\":[",
             self.splits,
+            self.splits_adaptive,
             self.max_split_depth()
         );
         push_u64_list(&mut out, self.split_depths.iter().copied());
@@ -253,8 +257,9 @@ impl RunReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "  tree: {} splits (max depth {}), {} leaves, {} combines",
+            "  tree: {} splits ({} adaptive, max depth {}), {} leaves, {} combines",
             self.splits,
+            self.splits_adaptive,
             self.max_split_depth(),
             self.routes.total_leaves(),
             self.combines
@@ -327,6 +332,7 @@ mod tests {
     fn sample() -> RunReport {
         RunReport {
             splits: 7,
+            splits_adaptive: 3,
             split_depths: vec![1, 2, 4],
             descend_ns: 100,
             routes: RouteHistogram {
@@ -399,6 +405,7 @@ mod tests {
         let json = r.to_json();
         crate::json::validate(&json).unwrap();
         assert!(json.starts_with("{\"schema\":\"plobs.run_report.v1\""));
+        assert!(json.contains("\"adaptive_splits\":3"));
         assert!(json.contains("\"split_depths\":[1,2,4]"));
         assert!(json.contains("\"zero_copy_slice\":{\"leaves\":8,\"items\":64}"));
         assert!(json.contains("\"leaf_share\":0.700000"));

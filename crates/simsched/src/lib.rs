@@ -36,8 +36,9 @@ pub use dag::{Dag, TaskId, TaskNode};
 pub use dnc::{build_dnc, DncCosts, FnCosts};
 pub use machine::{MachineModel, ZERO_COPY_LEAF_FACTOR};
 pub use predict::{
-    predict_map_collect, predict_poly, predict_poly_sweep, predict_scaling, MapCostModel,
-    PolyPrediction, JVM_ARTIFACT_FACTOR, JVM_ARTIFACT_SIZE,
+    adaptive_leaf_size, predict_map_collect, predict_poly, predict_poly_adaptive,
+    predict_poly_sweep, predict_scaling, MapCostModel, PolyPrediction, JVM_ARTIFACT_FACTOR,
+    JVM_ARTIFACT_SIZE,
 };
 pub use replay::{replay, replay_report};
 pub use schedule::{simulate, Schedule};

@@ -82,6 +82,38 @@ pub fn predict_poly(
     }
 }
 
+/// `ceil(log2(n))` for `n ≥ 1` (0 for `n ≤ 1`) — kept local because this
+/// crate depends only on `plobs`; semantics match `forkjoin::ceil_log2`.
+fn ceil_log2(n: usize) -> u32 {
+    n.max(1).next_power_of_two().trailing_zeros()
+}
+
+/// The leaf size an ideal demand-driven (adaptive) splitter converges to
+/// on a uniform workload of `n` elements: under sustained demand every
+/// node splits until the depth cap `log2(cores) + depth_slack`, floored
+/// at the sequential cutoff `min_leaf`. This is the equilibrium of the
+/// steal-pressure heuristic, not a wall-clock model of its transient.
+pub fn adaptive_leaf_size(n: usize, cores: usize, depth_slack: u32, min_leaf: usize) -> usize {
+    let cap = ceil_log2(cores) + depth_slack;
+    (n >> cap.min(usize::BITS - 1)).max(min_leaf.max(1))
+}
+
+/// Predicts the polynomial benchmark under the adaptive split policy by
+/// running [`predict_poly`] at the policy's equilibrium granularity
+/// ([`adaptive_leaf_size`]). On a uniform workload the prediction
+/// differs from the default fixed policy only through leaf granularity,
+/// which is exactly what the `BENCH_splitpolicy_*` A/B rows measure.
+pub fn predict_poly_adaptive(
+    machine: &MachineModel,
+    n: usize,
+    depth_slack: u32,
+    min_leaf: usize,
+    jvm_artifact: bool,
+) -> PolyPrediction {
+    let leaf = adaptive_leaf_size(n, machine.cores, depth_slack, min_leaf);
+    predict_poly(machine, n, Some(leaf), jvm_artifact)
+}
+
 /// Predicts the full sweep `2^lo ..= 2^hi` (the figures use lo=20,
 /// hi=26).
 pub fn predict_poly_sweep(
@@ -276,6 +308,57 @@ mod tests {
     fn utilisation_is_a_fraction() {
         let p = predict_poly(&m8(), 1 << 22, None, false);
         assert!(p.utilisation > 0.5 && p.utilisation <= 1.0);
+    }
+
+    #[test]
+    fn adaptive_leaf_size_equilibrium() {
+        // 2^20 elements on 8 cores, slack 4: cap = 3 + 4 = 7 → leaves of
+        // 2^13, floored at min_leaf.
+        assert_eq!(adaptive_leaf_size(1 << 20, 8, 4, 1024), 1 << 13);
+        assert_eq!(adaptive_leaf_size(1 << 10, 8, 4, 1024), 1024);
+        assert_eq!(adaptive_leaf_size(0, 1, 0, 0), 1);
+    }
+
+    #[test]
+    fn adaptive_prediction_stays_within_depth_cap() {
+        // Build the DAG the adaptive equilibrium implies and replay it:
+        // its recorded split depth must respect log2(cores) + slack.
+        let machine = m8();
+        let (slack, min_leaf) = (4, 1024);
+        let n = 1 << 20;
+        let leaf = adaptive_leaf_size(n, machine.cores, slack, min_leaf);
+        let costs = FnCosts {
+            split: |_, _| 3.0,
+            leaf: |s| s as f64,
+            combine: |_, _| 5.0,
+        };
+        let (dag, _) = build_dnc(n, leaf, &costs);
+        let report = crate::replay::replay_report(&dag, &simulate(&dag, machine.cores));
+        let cap = ceil_log2(machine.cores) + slack;
+        assert!(
+            report.max_split_depth() < cap,
+            "max depth {} must stay below cap {cap}",
+            report.max_split_depth()
+        );
+        assert!(report.splits > 0);
+    }
+
+    #[test]
+    fn adaptive_prediction_close_to_fixed_on_uniform_work() {
+        // Uniform per-element cost: the adaptive equilibrium granularity
+        // must land within 10% of the default fixed policy — the same
+        // bound the live BENCH_splitpolicy_reduce acceptance uses.
+        let machine = m8();
+        let n = 1 << 22;
+        let fixed = predict_poly(&machine, n, None, false);
+        let adaptive = predict_poly_adaptive(&machine, n, 4, 1024, false);
+        let ratio = adaptive.par_ms / fixed.par_ms;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "adaptive/fixed = {ratio} (adaptive {} ms, fixed {} ms)",
+            adaptive.par_ms,
+            fixed.par_ms
+        );
     }
 
     #[test]

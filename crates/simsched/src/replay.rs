@@ -50,7 +50,10 @@ pub fn replay(dag: &Dag, schedule: &Schedule, sink: &dyn EventSink) {
         if t.deps.len() == 2 {
             sink.record(&Event::Combine { depth: t.label, ns });
         } else if out_degree[id] == 2 {
-            sink.record(&Event::Split { depth: t.label });
+            sink.record(&Event::Split {
+                depth: t.label,
+                adaptive: false,
+            });
             sink.record(&Event::DescendNs { ns });
         } else {
             sink.record(&Event::Leaf {

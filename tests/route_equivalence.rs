@@ -20,8 +20,9 @@
 
 use jplf::{Decomp, Executor, ForkJoinExecutor, MpiExecutor, SequentialExecutor};
 use jstreams::{
-    stream_support, Characteristics, Decomposition, ItemSource, LeafAccess, PowerMapCollector,
-    PowerSpliterator, ReduceCollector, Spliterator, TieSpliterator,
+    stream_support, AdaptiveSplit, Characteristics, Decomposition, ItemSource, LeafAccess,
+    PowerMapCollector, PowerSpliterator, ReduceCollector, SliceSpliterator, SplitPolicy,
+    Spliterator, TieSpliterator,
 };
 use powerlist::PowerList;
 use proptest::prelude::*;
@@ -302,6 +303,66 @@ proptest! {
         }
     }
 
+    /// Split policies are tree-shape-only: `Fixed` and `Adaptive` agree
+    /// with the sequential spec across map / filter / reduce pipelines,
+    /// on SIZED sources and on non-SIZED (filtered) ones whose size
+    /// estimate is just an upper bound.
+    #[test]
+    fn split_policies_agree_with_spec(
+        raw in proptest::collection::vec(-1000i64..1000, 1..600),
+        leaf in 1usize..64,
+        min_leaf in 1usize..32,
+    ) {
+        let _shared = shared();
+        let policies = [
+            SplitPolicy::Fixed(leaf),
+            SplitPolicy::Adaptive(AdaptiveSplit { min_leaf, ..AdaptiveSplit::default() }),
+        ];
+        let spec_map: i64 = raw.iter().map(|x| x * 3 - 1).sum();
+        let spec_filter: i64 = raw.iter().filter(|x| *x % 3 == 0).sum();
+        let spec_survivors: Vec<i64> =
+            raw.iter().copied().filter(|x| x % 3 == 0).collect();
+        for policy in policies {
+            // SIZED pipeline: map + reduce.
+            let m = stream_support(SliceSpliterator::new(raw.clone()), true)
+                .with_split_policy(policy)
+                .map(|x| x * 3 - 1)
+                .reduce(0, |a, b| a + b);
+            prop_assert_eq!(m, spec_map, "map+reduce under {:?}", policy);
+            // Non-SIZED pipeline: filter + reduce.
+            let f = stream_support(SliceSpliterator::new(raw.clone()), true)
+                .with_split_policy(policy)
+                .filter(|x| x % 3 == 0)
+                .reduce(0, |a, b| a + b);
+            prop_assert_eq!(f, spec_filter, "filter+reduce under {:?}", policy);
+            // Non-SIZED with order-sensitive output: filter + to_vec.
+            let v = stream_support(SliceSpliterator::new(raw.clone()), true)
+                .with_split_policy(policy)
+                .filter(|x| x % 3 == 0)
+                .to_vec();
+            prop_assert_eq!(&v, &spec_survivors, "filter+to_vec under {:?}", policy);
+        }
+    }
+
+    /// Both split policies evaluate the paper's vp polynomial collector
+    /// to the Horner reference.
+    #[test]
+    fn split_policies_agree_on_vp(coeffs in powerlist_f64(8), x in -0.99f64..0.99,
+                                  min_leaf in 1usize..32) {
+        let _shared = shared();
+        let spec = plalgo::horner(coeffs.as_slice(), x);
+        let fixed = stream_support(TieSpliterator::over(coeffs.clone()), true)
+            .with_split_policy(SplitPolicy::Fixed(min_leaf))
+            .collect(plalgo::TupledVpCollector::new(x));
+        prop_assert!(rel_close(fixed, spec));
+        let adaptive_policy =
+            SplitPolicy::Adaptive(AdaptiveSplit { min_leaf, ..AdaptiveSplit::default() });
+        let adaptive = stream_support(TieSpliterator::over(coeffs.clone()), true)
+            .with_split_policy(adaptive_policy)
+            .collect(plalgo::TupledVpCollector::new(x));
+        prop_assert!(rel_close(adaptive, spec));
+    }
+
     /// Maximum segment sum: spec = Kadane = zero-copy stream = cloning
     /// stream = JPLF fork-join = MPI-sim.
     #[test]
@@ -386,6 +447,42 @@ fn hidden_leaf_access_takes_only_the_cloning_drain() {
     assert!(
         report.routes.cloning_drain.leaves > 0,
         "opaque collect must drain per element:\n{}",
+        report.tree_summary()
+    );
+}
+
+/// The adaptive policy's recursion is bounded: even when demand says
+/// "split" on every probe (surplus = `usize::MAX` makes the local-queue
+/// test always pass), no recorded split can sit at or past the depth
+/// cap, and every split carries the adaptive tag.
+#[test]
+fn adaptive_split_depth_stays_within_cap() {
+    let _exclusive = exclusive();
+    let threads = 2;
+    let pool = std::sync::Arc::new(forkjoin::ForkJoinPool::new(threads));
+    let policy = SplitPolicy::Adaptive(AdaptiveSplit {
+        min_leaf: 1,
+        depth_slack: 3,
+        surplus: usize::MAX,
+    });
+    let cap = policy.depth_cap(threads);
+    let n = 1usize << 12; // deep enough that only the cap stops recursion
+    let (sum, report) = plobs::recorded(move || {
+        stream_support(SliceSpliterator::new((0..n as i64).collect()), true)
+            .with_pool(pool)
+            .with_split_policy(policy)
+            .reduce(0i64, |a, b| a + b)
+    });
+    assert_eq!(sum, (0..n as i64).sum::<i64>());
+    assert!(report.splits > 0, "adaptive run must split");
+    assert_eq!(
+        report.splits, report.splits_adaptive,
+        "every split of an adaptive run is tagged adaptive"
+    );
+    assert!(
+        report.max_split_depth() < cap,
+        "split at depth {} breaches cap {cap}:\n{}",
+        report.max_split_depth(),
         report.tree_summary()
     );
 }
