@@ -24,10 +24,22 @@ echo "==> smoke: split-policy A/B bench emits validated rows"
 # The bin strict-validates every row against the JSON validator and
 # exits non-zero on a malformed document; grep pins all three rows so
 # a silently skipped workload also fails.
+SPLIT_LOG=target/ci-splitpolicy.log
 cargo run --release -p plbench --bin split_policy -- --runs 1 --exp 10 \
-    --out-dir target/ci-splitpolicy | tee /dev/stderr \
-    | grep -c "wrote target/ci-splitpolicy/BENCH_splitpolicy_" \
-    | grep -qx 3
+    --out-dir target/ci-splitpolicy | tee /dev/stderr >"$SPLIT_LOG"
+grep -c "wrote target/ci-splitpolicy/BENCH_splitpolicy_" "$SPLIT_LOG" | grep -qx 3
+
+echo "==> smoke: try_collect happy path measured against legacy collect"
+# The reduce row A/Bs the fault-tolerant session path against the
+# legacy infallible collect on the same pool/policy; pin that both the
+# printed line and the persisted JSON field exist so the comparison
+# cannot silently disappear. (The <2% overhead acceptance is judged on
+# the paper-scale release run, not this 2^10 smoke input.)
+grep -q "try_collect overhead" "$SPLIT_LOG"
+grep -q '"try_overhead_ratio"' target/ci-splitpolicy/BENCH_splitpolicy_reduce.json
+
+echo "==> cargo doc --no-deps with warnings denied"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> cargo fmt --check"
 cargo fmt --check

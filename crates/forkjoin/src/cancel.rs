@@ -1,0 +1,178 @@
+//! Cooperative cancellation: [`CancelToken`] and [`Deadline`].
+//!
+//! The fork-join pool never preempts a running task; instead, fallible
+//! drivers (the streams `try_collect` family, the JPLF executors'
+//! `try_execute`) poll a shared token at the natural checkpoints of a
+//! divide-and-conquer descent — split, leaf entry and combine — and
+//! prune the rest of their subtree when it has tripped. Because the
+//! checkpoints bracket every leaf, the worst-case overrun after a
+//! cancellation is a single leaf's worth of work.
+//!
+//! A token trips exactly once: the first `cancel` call wins and its
+//! [`CancelReason`] is what every subsequent observer reads. Panic
+//! containment uses this to let the *first* failing task publish
+//! `CancelReason::Panic` so sibling subtrees stop descending while the
+//! panic payload travels back to the caller as a value.
+
+pub use plobs::CancelReason;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Token state encoding: 0 = live, otherwise `reason_code(reason)`.
+const LIVE: u8 = 0;
+
+fn reason_code(reason: CancelReason) -> u8 {
+    match reason {
+        CancelReason::Panic => 1,
+        CancelReason::User => 2,
+        CancelReason::Deadline => 3,
+    }
+}
+
+fn code_reason(code: u8) -> Option<CancelReason> {
+    match code {
+        1 => Some(CancelReason::Panic),
+        2 => Some(CancelReason::User),
+        3 => Some(CancelReason::Deadline),
+        _ => None,
+    }
+}
+
+/// A cheaply clonable, first-cancel-wins cancellation flag shared by
+/// every task of one execution session.
+///
+/// Cloning shares the flag (`Arc` semantics); checking is one relaxed
+/// atomic load, cheap enough for every node of a recursion.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A live (untripped) token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the token with `reason`. Returns `true` when this call was
+    /// the one that tripped it; later calls (any reason) lose and return
+    /// `false`, leaving the original reason in place.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        self.state
+            .compare_exchange(
+                LIVE,
+                reason_code(reason),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// `true` once the token has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) != LIVE
+    }
+
+    /// The winning cancellation reason, `None` while live.
+    pub fn reason(&self) -> Option<CancelReason> {
+        code_reason(self.state.load(Ordering::Acquire))
+    }
+}
+
+/// A wall-clock budget for one execution session.
+///
+/// Copyable so every task of the session can carry it by value; all
+/// copies measure against the same start instant.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    start: Instant,
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        let start = Instant::now();
+        Deadline {
+            start,
+            at: start + budget,
+        }
+    }
+
+    /// `true` once the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Wall-clock time since the session started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Budget left, zero once expired.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_cancel_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        assert!(t.cancel(CancelReason::Panic));
+        assert!(!t.cancel(CancelReason::User));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Panic));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(c.cancel(CancelReason::User));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::User));
+    }
+
+    #[test]
+    fn concurrent_cancels_have_one_winner() {
+        let t = CancelToken::new();
+        let winners: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|i| {
+                    let t = t.clone();
+                    s.spawn(move || {
+                        let reason = if i % 2 == 0 {
+                            CancelReason::User
+                        } else {
+                            CancelReason::Deadline
+                        };
+                        usize::from(t.cancel(reason))
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1);
+        assert!(t.reason().is_some());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining() > Duration::from_secs(3000));
+        assert!(far.elapsed() < Duration::from_secs(3600));
+    }
+}

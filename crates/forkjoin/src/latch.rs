@@ -70,7 +70,7 @@ impl Latch {
 
 /// A latch that sets once a counter of outstanding tasks reaches zero.
 ///
-/// Used by [`crate::scope`]: each spawned task increments before being
+/// Used by [`crate::scope()`]: each spawned task increments before being
 /// queued and decrements on completion; the scope owner waits for the
 /// whole tree.
 pub struct CountLatch {

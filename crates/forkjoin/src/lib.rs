@@ -10,7 +10,7 @@
 //! * [`join`] — the two-way fork-join primitive (work-first execution,
 //!   claim-back, help-while-waiting) that divide-and-conquer recursions
 //!   bottom out in;
-//! * [`scope`] — structured spawning of dynamic task trees;
+//! * [`scope()`] — structured spawning of dynamic task trees;
 //! * [`Latch`] / [`CountLatch`] — completion signalling;
 //! * scheduler [metrics](MetricsSnapshot) used by the benchmark harness
 //!   to report steal/join behaviour.
@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cancel;
 pub mod latch;
 pub mod metrics;
 pub mod pool;
@@ -49,6 +50,7 @@ pub mod task;
 mod join;
 
 pub use builder::PoolBuilder;
+pub use cancel::{CancelReason, CancelToken, Deadline};
 pub use join::{join, join_on, par_for_each_index};
 pub use latch::{CountLatch, Latch};
 pub use metrics::MetricsSnapshot;
@@ -63,7 +65,7 @@ static GLOBAL: OnceLock<ForkJoinPool> = OnceLock::new();
 /// The process-wide default pool, sized like Java's common ForkJoinPool
 /// (`availableProcessors` workers), created lazily on first use.
 ///
-/// [`join`] and [`scope`] migrate onto this pool when called from a
+/// [`join`] and [`scope()`] migrate onto this pool when called from a
 /// non-worker thread; computations that need an explicit size should
 /// create their own [`ForkJoinPool`] and use [`join_on`] / [`scope_on`]
 /// or [`ForkJoinPool::install`].

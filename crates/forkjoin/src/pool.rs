@@ -26,7 +26,7 @@
 
 use crate::latch::Latch;
 use crate::metrics::{Counters, MetricsSnapshot};
-use crate::task::{run_captured, unwrap_or_resume, Job, TaskResult};
+use crate::task::{run_captured, unwrap_or_resume, Job, TaskResult, TaskSlot};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 use plobs::{Event, StealSource};
@@ -332,7 +332,32 @@ impl ForkJoinPool {
     /// blocking on the submission latch, so re-entrant installs (e.g. a
     /// collector's combine calling back into a parallel collect on the
     /// global pool) can never wedge the caller's pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool has been [shut down](ForkJoinPool::shutdown);
+    /// fallible callers should use [`ForkJoinPool::try_install`].
     pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        match self.try_install(f) {
+            Ok(r) => r,
+            Err(_) => panic!("ForkJoinPool::install: pool has been shut down"),
+        }
+    }
+
+    /// Fallible [`ForkJoinPool::install`]: runs `f` on the pool, or
+    /// returns it unexecuted as `Err(f)` when submission fails because
+    /// the pool is (or becomes) shut down before a worker claims the
+    /// closure. Exactly one of the two happens — `Err` guarantees `f`
+    /// never ran, so the caller can route it elsewhere (e.g. the
+    /// sequential fallback of a degrading collect driver).
+    ///
+    /// Panics inside `f` still propagate to the caller, exactly as with
+    /// `install`.
+    pub fn try_install<R, F>(&self, f: F) -> Result<R, F>
     where
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
@@ -340,17 +365,27 @@ impl ForkJoinPool {
         let caller = current_worker();
         if let Some((state, _)) = &caller {
             if Arc::ptr_eq(state, &self.state) {
-                return f();
+                return Ok(f());
             }
         }
+        if self.is_shut_down() {
+            return Err(f);
+        }
+        // The closure lives in a claimable slot: a queued stub claims and
+        // runs it, and — should the pool shut down with the stub still
+        // queued — the submitter claims it *back*, which is what makes
+        // the `Err` path's "never ran" guarantee sound.
+        let slot = TaskSlot::new(f);
         let latch = Arc::new(Latch::new());
-        let slot: Arc<Mutex<Option<TaskResult<R>>>> = Arc::new(Mutex::new(None));
+        let result: Arc<Mutex<Option<TaskResult<R>>>> = Arc::new(Mutex::new(None));
         let job: Job = {
-            let latch = Arc::clone(&latch);
             let slot = Arc::clone(&slot);
+            let latch = Arc::clone(&latch);
+            let result = Arc::clone(&result);
             Box::new(move || {
-                let r = run_captured(f);
-                *slot.lock() = Some(r);
+                if let Some(f) = slot.claim() {
+                    *result.lock() = Some(run_captured(f));
+                }
                 latch.set();
             })
         };
@@ -359,11 +394,43 @@ impl ForkJoinPool {
         match caller {
             // Foreign-pool worker: keep executing the caller's own pool
             // while the submission runs, instead of parking a worker.
-            Some((own_state, own_index)) => help_until(&own_state, own_index, &latch),
-            None => latch.wait(),
+            Some((own_state, own_index)) => {
+                while !latch.is_set() {
+                    match find_job(&own_state, own_index) {
+                        Some(job) => {
+                            Counters::bump(&own_state.counters.executed);
+                            plobs::emit(Event::PoolExecute {
+                                worker: own_index as u32,
+                            });
+                            job();
+                        }
+                        None => {
+                            latch.wait_timeout(Duration::from_micros(200));
+                        }
+                    }
+                    if !latch.is_set() && self.is_shut_down() {
+                        if let Some(f) = slot.claim() {
+                            return Err(f);
+                        }
+                    }
+                }
+            }
+            None => {
+                while !latch.wait_timeout(Duration::from_millis(1)) {
+                    if self.is_shut_down() {
+                        if let Some(f) = slot.claim() {
+                            return Err(f);
+                        }
+                        // A worker claimed the closure before exiting;
+                        // its result (and latch) are on the way.
+                        latch.wait();
+                        break;
+                    }
+                }
+            }
         }
-        let r = slot.lock().take().expect("latch set implies result stored");
-        unwrap_or_resume(r)
+        let r = result.lock().take().expect("stub ran the claimed closure");
+        Ok(unwrap_or_resume(r))
     }
 
     /// Pressure probe for the calling thread when it is a worker of
@@ -382,6 +449,29 @@ impl ForkJoinPool {
     /// Snapshot of the scheduler counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.state.counters.snapshot()
+    }
+
+    /// Work queued pool-wide and not yet claimed: the injector backlog
+    /// plus every worker deque. Inherently racy — a saturation heuristic
+    /// for graceful-degradation decisions, not an exact figure.
+    pub fn queued_tasks(&self) -> usize {
+        self.state.injector.len() + self.state.stealers.iter().map(|s| s.len()).sum::<usize>()
+    }
+
+    /// Asks the workers to exit after their current job. Jobs still
+    /// queued are discarded (never run); later submissions fail
+    /// ([`ForkJoinPool::try_install`] returns `Err`, `install` panics).
+    /// Idempotent; worker threads are joined when the pool is dropped.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        let _g = self.state.sleep_mutex.lock();
+        self.state.sleep_cv.notify_all();
+    }
+
+    /// `true` once [`ForkJoinPool::shutdown`] has been called (or the
+    /// pool has begun dropping).
+    pub fn is_shut_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
     }
 
     pub(crate) fn state(&self) -> &Arc<PoolState> {
@@ -491,5 +581,52 @@ mod tests {
         let pool = ForkJoinPool::new(4);
         pool.install(|| ());
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn try_install_runs_on_live_pool() {
+        let pool = ForkJoinPool::new(2);
+        assert_eq!(pool.try_install(|| 6 * 7).ok(), Some(42));
+    }
+
+    #[test]
+    fn try_install_returns_closure_after_shutdown() {
+        let pool = ForkJoinPool::new(2);
+        assert!(!pool.is_shut_down());
+        pool.shutdown();
+        pool.shutdown(); // idempotent
+        assert!(pool.is_shut_down());
+        let f = pool.try_install(|| 99).expect_err("submission must fail");
+        // The closure came back unexecuted and still runs elsewhere.
+        assert_eq!(f(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "shut down")]
+    fn install_panics_after_shutdown() {
+        let pool = ForkJoinPool::new(1);
+        pool.shutdown();
+        pool.install(|| ());
+    }
+
+    #[test]
+    fn queued_tasks_reads_backlog() {
+        let pool = ForkJoinPool::new(1);
+        assert_eq!(pool.queued_tasks(), 0);
+        // Wedge the single worker, then pile up spawns behind it.
+        let gate = Arc::new(Latch::new());
+        let g = Arc::clone(&gate);
+        let running = Arc::new(Latch::new());
+        let r = Arc::clone(&running);
+        pool.spawn(move || {
+            r.set();
+            g.wait();
+        });
+        running.wait();
+        for _ in 0..4 {
+            pool.spawn(|| ());
+        }
+        assert!(pool.queued_tasks() >= 1, "backlog must be visible");
+        gate.set();
     }
 }

@@ -9,10 +9,11 @@
 //! `transform_halves` data transforms — still runs, only the forking
 //! stops).
 
-use crate::executor::Executor;
-use crate::function::{Decomp, PowerFunction};
+use crate::executor::{ExecConfig, ExecError, Executor};
+use crate::function::{try_compute_sequential, Decomp, PowerFunction};
 use forkjoin::{demand_split, join, ForkJoinPool, SplitPolicy};
-use plobs::{Event, LeafRoute};
+use jstreams::{ExecSession, Interrupt};
+use plobs::{Event, FallbackReason, LeafRoute};
 use powerlist::PowerView;
 use std::sync::Arc;
 use std::time::Instant;
@@ -24,35 +25,45 @@ pub struct ForkJoinExecutor {
 }
 
 impl ForkJoinExecutor {
+    /// Unified-config constructor: takes the config's pool (default: a
+    /// dedicated pool sized to the machine) and split policy (default:
+    /// [`SplitPolicy::adaptive`]) — the same resolution the streams
+    /// front-end applies. The historical constructors are shims over
+    /// this one.
+    pub fn from_config(cfg: &ExecConfig) -> Self {
+        ForkJoinExecutor {
+            pool: cfg
+                .pool()
+                .cloned()
+                .unwrap_or_else(|| Arc::new(ForkJoinPool::with_default_parallelism())),
+            policy: cfg.policy().unwrap_or_else(SplitPolicy::adaptive),
+        }
+    }
+
     /// Executor on a dedicated pool of `threads` workers; forking stops
     /// at sublists of `leaf_size` elements ([`SplitPolicy::Fixed`]).
     pub fn new(threads: usize, leaf_size: usize) -> Self {
-        ForkJoinExecutor {
-            pool: Arc::new(ForkJoinPool::new(threads)),
-            policy: SplitPolicy::Fixed(leaf_size.max(1)),
-        }
+        Self::from_config(
+            &ExecConfig::par()
+                .with_pool(Arc::new(ForkJoinPool::new(threads)))
+                .with_leaf_size(leaf_size),
+        )
     }
 
     /// Executor on a dedicated pool of `threads` workers with
     /// demand-driven forking ([`SplitPolicy::adaptive`]).
     pub fn adaptive(threads: usize) -> Self {
-        ForkJoinExecutor {
-            pool: Arc::new(ForkJoinPool::new(threads)),
-            policy: SplitPolicy::adaptive(),
-        }
+        Self::from_config(&ExecConfig::par().with_pool(Arc::new(ForkJoinPool::new(threads))))
     }
 
     /// Executor over an existing pool with a fixed leaf threshold.
     pub fn with_pool(pool: Arc<ForkJoinPool>, leaf_size: usize) -> Self {
-        ForkJoinExecutor {
-            pool,
-            policy: SplitPolicy::Fixed(leaf_size.max(1)),
-        }
+        Self::from_config(&ExecConfig::par().with_pool(pool).with_leaf_size(leaf_size))
     }
 
     /// Executor over an existing pool under an explicit [`SplitPolicy`].
     pub fn with_policy(pool: Arc<ForkJoinPool>, policy: SplitPolicy) -> Self {
-        ForkJoinExecutor { pool, policy }
+        Self::from_config(&ExecConfig::par().with_pool(pool).with_split_policy(policy))
     }
 
     /// The underlying pool (for metrics inspection).
@@ -159,6 +170,95 @@ where
     out
 }
 
+/// Fallible mirror of [`par_compute`]: checkpoints at node entry and
+/// before combine, user primitives under panic containment, sibling
+/// interrupts merged after both halves quiesce.
+fn try_par_compute<F>(
+    f: F,
+    input: PowerView<F::Elem>,
+    policy: SplitPolicy,
+    cap: u32,
+    depth: u32,
+    steals_seen: u64,
+    session: &ExecSession,
+) -> Result<F::Out, Interrupt>
+where
+    F: PowerFunction + Clone + Sync,
+{
+    session.check()?;
+    let observe = plobs::enabled();
+    let mut steals_next = steals_seen;
+    let stop = input.is_singleton()
+        || match policy {
+            SplitPolicy::Fixed(leaf) => input.len() <= leaf,
+            SplitPolicy::Adaptive(a) => {
+                if depth >= cap || input.len() <= a.min_leaf {
+                    true
+                } else {
+                    let (wants_split, now) = demand_split(a.surplus, steals_seen);
+                    steals_next = now;
+                    !wants_split
+                }
+            }
+        };
+    if stop {
+        let items = input.len() as u64;
+        let t0 = if observe { Some(Instant::now()) } else { None };
+        let out = session.run(|| f.leaf_case(&input))?;
+        if let Some(t0) = t0 {
+            plobs::emit(Event::Leaf {
+                route: LeafRoute::Template,
+                items,
+                ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        return Ok(out);
+    }
+    let t0 = if observe { Some(Instant::now()) } else { None };
+    let (l, r) = match f.decomposition() {
+        Decomp::Tie => input.untie().expect("non-singleton"),
+        Decomp::Zip => input.unzip().expect("non-singleton"),
+    };
+    let (fl, fr) = session.run(|| (f.create_left(), f.create_right()))?;
+    let transformed = session.run(|| f.transform_halves(&l, &r))?;
+    if let Some(t0) = t0 {
+        plobs::emit(Event::Split {
+            depth,
+            adaptive: policy.is_adaptive(),
+        });
+        plobs::emit(Event::DescendNs {
+            ns: t0.elapsed().as_nanos() as u64,
+        });
+    }
+    let s_left = session.clone();
+    let s_right = session.clone();
+    let (lo, ro) = match transformed {
+        None => join(
+            move || try_par_compute(fl, l, policy, cap, depth + 1, steals_next, &s_left),
+            move || try_par_compute(fr, r, policy, cap, depth + 1, steals_next, &s_right),
+        ),
+        Some((l2, r2)) => join(
+            move || try_par_compute(fl, l2.view(), policy, cap, depth + 1, steals_next, &s_left),
+            move || try_par_compute(fr, r2.view(), policy, cap, depth + 1, steals_next, &s_right),
+        ),
+    };
+    let (lo, ro) = match (lo, ro) {
+        (Ok(l), Ok(r)) => (l, r),
+        (Err(a), Err(b)) => return Err(a.merge(b)),
+        (Err(a), Ok(_)) | (Ok(_), Err(a)) => return Err(a),
+    };
+    session.check()?;
+    let t0 = if observe { Some(Instant::now()) } else { None };
+    let out = session.run(|| f.combine(lo, ro))?;
+    if let Some(t0) = t0 {
+        plobs::emit(Event::Combine {
+            depth,
+            ns: t0.elapsed().as_nanos() as u64,
+        });
+    }
+    Ok(out)
+}
+
 impl Executor for ForkJoinExecutor {
     fn execute<F>(&self, f: &F, input: &PowerView<F::Elem>) -> F::Out
     where
@@ -172,6 +272,60 @@ impl Executor for ForkJoinExecutor {
             let steals = forkjoin::current_probe().map_or(0, |p| p.steal_pressure());
             par_compute(f, input, policy, cap, 0, steals)
         })
+    }
+
+    fn try_execute<F>(
+        &self,
+        f: &F,
+        input: &PowerView<F::Elem>,
+        cfg: &ExecConfig,
+    ) -> Result<F::Out, ExecError>
+    where
+        F: PowerFunction + Clone + Sync,
+    {
+        let session = ExecSession::new(cfg);
+        // Graceful degradation mirrors the streams driver: a shut-down
+        // or saturated pool routes the whole computation through the
+        // guarded sequential template instead of failing.
+        let fallback = if self.pool.is_shut_down() {
+            Some(FallbackReason::SubmitFailed)
+        } else if cfg
+            .fallback_threshold()
+            .is_some_and(|t| self.pool.queued_tasks() > t)
+        {
+            Some(FallbackReason::PoolSaturated)
+        } else {
+            None
+        };
+        let acc = match fallback {
+            Some(reason) => {
+                plobs::emit(Event::Fallback { reason });
+                try_compute_sequential(f, input, &session)
+            }
+            None => {
+                let f = f.clone();
+                let input = input.clone();
+                let policy = self.policy;
+                let cap = policy.depth_cap(self.pool.threads());
+                let s2 = session.clone();
+                match self.pool.try_install(move || {
+                    let steals = forkjoin::current_probe().map_or(0, |p| p.steal_pressure());
+                    try_par_compute(f, input, policy, cap, 0, steals, &s2)
+                }) {
+                    Ok(acc) => acc,
+                    Err(g) => {
+                        // Submission lost to a shutdown race: run on the
+                        // calling thread (joins migrate to the global
+                        // pool) and record the degradation.
+                        plobs::emit(Event::Fallback {
+                            reason: FallbackReason::SubmitFailed,
+                        });
+                        g()
+                    }
+                }
+            }
+        };
+        acc.map_err(|i| session.error_of(i))
     }
 }
 
@@ -299,5 +453,102 @@ mod tests {
             e2.execute(&Sum, &p.clone().view())
         );
         assert!(pool.metrics().executed > 0);
+    }
+
+    #[test]
+    fn from_config_resolves_pool_and_policy() {
+        let pool = Arc::new(ForkJoinPool::new(2));
+        let exec = ForkJoinExecutor::from_config(
+            &ExecConfig::par()
+                .with_pool(Arc::clone(&pool))
+                .with_leaf_size(32),
+        );
+        assert!(Arc::ptr_eq(exec.pool(), &pool));
+        assert_eq!(exec.leaf_size(), 32);
+        // No policy in the config -> adaptive by default.
+        assert!(ForkJoinExecutor::from_config(&ExecConfig::par())
+            .policy()
+            .is_adaptive());
+    }
+
+    #[test]
+    fn try_execute_happy_path_matches_execute() {
+        let p = tabulate(1 << 10, |i| i as i64 % 23).unwrap();
+        let exec = ForkJoinExecutor::new(2, 64);
+        let plain = exec.execute(&Sum, &p.clone().view());
+        let tried = exec.try_execute(&Sum, &p.clone().view(), &ExecConfig::par());
+        assert_eq!(tried.ok(), Some(plain));
+    }
+
+    /// Sum whose basic case panics on one poisoned value.
+    #[derive(Clone)]
+    struct PoisonSum(i64);
+
+    impl PowerFunction for PoisonSum {
+        type Elem = i64;
+        type Out = i64;
+        fn decomposition(&self) -> Decomp {
+            Decomp::Tie
+        }
+        fn basic_case(&self, v: &i64) -> i64 {
+            assert!(*v != self.0, "poisoned value {v}");
+            *v
+        }
+        fn create_left(&self) -> Self {
+            self.clone()
+        }
+        fn create_right(&self) -> Self {
+            self.clone()
+        }
+        fn combine(&self, l: i64, r: i64) -> i64 {
+            l + r
+        }
+    }
+
+    #[test]
+    fn try_execute_contains_panics_and_pool_survives() {
+        let pool = Arc::new(ForkJoinPool::new(2));
+        let exec = ForkJoinExecutor::with_pool(Arc::clone(&pool), 1);
+        let p = tabulate(256, |i| i as i64).unwrap();
+        let err = exec
+            .try_execute(&PoisonSum(100), &p.clone().view(), &ExecConfig::par())
+            .expect_err("panicking primitive must surface as an error");
+        match err {
+            ExecError::Panicked(_) => {
+                assert_eq!(err.panic_message(), Some("poisoned value 100"));
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+        // The same pool completes a clean follow-up run.
+        assert_eq!(
+            exec.try_execute(&Sum, &p.clone().view(), &ExecConfig::par())
+                .ok(),
+            Some((0..256).sum())
+        );
+    }
+
+    #[test]
+    fn try_execute_honours_pre_cancelled_token() {
+        let token = jstreams::CancelToken::new();
+        token.cancel(jstreams::CancelReason::User);
+        let exec = ForkJoinExecutor::new(2, 64);
+        let p = tabulate(128, |i| i as i64).unwrap();
+        let err = exec
+            .try_execute(&Sum, &p.view(), &ExecConfig::par().with_cancel_token(token))
+            .err();
+        assert!(matches!(err, Some(ExecError::Cancelled)), "got {err:?}");
+    }
+
+    #[test]
+    fn try_execute_falls_back_on_shut_down_pool() {
+        let pool = Arc::new(ForkJoinPool::new(1));
+        let exec = ForkJoinExecutor::with_pool(Arc::clone(&pool), 16);
+        pool.shutdown();
+        let p = tabulate(64, |i| i as i64).unwrap();
+        let (out, report) =
+            plobs::recorded(|| exec.try_execute(&Sum, &p.clone().view(), &ExecConfig::par()));
+        assert_eq!(out.ok(), Some((0..64).sum()));
+        assert_eq!(report.fallbacks_submit, 1);
+        assert_eq!(report.splits, 0, "fallback route must not fork");
     }
 }

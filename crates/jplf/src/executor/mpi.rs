@@ -1,7 +1,7 @@
 //! The simulated-MPI executor: SPMD divide-and-conquer.
 //!
 //! JPLF's MPI executors distribute a PowerList function over cluster
-//! ranks (paper, Section III; [20] details the scaling study). The
+//! ranks (paper, Section III; \[20\] details the scaling study). The
 //! execution plan is the classical one for tree-shaped computations:
 //!
 //! 1. **Plan (rank 0)** — descend the deconstruction tree `log2(ranks)`
@@ -19,10 +19,11 @@
 //!    their partner's result and apply the `combine` of the tree node at
 //!    depth `k-1-s` of their path. Rank 0 finishes with the result.
 
-use crate::executor::Executor;
-use crate::function::{compute_sequential, Decomp, PowerFunction};
+use crate::executor::{ExecConfig, ExecError, Executor};
+use crate::function::{compute_sequential, try_compute_sequential, Decomp, PowerFunction};
 use crate::mpisim::collective::scatter;
 use crate::mpisim::comm::run_mpi;
+use jstreams::{ExecSession, Interrupt};
 use parking_lot::Mutex;
 use powerlist::{PowerList, PowerView};
 use std::sync::Arc;
@@ -44,6 +45,19 @@ impl MpiExecutor {
         // Largest power of two ≤ ranks.
         let ranks = 1usize << (usize::BITS - 1 - ranks.leading_zeros());
         MpiExecutor { ranks }
+    }
+
+    /// Unified-config constructor: takes the rank count from the
+    /// config's `ranks` knob (default: the machine's available
+    /// parallelism), with the same power-of-two rounding as
+    /// [`MpiExecutor::new`].
+    pub fn from_config(cfg: &ExecConfig) -> Self {
+        let ranks = cfg.ranks().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Self::new(ranks)
     }
 
     /// Number of simulated ranks actually used.
@@ -167,6 +181,86 @@ impl Executor for MpiExecutor {
             .next()
             .expect("rank 0 exists")
             .expect("rank 0 holds the combined result")
+    }
+
+    fn try_execute<F>(
+        &self,
+        f: &F,
+        input: &PowerView<F::Elem>,
+        cfg: &ExecConfig,
+    ) -> Result<F::Out, ExecError>
+    where
+        F: PowerFunction + Clone + Sync,
+    {
+        let session = ExecSession::new(cfg);
+        let ranks = self.ranks.min(input.len());
+        let k = powerlist::log2_exact(ranks);
+
+        let acc: Result<F::Out, Interrupt> = (|| {
+            session.check()?;
+            if ranks == 1 {
+                return try_compute_sequential(f, input, &session);
+            }
+
+            // Planning runs user primitives, so it too is contained; a
+            // panic here never reaches the ranks.
+            let problems = session.run(|| plan(f, input, k))?;
+            let plan_slot: Arc<Mutex<Option<Vec<LeafProblem<F>>>>> =
+                Arc::new(Mutex::new(Some(problems)));
+
+            let s2 = session.clone();
+            let results = run_mpi(ranks, move |comm| {
+                let rank = comm.rank();
+                let parts = if rank == 0 {
+                    plan_slot.lock().take()
+                } else {
+                    None
+                };
+                let LeafProblem { leaf, stack } = scatter(&comm, 0, parts);
+
+                let leaf_fn = stack.last().expect("stack holds the leaf function");
+                let mut acc: Result<F::Out, Interrupt> = s2
+                    .check()
+                    .and_then(|()| s2.run(|| leaf_fn.leaf_case(&leaf.view())));
+
+                // The combine tree carries `Result`s: a failed rank still
+                // sends its `Err` upward, so no partner ever hangs waiting
+                // for a rank that panicked or observed cancellation.
+                for s in 0..k {
+                    let bit = 1usize << s;
+                    if rank & ((bit << 1) - 1) == 0 {
+                        let partner = rank + bit;
+                        if partner < comm.size() {
+                            let theirs: Result<F::Out, Interrupt> =
+                                comm.recv(partner, COMBINE_TAG_BASE + s as u64);
+                            let node_fn = &stack[(k - 1 - s) as usize];
+                            acc = match (acc, theirs) {
+                                (Ok(l), Ok(r)) => {
+                                    s2.check().and_then(|()| s2.run(|| node_fn.combine(l, r)))
+                                }
+                                (Err(a), Err(b)) => Err(a.merge(b)),
+                                (Err(a), Ok(_)) | (Ok(_), Err(a)) => Err(a),
+                            };
+                        }
+                    } else if rank & ((bit << 1) - 1) == bit {
+                        comm.send(rank - bit, COMBINE_TAG_BASE + s as u64, acc);
+                        return None;
+                    }
+                }
+                if rank == 0 {
+                    Some(acc)
+                } else {
+                    None
+                }
+            });
+
+            results
+                .into_iter()
+                .next()
+                .expect("rank 0 exists")
+                .expect("rank 0 holds the combined result")
+        })();
+        acc.map_err(|i| session.error_of(i))
     }
 }
 
@@ -303,5 +397,82 @@ mod tests {
     fn singleton_input_short_circuits() {
         let p = PowerList::singleton(11i64);
         assert_eq!(MpiExecutor::new(8).execute(&Sum, &p.clone().view()), 11);
+    }
+
+    #[test]
+    fn from_config_takes_ranks_knob() {
+        assert_eq!(
+            MpiExecutor::from_config(&ExecConfig::par().with_ranks(6)).ranks(),
+            4
+        );
+        assert!(MpiExecutor::from_config(&ExecConfig::par()).ranks() >= 1);
+    }
+
+    #[test]
+    fn try_execute_happy_path_matches_execute() {
+        let p = tabulate(128, |i| i as i64 * 7 - 50).unwrap();
+        for ranks in [1, 2, 4] {
+            let exec = MpiExecutor::new(ranks);
+            let plain = exec.execute(&Sum, &p.clone().view());
+            assert_eq!(
+                exec.try_execute(&Sum, &p.clone().view(), &ExecConfig::par())
+                    .ok(),
+                Some(plain),
+                "ranks={ranks}"
+            );
+        }
+    }
+
+    /// Sum whose basic case panics on one poisoned value — the leaf
+    /// phase of exactly one rank fails; its `Err` must travel the
+    /// combine tree without deadlocking any partner.
+    #[derive(Clone)]
+    struct PoisonSum(i64);
+
+    impl PowerFunction for PoisonSum {
+        type Elem = i64;
+        type Out = i64;
+        fn decomposition(&self) -> Decomp {
+            Decomp::Tie
+        }
+        fn basic_case(&self, v: &i64) -> i64 {
+            assert!(*v != self.0, "rank hit poison {v}");
+            *v
+        }
+        fn create_left(&self) -> Self {
+            self.clone()
+        }
+        fn create_right(&self) -> Self {
+            self.clone()
+        }
+        fn combine(&self, l: i64, r: i64) -> i64 {
+            l + r
+        }
+    }
+
+    #[test]
+    fn try_execute_contains_rank_panics() {
+        let p = tabulate(64, |i| i as i64).unwrap();
+        for ranks in [2, 4, 8] {
+            let err = MpiExecutor::new(ranks)
+                .try_execute(&PoisonSum(40), &p.clone().view(), &ExecConfig::par())
+                .expect_err("poisoned leaf must surface as an error");
+            assert_eq!(
+                err.panic_message(),
+                Some("rank hit poison 40"),
+                "ranks={ranks}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_execute_honours_pre_cancelled_token() {
+        let token = jstreams::CancelToken::new();
+        token.cancel(jstreams::CancelReason::User);
+        let p = tabulate(32, |i| i as i64).unwrap();
+        let err = MpiExecutor::new(4)
+            .try_execute(&Sum, &p.view(), &ExecConfig::par().with_cancel_token(token))
+            .err();
+        assert!(matches!(err, Some(ExecError::Cancelled)), "got {err:?}");
     }
 }

@@ -1,7 +1,8 @@
 //! The sequential executor: the reference semantics.
 
-use crate::executor::Executor;
-use crate::function::{compute_sequential, PowerFunction};
+use crate::executor::{ExecConfig, ExecError, Executor};
+use crate::function::{compute_sequential, try_compute_sequential, PowerFunction};
+use jstreams::ExecSession;
 use powerlist::PowerView;
 
 /// Runs the template-method recursion on the calling thread.
@@ -15,6 +16,15 @@ pub struct SequentialExecutor;
 impl SequentialExecutor {
     /// Creates the executor.
     pub fn new() -> Self {
+        SequentialExecutor
+    }
+
+    /// Unified-config constructor. The sequential strategy has no
+    /// pool/policy knobs, so every configuration maps to the same
+    /// executor; the constructor exists so all three executors share the
+    /// `from_config` surface (the per-call session limits of a config
+    /// are honoured by [`Executor::try_execute`], not stored here).
+    pub fn from_config(_cfg: &ExecConfig) -> Self {
         SequentialExecutor
     }
 }
@@ -31,6 +41,19 @@ impl Executor for SequentialExecutor {
         } else {
             compute_sequential(f, input)
         }
+    }
+
+    fn try_execute<F>(
+        &self,
+        f: &F,
+        input: &PowerView<F::Elem>,
+        cfg: &ExecConfig,
+    ) -> Result<F::Out, ExecError>
+    where
+        F: PowerFunction + Clone + Sync,
+    {
+        let session = ExecSession::new(cfg);
+        try_compute_sequential(f, input, &session).map_err(|i| session.error_of(i))
     }
 }
 

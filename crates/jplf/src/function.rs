@@ -121,6 +121,39 @@ pub fn compute_on_list<F: PowerFunction>(f: &F, input: PowerList<F::Elem>) -> F:
     compute_sequential(f, &input.view())
 }
 
+/// Fallible template recursion: the same structural recursion as
+/// [`compute_sequential`], run under an execution session — the
+/// session's token/deadline is checked at every node, and the
+/// user-provided primitives run under panic containment. The currency of
+/// the executors' `try_execute` paths.
+pub fn try_compute_sequential<F: PowerFunction>(
+    f: &F,
+    input: &PowerView<F::Elem>,
+    session: &jstreams::ExecSession,
+) -> Result<F::Out, jstreams::Interrupt> {
+    session.check()?;
+    if input.is_singleton() {
+        return session.run(|| f.basic_case(input.singleton_value()));
+    }
+    let (l, r) = match f.decomposition() {
+        Decomp::Tie => input.untie().expect("non-singleton"),
+        Decomp::Zip => input.unzip().expect("non-singleton"),
+    };
+    let (fl, fr) = session.run(|| (f.create_left(), f.create_right()))?;
+    let transformed = session.run(|| f.transform_halves(&l, &r))?;
+    let (lo, ro) = match transformed {
+        None => (
+            try_compute_sequential(&fl, &l, session)?,
+            try_compute_sequential(&fr, &r, session)?,
+        ),
+        Some((l2, r2)) => (
+            try_compute_sequential(&fl, &l2.view(), session)?,
+            try_compute_sequential(&fr, &r2.view(), session)?,
+        ),
+    };
+    session.run(|| f.combine(lo, ro))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,8 +48,13 @@ pub mod mpisim;
 pub mod plist_function;
 pub mod trace;
 
-pub use executor::{Executor, ForkJoinExecutor, MpiExecutor, SequentialExecutor};
-pub use function::{compute_on_list, compute_sequential, Decomp, PowerFunction, TransformedHalves};
+pub use executor::{
+    ExecConfig, ExecError, Executor, ForkJoinExecutor, MpiExecutor, SequentialExecutor,
+};
+pub use function::{
+    compute_on_list, compute_sequential, try_compute_sequential, Decomp, PowerFunction,
+    TransformedHalves,
+};
 pub use plist_function::{
     compute_plist_parallel, compute_plist_sequential, NWayReduce, PListFunction,
 };

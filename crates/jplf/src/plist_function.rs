@@ -1,7 +1,7 @@
 //! Multi-way divide-and-conquer: JPLF's PList functions.
 //!
 //! "The JPLF also includes PList functions, that express multi-way
-//! divide-and-conquer computations [21]" (paper, Section III). A
+//! divide-and-conquer computations \[21\]" (paper, Section III). A
 //! [`PListFunction`] generalises [`PowerFunction`](crate::PowerFunction)
 //! to recursions that split into *n* sub-problems per level, where *n*
 //! may differ from level to level (chosen by [`PListFunction::arity`]

@@ -20,11 +20,23 @@
 //! and let `try_split` refusal terminate instead — otherwise an
 //! oversized "leaf" would silently serialize real work.
 
+//!
+//! All entry points now funnel through one **fallible driver**,
+//! [`try_collect_with`], which executes under an
+//! [`ExecSession`]: user code (leaves,
+//! combiners, the finisher) runs under panic containment, and
+//! cooperative checkpoints at split, leaf-entry and combine points
+//! observe cancellation and deadlines. The historical
+//! [`collect_seq`] / [`collect_par`] / [`collect_par_with`] functions
+//! remain as thin shims that arm a private session and resume any
+//! contained panic on the caller.
+
 use crate::characteristics::Characteristics;
 use crate::collector::Collector;
+use crate::exec::{unwrap_interrupt, ExecConfig, ExecError, ExecMode, ExecSession, Interrupt};
 use crate::spliterator::{ItemSource, Spliterator};
 use forkjoin::{current_probe, demand_split, join, ForkJoinPool, SplitPolicy};
-use plobs::{Event, LeafRoute};
+use plobs::{Event, FallbackReason, LeafRoute};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -134,13 +146,33 @@ where
 /// Sequential collect: drains the spliterator without splitting, through
 /// the collector's leaf routine — what a non-parallel Java stream does
 /// (no combiner involved).
+///
+/// Shim over the fallible sequential route: a contained panic is resumed
+/// on the caller, so observable behaviour is unchanged.
 pub fn collect_seq<T, S, C>(mut source: S, collector: &C) -> C::Out
 where
     S: Spliterator<T>,
     C: Collector<T>,
 {
-    let acc = run_leaf(&mut source, collector);
-    collector.finish(acc)
+    let session = ExecSession::default();
+    let acc = unwrap_interrupt(try_leaf_all(&mut source, collector, &session));
+    unwrap_interrupt(session.run(|| collector.finish(acc)))
+}
+
+/// The guarded sequential route: one checkpoint, then the whole source
+/// as a single contained leaf. Also the target of graceful degradation
+/// when the parallel route's pool is unavailable or saturated.
+fn try_leaf_all<T, S, C>(
+    source: &mut S,
+    collector: &C,
+    session: &ExecSession,
+) -> Result<C::Acc, Interrupt>
+where
+    S: Spliterator<T>,
+    C: Collector<T> + ?Sized,
+{
+    session.check()?;
+    session.run(|| run_leaf(source, collector))
 }
 
 /// Chooses a leaf granularity for a source of `len` elements on a pool of
@@ -182,6 +214,10 @@ where
 /// when — never the result: any policy produces the same output as
 /// [`collect_seq`] for a lawful collector, because siblings are always
 /// combined in encounter order.
+///
+/// Shim over the fallible parallel route: it arms a private session, so
+/// a panic anywhere in the tree still cancels sibling subtrees and is
+/// resumed on the caller once the tree has quiesced.
 pub fn collect_par_with<T, S, C>(
     pool: &ForkJoinPool,
     source: S,
@@ -194,29 +230,152 @@ where
     C: Collector<T> + 'static,
     C::Acc: 'static,
 {
-    let cap = policy.depth_cap(pool.threads());
-    let c2 = Arc::clone(&collector);
-    let acc = pool.install(move || {
-        let steals = current_probe().map_or(0, |p| p.steal_pressure());
-        recurse(source, c2, policy, cap, 0, steals)
-    });
-    collector.finish(acc)
+    let session = ExecSession::default();
+    let acc = unwrap_interrupt(try_par_core(
+        pool,
+        source,
+        Arc::clone(&collector),
+        policy,
+        &session,
+    ));
+    unwrap_interrupt(session.run(|| collector.finish(acc)))
 }
 
-fn recurse<T, S, C>(
-    mut source: S,
-    collector: Arc<C>,
-    policy: SplitPolicy,
-    cap: u32,
-    depth: u32,
-    steals_seen: u64,
-) -> C::Acc
+/// The unified fallible driver behind
+/// [`Stream::try_collect`](crate::stream::Stream::try_collect) and every
+/// legacy entry point.
+///
+/// Resolution order: `cfg.mode()` picks the route; the parallel route
+/// takes `cfg`'s pool (default: the [global pool](forkjoin::global_pool))
+/// and split policy (default: [`SplitPolicy::Fixed`] at
+/// [`default_leaf_size`]). Fault handling:
+///
+/// * a panic in user code is contained at its leaf/combine, trips the
+///   session's [`CancelToken`](forkjoin::CancelToken) so siblings
+///   short-circuit at their next checkpoint, and surfaces as
+///   [`ExecError::Panicked`] — the pool never unwinds and stays
+///   reusable;
+/// * a tripped caller token surfaces as [`ExecError::Cancelled`], an
+///   expired deadline as [`ExecError::DeadlineExceeded`] (worst-case
+///   overrun: one leaf, since checkpoints bracket every leaf);
+/// * a shut-down pool, or a queued backlog past
+///   `cfg.fallback_threshold()`, degrades to the sequential route and
+///   records an `Event::Fallback` instead of failing.
+pub fn try_collect_with<T, S, C>(
+    source: S,
+    collector: C,
+    cfg: &ExecConfig,
+) -> Result<C::Out, ExecError>
 where
     T: Send + 'static,
     S: Spliterator<T> + 'static,
     C: Collector<T> + 'static,
     C::Acc: 'static,
 {
+    let session = ExecSession::new(cfg);
+    let collector = Arc::new(collector);
+    let acc = match cfg.mode() {
+        ExecMode::Seq => {
+            let mut source = source;
+            try_leaf_all(&mut source, &*collector, &session)
+        }
+        ExecMode::Par => {
+            let global;
+            let pool: &ForkJoinPool = match cfg.pool() {
+                Some(p) => p,
+                None => {
+                    global = forkjoin::global_pool();
+                    global
+                }
+            };
+            let fallback = if pool.is_shut_down() {
+                Some(FallbackReason::SubmitFailed)
+            } else if cfg
+                .fallback_threshold()
+                .is_some_and(|t| pool.queued_tasks() > t)
+            {
+                Some(FallbackReason::PoolSaturated)
+            } else {
+                None
+            };
+            match fallback {
+                Some(reason) => {
+                    plobs::emit(Event::Fallback { reason });
+                    let mut source = source;
+                    try_leaf_all(&mut source, &*collector, &session)
+                }
+                None => {
+                    let policy = cfg.policy().unwrap_or_else(|| {
+                        SplitPolicy::Fixed(default_leaf_size(
+                            source.estimate_size(),
+                            pool.threads(),
+                        ))
+                    });
+                    try_par_core(pool, source, Arc::clone(&collector), policy, &session)
+                }
+            }
+        }
+    };
+    match acc {
+        Ok(acc) => session
+            .run(|| collector.finish(acc))
+            .map_err(|i| session.error_of(i)),
+        Err(i) => Err(session.error_of(i)),
+    }
+}
+
+/// Submits the fallible recursion to `pool`. If the submission itself is
+/// lost to a shutdown race, the closure is handed back unexecuted
+/// ([`ForkJoinPool::try_install`]) and runs on the calling thread as a
+/// recorded fallback (its joins migrate to the global pool).
+pub(crate) fn try_par_core<T, S, C>(
+    pool: &ForkJoinPool,
+    source: S,
+    collector: Arc<C>,
+    policy: SplitPolicy,
+    session: &ExecSession,
+) -> Result<C::Acc, Interrupt>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    C: Collector<T> + 'static,
+    C::Acc: 'static,
+{
+    let cap = policy.depth_cap(pool.threads());
+    let s2 = session.clone();
+    match pool.try_install(move || {
+        let steals = current_probe().map_or(0, |p| p.steal_pressure());
+        try_recurse(source, collector, policy, cap, 0, steals, &s2)
+    }) {
+        Ok(acc) => acc,
+        Err(f) => {
+            plobs::emit(Event::Fallback {
+                reason: FallbackReason::SubmitFailed,
+            });
+            f()
+        }
+    }
+}
+
+fn try_recurse<T, S, C>(
+    mut source: S,
+    collector: Arc<C>,
+    policy: SplitPolicy,
+    cap: u32,
+    depth: u32,
+    steals_seen: u64,
+    session: &ExecSession,
+) -> Result<C::Acc, Interrupt>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    C: Collector<T> + 'static,
+    C::Acc: 'static,
+{
+    // Node-entry checkpoint: covers both the split decision and leaf
+    // entry, so a cancelled run prunes whole subtrees here (one
+    // `Event::Cancel` per pruned node).
+    session.check()?;
     // The size-based stop is only sound when the size is exact: for
     // non-SIZED sources (filter adapters) the estimate is an upper
     // bound, and stopping on it would serialize surviving work into one
@@ -243,12 +402,12 @@ where
         }
     };
     if stop {
-        return run_leaf(&mut source, &*collector);
+        return session.run(|| run_leaf(&mut source, &*collector));
     }
     let observe = plobs::enabled();
     let descend_start = if observe { Some(Instant::now()) } else { None };
     match source.try_split() {
-        None => run_leaf(&mut source, &*collector),
+        None => session.run(|| run_leaf(&mut source, &*collector)),
         Some(prefix) => {
             if let Some(start) = descend_start {
                 plobs::emit(Event::Split {
@@ -261,19 +420,41 @@ where
             }
             let c_left = Arc::clone(&collector);
             let c_right = Arc::clone(&collector);
+            let s_left = session.clone();
+            let s_right = session.clone();
             let (left, right) = join(
-                move || recurse(prefix, c_left, policy, cap, depth + 1, steals_next),
-                move || recurse(source, c_right, policy, cap, depth + 1, steals_next),
+                move || try_recurse(prefix, c_left, policy, cap, depth + 1, steals_next, &s_left),
+                move || {
+                    try_recurse(
+                        source,
+                        c_right,
+                        policy,
+                        cap,
+                        depth + 1,
+                        steals_next,
+                        &s_right,
+                    )
+                },
             );
+            // Both halves have quiesced; merge their interrupts so a
+            // panic payload always outranks a cancellation.
+            let (left, right) = match (left, right) {
+                (Ok(l), Ok(r)) => (l, r),
+                (Err(a), Err(b)) => return Err(a.merge(b)),
+                (Err(a), Ok(_)) | (Ok(_), Err(a)) => return Err(a),
+            };
+            // Combine checkpoint: skip the (possibly expensive) merge
+            // of results that are already doomed to be discarded.
+            session.check()?;
             let combine_start = if observe { Some(Instant::now()) } else { None };
-            let out = collector.combine(left, right);
+            let out = session.run(|| collector.combine(left, right))?;
             if let Some(start) = combine_start {
                 plobs::emit(Event::Combine {
                     depth,
                     ns: start.elapsed().as_nanos() as u64,
                 });
             }
-            out
+            Ok(out)
         }
     }
 }
@@ -388,5 +569,152 @@ mod tests {
         let p = pool();
         let s = SliceSpliterator::new(vec![42]);
         assert_eq!(collect_par(&p, s, Arc::new(VecCollector), 1), vec![42]);
+    }
+
+    #[test]
+    fn try_collect_happy_paths_match_collect() {
+        let data: Vec<i64> = (1..=512).collect();
+        let seq = try_collect_with(
+            SliceSpliterator::new(data.clone()),
+            ReduceCollector::new(0, |a, b| a + b),
+            &ExecConfig::seq(),
+        )
+        .unwrap();
+        let par = try_collect_with(
+            SliceSpliterator::new(data),
+            ReduceCollector::new(0, |a, b| a + b),
+            &ExecConfig::par()
+                .with_pool(Arc::new(pool()))
+                .with_leaf_size(16),
+        )
+        .unwrap();
+        assert_eq!(seq, 512 * 513 / 2);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn try_collect_contains_panics_as_errors() {
+        let p = Arc::new(pool());
+        let cfg = ExecConfig::par()
+            .with_pool(Arc::clone(&p))
+            .with_leaf_size(8);
+        let err = try_collect_with(
+            SliceSpliterator::new((0..256).collect::<Vec<i32>>()),
+            ReduceCollector::new(0, |a, b| {
+                if b == 200 {
+                    panic!("poison element 200");
+                }
+                a + b
+            }),
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err.panic_message(), Some("poison element 200"));
+        // The pool survives the contained panic and runs a clean collect.
+        let ok = try_collect_with(
+            SliceSpliterator::new((0..256).collect::<Vec<i32>>()),
+            ReduceCollector::new(0, |a, b| a + b),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(ok, 255 * 256 / 2);
+    }
+
+    #[test]
+    fn try_collect_observes_pre_cancelled_token() {
+        let token = forkjoin::CancelToken::new();
+        token.cancel(forkjoin::CancelReason::User);
+        let err = try_collect_with(
+            SliceSpliterator::new((0..64).collect::<Vec<i32>>()),
+            VecCollector,
+            &ExecConfig::seq().with_cancel_token(token),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled));
+    }
+
+    #[test]
+    fn try_collect_degrades_to_seq_when_pool_is_shut_down() {
+        let p = Arc::new(pool());
+        p.shutdown();
+        let cfg = ExecConfig::par().with_pool(p).with_leaf_size(4);
+        let (out, report) = plobs::recorded(|| {
+            try_collect_with(
+                SliceSpliterator::new((0..100i64).collect()),
+                ReduceCollector::new(0, |a, b| a + b),
+                &cfg,
+            )
+        });
+        assert_eq!(out.unwrap(), 99 * 100 / 2);
+        assert_eq!(report.fallbacks_submit, 1);
+        assert_eq!(report.splits, 0);
+    }
+
+    #[test]
+    fn try_collect_degrades_to_seq_when_saturated() {
+        // Wedge a 1-thread pool behind a gate so its backlog exceeds the
+        // configured threshold of 0 at submission time.
+        let p = Arc::new(ForkJoinPool::new(1));
+        let gate = Arc::new(forkjoin::Latch::new());
+        let g = Arc::clone(&gate);
+        let entered = Arc::new(forkjoin::Latch::new());
+        let e = Arc::clone(&entered);
+        let p2 = Arc::clone(&p);
+        let blocker = std::thread::spawn(move || {
+            p2.install(move || {
+                e.set();
+                g.wait();
+            })
+        });
+        entered.wait();
+        // Park more work behind the wedged worker.
+        let p3 = Arc::clone(&p);
+        let queued = std::thread::spawn(move || p3.install(|| 1));
+        while p.queued_tasks() == 0 {
+            std::thread::yield_now();
+        }
+        let cfg = ExecConfig::par()
+            .with_pool(Arc::clone(&p))
+            .with_fallback_threshold(0)
+            .with_leaf_size(4);
+        let (out, report) = plobs::recorded(|| {
+            try_collect_with(
+                SliceSpliterator::new((0..100i64).collect()),
+                ReduceCollector::new(0, |a, b| a + b),
+                &cfg,
+            )
+        });
+        assert_eq!(out.unwrap(), 99 * 100 / 2);
+        assert_eq!(report.fallbacks_saturated, 1);
+        gate.set();
+        blocker.join().unwrap();
+        assert_eq!(queued.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn legacy_shim_resumes_contained_panics() {
+        let p = pool();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            collect_par(
+                &p,
+                SliceSpliterator::new((0..64).collect::<Vec<i32>>()),
+                Arc::new(ReduceCollector::new(0, |_, _| -> i32 {
+                    panic!("legacy bang")
+                })),
+                4,
+            )
+        }));
+        let payload = caught.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"legacy bang"));
+        // The same pool still works afterwards.
+        assert_eq!(
+            collect_par(
+                &p,
+                SliceSpliterator::new((0..64).collect::<Vec<i32>>()),
+                Arc::new(CountCollector),
+                4
+            ),
+            64
+        );
     }
 }

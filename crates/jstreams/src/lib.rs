@@ -44,6 +44,7 @@
 pub mod characteristics;
 pub mod collect;
 pub mod collector;
+pub mod exec;
 pub mod nway;
 pub mod ops;
 pub mod power;
@@ -55,22 +56,27 @@ pub mod truncate;
 pub mod zip;
 
 pub use characteristics::Characteristics;
-pub use collect::{collect_par, collect_par_with, collect_seq, default_leaf_size, run_leaf};
+pub use collect::{
+    collect_par, collect_par_with, collect_seq, default_leaf_size, run_leaf, try_collect_with,
+};
 pub use collector::{
     Collector, CountCollector, ExtremumCollector, FnCollector, JoiningCollector, ReduceCollector,
     VecCollector,
 };
-pub use forkjoin::{AdaptiveSplit, SplitPolicy};
+pub use exec::{ExecConfig, ExecError, ExecMode, ExecSession, Interrupt};
+pub use forkjoin::{AdaptiveSplit, CancelReason, CancelToken, Deadline, SplitPolicy};
 pub use nway::{
     collect_nway_par, collect_nway_seq, NTieSpliterator, NWayCollector, NWayDecomposition,
     NWaySpliterator, NZipSpliterator, PListCollector,
 };
 pub use power::{
-    collect_powerlist, power_stream, Decomposition, PowerListCollector, PowerMapCollector,
-    PowerSpliterator,
+    collect_powerlist, power_stream, try_collect_powerlist, Decomposition, PowerListCollector,
+    PowerMapCollector, PowerSpliterator,
 };
 pub use shared::SharedState;
-pub use spliterator::{require_power2, ItemSource, LeafAccess, SliceSpliterator, Spliterator};
+pub use spliterator::{
+    check_descriptor, require_power2, ItemSource, LeafAccess, SliceSpliterator, Spliterator,
+};
 pub use stream::{stream_support, Stream};
 pub use tie::TieSpliterator;
 pub use truncate::{LimitSpliterator, PeekSpliterator, SkipSpliterator};

@@ -257,6 +257,32 @@ where
         .into_powerlist()
 }
 
+/// Fully fallible PowerList collect: shape violations (`POWER2`
+/// contract, non-power-of-two promotion) surface as
+/// [`ExecError::Shape`](crate::ExecError::Shape) and execution faults
+/// (contained panics, cancellation, deadlines) as the other
+/// [`ExecError`](crate::ExecError) variants — nothing panics.
+pub fn try_collect_powerlist<T, S>(
+    stream: Stream<T, S>,
+    decomposition: Decomposition,
+    cfg: &crate::ExecConfig,
+) -> Result<PowerList<T>, crate::ExecError>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Spliterator<T> + 'static,
+{
+    let n = stream.estimate_size();
+    if !stream.characteristics().contains(Characteristics::POWER2) || !is_power_of_two(n) {
+        return Err(crate::ExecError::Shape(if n == 0 {
+            Error::Empty
+        } else {
+            Error::NotPowerOfTwo(n)
+        }));
+    }
+    let out = stream.try_collect(PowerListCollector::new(decomposition), cfg)?;
+    out.into_powerlist().map_err(crate::ExecError::Shape)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,5 +370,31 @@ mod tests {
         let p = PowerList::singleton(5i64);
         let s = power_stream(p.clone(), Decomposition::Zip);
         assert_eq!(collect_powerlist(s, Decomposition::Zip).unwrap(), p);
+    }
+
+    #[test]
+    fn try_collect_powerlist_routes_shape_and_exec_errors() {
+        use crate::{ExecConfig, ExecError};
+        // Happy path matches the infallible entry point.
+        let p = list(32);
+        let s = power_stream(p.clone(), Decomposition::Zip).with_leaf_size(2);
+        let cfg = ExecConfig::par().with_leaf_size(2);
+        let out = try_collect_powerlist(s, Decomposition::Zip, &cfg).unwrap();
+        assert_eq!(out, p);
+        // Shape violation: filter drops POWER2.
+        let s = power_stream(list(16), Decomposition::Tie).filter(|x| *x > 0);
+        let err = try_collect_powerlist(s, Decomposition::Tie, &cfg).unwrap_err();
+        assert!(matches!(err, ExecError::Shape(Error::NotPowerOfTwo(_))));
+        // Execution fault: a pre-cancelled token.
+        let token = forkjoin::CancelToken::new();
+        token.cancel(forkjoin::CancelReason::User);
+        let s = power_stream(list(16), Decomposition::Zip);
+        let err = try_collect_powerlist(
+            s,
+            Decomposition::Zip,
+            &ExecConfig::seq().with_cancel_token(token),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled));
     }
 }

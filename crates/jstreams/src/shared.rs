@@ -13,6 +13,16 @@
 //! max-update* of the global one, because "the global exponent is updated
 //! only if its value is less than the local iterator value … due to the
 //! non-determinism of parallel task execution".
+//!
+//! ## Panic containment
+//!
+//! `SharedState` is built on `parking_lot::Mutex`, which has **no
+//! poisoning**: when a collector panics inside [`SharedState::update`]
+//! the lock is released on unwind and the state stays usable. This is
+//! what lets the fallible execution layer ([`crate::ExecSession`])
+//! contain a panic as an [`crate::ExecError::Panicked`] value and keep
+//! both the pool *and* any shared split-phase state alive for the next
+//! run — there is no poisoned-lock error to clear.
 
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
@@ -149,6 +159,26 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.get(), 799);
+    }
+
+    #[test]
+    fn panicking_update_releases_lock() {
+        // parking_lot has no poisoning: a contained panic inside
+        // `update` must leave the state usable for the next run.
+        let s = SharedState::new(1u32);
+        let s2 = s.clone();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            s2.update(|v| {
+                *v = 99;
+                panic!("mid-update");
+            })
+        }));
+        assert!(caught.is_err());
+        // Lock is free and the partial write is visible (no rollback —
+        // containment, not transactionality).
+        assert_eq!(s.get(), 99);
+        s.update(|v| *v += 1);
+        assert_eq!(s.get(), 100);
     }
 
     #[test]

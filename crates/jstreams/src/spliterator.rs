@@ -108,6 +108,26 @@ pub fn require_power2<T, S: Spliterator<T>>(s: &S) -> Result<(), Error> {
     Ok(())
 }
 
+/// Validates a raw `(start, end, incr)` descriptor (inclusive `end`)
+/// against a backing storage of `len` elements — the checked counterpart
+/// of the asserts in `TieSpliterator::from_parts` /
+/// `ZipSpliterator::from_parts`, used by their `try_from_parts`
+/// constructors.
+pub fn check_descriptor(len: usize, start: usize, end: usize, incr: usize) -> Result<(), Error> {
+    if incr == 0 {
+        return Err(Error::ZeroIncrement);
+    }
+    if start > end {
+        // An inverted descriptor denotes an empty run, which the
+        // PowerList theory excludes.
+        return Err(Error::Empty);
+    }
+    if end >= len {
+        return Err(Error::DescriptorOutOfBounds { end, len });
+    }
+    Ok(())
+}
+
 /// A spliterator over an arbitrary vector, splitting linearly "in
 /// segments" — the default Java behaviour the paper contrasts with
 /// (Section IV.A: "By default, the partitioning is performed linearly,

@@ -7,8 +7,9 @@
 //! `StreamSupport.stream(spliterator, parallel)` — the way the paper
 //! creates a stream from a specialised spliterator.
 
-use crate::collect::{collect_par_with, collect_seq, default_leaf_size};
+use crate::collect::try_collect_with;
 use crate::collector::{Collector, CountCollector, ReduceCollector, VecCollector};
+use crate::exec::{ExecConfig, ExecError, ExecMode};
 use crate::ops::{FilterSpliterator, MapSpliterator};
 use crate::spliterator::Spliterator;
 use crate::truncate::{LimitSpliterator, PeekSpliterator, SkipSpliterator};
@@ -16,11 +17,14 @@ use forkjoin::{ForkJoinPool, SplitPolicy};
 use std::sync::Arc;
 
 /// A (possibly parallel) stream over a splittable source.
+///
+/// The execution knobs (mode, pool, split policy) are held as one
+/// [`ExecConfig`]; the historical per-knob builders delegate to it, and
+/// [`Stream::try_collect`] exposes the full fault-tolerant surface
+/// (panic containment, cancellation, deadlines, graceful degradation).
 pub struct Stream<T, S: Spliterator<T>> {
     source: S,
-    parallel: bool,
-    pool: Option<Arc<ForkJoinPool>>,
-    policy: Option<SplitPolicy>,
+    cfg: ExecConfig,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -28,9 +32,11 @@ pub struct Stream<T, S: Spliterator<T>> {
 pub fn stream_support<T, S: Spliterator<T>>(spliterator: S, parallel: bool) -> Stream<T, S> {
     Stream {
         source: spliterator,
-        parallel,
-        pool: None,
-        policy: None,
+        cfg: if parallel {
+            ExecConfig::par()
+        } else {
+            ExecConfig::seq()
+        },
         _marker: std::marker::PhantomData,
     }
 }
@@ -42,25 +48,25 @@ where
 {
     /// Switches to sequential execution (Java's `sequential()`).
     pub fn sequential(mut self) -> Self {
-        self.parallel = false;
+        self.cfg = self.cfg.with_mode(ExecMode::Seq);
         self
     }
 
     /// Switches to parallel execution (Java's `parallel()`).
     pub fn parallel(mut self) -> Self {
-        self.parallel = true;
+        self.cfg = self.cfg.with_mode(ExecMode::Par);
         self
     }
 
     /// `true` when terminal operations will run in parallel.
     pub fn is_parallel(&self) -> bool {
-        self.parallel
+        self.cfg.mode() == ExecMode::Par
     }
 
     /// Pins parallel execution to a specific pool (default: the global
     /// pool), like running a Java stream inside `pool.submit(...)`.
     pub fn with_pool(mut self, pool: Arc<ForkJoinPool>) -> Self {
-        self.pool = Some(pool);
+        self.cfg = self.cfg.with_pool(pool);
         self
     }
 
@@ -68,7 +74,7 @@ where
     /// with a static threshold — shorthand for
     /// [`Stream::with_split_policy`] and [`SplitPolicy::Fixed`].
     pub fn with_leaf_size(mut self, leaf_size: usize) -> Self {
-        self.policy = Some(SplitPolicy::Fixed(leaf_size.max(1)));
+        self.cfg = self.cfg.with_leaf_size(leaf_size);
         self
     }
 
@@ -77,8 +83,19 @@ where
     /// demand-driven [`SplitPolicy::Adaptive`] splitting from pool
     /// pressure.
     pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
-        self.policy = Some(policy);
+        self.cfg = self.cfg.with_split_policy(policy);
         self
+    }
+
+    /// Replaces the stream's entire execution configuration at once.
+    pub fn with_exec_config(mut self, cfg: ExecConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The stream's current execution configuration.
+    pub fn exec_config(&self) -> &ExecConfig {
+        &self.cfg
     }
 
     /// Direct access to the source spliterator's characteristics.
@@ -99,9 +116,7 @@ where
     {
         Stream {
             source: MapSpliterator::new(self.source, Arc::new(f)),
-            parallel: self.parallel,
-            pool: self.pool,
-            policy: self.policy,
+            cfg: self.cfg,
             _marker: std::marker::PhantomData,
         }
     }
@@ -115,9 +130,7 @@ where
     {
         Stream {
             source: FilterSpliterator::new(self.source, Arc::new(pred)),
-            parallel: self.parallel,
-            pool: self.pool,
-            policy: self.policy,
+            cfg: self.cfg,
             _marker: std::marker::PhantomData,
         }
     }
@@ -127,9 +140,7 @@ where
     pub fn limit(self, n: usize) -> Stream<T, LimitSpliterator<S>> {
         Stream {
             source: LimitSpliterator::new(self.source, n),
-            parallel: self.parallel,
-            pool: self.pool,
-            policy: self.policy,
+            cfg: self.cfg,
             _marker: std::marker::PhantomData,
         }
     }
@@ -139,9 +150,7 @@ where
     pub fn skip(self, n: usize) -> Stream<T, SkipSpliterator<S>> {
         Stream {
             source: SkipSpliterator::new(self.source, n),
-            parallel: self.parallel,
-            pool: self.pool,
-            policy: self.policy,
+            cfg: self.cfg,
             _marker: std::marker::PhantomData,
         }
     }
@@ -155,9 +164,7 @@ where
     {
         Stream {
             source: PeekSpliterator::new(self.source, Arc::new(observer)),
-            parallel: self.parallel,
-            pool: self.pool,
-            policy: self.policy,
+            cfg: self.cfg,
             _marker: std::marker::PhantomData,
         }
     }
@@ -182,32 +189,37 @@ where
 
     /// Terminal: runs the full mutable reduction described by
     /// `collector` — the template method of the PowerList adaptation.
+    ///
+    /// Shim over [`Stream::try_collect`] with the stream's own config: a
+    /// contained panic is resumed on the caller, so behaviour matches
+    /// the pre-session API. Cancellation and deadlines require the
+    /// fallible entry point.
     pub fn collect<C>(self, collector: C) -> C::Out
     where
         C: Collector<T> + 'static,
         C::Acc: 'static,
     {
-        if !self.parallel {
-            return collect_seq(self.source, &collector);
+        let cfg = self.cfg.clone();
+        match self.try_collect(collector, &cfg) {
+            Ok(out) => out,
+            Err(ExecError::Panicked(payload)) => std::panic::resume_unwind(payload),
+            Err(e) => panic!("stream collect failed: {e}; use try_collect for fallible execution"),
         }
-        let policy = self.policy.unwrap_or_else(|| {
-            let n = self.source.estimate_size();
-            let threads = self
-                .pool
-                .as_ref()
-                .map(|p| p.threads())
-                .unwrap_or_else(|| forkjoin::global_pool().threads());
-            SplitPolicy::Fixed(default_leaf_size(n, threads))
-        });
-        match &self.pool {
-            Some(pool) => collect_par_with(pool, self.source, Arc::new(collector), policy),
-            None => collect_par_with(
-                forkjoin::global_pool(),
-                self.source,
-                Arc::new(collector),
-                policy,
-            ),
-        }
+    }
+
+    /// Terminal: the fallible mutable reduction. Runs under `cfg` —
+    /// which replaces the stream's own configuration wholesale, so one
+    /// stream can be driven with different pools, deadlines or cancel
+    /// tokens per call — and returns the collector's output, or an
+    /// [`ExecError`] describing why the run stopped: a contained user
+    /// panic, a tripped [`CancelToken`](forkjoin::CancelToken), or an
+    /// expired deadline.
+    pub fn try_collect<C>(self, collector: C, cfg: &ExecConfig) -> Result<C::Out, ExecError>
+    where
+        C: Collector<T> + 'static,
+        C::Acc: 'static,
+    {
+        try_collect_with(self.source, collector, cfg)
     }
 
     /// Terminal: reduction with an identity and an associative operator.
@@ -384,6 +396,25 @@ mod tests {
             .map(|x| x * 3)
             .reduce(0, |a, b| a + b);
         assert_eq!(fixed, adaptive);
+    }
+
+    #[test]
+    fn try_collect_uses_passed_config() {
+        // The passed config replaces the stream's own (parallel) one.
+        let sum = stream_support(ints(100), true)
+            .map(|x| x + 1)
+            .try_collect(ReduceCollector::new(0, |a, b| a + b), &ExecConfig::seq())
+            .unwrap();
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn with_exec_config_replaces_knobs() {
+        let s = stream_support(ints(8), true).with_exec_config(ExecConfig::seq());
+        assert!(!s.is_parallel());
+        let s = s.parallel();
+        assert!(s.is_parallel());
+        assert!(s.exec_config().pool().is_none());
     }
 
     #[test]

@@ -46,6 +46,11 @@ impl<T> TieSpliterator<T> {
 
     /// Raw descriptor constructor (paper-style `(list, start, end, incr)`
     /// with inclusive `end`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid descriptor; use
+    /// [`TieSpliterator::try_from_parts`] for untrusted inputs.
     pub fn from_parts(storage: Storage<T>, start: usize, end: usize, incr: usize) -> Self {
         assert!(incr >= 1, "increment must be at least 1");
         assert!(start <= end, "start must not exceed end");
@@ -58,6 +63,19 @@ impl<T> TieSpliterator<T> {
             level: 0,
             exhausted: false,
         }
+    }
+
+    /// Checked descriptor constructor: validates the `(start, end, incr)`
+    /// triple and returns a [`powerlist::Error`] instead of panicking —
+    /// the shape-error route of the fallible execution surface.
+    pub fn try_from_parts(
+        storage: Storage<T>,
+        start: usize,
+        end: usize,
+        incr: usize,
+    ) -> powerlist::Result<Self> {
+        crate::spliterator::check_descriptor(storage.len(), start, end, incr)?;
+        Ok(Self::from_parts(storage, start, end, incr))
     }
 
     /// How many `try_split`s produced this spliterator (the tree depth of
@@ -167,6 +185,25 @@ mod tests {
     use super::*;
     use crate::spliterator::require_power2;
     use powerlist::tabulate;
+
+    #[test]
+    fn try_from_parts_validates_descriptor() {
+        let storage = Storage::new(vec![0, 1, 2, 3]);
+        assert_eq!(
+            TieSpliterator::try_from_parts(storage.clone(), 0, 3, 0).err(),
+            Some(powerlist::Error::ZeroIncrement)
+        );
+        assert_eq!(
+            TieSpliterator::try_from_parts(storage.clone(), 3, 1, 1).err(),
+            Some(powerlist::Error::Empty)
+        );
+        assert_eq!(
+            TieSpliterator::try_from_parts(storage.clone(), 0, 4, 1).err(),
+            Some(powerlist::Error::DescriptorOutOfBounds { end: 4, len: 4 })
+        );
+        let mut ok = TieSpliterator::try_from_parts(storage, 0, 3, 1).unwrap();
+        assert_eq!(drain(&mut ok), vec![0, 1, 2, 3]);
+    }
 
     fn drain<T: Clone>(s: &mut TieSpliterator<T>) -> Vec<T> {
         let mut out = vec![];

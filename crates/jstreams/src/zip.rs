@@ -63,6 +63,11 @@ impl<T> ZipSpliterator<T> {
 
     /// Raw descriptor constructor (inclusive `end`), mirroring the
     /// paper's `new ZipSpliterator<Double>(list, 0, list.size()-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid descriptor; use
+    /// [`ZipSpliterator::try_from_parts`] for untrusted inputs.
     pub fn from_parts(storage: Storage<T>, start: usize, end: usize, incr: usize) -> Self {
         assert!(incr >= 1, "increment must be at least 1");
         assert!(start <= end, "start must not exceed end");
@@ -75,6 +80,19 @@ impl<T> ZipSpliterator<T> {
             level: 0,
             exhausted: false,
         }
+    }
+
+    /// Checked descriptor constructor: validates the `(start, end, incr)`
+    /// triple and returns a [`powerlist::Error`] instead of panicking —
+    /// the shape-error route of the fallible execution surface.
+    pub fn try_from_parts(
+        storage: Storage<T>,
+        start: usize,
+        end: usize,
+        incr: usize,
+    ) -> powerlist::Result<Self> {
+        crate::spliterator::check_descriptor(storage.len(), start, end, incr)?;
+        Ok(Self::from_parts(storage, start, end, incr))
     }
 
     /// Number of splits that produced this spliterator.
@@ -271,6 +289,25 @@ mod tests {
     use super::*;
     use crate::spliterator::require_power2;
     use powerlist::tabulate;
+
+    #[test]
+    fn try_from_parts_validates_descriptor() {
+        let storage = Storage::new(vec![0, 1, 2, 3]);
+        assert_eq!(
+            ZipSpliterator::try_from_parts(storage.clone(), 0, 3, 0).err(),
+            Some(powerlist::Error::ZeroIncrement)
+        );
+        assert_eq!(
+            ZipSpliterator::try_from_parts(storage.clone(), 2, 0, 1).err(),
+            Some(powerlist::Error::Empty)
+        );
+        assert_eq!(
+            ZipSpliterator::try_from_parts(storage.clone(), 1, 7, 2).err(),
+            Some(powerlist::Error::DescriptorOutOfBounds { end: 7, len: 4 })
+        );
+        let mut ok = ZipSpliterator::try_from_parts(storage, 0, 3, 1).unwrap();
+        assert_eq!(drain(&mut ok), vec![0, 1, 2, 3]);
+    }
 
     fn drain<T, S: ItemSource<T>>(s: &mut S) -> Vec<T> {
         let mut out = vec![];

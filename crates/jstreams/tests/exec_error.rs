@@ -1,0 +1,185 @@
+//! Fault-tolerant execution sessions, end to end: deadlines, external
+//! cancellation, panic containment and pool reuse through the public
+//! `Stream::try_collect` surface.
+//!
+//! The cooperative checkpoints sit at split, leaf-entry and combine
+//! boundaries, so the worst-case overrun past a tripped deadline or
+//! token is one leaf's worth of work — the tests bound that overrun
+//! with wall-clock margins far below each workload's full runtime.
+
+use forkjoin::ForkJoinPool;
+use jstreams::{
+    stream_support, CancelReason, CancelToken, Collector, ExecConfig, ExecError, ReduceCollector,
+    SliceSpliterator, VecCollector,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Degree-8 Horner evaluation — the paper's polynomial workload shape.
+fn horner(x: f64) -> f64 {
+    let coeffs = [1.0, -2.0, 3.0, -4.0, 5.0, -6.0, 7.0, -8.0, 9.0];
+    coeffs.iter().fold(0.0, |acc, c| acc * x + c)
+}
+
+#[test]
+fn one_ms_deadline_on_large_polynomial_eval_is_honoured() {
+    // 2^24 elements through a map+reduce polynomial evaluation: far
+    // more work than fits in a millisecond on any machine this runs on.
+    let n = 1usize << 24;
+    let data: Vec<f64> = (0..n).map(|i| (i % 97) as f64 / 97.0).collect();
+    let pool = Arc::new(ForkJoinPool::new(2));
+    let cfg = ExecConfig::par()
+        .with_pool(pool)
+        .with_leaf_size(1 << 12)
+        .with_deadline(Duration::from_millis(1));
+
+    let t0 = Instant::now();
+    let result = stream_support(SliceSpliterator::new(data), true)
+        .map(horner)
+        .try_collect(ReduceCollector::new(0.0f64, |a, b| a + b), &cfg);
+    let wall = t0.elapsed();
+
+    match result {
+        Err(ExecError::DeadlineExceeded { elapsed }) => {
+            assert!(elapsed >= Duration::from_millis(1));
+        }
+        other => panic!("expected DeadlineExceeded, got {:?}", other.map(|_| ())),
+    }
+    // Bounded overrun: the driver stops at the next checkpoint, not
+    // after finishing the whole 2^24-element evaluation. The margin is
+    // generous (unoptimised builds, loaded CI machines) but still far
+    // below the multi-second full runtime.
+    assert!(
+        wall < Duration::from_secs(5),
+        "deadline overrun not bounded: {wall:?}"
+    );
+}
+
+#[test]
+fn cancellation_race_from_another_thread_stops_the_collect() {
+    // A second thread trips the token mid-collect; the driver must
+    // return `Cancelled` instead of finishing the full reduction.
+    let n = 1usize << 22;
+    let data: Vec<f64> = (0..n).map(|i| (i % 89) as f64 / 89.0).collect();
+    let pool = Arc::new(ForkJoinPool::new(2));
+    let token = CancelToken::new();
+    let cfg = ExecConfig::par()
+        .with_pool(pool)
+        .with_leaf_size(1 << 10)
+        .with_cancel_token(token.clone());
+
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            token.cancel(CancelReason::User);
+        })
+    };
+    let result = stream_support(SliceSpliterator::new(data), true)
+        .map(horner)
+        .try_collect(ReduceCollector::new(0.0f64, |a, b| a + b), &cfg);
+    canceller.join().unwrap();
+
+    // Either the cancel landed mid-flight (the interesting case) or the
+    // machine finished 2^22 Horner evaluations within ~2 ms (fast CI —
+    // accept the clean result, the race is inherently timing-bound).
+    match result {
+        Err(ExecError::Cancelled) => {}
+        Ok(_) => {}
+        other => panic!("expected Cancelled or Ok, got {:?}", other.map(|_| ())),
+    }
+    assert_eq!(token.reason(), Some(CancelReason::User));
+}
+
+#[test]
+fn pre_cancelled_token_fails_before_any_work() {
+    let token = CancelToken::new();
+    token.cancel(CancelReason::User);
+    let cfg = ExecConfig::par().with_cancel_token(token);
+    let result = stream_support(SliceSpliterator::new((0..1024i64).collect()), true)
+        .try_collect(VecCollector, &cfg);
+    assert!(matches!(result, Err(ExecError::Cancelled)));
+}
+
+/// Collector whose accumulator panics on one poison value.
+struct PoisonCollector(i64);
+
+impl Collector<i64> for PoisonCollector {
+    type Acc = i64;
+    type Out = i64;
+    fn supplier(&self) -> i64 {
+        0
+    }
+    fn accumulate(&self, acc: &mut i64, item: i64) {
+        assert!(item != self.0, "poison {item}");
+        *acc += item;
+    }
+    fn combine(&self, l: i64, r: i64) -> i64 {
+        l + r
+    }
+    fn finish(&self, acc: i64) -> i64 {
+        acc
+    }
+}
+
+#[test]
+fn panic_trips_the_token_and_cancels_sibling_leaves() {
+    // One worker, leaf size 1, poison at the very first element: the
+    // panic is contained at leaf 0 and trips the session token, so the
+    // remaining leaves are pruned at their entry checkpoints — the
+    // recorded report must show cancel events alongside the error.
+    let pool = Arc::new(ForkJoinPool::new(1));
+    let cfg = ExecConfig::par()
+        .with_pool(Arc::clone(&pool))
+        .with_leaf_size(1);
+    let data: Vec<i64> = (0..64).collect();
+    let (result, report) = plobs::recorded(|| {
+        stream_support(SliceSpliterator::new(data), true).try_collect(PoisonCollector(0), &cfg)
+    });
+    match result {
+        Err(e @ ExecError::Panicked(_)) => {
+            assert_eq!(e.panic_message(), Some("poison 0"));
+        }
+        other => panic!("expected Panicked, got {:?}", other.map(|_| ())),
+    }
+    assert!(
+        report.cancels_panic > 0,
+        "sibling subtrees must observe the panic-tripped token: {report:?}"
+    );
+
+    // The same pool completes a clean follow-up collect: no poisoned
+    // state survives the contained panic.
+    let follow_up = stream_support(SliceSpliterator::new((0..64i64).collect()), true).try_collect(
+        PoisonCollector(-1),
+        &ExecConfig::par().with_pool(pool).with_leaf_size(8),
+    );
+    assert_eq!(follow_up.ok(), Some((0..64).sum()));
+}
+
+#[test]
+fn deadline_error_reports_elapsed_at_least_the_budget() {
+    // Zero-budget deadline: expired before the first checkpoint.
+    let cfg = ExecConfig::par().with_deadline(Duration::ZERO);
+    let result = stream_support(SliceSpliterator::new((0..256i64).collect()), true)
+        .try_collect(VecCollector, &cfg);
+    match result {
+        Err(ExecError::DeadlineExceeded { elapsed }) => {
+            assert!(elapsed >= Duration::ZERO);
+        }
+        other => panic!("expected DeadlineExceeded, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn sequential_route_honours_sessions_too() {
+    // Seq mode shares the same session checkpoints (leaf granularity).
+    let token = CancelToken::new();
+    token.cancel(CancelReason::User);
+    let result = stream_support(SliceSpliterator::new((0..64i64).collect()), false)
+        .try_collect(VecCollector, &ExecConfig::seq().with_cancel_token(token));
+    assert!(matches!(result, Err(ExecError::Cancelled)));
+
+    let ok = stream_support(SliceSpliterator::new((0..64i64).collect()), false)
+        .try_collect(VecCollector, &ExecConfig::seq());
+    assert_eq!(ok.ok(), Some((0..64).collect::<Vec<_>>()));
+}

@@ -253,7 +253,7 @@ pub fn poly_spliterator(
     HookedZipSpliterator::new(ZipSpliterator::over(coeffs), 1, hook)
 }
 
-/// The **tupling transformation** of the paper's reference [22]
+/// The **tupling transformation** of the paper's reference \[22\]
 /// ("Transforming powerlist based divide&conquer programs for an
 /// improved execution model"): polynomial evaluation rewritten as a
 /// bottom-up **tie** reduction over `(value, power)` pairs, eliminating

@@ -29,7 +29,7 @@
 //! (on a 1-core builder the two arms do the same total work).
 
 use forkjoin::{AdaptiveSplit, ForkJoinPool, SplitPolicy};
-use jstreams::{default_leaf_size, stream_support, SliceSpliterator};
+use jstreams::{default_leaf_size, stream_support, ExecConfig, ReduceCollector, SliceSpliterator};
 use plbench::{ms, time_avg, PAPER_RUNS};
 use plobs::RunReport;
 use std::io::Write;
@@ -116,7 +116,8 @@ fn ab<R>(
 }
 
 /// One trajectory row: identification, the A/B timings, and both
-/// embedded reports.
+/// embedded reports. `extra` carries per-workload fields (already
+/// comma-terminated JSON members, or empty).
 #[allow(clippy::too_many_arguments)]
 fn row_json(
     bench: &str,
@@ -126,6 +127,7 @@ fn row_json(
     fixed_leaf: usize,
     fixed_ms: f64,
     adaptive_ms: f64,
+    extra: &str,
     fixed_report: &RunReport,
     adaptive_report: &RunReport,
 ) -> String {
@@ -138,7 +140,7 @@ fn row_json(
         concat!(
             "{{\"schema\":\"plbench.splitpolicy.v1\",\"bench\":\"{}\",\"n\":{},\"runs\":{},",
             "\"threads\":{},\"fixed_leaf_size\":{},",
-            "\"fixed_ms\":{:.6},\"adaptive_ms\":{:.6},\"adaptive_ratio\":{:.6},",
+            "\"fixed_ms\":{:.6},\"adaptive_ms\":{:.6},\"adaptive_ratio\":{:.6},{}",
             "\"fixed_report\":{},\"adaptive_report\":{}}}"
         ),
         bench,
@@ -149,6 +151,7 @@ fn row_json(
         fixed_ms,
         adaptive_ms,
         ratio,
+        extra,
         fixed_report.to_json(),
         adaptive_report.to_json()
     )
@@ -214,6 +217,40 @@ fn main() {
         adaptive,
     );
     print_arm("uniform reduce", fixed_ms, adaptive_ms, &fx, &ad);
+
+    // Fault-tolerant session overhead, same workload / pool / policy:
+    // the happy path of `try_collect` (session armed, checkpoints
+    // taken, no interruption) against the legacy infallible collect.
+    let data = ints.clone();
+    let p2 = Arc::clone(&pool);
+    let legacy = move || {
+        stream_support(SliceSpliterator::new(data.clone()), true)
+            .with_pool(Arc::clone(&p2))
+            .with_split_policy(fixed)
+            .reduce(0i64, |a, b| a + b)
+    };
+    let data = ints.clone();
+    let try_cfg = ExecConfig::par()
+        .with_pool(Arc::clone(&pool))
+        .with_split_policy(fixed);
+    let tried = move || {
+        stream_support(SliceSpliterator::new(data.clone()), true)
+            .try_collect(ReduceCollector::new(0i64, |a, b| a + b), &try_cfg)
+            .expect("happy-path try_collect")
+    };
+    for _ in 0..2 {
+        legacy();
+        tried();
+    }
+    let (_, t_legacy) = time_avg(args.runs, &legacy);
+    let (_, t_try) = time_avg(args.runs, &tried);
+    let (legacy_ms, try_ms) = (ms(t_legacy), ms(t_try));
+    let try_ratio = try_ms / legacy_ms.max(1e-12);
+    println!(
+        "  try_collect overhead: ratio {try_ratio:.4} (try {try_ms:.3} ms vs collect {legacy_ms:.3} ms)"
+    );
+    let extra = format!("\"try_collect_ms\":{try_ms:.6},\"try_overhead_ratio\":{try_ratio:.6},");
+
     let row = row_json(
         "reduce",
         n,
@@ -222,6 +259,7 @@ fn main() {
         fixed_leaf,
         fixed_ms,
         adaptive_ms,
+        &extra,
         &fx,
         &ad,
     );
@@ -259,6 +297,7 @@ fn main() {
         fixed_leaf,
         fixed_ms,
         adaptive_ms,
+        "",
         &fx,
         &ad,
     );
@@ -293,6 +332,7 @@ fn main() {
         fixed_leaf,
         fixed_ms,
         adaptive_ms,
+        "",
         &fx,
         &ad,
     );

@@ -33,6 +33,53 @@ impl LeafRoute {
     }
 }
 
+/// Why an execution session was cancelled.
+///
+/// Carried by [`Event::Cancel`] and stored inside a fork-join
+/// `CancelToken`; first cancellation wins, so every pruned subtree of one
+/// run reports the same reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// A sibling task panicked; the failure tripped the per-collect token
+    /// so the rest of the tree short-circuits.
+    Panic,
+    /// The caller cancelled through its own token.
+    User,
+    /// The session's deadline expired.
+    Deadline,
+}
+
+impl CancelReason {
+    /// Stable lowercase name, used as the JSON key for the reason.
+    pub fn name(self) -> &'static str {
+        match self {
+            CancelReason::Panic => "panic",
+            CancelReason::User => "user",
+            CancelReason::Deadline => "deadline",
+        }
+    }
+}
+
+/// Why a parallel driver degraded to the sequential route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FallbackReason {
+    /// The pool's queued backlog exceeded the configured saturation
+    /// threshold.
+    PoolSaturated,
+    /// Submission failed (the pool was shut down).
+    SubmitFailed,
+}
+
+impl FallbackReason {
+    /// Stable lowercase name, used as the JSON key for the reason.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackReason::PoolSaturated => "pool_saturated",
+            FallbackReason::SubmitFailed => "submit_failed",
+        }
+    }
+}
+
 /// Where a worker found a job it did not pop from its own deque.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StealSource {
@@ -108,6 +155,19 @@ pub enum Event {
     SharedStateLock {
         /// Whether the acquisition had to block.
         contended: bool,
+    },
+    /// An execution-session checkpoint (split, leaf entry or combine)
+    /// observed a tripped cancel token or an expired deadline and pruned
+    /// its subtree. One event per short-circuited checkpoint.
+    Cancel {
+        /// Why the session was cancelled.
+        reason: CancelReason,
+    },
+    /// A parallel driver degraded to the sequential route instead of
+    /// submitting to its pool.
+    Fallback {
+        /// Why the driver fell back.
+        reason: FallbackReason,
     },
     /// One MPI-sim point-to-point message (collectives decompose into
     /// these).

@@ -3,12 +3,12 @@
 //! [`RunRecorder::record`] is called from pool workers, MPI-sim rank
 //! threads and the driver thread concurrently. To keep the record path
 //! cheap it never takes a lock in steady state: each thread owns one
-//! [`Shard`] of relaxed atomic counters, found through a thread-local
+//! `Shard` of relaxed atomic counters, found through a thread-local
 //! cache keyed by the recorder's id. The shard list's mutex is touched
 //! only the first time a given thread records into a given recorder.
 //! [`RunRecorder::finish`] merges all shards into a [`RunReport`].
 
-use crate::event::{Event, LeafRoute, StealSource};
+use crate::event::{CancelReason, Event, FallbackReason, LeafRoute, StealSource};
 use crate::report::{RankStats, RouteStats, RunReport, WorkerStats};
 use crate::EventSink;
 use parking_lot::Mutex;
@@ -59,6 +59,10 @@ struct Shard {
     mpi_send_bytes: [AtomicU64; MAX_RANKS],
     mpi_recvs: [AtomicU64; MAX_RANKS],
     mpi_recv_bytes: [AtomicU64; MAX_RANKS],
+    // Indexed by `cancel_index` (3 reasons).
+    cancels: [AtomicU64; 3],
+    // Indexed by `fallback_index` (2 reasons).
+    fallbacks: [AtomicU64; 2],
 }
 
 impl Shard {
@@ -85,6 +89,8 @@ impl Shard {
             mpi_send_bytes: zeroed(),
             mpi_recvs: zeroed(),
             mpi_recv_bytes: zeroed(),
+            cancels: zeroed(),
+            fallbacks: zeroed(),
         }
     }
 
@@ -135,6 +141,12 @@ impl Shard {
                     self.lock_contended.fetch_add(1, Relaxed);
                 }
             }
+            Event::Cancel { reason } => {
+                self.cancels[cancel_index(reason)].fetch_add(1, Relaxed);
+            }
+            Event::Fallback { reason } => {
+                self.fallbacks[fallback_index(reason)].fetch_add(1, Relaxed);
+            }
             Event::MpiSend { from, to, bytes } => {
                 let f = slot(from, MAX_RANKS);
                 let t = slot(to, MAX_RANKS);
@@ -153,6 +165,21 @@ fn route_index(route: LeafRoute) -> usize {
         LeafRoute::ZeroCopyStrided => 1,
         LeafRoute::CloningDrain => 2,
         LeafRoute::Template => 3,
+    }
+}
+
+fn cancel_index(reason: CancelReason) -> usize {
+    match reason {
+        CancelReason::Panic => 0,
+        CancelReason::User => 1,
+        CancelReason::Deadline => 2,
+    }
+}
+
+fn fallback_index(reason: FallbackReason) -> usize {
+    match reason {
+        FallbackReason::PoolSaturated => 0,
+        FallbackReason::SubmitFailed => 1,
     }
 }
 
@@ -220,6 +247,11 @@ impl RunRecorder {
 
         for shard in shards.iter() {
             report.splits += shard.splits.load(Relaxed);
+            report.cancels_panic += shard.cancels[0].load(Relaxed);
+            report.cancels_user += shard.cancels[1].load(Relaxed);
+            report.cancels_deadline += shard.cancels[2].load(Relaxed);
+            report.fallbacks_saturated += shard.fallbacks[0].load(Relaxed);
+            report.fallbacks_submit += shard.fallbacks[1].load(Relaxed);
             report.splits_adaptive += shard.splits_adaptive.load(Relaxed);
             report.descend_ns += shard.descend_ns.load(Relaxed);
             report.leaf_ns += shard.leaf_ns.load(Relaxed);
@@ -410,6 +442,30 @@ mod tests {
         assert_eq!(report.per_rank[0].recv_bytes, 8);
         assert_eq!(report.per_rank[1].sends, 1);
         assert_eq!(report.per_rank[1].recv_bytes, 16);
+    }
+
+    #[test]
+    fn cancels_and_fallbacks_counted_by_reason() {
+        let rec = RunRecorder::new();
+        rec.record(&Event::Cancel {
+            reason: CancelReason::Panic,
+        });
+        rec.record(&Event::Cancel {
+            reason: CancelReason::Panic,
+        });
+        rec.record(&Event::Cancel {
+            reason: CancelReason::Deadline,
+        });
+        rec.record(&Event::Fallback {
+            reason: FallbackReason::PoolSaturated,
+        });
+        let report = rec.finish();
+        assert_eq!(report.cancels_panic, 2);
+        assert_eq!(report.cancels_user, 0);
+        assert_eq!(report.cancels_deadline, 1);
+        assert_eq!(report.cancels(), 3);
+        assert_eq!(report.fallbacks_saturated, 1);
+        assert_eq!(report.fallbacks(), 1);
     }
 
     #[test]

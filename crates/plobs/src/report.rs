@@ -109,6 +109,17 @@ pub struct RunReport {
     pub lock_contended: u64,
     /// Per-rank MPI-sim traffic (empty for non-MPI runs).
     pub per_rank: Vec<RankStats>,
+    /// Subtrees pruned because a sibling panicked.
+    pub cancels_panic: u64,
+    /// Subtrees pruned by a caller-held cancel token.
+    pub cancels_user: u64,
+    /// Subtrees pruned by an expired deadline.
+    pub cancels_deadline: u64,
+    /// Parallel collects that degraded to the sequential route because
+    /// the pool backlog exceeded the saturation threshold.
+    pub fallbacks_saturated: u64,
+    /// Parallel collects that degraded because pool submission failed.
+    pub fallbacks_submit: u64,
 }
 
 impl RunReport {
@@ -153,6 +164,16 @@ impl RunReport {
     /// Contended fraction of `SharedState` lock acquisitions.
     pub fn contention_ratio(&self) -> f64 {
         share(self.lock_contended, self.lock_acquisitions)
+    }
+
+    /// Total subtrees pruned by session cancellation, over all reasons.
+    pub fn cancels(&self) -> u64 {
+        self.cancels_panic + self.cancels_user + self.cancels_deadline
+    }
+
+    /// Total sequential-route fallbacks, over all reasons.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks_saturated + self.fallbacks_submit
     }
 
     /// Renders the report as a self-describing JSON object (schema tag
@@ -232,6 +253,20 @@ impl RunReport {
             self.lock_acquisitions,
             self.lock_contended,
             json_f64(self.contention_ratio()),
+        );
+
+        let _ = write!(
+            out,
+            "\"sessions\":{{\"cancels\":{},\"cancel_panic\":{},\"cancel_user\":{},\
+             \"cancel_deadline\":{},\"fallbacks\":{},\"fallback_saturated\":{},\
+             \"fallback_submit\":{}}},",
+            self.cancels(),
+            self.cancels_panic,
+            self.cancels_user,
+            self.cancels_deadline,
+            self.fallbacks(),
+            self.fallbacks_saturated,
+            self.fallbacks_submit,
         );
 
         out.push_str("\"mpi\":{\"ranks\":[");
@@ -373,6 +408,11 @@ mod tests {
                 recvs: 3,
                 recv_bytes: 24,
             }],
+            cancels_panic: 2,
+            cancels_user: 0,
+            cancels_deadline: 1,
+            fallbacks_saturated: 1,
+            fallbacks_submit: 0,
         }
     }
 
@@ -410,6 +450,16 @@ mod tests {
         assert!(json.contains("\"zero_copy_slice\":{\"leaves\":8,\"items\":64}"));
         assert!(json.contains("\"leaf_share\":0.700000"));
         assert!(json.contains("\"ranks\":[{\"rank\":0"));
+        assert!(json.contains("\"sessions\":{\"cancels\":3,\"cancel_panic\":2"));
+        assert!(json.contains("\"fallback_saturated\":1"));
+    }
+
+    #[test]
+    fn session_totals_sum_reasons() {
+        let r = sample();
+        assert_eq!(r.cancels(), 3);
+        assert_eq!(r.fallbacks(), 1);
+        assert_eq!(RunReport::default().cancels(), 0);
     }
 
     #[test]

@@ -53,6 +53,17 @@ pub enum Error {
     /// A singleton was deconstructed; `tie` / `zip` deconstruction needs
     /// length ≥ 2.
     SingletonSplit,
+    /// A `(start, end, incr)` spliterator descriptor supplied an
+    /// increment of zero (must be ≥ 1).
+    ZeroIncrement,
+    /// A spliterator descriptor's inclusive `end` index lies outside its
+    /// backing storage.
+    DescriptorOutOfBounds {
+        /// The offending inclusive end index.
+        end: usize,
+        /// Length of the backing storage.
+        len: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -77,6 +88,13 @@ impl fmt::Display for Error {
             Error::SingletonSplit => {
                 write!(f, "cannot deconstruct a singleton with tie/zip")
             }
+            Error::ZeroIncrement => {
+                write!(f, "spliterator descriptors require an increment >= 1")
+            }
+            Error::DescriptorOutOfBounds { end, len } => write!(
+                f,
+                "descriptor end {end} out of bounds for storage of length {len}"
+            ),
         }
     }
 }
@@ -103,6 +121,10 @@ mod tests {
         assert!(Error::Empty.to_string().contains("non-empty"));
         assert!(Error::SingletonSplit.to_string().contains("singleton"));
         assert!(Error::ZeroArity.to_string().contains(">= 1"));
+        assert!(Error::ZeroIncrement.to_string().contains("increment"));
+        assert!(Error::DescriptorOutOfBounds { end: 9, len: 8 }
+            .to_string()
+            .contains("end 9"));
     }
 
     #[test]

@@ -74,6 +74,21 @@ pub fn is_power_of_two(n: usize) -> bool {
     n != 0 && n & (n - 1) == 0
 }
 
+/// Fallible base-2 logarithm of a power of two: the *depth* of the
+/// divide-and-conquer tree of a PowerList of length `n`, or
+/// [`Error::NotPowerOfTwo`] when `n` has no such depth.
+///
+/// This is the checked entry point for untrusted lengths; the panicking
+/// [`log2_exact`] remains for lengths already validated by construction.
+#[inline]
+pub fn try_log2_exact(n: usize) -> Result<u32> {
+    if is_power_of_two(n) {
+        Ok(n.trailing_zeros())
+    } else {
+        Err(Error::NotPowerOfTwo(n))
+    }
+}
+
 /// Base-2 logarithm of a power of two.
 ///
 /// Returns the *depth* of the divide-and-conquer tree of a PowerList of
@@ -81,12 +96,14 @@ pub fn is_power_of_two(n: usize) -> bool {
 ///
 /// # Panics
 ///
-/// Panics if `n` is not a power of two; use [`is_power_of_two`] to check
-/// first when the input is untrusted.
+/// Panics if `n` is not a power of two; use [`try_log2_exact`] (or
+/// [`is_power_of_two`]) when the input is untrusted.
 #[inline]
 pub fn log2_exact(n: usize) -> u32 {
-    assert!(is_power_of_two(n), "log2_exact: {n} is not a power of two");
-    n.trailing_zeros()
+    match try_log2_exact(n) {
+        Ok(k) => k,
+        Err(_) => panic!("log2_exact: {n} is not a power of two"),
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +129,14 @@ mod tests {
         assert_eq!(log2_exact(2), 1);
         assert_eq!(log2_exact(1024), 10);
         assert_eq!(log2_exact(1 << 26), 26);
+    }
+
+    #[test]
+    fn try_log2_routes_shape_errors() {
+        assert_eq!(try_log2_exact(1), Ok(0));
+        assert_eq!(try_log2_exact(64), Ok(6));
+        assert_eq!(try_log2_exact(0), Err(Error::NotPowerOfTwo(0)));
+        assert_eq!(try_log2_exact(12), Err(Error::NotPowerOfTwo(12)));
     }
 
     #[test]

@@ -309,7 +309,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specifications accepted by [`vec`]: an exact `usize`, a
+    /// Length specifications accepted by [`vec()`]: an exact `usize`, a
     /// half-open `Range`, or an inclusive `RangeInclusive`.
     pub trait SizeRange {
         /// `(min, max)` inclusive length bounds.

@@ -486,3 +486,129 @@ fn adaptive_split_depth_stays_within_cap() {
         report.tree_summary()
     );
 }
+
+// ---------------------------------------------------------------------
+// Failure-route equivalence: a poisoned element must surface the same
+// panic through every route — the fallible surfaces return
+// `ExecError::Panicked` with the payload preserved, the legacy
+// infallible entry points resume the unwind for `catch_unwind`.
+// ---------------------------------------------------------------------
+
+/// Reduce collector whose accumulator panics on one poison value.
+struct PoisonReduce(i64);
+
+impl jstreams::Collector<i64> for PoisonReduce {
+    type Acc = i64;
+    type Out = i64;
+    fn supplier(&self) -> i64 {
+        0
+    }
+    fn accumulate(&self, acc: &mut i64, item: i64) {
+        assert!(item != self.0, "route poison {item}");
+        *acc += item;
+    }
+    fn combine(&self, l: i64, r: i64) -> i64 {
+        l + r
+    }
+    fn finish(&self, acc: i64) -> i64 {
+        acc
+    }
+}
+
+/// PowerFunction whose basic case panics on the same poison value.
+#[derive(Clone)]
+struct PoisonSumFn(i64);
+
+impl jplf::PowerFunction for PoisonSumFn {
+    type Elem = i64;
+    type Out = i64;
+    fn decomposition(&self) -> Decomp {
+        Decomp::Tie
+    }
+    fn basic_case(&self, v: &i64) -> i64 {
+        assert!(*v != self.0, "route poison {v}");
+        *v
+    }
+    fn create_left(&self) -> Self {
+        self.clone()
+    }
+    fn create_right(&self) -> Self {
+        self.clone()
+    }
+    fn combine(&self, l: i64, r: i64) -> i64 {
+        l + r
+    }
+}
+
+/// Downcasts a resumed panic payload to its message.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Panic propagation agrees across all routes: streams parallel and
+    /// sequential `try_collect`, the legacy infallible `collect` shims,
+    /// and the three JPLF executors' `try_execute`.
+    #[test]
+    fn panic_propagation_routes_agree(
+        p in powerlist_i64(6),
+        ix in 0usize..64,
+        leaf in 1usize..16,
+    ) {
+        let _shared = shared();
+        // Plant one unambiguous poison value so exactly one element
+        // panics whatever the route's traversal order.
+        let mut raw = p.into_vec();
+        let ix = ix % raw.len();
+        raw[ix] = 100_000;
+        let poison = raw[ix];
+        let msg = format!("route poison {poison}");
+        let p = PowerList::from_vec(raw).unwrap();
+
+        // Streams, parallel try_collect.
+        let err = stream_support(TieSpliterator::over(p.clone()), true)
+            .try_collect(
+                PoisonReduce(poison),
+                &jstreams::ExecConfig::par().with_leaf_size(leaf),
+            )
+            .expect_err("parallel try_collect must fail");
+        prop_assert!(matches!(err, jstreams::ExecError::Panicked(_)));
+        prop_assert_eq!(err.panic_message(), Some(msg.as_str()));
+
+        // Streams, sequential try_collect.
+        let err = stream_support(TieSpliterator::over(p.clone()), false)
+            .try_collect(PoisonReduce(poison), &jstreams::ExecConfig::seq())
+            .expect_err("sequential try_collect must fail");
+        prop_assert_eq!(err.panic_message(), Some(msg.as_str()));
+
+        // Legacy shims resume the contained unwind with the payload intact.
+        for parallel in [true, false] {
+            let q = p.clone();
+            let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                stream_support(TieSpliterator::over(q), parallel)
+                    .with_leaf_size(leaf)
+                    .collect(PoisonReduce(poison))
+            }))
+            .expect_err("legacy collect must unwind");
+            prop_assert_eq!(payload_message(payload), Some(msg.clone()));
+        }
+
+        // JPLF executors, fallible surface.
+        let f = PoisonSumFn(poison);
+        let v = p.view();
+        let cfg = jplf::ExecConfig::par();
+        for (route, err) in [
+            ("sequential", SequentialExecutor::new().try_execute(&f, &v, &cfg).err()),
+            ("forkjoin", ForkJoinExecutor::new(2, leaf).try_execute(&f, &v, &cfg).err()),
+            ("mpi", MpiExecutor::new(4).try_execute(&f, &v, &cfg).err()),
+        ] {
+            let err = err.expect(route);
+            prop_assert_eq!(err.panic_message(), Some(msg.as_str()), "route {}", route);
+        }
+    }
+}
