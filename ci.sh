@@ -38,6 +38,18 @@ echo "==> smoke: try_collect happy path measured against legacy collect"
 grep -q "try_collect overhead" "$SPLIT_LOG"
 grep -q '"try_overhead_ratio"' target/ci-splitpolicy/BENCH_splitpolicy_reduce.json
 
+echo "==> plcheck: deterministic concurrency checker gate"
+# Fixed regression models + the pinned regression-seed set run inside
+# the normal suite; then a short randomized-schedule smoke walks fresh
+# interleavings each CI pass. The base seed is printed (and echoed by
+# the test itself), and any failing schedule prints its own per-schedule
+# seed, so every failure here is replayable with
+# plcheck::Explorer::replay_seed(<seed>). Stays well under a minute.
+PLCHECK_SMOKE_SEED="${PLCHECK_SMOKE_SEED:-$(date +%s)}"
+export PLCHECK_SMOKE_SEED
+echo "    PLCHECK_SMOKE_SEED=$PLCHECK_SMOKE_SEED"
+cargo test -q -p plcheck
+
 echo "==> cargo doc --no-deps with warnings denied"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

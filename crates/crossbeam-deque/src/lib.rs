@@ -11,6 +11,17 @@
 //!   oldest, largest task);
 //! * `Injector` is a FIFO queue; `steal_batch_and_pop` moves a small
 //!   batch into the thief's deque and returns one task.
+//!
+//! ## plcheck instrumentation
+//!
+//! Every operation announces a scheduling point to the [`plcheck`]
+//! deterministic checker *before* touching the queue (inert off-model:
+//! one thread-local read). Because this stand-in performs each whole
+//! operation under a mutex, operations are atomic — so yield-before-op
+//! lets the checker explore every ordering of whole operations, which is
+//! exactly this implementation's observable behaviour. Checkers layer a
+//! [`plcheck::TaskAccount`] on top to assert no task is lost or
+//! duplicated under concurrent pop/steal.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -59,21 +70,25 @@ impl<T> Worker<T> {
 
     /// Pushes a task onto the owner's end.
     pub fn push(&self, task: T) {
+        plcheck::yield_op("deque::worker::push");
         locked(&self.queue).push_back(task);
     }
 
     /// Pops the most recently pushed task (LIFO).
     pub fn pop(&self) -> Option<T> {
+        plcheck::yield_op("deque::worker::pop");
         locked(&self.queue).pop_back()
     }
 
     /// `true` when the deque holds no tasks.
     pub fn is_empty(&self) -> bool {
+        plcheck::yield_op("deque::worker::is_empty");
         locked(&self.queue).is_empty()
     }
 
     /// Number of queued tasks.
     pub fn len(&self) -> usize {
+        plcheck::yield_op("deque::worker::len");
         locked(&self.queue).len()
     }
 
@@ -93,6 +108,7 @@ pub struct Stealer<T> {
 impl<T> Stealer<T> {
     /// Steals the oldest task of the victim.
     pub fn steal(&self) -> Steal<T> {
+        plcheck::yield_op("deque::stealer::steal");
         match locked(&self.queue).pop_front() {
             Some(t) => Steal::Success(t),
             None => Steal::Empty,
@@ -101,11 +117,17 @@ impl<T> Stealer<T> {
 
     /// `true` when the victim's deque is empty.
     pub fn is_empty(&self) -> bool {
+        plcheck::yield_op("deque::stealer::is_empty");
         locked(&self.queue).is_empty()
     }
 
-    /// Number of tasks queued in the victim's deque.
+    /// Number of tasks queued in the victim's deque. A concurrent
+    /// snapshot: stale by the time the caller reads it, but always a
+    /// value the deque actually held (never negative, never exceeding
+    /// total pushes) — the bounded-staleness contract the pool's
+    /// size-estimate heuristics rely on.
     pub fn len(&self) -> usize {
+        plcheck::yield_op("deque::stealer::len");
         locked(&self.queue).len()
     }
 }
@@ -139,11 +161,13 @@ impl<T> Injector<T> {
 
     /// Enqueues a task.
     pub fn push(&self, task: T) {
+        plcheck::yield_op("deque::injector::push");
         locked(&self.queue).push_back(task);
     }
 
     /// Steals one task.
     pub fn steal(&self) -> Steal<T> {
+        plcheck::yield_op("deque::injector::steal");
         match locked(&self.queue).pop_front() {
             Some(t) => Steal::Success(t),
             None => Steal::Empty,
@@ -152,6 +176,7 @@ impl<T> Injector<T> {
 
     /// Moves a small batch into `dest` and returns one task directly.
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        plcheck::yield_op("deque::injector::steal_batch");
         let mut q = locked(&self.queue);
         let first = match q.pop_front() {
             Some(t) => t,
@@ -173,11 +198,13 @@ impl<T> Injector<T> {
 
     /// `true` when no tasks are queued.
     pub fn is_empty(&self) -> bool {
+        plcheck::yield_op("deque::injector::is_empty");
         locked(&self.queue).is_empty()
     }
 
     /// Number of queued tasks.
     pub fn len(&self) -> usize {
+        plcheck::yield_op("deque::injector::len");
         locked(&self.queue).len()
     }
 }

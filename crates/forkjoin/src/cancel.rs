@@ -59,6 +59,9 @@ impl CancelToken {
     /// the one that tripped it; later calls (any reason) lose and return
     /// `false`, leaving the original reason in place.
     pub fn cancel(&self, reason: CancelReason) -> bool {
+        // Scheduling point before the CAS: which of several racing
+        // cancellers wins is real nondeterminism plcheck must explore.
+        plcheck::yield_op("cancel::cancel");
         self.state
             .compare_exchange(
                 LIVE,
@@ -80,39 +83,85 @@ impl CancelToken {
     }
 }
 
+/// The time base a [`Deadline`] measures against. Chosen once, at
+/// construction: wall clock in production, the plcheck virtual clock
+/// when constructed on a model thread — so deadline-expiry paths run
+/// deterministically (and instantly) under the checker.
+#[derive(Clone, Copy, Debug)]
+enum Clock {
+    Wall { start: Instant, at: Instant },
+    Virtual { start_ns: u64, at_ns: u64 },
+}
+
 /// A wall-clock budget for one execution session.
 ///
 /// Copyable so every task of the session can carry it by value; all
-/// copies measure against the same start instant.
+/// copies measure against the same start instant. Under a plcheck
+/// model the budget is measured on the checker's virtual clock
+/// instead, which only advances at scheduling points.
 #[derive(Clone, Copy, Debug)]
 pub struct Deadline {
-    start: Instant,
-    at: Instant,
+    clock: Clock,
+}
+
+/// Nanoseconds in `d`, saturating at `u64::MAX` (584 years).
+fn nanos_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl Deadline {
     /// A deadline `budget` from now.
     pub fn after(budget: Duration) -> Self {
-        let start = Instant::now();
-        Deadline {
-            start,
-            at: start + budget,
-        }
+        let clock = match plcheck::virtual_now_ns() {
+            Some(now_ns) => Clock::Virtual {
+                start_ns: now_ns,
+                at_ns: now_ns.saturating_add(nanos_u64(budget)),
+            },
+            None => {
+                let start = Instant::now();
+                Clock::Wall {
+                    start,
+                    at: start + budget,
+                }
+            }
+        };
+        Deadline { clock }
+    }
+
+    /// The virtual clock's current reading for a virtual deadline.
+    /// Falls back to the expiry instant (conservatively expired) if a
+    /// virtual deadline somehow escapes its model — e.g. observed
+    /// during teardown unwinding, when the hooks are inert.
+    fn virtual_now(at_ns: u64) -> u64 {
+        plcheck::virtual_now_ns().unwrap_or(at_ns)
     }
 
     /// `true` once the budget is exhausted.
     pub fn expired(&self) -> bool {
-        Instant::now() >= self.at
+        match self.clock {
+            Clock::Wall { at, .. } => Instant::now() >= at,
+            Clock::Virtual { at_ns, .. } => Self::virtual_now(at_ns) >= at_ns,
+        }
     }
 
-    /// Wall-clock time since the session started.
+    /// Time since the session started, on the deadline's clock.
     pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
+        match self.clock {
+            Clock::Wall { start, .. } => start.elapsed(),
+            Clock::Virtual { start_ns, at_ns } => {
+                Duration::from_nanos(Self::virtual_now(at_ns).saturating_sub(start_ns))
+            }
+        }
     }
 
     /// Budget left, zero once expired.
     pub fn remaining(&self) -> Duration {
-        self.at.saturating_duration_since(Instant::now())
+        match self.clock {
+            Clock::Wall { at, .. } => at.saturating_duration_since(Instant::now()),
+            Clock::Virtual { at_ns, .. } => {
+                Duration::from_nanos(at_ns.saturating_sub(Self::virtual_now(at_ns)))
+            }
+        }
     }
 }
 

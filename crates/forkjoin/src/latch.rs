@@ -36,6 +36,10 @@ impl Latch {
     /// Sets the latch and wakes all current waiters.
     pub fn set(&self) {
         self.done.store(true, Ordering::Release);
+        // Scheduling point between publishing the flag and notifying:
+        // this is exactly the window where a naive latch (no mutex
+        // bridge) loses wakeups, so let plcheck interleave here.
+        plcheck::yield_op("latch::set::published");
         // The lock guarantees no waiter can observe `done == false` and
         // then miss the notification.
         let _guard = self.mutex.lock();
@@ -47,6 +51,9 @@ impl Latch {
         if self.is_set() {
             return;
         }
+        // Scheduling point between the failed fast-path check and
+        // taking the mutex — the other half of the lost-wakeup window.
+        plcheck::yield_op("latch::wait::checked");
         let mut guard = self.mutex.lock();
         while !self.is_set() {
             self.cv.wait(&mut guard);
@@ -59,6 +66,7 @@ impl Latch {
         if self.is_set() {
             return true;
         }
+        plcheck::yield_op("latch::wait_timeout::checked");
         let mut guard = self.mutex.lock();
         if self.is_set() {
             return true;
@@ -93,6 +101,7 @@ impl CountLatch {
 
     /// Registers one more outstanding task.
     pub fn increment(&self) {
+        plcheck::yield_op("count_latch::increment");
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -104,6 +113,7 @@ impl CountLatch {
     /// Panics on underflow (more decrements than increments), which would
     /// indicate a scope bookkeeping bug.
     pub fn decrement(&self) {
+        plcheck::yield_op("count_latch::decrement");
         let prev = self.count.fetch_sub(1, Ordering::AcqRel);
         assert!(prev > 0, "CountLatch underflow");
         if prev == 1 {

@@ -37,6 +37,9 @@ impl<S> SharedState<S> {
     /// acquisition is reported with whether the `try_lock` fast path
     /// failed (i.e. the paper's `synchronized` block was contended).
     fn lock(&self) -> MutexGuard<'_, S> {
+        // Labels the acquisition in plcheck traces (the underlying
+        // parking_lot shim adds the actual contention/blocking points).
+        plcheck::yield_op("shared::lock");
         if !plobs::enabled() {
             return self.inner.lock();
         }

@@ -7,10 +7,33 @@
 //! poisoning is transparent (a panicking lock holder does not wedge other
 //! threads; the data is handed over as-is, exactly like parking_lot's
 //! no-poisoning design).
+//!
+//! ## plcheck instrumentation
+//!
+//! Every acquisition, release, wait and notify is a scheduling point of
+//! the [`plcheck`] deterministic concurrency checker **when executing on
+//! a model thread**; production threads pay one thread-local read per
+//! operation. On the model:
+//!
+//! * `lock` never blocks the OS thread — a contended acquisition
+//!   reports [`plcheck::block_on`] and retries when the holder's guard
+//!   drop [`plcheck::release`]s the mutex;
+//! * `Condvar::wait`/`wait_for` release the lock, [`plcheck::park`] on
+//!   the condvar (timeouts resolve against the virtual clock), and
+//!   reacquire cooperatively — so release+park is atomic with respect
+//!   to the model, exactly like a real condvar;
+//! * `notify_one` wakes a waiter *chosen by the schedule source* (which
+//!   waiter wins is a real source of nondeterminism worth exploring).
 
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 use std::time::Duration;
+
+/// Stable scheduler resource id for a std mutex (thin part of the
+/// address; `T: ?Sized` makes the reference potentially fat).
+fn res_id<T: ?Sized>(m: &std::sync::Mutex<T>) -> usize {
+    m as *const std::sync::Mutex<T> as *const () as usize
+}
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 pub struct Mutex<T: ?Sized> {
@@ -33,20 +56,57 @@ impl<T> Mutex<T> {
     }
 }
 
+/// Acquires `m` without blocking the OS thread, cooperating with the
+/// plcheck scheduler: yields before the attempt, blocks-and-retries on
+/// contention. Only called on model threads.
+fn model_lock<T: ?Sized>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    let res = res_id(m);
+    loop {
+        plcheck::yield_op("mutex::lock");
+        match m.try_lock() {
+            Ok(g) => return g,
+            Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                plcheck::block_on(res, "mutex::blocked");
+            }
+        }
+    }
+}
+
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. Never poisons.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if plcheck::active() {
+            let g = model_lock(&self.inner);
+            return MutexGuard {
+                inner: Some(g),
+                owner: &self.inner,
+                model_res: Some(res_id(&self.inner)),
+            };
+        }
         MutexGuard {
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            owner: &self.inner,
+            model_res: None,
         }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let model = plcheck::active();
+        if model {
+            plcheck::yield_op("mutex::try_lock");
+        }
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Ok(g) => Some(MutexGuard {
+                inner: Some(g),
+                owner: &self.inner,
+                model_res: model.then(|| res_id(&self.inner)),
+            }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
                 inner: Some(p.into_inner()),
+                owner: &self.inner,
+                model_res: model.then(|| res_id(&self.inner)),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
@@ -76,9 +136,14 @@ impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
 /// Guard returned by [`Mutex::lock`].
 ///
 /// Wraps the std guard in an `Option` so a `Condvar` can temporarily take
-/// ownership during a wait while callers keep a `&mut` reference.
+/// ownership during a wait while callers keep a `&mut` reference; `owner`
+/// lets the condvar reacquire the lock afterwards.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    owner: &'a std::sync::Mutex<T>,
+    /// `Some(resource)` when this acquisition is tracked by the plcheck
+    /// scheduler; the drop path then releases cooperative waiters.
+    model_res: Option<usize>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -91,6 +156,19 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         self.inner.as_mut().expect("guard present outside a wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(res) = self.model_res.take() {
+            // Unlock first, then wake cooperative waiters. The hooks are
+            // inert while unwinding, so a panicking holder still unlocks
+            // (teardown force-wakes any blocked model thread).
+            drop(self.inner.take());
+            plcheck::release(res);
+            plcheck::yield_op("mutex::unlock");
+        }
     }
 }
 
@@ -126,29 +204,58 @@ impl Condvar {
         }
     }
 
-    /// Wakes one waiter.
+    fn cv_res(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    /// Wakes one waiter. On the model, *which* parked waiter wakes is a
+    /// scheduling decision.
     pub fn notify_one(&self) {
+        plcheck::notify(self.cv_res(), false);
         self.inner.notify_one();
     }
 
     /// Wakes all waiters.
     pub fn notify_all(&self) {
+        plcheck::notify(self.cv_res(), true);
         self.inner.notify_all();
     }
 
-    /// Atomically releases the guard's lock and waits for a notification.
+    /// Releases the guard's lock and waits for a notification; the
+    /// release+wait pair is atomic with respect to other threads (a
+    /// notification between them cannot be missed).
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if let Some(mutex_res) = guard.model_res {
+            // Cooperative path: unlock, atomically park (no scheduling
+            // point between release and park), reacquire.
+            drop(guard.inner.take());
+            plcheck::release(mutex_res);
+            plcheck::park(self.cv_res(), None, "condvar::wait");
+            guard.inner = Some(model_lock(guard.owner));
+            return;
+        }
         let g = guard.inner.take().expect("guard present before wait");
         let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(g);
     }
 
-    /// Like [`Condvar::wait`] with a timeout.
+    /// Like [`Condvar::wait`] with a timeout. On the model the timeout
+    /// resolves against the plcheck virtual clock, so timed waits are
+    /// deterministic and never sleep wall-clock time.
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        if let Some(mutex_res) = guard.model_res {
+            drop(guard.inner.take());
+            plcheck::release(mutex_res);
+            let why = plcheck::park(self.cv_res(), Some(timeout), "condvar::wait_for");
+            guard.inner = Some(model_lock(guard.owner));
+            return WaitTimeoutResult {
+                timed_out: why == plcheck::WakeReason::TimedOut,
+            };
+        }
         let g = guard.inner.take().expect("guard present before wait");
         let (g, r) = match self.inner.wait_timeout(g, timeout) {
             Ok((g, r)) => (g, r),

@@ -1,0 +1,345 @@
+//! Schedule exploration: seeded random fuzzing, bounded exhaustive
+//! enumeration, and exact replay of a failing schedule.
+//!
+//! Both modes drive [`crate::sched::run_schedule`] with a [`Source`]:
+//!
+//! * **Random** — each schedule is a pure function of one `u64` seed
+//!   derived from the base seed; a failure prints the schedule's own
+//!   seed, and [`Explorer::replay_seed`] re-runs exactly that
+//!   interleaving.
+//! * **Exhaustive** — depth-first enumeration of the schedule tree
+//!   (DPOR-lite: no partial-order reduction, but branching is bounded
+//!   by `branch_depth` and a schedule cap, which is tractable for the
+//!   ≤ 3-thread models this workspace checks). Every run records
+//!   `(chosen, alternatives)` at each branching point; backtracking
+//!   bumps the deepest choice with an unexplored alternative. A failure
+//!   prints the choice list, replayable with
+//!   [`Explorer::replay_choices`].
+
+use crate::rng::{schedule_seed, SplitMix64};
+use crate::sched::{run_schedule, Outcome, Source};
+use std::sync::Arc;
+
+/// How a failing schedule is identified and replayed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleSpec {
+    /// Random-mode schedule: replay with [`Explorer::replay_seed`].
+    Seed(u64),
+    /// Exhaustive-mode schedule: the branch-choice prefix, replay with
+    /// [`Explorer::replay_choices`].
+    Choices(Vec<u32>),
+}
+
+impl std::fmt::Display for ScheduleSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleSpec::Seed(s) => write!(
+                f,
+                "seed {s:#018x} — replay with plcheck::Explorer::replay_seed({s:#x})"
+            ),
+            ScheduleSpec::Choices(c) => write!(
+                f,
+                "choices {c:?} — replay with plcheck::Explorer::replay_choices(vec!{c:?})"
+            ),
+        }
+    }
+}
+
+/// A schedule on which the model failed: an assertion/panic, a
+/// [`crate::fail`], a deadlock, or the livelock step bound.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Identity of the failing schedule (printed seed or choice list).
+    pub spec: ScheduleSpec,
+    /// What went wrong.
+    pub message: String,
+    /// The interleaving, one line per scheduling step (tail-truncated).
+    pub trace: String,
+    /// Scheduling steps executed before the failure surfaced.
+    pub steps: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "plcheck failure on {}", self.spec)?;
+        writeln!(
+            f,
+            "{} (after {} scheduling steps)",
+            self.message, self.steps
+        )?;
+        writeln!(f, "interleaving:")?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+/// Result of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: usize,
+    /// `true` when exhaustive enumeration stopped at the schedule cap
+    /// before covering the whole (bounded) tree.
+    pub truncated: bool,
+    /// The first failing schedule, if any (exploration stops there).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// `true` when every executed schedule passed.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Panics with the full failure report (seed/choices + trace) when
+    /// a schedule failed.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!("{f}");
+        }
+    }
+
+    /// The failure, for tests that *expect* the checker to catch a bug.
+    pub fn expect_failure(&self, what: &str) -> &Failure {
+        self.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "checker missed the {what} ({} schedules ran clean)",
+                self.schedules
+            )
+        })
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.failure {
+            Some(fail) => write!(f, "{fail}"),
+            None => write!(
+                f,
+                "plcheck: {} schedules passed{}",
+                self.schedules,
+                if self.truncated {
+                    " (exploration truncated at the schedule cap)"
+                } else {
+                    ""
+                }
+            ),
+        }
+    }
+}
+
+enum Mode {
+    Exhaustive { max_schedules: usize },
+    Random { schedules: usize, base_seed: u64 },
+    ReplaySeed(u64),
+    ReplayChoices(Vec<u32>),
+}
+
+/// Configures and runs a schedule exploration over a model.
+///
+/// A *model* is a closure re-run once per schedule; it may spawn more
+/// model threads with [`crate::spawn`] and must be deterministic apart
+/// from scheduling (no wall-clock reads, no OS randomness).
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// let h = Arc::clone(&hits);
+/// let report = plcheck::Explorer::exhaustive(100).run(move || {
+///     let h = Arc::clone(&h);
+///     let t = plcheck::spawn(move || {
+///         h.fetch_add(1, Ordering::SeqCst);
+///     });
+///     plcheck::yield_now();
+///     t.join();
+/// });
+/// report.assert_ok();
+/// assert!(hits.load(Ordering::SeqCst) >= 1);
+/// ```
+pub struct Explorer {
+    mode: Mode,
+    max_steps: usize,
+    branch_depth: usize,
+}
+
+impl Explorer {
+    /// Bounded exhaustive enumeration of the schedule tree, stopping at
+    /// `max_schedules` schedules. Intended for models of ≤ 3 threads.
+    pub fn exhaustive(max_schedules: usize) -> Self {
+        Explorer {
+            mode: Mode::Exhaustive { max_schedules },
+            max_steps: 20_000,
+            branch_depth: 400,
+        }
+    }
+
+    /// Seeded random-schedule fuzzing: `schedules` runs whose seeds all
+    /// derive from `base_seed`. Intended for models too large to
+    /// enumerate.
+    pub fn random(schedules: usize, base_seed: u64) -> Self {
+        Explorer {
+            mode: Mode::Random {
+                schedules,
+                base_seed,
+            },
+            max_steps: 20_000,
+            branch_depth: 400,
+        }
+    }
+
+    /// Replays exactly the random schedule identified by a printed
+    /// `seed` (deterministic: same seed, same interleaving).
+    pub fn replay_seed(seed: u64) -> Self {
+        Explorer {
+            mode: Mode::ReplaySeed(seed),
+            max_steps: 20_000,
+            branch_depth: 400,
+        }
+    }
+
+    /// Replays exactly the exhaustive-mode schedule identified by a
+    /// printed branch-choice list.
+    pub fn replay_choices(choices: Vec<u32>) -> Self {
+        Explorer {
+            mode: Mode::ReplayChoices(choices),
+            max_steps: 20_000,
+            branch_depth: 400,
+        }
+    }
+
+    /// Overrides the per-schedule step bound (livelock detector).
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Overrides how many branching points may deviate from the
+    /// first-alternative schedule in exhaustive mode (the depth bound).
+    pub fn with_branch_depth(mut self, branch_depth: usize) -> Self {
+        self.branch_depth = branch_depth;
+        self
+    }
+
+    /// Runs the exploration, stopping at the first failing schedule.
+    pub fn run<F>(&self, model: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+        match &self.mode {
+            Mode::Random {
+                schedules,
+                base_seed,
+            } => {
+                for i in 0..*schedules {
+                    let seed = schedule_seed(*base_seed, i as u64);
+                    let outcome = run_schedule(
+                        Source::Random(SplitMix64::new(seed)),
+                        self.max_steps,
+                        Arc::clone(&body),
+                    );
+                    if let Some(f) = failure_of(outcome, ScheduleSpec::Seed(seed)) {
+                        return Report {
+                            schedules: i + 1,
+                            truncated: false,
+                            failure: Some(f),
+                        };
+                    }
+                }
+                Report {
+                    schedules: *schedules,
+                    truncated: false,
+                    failure: None,
+                }
+            }
+            Mode::ReplaySeed(seed) => {
+                let outcome =
+                    run_schedule(Source::Random(SplitMix64::new(*seed)), self.max_steps, body);
+                Report {
+                    schedules: 1,
+                    truncated: false,
+                    failure: failure_of(outcome, ScheduleSpec::Seed(*seed)),
+                }
+            }
+            Mode::ReplayChoices(choices) => {
+                let outcome = run_schedule(
+                    Source::Scripted {
+                        prefix: choices.clone(),
+                        pos: 0,
+                    },
+                    self.max_steps,
+                    body,
+                );
+                Report {
+                    schedules: 1,
+                    truncated: false,
+                    failure: failure_of(outcome, ScheduleSpec::Choices(choices.clone())),
+                }
+            }
+            Mode::Exhaustive { max_schedules } => {
+                let mut prefix: Vec<u32> = Vec::new();
+                let mut schedules = 0usize;
+                loop {
+                    let outcome = run_schedule(
+                        Source::Scripted {
+                            prefix: prefix.clone(),
+                            pos: 0,
+                        },
+                        self.max_steps,
+                        Arc::clone(&body),
+                    );
+                    schedules += 1;
+                    let decisions = outcome.decisions.clone();
+                    if let Some(f) = failure_of(
+                        outcome,
+                        ScheduleSpec::Choices(decisions.iter().map(|(c, _)| *c).collect()),
+                    ) {
+                        return Report {
+                            schedules,
+                            truncated: false,
+                            failure: Some(f),
+                        };
+                    }
+                    if schedules >= *max_schedules {
+                        return Report {
+                            schedules,
+                            truncated: true,
+                            failure: None,
+                        };
+                    }
+                    // Backtrack: bump the deepest branch point (within
+                    // the depth bound) that still has an unexplored
+                    // alternative.
+                    let limit = decisions.len().min(self.branch_depth);
+                    let mut advanced = false;
+                    for i in (0..limit).rev() {
+                        let (chosen, alts) = decisions[i];
+                        if chosen + 1 < alts {
+                            prefix = decisions[..i].iter().map(|(c, _)| *c).collect();
+                            prefix.push(chosen + 1);
+                            advanced = true;
+                            break;
+                        }
+                    }
+                    if !advanced {
+                        return Report {
+                            schedules,
+                            truncated: false,
+                            failure: None,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn failure_of(outcome: Outcome, spec: ScheduleSpec) -> Option<Failure> {
+    outcome.failure.map(|message| Failure {
+        spec,
+        message,
+        trace: outcome.trace,
+        steps: outcome.steps,
+    })
+}

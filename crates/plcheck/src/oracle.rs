@@ -1,0 +1,116 @@
+//! Checker oracles: invariant bookkeeping that stays *outside* the
+//! explored schedule.
+//!
+//! Oracles deliberately use `std::sync` primitives, not the
+//! instrumented ones — their bookkeeping must be invisible to the
+//! scheduler, or observing an invariant would itself perturb the
+//! interleavings being checked.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+#[derive(Default, Clone, Copy)]
+struct Account {
+    produced: usize,
+    claimed: usize,
+}
+
+/// Exactly-once accounting for queue-like structures: every produced
+/// task id must be claimed exactly once, across any number of
+/// concurrent claimants.
+///
+/// This is the linearizability/precedence oracle for the work-stealing
+/// deque: `produced` at push, `claimed` at pop/steal (a duplicate claim
+/// fails the schedule immediately), and [`TaskAccount::assert_balanced`]
+/// at the end catches lost tasks.
+#[derive(Default)]
+pub struct TaskAccount {
+    inner: Mutex<HashMap<u64, Account>>,
+}
+
+impl TaskAccount {
+    /// An empty account.
+    pub fn new() -> Self {
+        TaskAccount::default()
+    }
+
+    /// Records that task `id` was made claimable (pushed).
+    pub fn produced(&self, id: u64) {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(id)
+            .or_default()
+            .produced += 1;
+    }
+
+    /// Records that task `id` was claimed (popped or stolen). Fails the
+    /// schedule on a duplicate or phantom claim.
+    pub fn claimed(&self, id: u64) {
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let a = g.entry(id).or_default();
+        a.claimed += 1;
+        if a.claimed > a.produced {
+            let (claimed, produced) = (a.claimed, a.produced);
+            drop(g);
+            crate::fail(format!(
+                "task {id} claimed {claimed} times but produced {produced} times \
+                 (duplicated or phantom task)"
+            ));
+        }
+    }
+
+    /// Fails the schedule unless every produced task was claimed
+    /// exactly once. Call after all claimants have joined.
+    pub fn assert_balanced(&self) {
+        let g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (id, a) in g.iter() {
+            if a.claimed != a.produced {
+                let msg = format!(
+                    "task {id} produced {} times but claimed {} times (lost task)",
+                    a.produced, a.claimed
+                );
+                drop(g);
+                crate::fail(msg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_account_passes() {
+        let a = TaskAccount::new();
+        a.produced(1);
+        a.produced(2);
+        a.claimed(1);
+        a.claimed(2);
+        a.assert_balanced();
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed 2 times")]
+    fn duplicate_claim_fails_off_model() {
+        let a = TaskAccount::new();
+        a.produced(1);
+        a.claimed(1);
+        a.claimed(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lost task")]
+    fn lost_task_fails_off_model() {
+        let a = TaskAccount::new();
+        a.produced(1);
+        a.assert_balanced();
+    }
+}

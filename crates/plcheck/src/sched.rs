@@ -1,0 +1,598 @@
+//! The cooperative scheduler: model threads, turn passing, virtual time.
+//!
+//! A schedule runs the model on real OS threads but **serialises** them:
+//! exactly one model thread executes at any moment, and control returns
+//! to the scheduler at every *yield point* (the instrumentation hooks in
+//! the vendored concurrency crates). At each scheduling point the
+//! [`Source`] — a seeded RNG or a scripted choice prefix — picks which
+//! runnable thread proceeds, so a schedule is a pure function of its
+//! seed/choice list and the (deterministic) model body.
+//!
+//! Blocking is cooperative: an instrumented mutex that would block
+//! reports [`block_on`]; an instrumented condvar wait reports [`park`].
+//! Blocked and parked threads are invisible to the picker until a
+//! matching [`release`]/[`notify`] (or a virtual-clock timeout) makes
+//! them runnable again. When no thread is runnable and no timer is
+//! armed, the schedule has genuinely deadlocked — the checker reports it
+//! with every thread's last known operation. A step bound catches
+//! livelocks (schedules that spin without making progress).
+//!
+//! Time is virtual: a logical nanosecond clock advances by a fixed
+//! quantum per scheduling step and *jumps* to the earliest armed timer
+//! when every thread is parked, so timed waits (`Condvar::wait_for`,
+//! `Latch::wait_timeout`, `Deadline`) resolve instantly and
+//! deterministically instead of sleeping wall-clock time.
+
+use crate::rng::SplitMix64;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Resource-id namespace for "thread `tid` finished" (used by
+/// [`JoinHandle::join`]); high bit keeps it clear of real addresses.
+const THREAD_DONE_NS: usize = 1usize << (usize::BITS - 1);
+
+/// Virtual nanoseconds charged per scheduling step.
+const QUANTUM_NS: u64 = 1_000;
+
+/// Why a [`park`]ed thread woke up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WakeReason {
+    /// A [`notify`] selected this thread.
+    Notified,
+    /// The virtual clock reached the park timeout.
+    TimedOut,
+}
+
+#[derive(Clone, Debug)]
+enum Status {
+    Runnable,
+    Running,
+    Blocked { res: usize },
+    Parked { res: usize, wake_at: Option<u64> },
+    Done,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Turn {
+    Control,
+    Thread(usize),
+}
+
+/// Where the next scheduling choices come from.
+pub(crate) enum Source {
+    /// Seeded pseudo-random choices: the fuzzing mode.
+    Random(SplitMix64),
+    /// A forced prefix of branch choices (first-alternative beyond it):
+    /// the DFS enumeration and choice-replay mode.
+    Scripted { prefix: Vec<u32>, pos: usize },
+}
+
+impl Source {
+    fn choose(&mut self, n: usize) -> u32 {
+        match self {
+            Source::Random(g) => g.choose(n),
+            Source::Scripted { prefix, pos } => {
+                let c = if *pos < prefix.len() {
+                    prefix[*pos].min(n as u32 - 1)
+                } else {
+                    0
+                };
+                *pos += 1;
+                c
+            }
+        }
+    }
+}
+
+struct TraceEntry {
+    step: usize,
+    clock_ns: u64,
+    tid: usize,
+    label: &'static str,
+}
+
+struct SchedState {
+    status: Vec<Status>,
+    /// Last hook label seen per thread; used in deadlock reports.
+    last_label: Vec<&'static str>,
+    wake_reason: Vec<WakeReason>,
+    turn: Turn,
+    clock_ns: u64,
+    steps: usize,
+    /// `(chosen, alternatives)` at every branching scheduling point.
+    decisions: Vec<(u32, u32)>,
+    source: Source,
+    trace: Vec<TraceEntry>,
+    failure: Option<String>,
+    aborting: bool,
+}
+
+impl SchedState {
+    fn record(&mut self, tid: usize, label: &'static str) {
+        self.last_label[tid] = label;
+        self.trace.push(TraceEntry {
+            step: self.steps,
+            clock_ns: self.clock_ns,
+            tid,
+            label,
+        });
+    }
+
+    fn decide(&mut self, n: usize) -> u32 {
+        if n <= 1 {
+            return 0;
+        }
+        let c = self.source.choose(n);
+        self.decisions.push((c, n as u32));
+        c
+    }
+}
+
+pub(crate) struct Session {
+    m: Mutex<SchedState>,
+    cv: Condvar,
+    max_steps: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Sentinel panic payload used to unwind model threads during teardown
+/// of a failed or deadlocked schedule. Never reported as a failure.
+struct Abort;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Session>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Session>, usize)> {
+    // Hooks must stay inert while a model thread unwinds (guard drops
+    // run during teardown) — panicking inside a panic would abort the
+    // whole process.
+    if std::thread::panicking() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// `true` when the calling thread is a model thread of an active
+/// schedule — i.e. the instrumentation hooks are live.
+pub fn active() -> bool {
+    current().is_some()
+}
+
+/// The virtual clock of the active schedule, in nanoseconds; `None` off
+/// the model. Lets time-based primitives (`forkjoin::Deadline`) measure
+/// deterministic virtual time under the checker.
+pub fn virtual_now_ns() -> Option<u64> {
+    let (sess, _) = current()?;
+    let g = lock(&sess.m);
+    Some(g.clock_ns)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Parks the calling model thread until control hands the turn back.
+/// `g` must already reflect the thread's new status and `turn ==
+/// Control`. Returns with the turn re-acquired; unwinds on abort.
+fn hand_to_control(sess: &Session, tid: usize, mut g: std::sync::MutexGuard<'_, SchedState>) {
+    sess.cv.notify_all();
+    while g.turn != Turn::Thread(tid) {
+        g = sess
+            .cv
+            .wait(g)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    let abort = g.aborting;
+    g.status[tid] = Status::Running;
+    drop(g);
+    if abort {
+        std::panic::panic_any(Abort);
+    }
+}
+
+/// A scheduling point: the calling model thread offers the scheduler a
+/// chance to run any other thread. Instrumented primitives call this
+/// before every visible operation; model code may also call it directly
+/// to widen an interleaving window. No-op off the model.
+pub fn yield_op(label: &'static str) {
+    let Some((sess, tid)) = current() else { return };
+    let mut g = lock(&sess.m);
+    if g.aborting {
+        drop(g);
+        std::panic::panic_any(Abort);
+    }
+    g.record(tid, label);
+    g.status[tid] = Status::Runnable;
+    g.turn = Turn::Control;
+    hand_to_control(&sess, tid, g);
+}
+
+/// Convenience alias for an explicit model-level scheduling point.
+pub fn yield_now() {
+    yield_op("yield");
+}
+
+/// Reports that the calling model thread would block on `res` (an
+/// instrumented mutex, a join target, …). The scheduler will not run it
+/// again until a matching [`release`] — the caller retries its
+/// operation on return. No-op off the model.
+pub fn block_on(res: usize, label: &'static str) {
+    let Some((sess, tid)) = current() else { return };
+    let mut g = lock(&sess.m);
+    if g.aborting {
+        drop(g);
+        std::panic::panic_any(Abort);
+    }
+    g.record(tid, label);
+    g.status[tid] = Status::Blocked { res };
+    g.turn = Turn::Control;
+    hand_to_control(&sess, tid, g);
+}
+
+/// Wakes every thread [`block_on`]ed on `res` (they re-contend; losers
+/// re-block). Called by instrumented unlock paths. Does **not** yield —
+/// release+park sequences in condvar shims must stay atomic with
+/// respect to the model. No-op off the model.
+pub fn release(res: usize) {
+    let Some((sess, _tid)) = current() else {
+        return;
+    };
+    let mut g = lock(&sess.m);
+    for st in g.status.iter_mut() {
+        if matches!(st, Status::Blocked { res: r } if *r == res) {
+            *st = Status::Runnable;
+        }
+    }
+}
+
+/// Condvar-style wait: parks the calling model thread on `res` until a
+/// [`notify`] selects it or the virtual clock reaches `timeout`.
+/// Returns why it woke. Off the model this is a bug in the shim — it
+/// returns `Notified` immediately.
+pub fn park(res: usize, timeout: Option<Duration>, label: &'static str) -> WakeReason {
+    let Some((sess, tid)) = current() else {
+        return WakeReason::Notified;
+    };
+    let mut g = lock(&sess.m);
+    if g.aborting {
+        drop(g);
+        std::panic::panic_any(Abort);
+    }
+    g.record(tid, label);
+    let wake_at = timeout.map(|d| {
+        g.clock_ns
+            .saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    });
+    g.status[tid] = Status::Parked { res, wake_at };
+    g.turn = Turn::Control;
+    hand_to_control(&sess, tid, g);
+    let g = lock(&sess.m);
+    g.wake_reason[tid]
+}
+
+/// Wakes threads [`park`]ed on `res`: all of them, or — `all == false`
+/// — one picked by the schedule source (a real scheduling decision:
+/// which waiter a `notify_one` wakes is nondeterministic in the wild).
+/// Waking nobody when nobody is parked is deliberate: that is exactly
+/// the lost-wakeup semantics of a real condvar. No-op off the model.
+pub fn notify(res: usize, all: bool) {
+    let Some((sess, _tid)) = current() else {
+        return;
+    };
+    let mut g = lock(&sess.m);
+    let waiters: Vec<usize> = g
+        .status
+        .iter()
+        .enumerate()
+        .filter(|(_, st)| matches!(st, Status::Parked { res: r, .. } if *r == res))
+        .map(|(i, _)| i)
+        .collect();
+    if waiters.is_empty() {
+        return;
+    }
+    if all {
+        for t in waiters {
+            g.status[t] = Status::Runnable;
+            g.wake_reason[t] = WakeReason::Notified;
+        }
+    } else {
+        let c = g.decide(waiters.len()) as usize;
+        let t = waiters[c];
+        g.status[t] = Status::Runnable;
+        g.wake_reason[t] = WakeReason::Notified;
+    }
+}
+
+/// Records a checker failure for the current schedule and unwinds the
+/// calling model thread without tripping the process panic hook (unlike
+/// an `assert!`, which also works but prints a backtrace). Off the
+/// model it degenerates to a plain panic.
+pub fn fail(msg: impl Into<String>) -> ! {
+    let msg = msg.into();
+    match current() {
+        Some((sess, tid)) => {
+            let mut g = lock(&sess.m);
+            if g.failure.is_none() {
+                let failure = format!("model thread {tid} failed at step {}: {msg}", g.steps);
+                g.failure = Some(failure);
+            }
+            g.aborting = true;
+            drop(g);
+            std::panic::panic_any(Abort);
+        }
+        None => panic!("{msg}"),
+    }
+}
+
+/// Handle to a model thread created with [`spawn`].
+pub struct JoinHandle {
+    sess: Arc<Session>,
+    tid: usize,
+}
+
+impl JoinHandle {
+    /// Blocks (cooperatively) until the spawned model thread finishes.
+    /// A panic in the target is reported as a schedule failure by the
+    /// checker itself, so `join` carries no result.
+    pub fn join(self) {
+        yield_op("thread::join");
+        loop {
+            {
+                let g = lock(&self.sess.m);
+                if matches!(g.status[self.tid], Status::Done) {
+                    return;
+                }
+            }
+            block_on(THREAD_DONE_NS | self.tid, "thread::join");
+        }
+    }
+}
+
+/// Spawns an additional model thread into the active schedule. The new
+/// thread starts runnable and runs only when the scheduler picks it.
+///
+/// # Panics
+///
+/// Panics when called outside a model (there is no schedule to join).
+pub fn spawn(f: impl FnOnce() + Send + 'static) -> JoinHandle {
+    let (sess, _me) = current().expect("plcheck::spawn called outside a model");
+    let tid = {
+        let mut g = lock(&sess.m);
+        let tid = g.status.len();
+        g.status.push(Status::Runnable);
+        g.last_label.push("spawned");
+        g.wake_reason.push(WakeReason::Notified);
+        tid
+    };
+    spawn_model_thread(&sess, tid, f);
+    // A spawn is a visible operation: give the scheduler the chance to
+    // run the child (or anyone else) right away.
+    yield_op("thread::spawn");
+    JoinHandle { sess, tid }
+}
+
+fn spawn_model_thread(sess: &Arc<Session>, tid: usize, f: impl FnOnce() + Send + 'static) {
+    let s = Arc::clone(sess);
+    let h = std::thread::Builder::new()
+        .name(format!("plcheck-model-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&s), tid)));
+            // Wait for the first dispatch.
+            {
+                let mut g = lock(&s.m);
+                while g.turn != Turn::Thread(tid) {
+                    g =
+                        s.cv.wait(g)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                let abort = g.aborting;
+                g.status[tid] = Status::Running;
+                drop(g);
+                if !abort {
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    let mut g = lock(&s.m);
+                    if let Err(payload) = r {
+                        if payload.downcast_ref::<Abort>().is_none() && g.failure.is_none() {
+                            let failure = format!(
+                                "model thread {tid} panicked at step {}: {}",
+                                g.steps,
+                                payload_message(&payload)
+                            );
+                            g.failure = Some(failure);
+                        }
+                    }
+                    drop(g);
+                }
+            }
+            let mut g = lock(&s.m);
+            g.status[tid] = Status::Done;
+            // Wake cooperative joiners.
+            let done_res = THREAD_DONE_NS | tid;
+            for st in g.status.iter_mut() {
+                if matches!(st, Status::Blocked { res } if *res == done_res) {
+                    *st = Status::Runnable;
+                }
+            }
+            g.turn = Turn::Control;
+            s.cv.notify_all();
+        })
+        .expect("failed to spawn plcheck model thread");
+    lock(&sess.handles).push(h);
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// Result of running one schedule to completion.
+pub(crate) struct Outcome {
+    pub(crate) failure: Option<String>,
+    pub(crate) trace: String,
+    pub(crate) decisions: Vec<(u32, u32)>,
+    pub(crate) steps: usize,
+}
+
+fn deadlock_report(g: &SchedState) -> String {
+    let mut s = String::from("deadlock: every live thread is blocked or parked with no timer\n");
+    for (tid, st) in g.status.iter().enumerate() {
+        let state = match st {
+            Status::Blocked { .. } => "blocked",
+            Status::Parked { .. } => "parked",
+            Status::Done => continue,
+            _ => "runnable?",
+        };
+        s.push_str(&format!(
+            "  thread {tid}: {state} at `{}`\n",
+            g.last_label[tid]
+        ));
+    }
+    s
+}
+
+fn render_trace(trace: &[TraceEntry]) -> String {
+    const TAIL: usize = 120;
+    let skipped = trace.len().saturating_sub(TAIL);
+    let mut s = String::new();
+    if skipped > 0 {
+        s.push_str(&format!("  … {skipped} earlier steps elided …\n"));
+    }
+    for e in &trace[skipped..] {
+        s.push_str(&format!(
+            "  #{:<4} t{} {:<22} @{}ns\n",
+            e.step, e.tid, e.label, e.clock_ns
+        ));
+    }
+    s
+}
+
+/// Runs one schedule of `body` under `source`, returning its outcome.
+/// The caller's thread acts as the scheduler (control); the model body
+/// runs as model thread 0.
+pub(crate) fn run_schedule(
+    source: Source,
+    max_steps: usize,
+    body: Arc<dyn Fn() + Send + Sync>,
+) -> Outcome {
+    let sess = Arc::new(Session {
+        m: Mutex::new(SchedState {
+            status: vec![Status::Runnable],
+            last_label: vec!["start"],
+            wake_reason: vec![WakeReason::Notified],
+            turn: Turn::Control,
+            clock_ns: 0,
+            steps: 0,
+            decisions: Vec::new(),
+            source,
+            trace: Vec::new(),
+            failure: None,
+            aborting: false,
+        }),
+        cv: Condvar::new(),
+        max_steps,
+        handles: Mutex::new(Vec::new()),
+    });
+    spawn_model_thread(&sess, 0, move || body());
+
+    let mut g = lock(&sess.m);
+    loop {
+        while g.turn != Turn::Control {
+            g = sess
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if g.failure.is_some() {
+            g.aborting = true;
+        }
+        if g.aborting {
+            // Teardown: dispatch every live thread once so it unwinds
+            // via the Abort sentinel (hooks observe `aborting`).
+            match g.status.iter().position(|s| !matches!(s, Status::Done)) {
+                Some(tid) => {
+                    g.turn = Turn::Thread(tid);
+                    sess.cv.notify_all();
+                    continue;
+                }
+                None => break,
+            }
+        }
+        let runnable: Vec<usize> = g
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if g.status.iter().all(|s| matches!(s, Status::Done)) {
+                break;
+            }
+            // Virtual-clock jump: wake the earliest armed timer(s).
+            let min_wake = g
+                .status
+                .iter()
+                .filter_map(|s| match s {
+                    Status::Parked {
+                        wake_at: Some(t), ..
+                    } => Some(*t),
+                    _ => None,
+                })
+                .min();
+            match min_wake {
+                Some(t) => {
+                    g.clock_ns = g.clock_ns.max(t);
+                    let now = g.clock_ns;
+                    let state = &mut *g;
+                    for (i, st) in state.status.iter_mut().enumerate() {
+                        if let Status::Parked {
+                            wake_at: Some(w), ..
+                        } = st
+                        {
+                            if *w <= now {
+                                *st = Status::Runnable;
+                                state.wake_reason[i] = WakeReason::TimedOut;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                None => {
+                    g.failure = Some(deadlock_report(&g));
+                    continue;
+                }
+            }
+        }
+        if g.steps >= sess.max_steps {
+            g.failure = Some(format!(
+                "schedule exceeded the {}-step bound (livelock?)",
+                sess.max_steps
+            ));
+            continue;
+        }
+        let c = g.decide(runnable.len()) as usize;
+        let tid = runnable[c];
+        g.status[tid] = Status::Running;
+        g.steps += 1;
+        g.clock_ns += QUANTUM_NS;
+        g.turn = Turn::Thread(tid);
+        sess.cv.notify_all();
+    }
+    let outcome = Outcome {
+        failure: g.failure.clone(),
+        trace: render_trace(&g.trace),
+        decisions: g.decisions.clone(),
+        steps: g.steps,
+    };
+    drop(g);
+    for h in lock(&sess.handles).drain(..) {
+        let _ = h.join();
+    }
+    outcome
+}

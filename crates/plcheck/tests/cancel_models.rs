@@ -1,0 +1,137 @@
+//! plcheck models of the cancellation machinery
+//! (`forkjoin::{CancelToken, Deadline}`): first-cancel-wins under
+//! three-way races, deterministic virtual-clock deadlines, and the
+//! bounded-overrun contract of checkpoint-based pruning.
+
+use forkjoin::{CancelReason, CancelToken, Deadline};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Three threads race to cancel with three different reasons: in every
+/// interleaving exactly one wins, every observer reads the winner's
+/// reason, and — across the exploration — more than one reason manages
+/// to win (the race is real, not accidentally serialised).
+#[test]
+fn first_cancel_wins_three_way_race() {
+    let winners_seen: Arc<std::sync::Mutex<Vec<CancelReason>>> = Arc::default();
+    let seen = Arc::clone(&winners_seen);
+    let report = plcheck::Explorer::exhaustive(5_000).run(move || {
+        let token = CancelToken::new();
+        let wins = Arc::new(AtomicUsize::new(0));
+        let reasons = [CancelReason::Panic, CancelReason::User];
+        let mut threads = Vec::new();
+        for reason in reasons {
+            let (t, w) = (token.clone(), Arc::clone(&wins));
+            threads.push(plcheck::spawn(move || {
+                if t.cancel(reason) {
+                    w.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        if token.cancel(CancelReason::Deadline) {
+            wins.fetch_add(1, Ordering::SeqCst);
+        }
+        for t in threads {
+            t.join();
+        }
+        assert_eq!(wins.load(Ordering::SeqCst), 1, "exactly one canceller wins");
+        let reason = token.reason().expect("token must be tripped");
+        seen.lock().unwrap().push(reason);
+    });
+    report.assert_ok();
+    let seen = winners_seen.lock().unwrap();
+    let distinct: std::collections::HashSet<_> = seen.iter().map(|r| format!("{r:?}")).collect();
+    assert!(
+        distinct.len() >= 2,
+        "exploration must let different cancellers win; only saw {distinct:?}"
+    );
+}
+
+/// A `Deadline` constructed on a model thread measures against the
+/// plcheck virtual clock: it expires when the clock passes it (here,
+/// driven past by a timed park), deterministically and without
+/// sleeping.
+#[test]
+fn deadline_is_virtual_on_the_model() {
+    let wall = std::time::Instant::now();
+    let report = plcheck::Explorer::exhaustive(100).run(|| {
+        let deadline = Deadline::after(Duration::from_millis(10));
+        assert!(!deadline.expired(), "fresh budget cannot be expired");
+        assert!(deadline.remaining() > Duration::ZERO);
+        // Drive the virtual clock past the budget.
+        let why = plcheck::park(0xC10C, Some(Duration::from_millis(20)), "burn-budget");
+        assert_eq!(why, plcheck::WakeReason::TimedOut);
+        assert!(deadline.expired(), "virtual clock passed the budget");
+        assert_eq!(deadline.remaining(), Duration::ZERO);
+        assert!(deadline.elapsed() >= Duration::from_millis(10));
+    });
+    report.assert_ok();
+    assert!(
+        wall.elapsed() < Duration::from_secs(2),
+        "virtual deadlines must not sleep wall-clock time"
+    );
+}
+
+/// The bounded-overrun contract of cooperative cancellation: a worker
+/// that polls the token before every leaf never *starts* a leaf after
+/// the trip is known to it. The oracle flag is raised strictly after
+/// `cancel` returns, so "flag seen high but token seen live" is
+/// impossible — any leaf counted after the flag would be a checkpoint
+/// that failed to prune.
+#[test]
+fn checkpoint_pruning_has_zero_leaves_after_observed_trip() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let token = CancelToken::new();
+        let tripped = Arc::new(AtomicBool::new(false)); // oracle, not model state
+        let (t, flag) = (token.clone(), Arc::clone(&tripped));
+        let canceller = plcheck::spawn(move || {
+            plcheck::yield_now();
+            t.cancel(CancelReason::User);
+            flag.store(true, Ordering::SeqCst);
+        });
+        let mut completed = 0u32;
+        for _leaf in 0..4 {
+            let tripped_before_check = tripped.load(Ordering::SeqCst);
+            if token.is_cancelled() {
+                break;
+            }
+            if tripped_before_check {
+                plcheck::fail("checkpoint saw a live token after cancel() returned");
+            }
+            plcheck::yield_op("leaf::work");
+            completed += 1;
+        }
+        canceller.join();
+        assert!(completed <= 4);
+        assert!(token.is_cancelled());
+    });
+    report.assert_ok();
+}
+
+/// Cancelling never corrupts the reason: concurrent readers either see
+/// `None` (still live) or the final winning reason — no torn or
+/// transient values, in any interleaving.
+#[test]
+fn reason_is_monotone_for_concurrent_readers() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let token = CancelToken::new();
+        let t = token.clone();
+        let reader = plcheck::spawn(move || {
+            let mut last: Option<CancelReason> = None;
+            for _ in 0..3 {
+                plcheck::yield_op("reader::poll");
+                let now = t.reason();
+                if last.is_some() && now != last {
+                    plcheck::fail(format!("reason changed {last:?} -> {now:?}"));
+                }
+                last = now;
+            }
+        });
+        token.cancel(CancelReason::Deadline);
+        token.cancel(CancelReason::User); // loser, must not overwrite
+        reader.join();
+        assert_eq!(token.reason(), Some(CancelReason::Deadline));
+    });
+    report.assert_ok();
+}

@@ -1,0 +1,247 @@
+//! plcheck models of the vendored work-stealing deque
+//! (`crossbeam-deque`): exactly-once task accounting under concurrent
+//! owner-pop / thief-steal, FIFO steal order, injector batch migration,
+//! bounded staleness of `Stealer::len`, and a deliberately broken
+//! (TOCTOU) stack that the checker must catch.
+
+use crossbeam_deque::{Injector, Worker};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Owner pops while a thief steals: across every interleaving, each
+/// pushed task is claimed exactly once — the linearizability /
+/// precedence oracle for the deque.
+#[test]
+fn owner_pop_vs_steal_is_exactly_once() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let account = Arc::new(plcheck::TaskAccount::new());
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        for id in 1..=3u64 {
+            w.push(id);
+            account.produced(id);
+        }
+        let acc = Arc::clone(&account);
+        let thief = plcheck::spawn(move || {
+            for _ in 0..2 {
+                if let Some(t) = s.steal().success() {
+                    acc.claimed(t);
+                }
+            }
+        });
+        while let Some(t) = w.pop() {
+            account.claimed(t);
+        }
+        thief.join();
+        // Anything the thief's two attempts missed is still queued.
+        while let Some(t) = w.pop() {
+            account.claimed(t);
+        }
+        account.assert_balanced();
+    });
+    report.assert_ok();
+    assert!(report.schedules > 1, "expected real interleaving choices");
+}
+
+/// Steals always observe the FIFO end: whatever interleaving runs, the
+/// sequence of ids one thief steals from a single victim is strictly
+/// increasing (the owner pushed ids in increasing order and never
+/// pushes again).
+#[test]
+fn steal_order_is_fifo_under_concurrency() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        for id in 1..=4u64 {
+            w.push(id);
+        }
+        let thief = plcheck::spawn(move || {
+            let mut last = 0u64;
+            while let Some(t) = s.steal().success() {
+                if t <= last {
+                    plcheck::fail(format!("steal order regressed: {t} after {last}"));
+                }
+                last = t;
+            }
+        });
+        // Owner drains from the LIFO end concurrently.
+        let mut last_pop = u64::MAX;
+        while let Some(t) = w.pop() {
+            if t >= last_pop {
+                plcheck::fail(format!("pop order regressed: {t} after {last_pop}"));
+            }
+            last_pop = t;
+        }
+        thief.join();
+    });
+    report.assert_ok();
+}
+
+/// `Injector::steal_batch_and_pop` migrates a batch into the thief's
+/// deque: across two concurrent batch-stealers, every injected task
+/// ends up claimed exactly once.
+#[test]
+fn injector_batch_steal_is_exactly_once() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let account = Arc::new(plcheck::TaskAccount::new());
+        let inj = Arc::new(Injector::new());
+        for id in 1..=6u64 {
+            inj.push(id);
+            account.produced(id);
+        }
+        let (inj2, acc2) = (Arc::clone(&inj), Arc::clone(&account));
+        let thief = plcheck::spawn(move || {
+            let mine = Worker::new_lifo();
+            if let Some(t) = inj2.steal_batch_and_pop(&mine).success() {
+                acc2.claimed(t);
+            }
+            while let Some(t) = mine.pop() {
+                acc2.claimed(t);
+            }
+        });
+        let mine = Worker::new_lifo();
+        if let Some(t) = inj.steal_batch_and_pop(&mine).success() {
+            account.claimed(t);
+        }
+        while let Some(t) = mine.pop() {
+            account.claimed(t);
+        }
+        thief.join();
+        // Whatever neither batch migrated is still in the injector.
+        while let Some(t) = inj.steal().success() {
+            account.claimed(t);
+        }
+        account.assert_balanced();
+    });
+    report.assert_ok();
+}
+
+/// Bounded staleness of `Stealer::len` under seeded random schedules:
+/// the snapshot is always a value the deque actually held — never
+/// exceeding the number of pushes started, and consistent with the
+/// final drain. (`len()` returns `usize`, so "never negative" is the
+/// type; the model checks the upper bound.)
+#[test]
+fn stealer_len_staleness_is_bounded() {
+    let report = plcheck::Explorer::random(64, 0xD0_5EED).run(|| {
+        // `pushes_started` is incremented *before* the push completes,
+        // so at any instant len() <= pushes_started is a sound bound.
+        let pushes_started = Arc::new(AtomicUsize::new(0));
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        let started = Arc::clone(&pushes_started);
+        let observer = plcheck::spawn(move || {
+            for _ in 0..6 {
+                let len = s.len();
+                // `bound` is read *after* the snapshot and the counter
+                // is monotone, so every task len() counted came from a
+                // push that had started by the time bound was read.
+                let bound = started.load(Ordering::SeqCst);
+                if len > bound {
+                    plcheck::fail(format!("stale len {len} exceeds pushes started {bound}"));
+                }
+                if len > 4 {
+                    plcheck::fail(format!("len {len} exceeds total pushes 4"));
+                }
+            }
+        });
+        for id in 1..=4u64 {
+            pushes_started.fetch_add(1, Ordering::SeqCst);
+            w.push(id);
+        }
+        observer.join();
+        let mut drained = 0;
+        while w.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 4, "nothing was stolen, all pushes must drain");
+    });
+    report.assert_ok();
+}
+
+// ---------------------------------------------------------------------
+// Known-bad mutation model: a stack with a classic TOCTOU pop
+// (observe the top, yield, then remove). The checker must find the
+// interleaving where two poppers observe the same top and one value is
+// claimed twice while another is lost.
+// ---------------------------------------------------------------------
+
+struct RacyStack {
+    items: std::sync::Mutex<Vec<u64>>,
+}
+
+impl RacyStack {
+    fn new(items: Vec<u64>) -> Self {
+        RacyStack {
+            items: std::sync::Mutex::new(items),
+        }
+    }
+
+    /// BUG (deliberate): the read of the top and its removal are two
+    /// separate critical sections with a scheduling point between them.
+    fn pop_racy(&self) -> Option<u64> {
+        plcheck::yield_op("racy::observe");
+        let top = self.items.lock().unwrap().last().copied();
+        plcheck::yield_op("racy::remove");
+        top.inspect(|_| {
+            self.items.lock().unwrap().pop();
+        })
+    }
+}
+
+fn racy_stack_model() {
+    let account = Arc::new(plcheck::TaskAccount::new());
+    let stack = Arc::new(RacyStack::new(vec![1, 2]));
+    account.produced(1);
+    account.produced(2);
+    let (st, acc) = (Arc::clone(&stack), Arc::clone(&account));
+    let other = plcheck::spawn(move || {
+        if let Some(v) = st.pop_racy() {
+            acc.claimed(v);
+        }
+    });
+    if let Some(v) = stack.pop_racy() {
+        account.claimed(v);
+    }
+    other.join();
+    while let Some(v) = stack.pop_racy() {
+        account.claimed(v);
+    }
+    account.assert_balanced();
+}
+
+/// The mutation test of the acceptance criteria: the checker must catch
+/// the TOCTOU duplicate, and replaying the printed choice list must
+/// reproduce exactly the same failure.
+#[test]
+fn racy_stack_duplicate_is_caught_and_replays() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(racy_stack_model);
+    let failure = report.expect_failure("TOCTOU duplicate claim");
+    assert!(
+        failure.message.contains("claimed 2 times"),
+        "unexpected failure: {failure}"
+    );
+    let choices = match &failure.spec {
+        plcheck::ScheduleSpec::Choices(c) => c.clone(),
+        other => panic!("exhaustive mode must report choices, got {other}"),
+    };
+    let replay = plcheck::Explorer::replay_choices(choices).run(racy_stack_model);
+    let replayed = replay.expect_failure("replayed TOCTOU duplicate");
+    assert_eq!(replayed.message, failure.message);
+    assert_eq!(
+        replayed.trace, failure.trace,
+        "replay must walk the same interleaving"
+    );
+}
+
+/// Living documentation: run with `--ignored` to see a complete plcheck
+/// failure report (schedule identity + message + interleaving trace)
+/// for the TOCTOU stack. This test FAILS by design — `assert_ok` prints
+/// the report.
+#[test]
+#[ignore = "intentionally failing demo of a plcheck failure report; run with --ignored"]
+fn racy_stack_failure_report_demo() {
+    plcheck::Explorer::exhaustive(5_000)
+        .run(racy_stack_model)
+        .assert_ok();
+}

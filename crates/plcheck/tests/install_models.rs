@@ -1,0 +1,205 @@
+//! plcheck models of the pool's install protocols, kept as permanent
+//! regression models for two shipped fixes:
+//!
+//! * the **claim-back race** of `try_install` (a queued stub and the
+//!   installing thread both reach for the same `TaskSlot`) — exactly
+//!   one claimant may obtain the closure;
+//! * the **cross-pool deadlock** (two threads each waiting on work only
+//!   the other's queue holds) — fixed by help-while-waiting, and
+//!   demonstrably a deadlock when the help loop is removed.
+
+use crossbeam_deque::Worker;
+use forkjoin::task::TaskSlot;
+use forkjoin::Latch;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The try_install claim-back protocol: a closure lives in a shared
+/// [`TaskSlot`]; a stub in the deque claims it, and the installing
+/// thread may claim it back first. Across every interleaving exactly
+/// one side runs the closure — and the exploration must visit both
+/// winners.
+#[test]
+fn try_install_claim_back_is_exactly_once() {
+    let owner_wins = Arc::new(AtomicUsize::new(0));
+    let thief_wins = Arc::new(AtomicUsize::new(0));
+    let (ow, tw) = (Arc::clone(&owner_wins), Arc::clone(&thief_wins));
+    let report = plcheck::Explorer::exhaustive(5_000).run(move || {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&runs);
+        let slot = TaskSlot::new(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        // The queued stub a thief would execute.
+        let deque = Worker::new_lifo();
+        let stealer = deque.stealer();
+        let stub_slot = Arc::clone(&slot);
+        deque.push(Box::new(move || {
+            if let Some(f) = stub_slot.claim() {
+                f();
+            }
+        }) as Box<dyn FnOnce() + Send>);
+        let thief = plcheck::spawn(move || {
+            if let Some(stub) = stealer.steal().success() {
+                stub();
+            }
+        });
+        // The installing thread claims back after finishing its own half.
+        let claimed_back = match slot.claim() {
+            Some(f) => {
+                f();
+                true
+            }
+            None => false,
+        };
+        thief.join();
+        // Whether or not the thief stole the stub, the closure ran
+        // exactly once.
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "closure must run exactly once"
+        );
+        assert!(slot.is_claimed());
+        if claimed_back {
+            ow.fetch_add(1, Ordering::SeqCst);
+        } else {
+            tw.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    report.assert_ok();
+    let (o, t) = (
+        owner_wins.load(Ordering::SeqCst),
+        thief_wins.load(Ordering::SeqCst),
+    );
+    assert!(
+        o > 0 && t > 0,
+        "both winners must occur (owner {o}, thief {t})"
+    );
+}
+
+/// One job, two racing executors of the *same queued stub object*: the
+/// slot linearises the claim, so a stub that loses finds the slot empty
+/// and becomes a no-op (the real pool's "stale stub" path).
+#[test]
+fn stale_stub_is_a_noop() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&runs);
+        let slot = TaskSlot::new(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        let s2 = Arc::clone(&slot);
+        let racer = plcheck::spawn(move || {
+            plcheck::yield_now();
+            if let Some(f) = s2.claim() {
+                f();
+            }
+        });
+        plcheck::yield_now();
+        if let Some(f) = slot.claim() {
+            f();
+        }
+        racer.join();
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+    });
+    report.assert_ok();
+}
+
+// ---------------------------------------------------------------------
+// Cross-pool wait models. Each of two threads waits on a latch only a
+// task in its *own* deque sets — the shape of the PR 3 cross-pool
+// deadlock. Helping while waiting drains the local deque and always
+// terminates; blocking without helping deadlocks, and the checker must
+// say so.
+// ---------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send>;
+
+fn cross_pool_model(help_while_waiting: bool) {
+    let latch_a = Arc::new(Latch::new()); // set by the task in A's deque
+    let latch_b = Arc::new(Latch::new()); // set by the task in B's deque
+    let deque_a = Worker::new_lifo();
+    let deque_b = Worker::new_lifo();
+    let la = Arc::clone(&latch_a);
+    deque_a.push(Box::new(move || la.set()) as Job);
+    let lb = Arc::clone(&latch_b);
+    deque_b.push(Box::new(move || lb.set()) as Job);
+
+    // Each side waits for the *other* side's latch while (maybe)
+    // helping from its own deque — like a worker whose pending local
+    // task is the only thing that can unblock its peer.
+    fn wait_side(target: &Latch, own: &Worker<Job>, help: bool) {
+        if help {
+            while !target.is_set() {
+                match own.pop() {
+                    Some(job) => job(),
+                    // Nothing local to run: bounded park, then recheck
+                    // (the pool's park tick).
+                    None => {
+                        target.wait_timeout(Duration::from_millis(1));
+                    }
+                }
+            }
+            // The wait may have been satisfied before the local task
+            // ran; a real worker's main loop would still execute it, so
+            // the model must too (the peer is waiting on it).
+            while let Some(job) = own.pop() {
+                job();
+            }
+        } else {
+            target.wait(); // BUG shape: blocking wait, no helping
+        }
+    }
+
+    let (lb2, sa) = (Arc::clone(&latch_b), deque_a.stealer());
+    let side_a = plcheck::spawn(move || {
+        // Rebuild a Worker view over A's queue via its stealer: the
+        // helping loop runs A's own pending task.
+        let own = Worker::new_lifo();
+        while let Some(j) = sa.steal().success() {
+            own.push(j);
+        }
+        wait_side(&lb2, &own, help_while_waiting);
+    });
+    let own_b = Worker::new_lifo();
+    while let Some(j) = deque_b.stealer().steal().success() {
+        own_b.push(j);
+    }
+    wait_side(&latch_a, &own_b, help_while_waiting);
+    side_a.join();
+    assert!(latch_a.is_set() && latch_b.is_set());
+}
+
+/// With help-while-waiting (the shipped fix), every interleaving
+/// terminates with both latches set.
+#[test]
+fn cross_pool_wait_with_helping_never_deadlocks() {
+    // The helping loop's park tick makes the schedule tree deeper than
+    // the pure-deque models; random exploration covers it well.
+    let report = plcheck::Explorer::random(128, 0xC805_5EED).run(|| cross_pool_model(true));
+    report.assert_ok();
+}
+
+/// Without helping — the pre-fix shape — the checker must find the
+/// mutual wait and report a deadlock naming both parked threads.
+#[test]
+fn cross_pool_wait_without_helping_deadlocks() {
+    let report = plcheck::Explorer::exhaustive(2_000).run(|| cross_pool_model(false));
+    let failure = report.expect_failure("cross-pool mutual wait");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock report, got: {failure}"
+    );
+}
+
+/// Living documentation of the pre-fix deadlock report; fails by
+/// design, run with `--ignored` to see it.
+#[test]
+#[ignore = "intentionally failing demo of the cross-pool deadlock report; run with --ignored"]
+fn cross_pool_deadlock_report_demo() {
+    plcheck::Explorer::exhaustive(2_000)
+        .run(|| cross_pool_model(false))
+        .assert_ok();
+}

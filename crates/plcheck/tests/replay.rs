@@ -1,0 +1,151 @@
+//! Seed/choice replay guarantees — the acceptance criteria of the
+//! checker — plus the CI gates: a fixed regression-seed set and a
+//! randomized smoke run whose seed comes from `PLCHECK_SMOKE_SEED`.
+
+use crossbeam_deque::Worker;
+use forkjoin::{CancelReason, CancelToken, Latch};
+use std::sync::Arc;
+
+/// A model with a genuine schedule-dependent bug: check-then-act on a
+/// shared cell with a scheduling point in the window. Some schedules
+/// pass, some double-claim — ideal for exercising replay.
+fn check_then_act_model() {
+    let cell = Arc::new(std::sync::Mutex::new(Some(42u64)));
+    let account = Arc::new(plcheck::TaskAccount::new());
+    account.produced(42);
+    let take_racy = |cell: &std::sync::Mutex<Option<u64>>, account: &plcheck::TaskAccount| {
+        plcheck::yield_op("racy::check");
+        let present = cell.lock().unwrap().is_some();
+        plcheck::yield_op("racy::act");
+        if present {
+            // BUG (deliberate): the value may be gone by now; claim
+            // whatever the first check promised.
+            let v = cell.lock().unwrap().take().unwrap_or(42);
+            account.claimed(v);
+        }
+    };
+    let (c, a) = (Arc::clone(&cell), Arc::clone(&account));
+    let t = plcheck::spawn(move || take_racy(&c, &a));
+    take_racy(&cell, &account);
+    t.join();
+    account.assert_balanced();
+}
+
+/// Random mode: a failing schedule's printed seed replays to the exact
+/// same failure — message and interleaving trace — twice over.
+#[test]
+fn random_failure_replays_identically_from_its_seed() {
+    let report = plcheck::Explorer::random(256, 0xBAD_CAFE).run(check_then_act_model);
+    let failure = report.expect_failure("check-then-act double claim");
+    let seed = match failure.spec {
+        plcheck::ScheduleSpec::Seed(s) => s,
+        ref other => panic!("random mode must report a seed, got {other}"),
+    };
+    let first = plcheck::Explorer::replay_seed(seed).run(check_then_act_model);
+    let second = plcheck::Explorer::replay_seed(seed).run(check_then_act_model);
+    let f1 = first.expect_failure("replay #1");
+    let f2 = second.expect_failure("replay #2");
+    assert_eq!(f1.message, failure.message);
+    assert_eq!(
+        f1.trace, failure.trace,
+        "replay must walk the same interleaving"
+    );
+    assert_eq!(f1.message, f2.message);
+    assert_eq!(
+        f1.trace, f2.trace,
+        "replay must be stable across invocations"
+    );
+}
+
+/// Exhaustive mode: the printed branch-choice list replays the same
+/// failing interleaving.
+#[test]
+fn exhaustive_failure_replays_from_its_choices() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(check_then_act_model);
+    let failure = report.expect_failure("check-then-act double claim");
+    let choices = match &failure.spec {
+        plcheck::ScheduleSpec::Choices(c) => c.clone(),
+        other => panic!("exhaustive mode must report choices, got {other}"),
+    };
+    let replay = plcheck::Explorer::replay_choices(choices).run(check_then_act_model);
+    let f = replay.expect_failure("choice replay");
+    assert_eq!(f.message, failure.message);
+    assert_eq!(f.trace, failure.trace);
+}
+
+/// A healthy composite model touching every instrumented layer: deque
+/// hand-off, latch signalling and first-cancel-wins.
+fn healthy_composite_model() {
+    let account = Arc::new(plcheck::TaskAccount::new());
+    let done = Arc::new(Latch::new());
+    let token = CancelToken::new();
+    let w = Worker::new_lifo();
+    let s = w.stealer();
+    for id in 1..=2u64 {
+        w.push(id);
+        account.produced(id);
+    }
+    let (acc, d, t) = (Arc::clone(&account), Arc::clone(&done), token.clone());
+    let peer = plcheck::spawn(move || {
+        if let Some(v) = s.steal().success() {
+            acc.claimed(v);
+        }
+        t.cancel(CancelReason::User);
+        d.set();
+    });
+    while let Some(v) = w.pop() {
+        account.claimed(v);
+    }
+    token.cancel(CancelReason::Deadline);
+    done.wait();
+    peer.join();
+    while let Some(v) = w.pop() {
+        account.claimed(v);
+    }
+    account.assert_balanced();
+    assert!(token.is_cancelled());
+    assert!(done.is_set());
+}
+
+/// Fixed regression-seed set, run on every CI pass: seeds that once
+/// explored interesting interleavings stay pinned so they are re-walked
+/// forever (a failure here prints the exact seed to replay).
+#[test]
+fn regression_seed_set_stays_green() {
+    const REGRESSION_SEEDS: &[u64] = &[
+        0x0000_0000_0000_0001,
+        0x5EED_0000_0000_0001,
+        0x5EED_0000_0000_0002,
+        0xDEAD_BEEF_DEAD_BEEF,
+        0xA5A5_A5A5_5A5A_5A5A,
+        0x0123_4567_89AB_CDEF,
+    ];
+    for &seed in REGRESSION_SEEDS {
+        plcheck::Explorer::replay_seed(seed)
+            .run(healthy_composite_model)
+            .assert_ok();
+    }
+}
+
+/// Randomized smoke: a short random exploration whose base seed is
+/// taken from `PLCHECK_SMOKE_SEED` (decimal or 0x-hex) when set, so CI
+/// walks fresh schedules on every run while staying reproducible — on
+/// failure, `assert_ok` prints the exact per-schedule seed to replay.
+#[test]
+fn randomized_smoke() {
+    let base = match std::env::var("PLCHECK_SMOKE_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = v
+                .strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| v.parse());
+            parsed.unwrap_or_else(|e| panic!("PLCHECK_SMOKE_SEED {v:?} is not a u64: {e}"))
+        }
+        Err(_) => 0x5EED_F00D,
+    };
+    eprintln!("plcheck randomized smoke: base seed {base:#018x}");
+    plcheck::Explorer::random(64, base)
+        .run(healthy_composite_model)
+        .assert_ok();
+}

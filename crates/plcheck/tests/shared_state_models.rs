@@ -1,0 +1,117 @@
+//! plcheck models of `jstreams::SharedState` — the paper's
+//! outer-instance channel between splitting and collecting — and of the
+//! instrumented `parking_lot` primitives it is built on.
+
+use jstreams::SharedState;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The paper's synchronised max-update linearises: whatever order the
+/// split tasks publish their local exponents in, the global value ends
+/// at the maximum, every return value is an upper bound of the
+/// caller's candidate, and the value never decreases.
+#[test]
+fn update_max_linearizes() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let state = SharedState::new(0u64);
+        let s = state.clone();
+        let t = plcheck::spawn(move || {
+            let seen = s.update_max(3);
+            assert!(seen >= 3);
+        });
+        let seen = state.update_max(5);
+        assert!(seen >= 5);
+        t.join();
+        assert_eq!(state.get(), 5, "global max must be the largest candidate");
+    });
+    report.assert_ok();
+}
+
+/// Read-modify-write through `update` never loses an increment, in any
+/// interleaving — the mutual exclusion the paper's `synchronized`
+/// blocks promise.
+#[test]
+fn concurrent_updates_lose_nothing() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let state = SharedState::new(0u32);
+        let s = state.clone();
+        let t = plcheck::spawn(move || {
+            for _ in 0..2 {
+                s.update(|v| *v += 1);
+            }
+        });
+        for _ in 0..2 {
+            state.update(|v| *v += 1);
+        }
+        t.join();
+        assert_eq!(state.get(), 4);
+    });
+    report.assert_ok();
+}
+
+/// A panicking update releases the lock in every interleaving — the
+/// no-poisoning containment contract the fallible execution layer
+/// depends on — and a concurrent updater is never wedged.
+#[test]
+fn panicking_update_never_wedges_a_peer() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let state = SharedState::new(0u32);
+        let s = state.clone();
+        let t = plcheck::spawn(move || {
+            s.update(|v| *v += 1);
+        });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.update(|v| {
+                *v += 10;
+                panic!("contained panic inside update");
+            })
+        }));
+        assert!(caught.is_err());
+        t.join();
+        // Both effects visible: containment, not rollback.
+        assert_eq!(state.get(), 11);
+    });
+    report.assert_ok();
+}
+
+/// `parking_lot::Mutex::try_lock` never blocks the caller: while a
+/// holder sits on the lock, a try_lock either fails fast or succeeds
+/// after the holder is done — and the exploration must witness both a
+/// failed and a successful fast path.
+#[test]
+fn try_lock_never_blocks() {
+    let failed = Arc::new(AtomicUsize::new(0));
+    let succeeded = Arc::new(AtomicUsize::new(0));
+    let (f, s) = (Arc::clone(&failed), Arc::clone(&succeeded));
+    let report = plcheck::Explorer::exhaustive(5_000).run(move || {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let (f, s) = (Arc::clone(&f), Arc::clone(&s));
+        let prober = plcheck::spawn(move || match m2.try_lock() {
+            Some(mut g) => {
+                *g += 1;
+                s.fetch_add(1, Ordering::SeqCst);
+            }
+            None => {
+                f.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        {
+            let mut g = m.lock();
+            *g += 1;
+            plcheck::yield_op("critical-section");
+        }
+        prober.join();
+        assert!(*m.lock() >= 1);
+    });
+    report.assert_ok();
+    let (f, s) = (
+        failed.load(Ordering::SeqCst),
+        succeeded.load(Ordering::SeqCst),
+    );
+    assert!(
+        f > 0 && s > 0,
+        "exploration must cover contended and uncontended try_lock (failed {f}, ok {s})"
+    );
+}

@@ -132,3 +132,117 @@ fn powerlist_plist_interop() {
     let back: PowerList<i64> = pl.into_powerlist().unwrap();
     assert_eq!(back, pow);
 }
+
+// ---------------------------------------------------------------------
+// Degenerate shapes: single segments, singleton lists, arity > length
+// ---------------------------------------------------------------------
+
+/// The 1-way decompositions are identities: `tie_n`/`zip_n` of one part
+/// reproduce the part, and `untie_n(1)`/`unzip_n(1)` give it back as
+/// the single segment.
+#[test]
+fn one_way_decomposition_is_the_identity() {
+    let p = plist(12);
+    assert_eq!(PList::tie_n(vec![p.clone()]).unwrap(), p);
+    assert_eq!(PList::zip_n(vec![p.clone()]).unwrap(), p);
+    let tied = p.clone().untie_n(1).unwrap();
+    assert_eq!(tied, vec![p.clone()]);
+    let zipped = p.clone().unzip_n(1).unwrap();
+    assert_eq!(zipped, vec![p]);
+}
+
+/// A singleton PList through the whole n-way stack: nothing can split
+/// (any requested arity exceeds the single element), so every drain is
+/// one sequential leaf — and the answers still agree with the spec.
+#[test]
+fn singleton_plist_through_the_nway_stack() {
+    let pool = ForkJoinPool::new(2);
+    let p = PList::from_vec(vec![17i64]).unwrap();
+    for arity in [2usize, 3, 7] {
+        for (label, got) in [
+            (
+                "tie",
+                collect_nway_par(
+                    &pool,
+                    NTieSpliterator::over(p.clone()),
+                    Arc::new(PListCollector::new(NWayDecomposition::Tie)),
+                    arity,
+                    1,
+                ),
+            ),
+            (
+                "zip",
+                collect_nway_par(
+                    &pool,
+                    NZipSpliterator::over(p.clone()),
+                    Arc::new(PListCollector::new(NWayDecomposition::Zip)),
+                    arity,
+                    1,
+                ),
+            ),
+        ] {
+            assert_eq!(got, p, "{label} singleton arity={arity}");
+        }
+    }
+    let f = NWayReduce::new(3, |a: &i64, b: &i64| a + b);
+    assert_eq!(compute_plist_sequential(&f, &p), 17);
+    assert_eq!(compute_plist_parallel(&pool, &f, &p, 1), 17);
+}
+
+/// Arity larger than the list: a length-4 list asked for 8-way
+/// progress must still collect correctly through both decompositions
+/// (splits degrade to whatever the length supports).
+#[test]
+fn arity_exceeding_length_still_collects() {
+    let pool = ForkJoinPool::new(2);
+    let p = plist(4);
+    for (label, decomp) in [
+        ("tie", NWayDecomposition::Tie),
+        ("zip", NWayDecomposition::Zip),
+    ] {
+        let got = match decomp {
+            NWayDecomposition::Tie => collect_nway_par(
+                &pool,
+                NTieSpliterator::over(p.clone()),
+                Arc::new(PListCollector::new(decomp)),
+                8,
+                1,
+            ),
+            NWayDecomposition::Zip => collect_nway_par(
+                &pool,
+                NZipSpliterator::over(p.clone()),
+                Arc::new(PListCollector::new(decomp)),
+                8,
+                1,
+            ),
+        };
+        assert_eq!(got, p, "{label} arity 8 over length 4");
+    }
+}
+
+/// `try_split_n` on a singleton must refuse rather than manufacture
+/// empty segments: the spliterator stays whole and drains its one
+/// element.
+#[test]
+fn singleton_refuses_to_split_n() {
+    use jstreams::{ItemSource, NWaySpliterator};
+    let p = PList::from_vec(vec![99i64]).unwrap();
+    // A refused split hands the spliterator back in the Err; it must
+    // still drain its element afterwards.
+    let tie = NTieSpliterator::over(p.clone());
+    let mut tie = match tie.try_split_n(2) {
+        Err(whole) => whole,
+        Ok(_) => panic!("tie singleton must not 2-split"),
+    };
+    let mut got = vec![];
+    tie.for_each_remaining(&mut |x| got.push(x));
+    assert_eq!(got, vec![99]);
+    let zip = NZipSpliterator::over(p);
+    let mut zip = match zip.try_split_n(3) {
+        Err(whole) => whole,
+        Ok(_) => panic!("zip singleton must not 3-split"),
+    };
+    let mut got = vec![];
+    zip.for_each_remaining(&mut |x| got.push(x));
+    assert_eq!(got, vec![99]);
+}

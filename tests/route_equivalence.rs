@@ -612,3 +612,64 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Degenerate shapes
+// ---------------------------------------------------------------------
+
+/// The degenerate PowerList: length 1, `log2 == 0`. The paper's
+/// definitions bottom out here (a singleton is its own tie and zip
+/// decomposition), so a singleton must never split and every route must
+/// agree with the sequential specification exactly — map, reduce, both
+/// decompositions, all five routes.
+#[test]
+fn singleton_powerlist_agrees_on_every_route() {
+    let _shared = shared();
+    assert_eq!(powerlist::log2_exact(1), 0);
+    for zip in [false, true] {
+        let (ds, dj) = decomp_of(zip);
+        let p = PowerList::from_vec(vec![41i64]).unwrap();
+
+        // Map through both collect drains.
+        let spec = powerlist::ops::map(&p, |x| x * 2 + 1);
+        let zero_copy = stream_support(PowerSpliterator::over(p.clone(), ds), true)
+            .collect(PowerMapCollector::new(ds, |x: i64| x * 2 + 1))
+            .into_vec();
+        assert_eq!(&zero_copy[..], spec.as_slice(), "zero-copy, zip={zip}");
+        let cloning = stream_support(Opaque(PowerSpliterator::over(p.clone(), ds)), true)
+            .collect(PowerMapCollector::new(ds, |x: i64| x * 2 + 1))
+            .into_vec();
+        assert_eq!(&cloning[..], spec.as_slice(), "cloning, zip={zip}");
+
+        // Reduce: a singleton reduction is the identity-combined element.
+        let sum = stream_support(PowerSpliterator::over(p.clone(), ds), true)
+            .collect(ReduceCollector::new(0i64, |a, b| a + b));
+        assert_eq!(sum, 41, "reduce, zip={zip}");
+
+        // JPLF executors on the same singleton.
+        let f = plalgo::MapFunction::new(dj, |x: &i64| x * 2 + 1);
+        let v = p.view();
+        assert_eq!(SequentialExecutor::new().execute(&f, &v), spec.clone());
+        assert_eq!(ForkJoinExecutor::new(2, 1).execute(&f, &v), spec.clone());
+        assert_eq!(MpiExecutor::new(4).execute(&f, &v), spec);
+    }
+}
+
+/// A singleton never splits: whatever the policy says, there is nothing
+/// to halve, so `try_split` answers `None` on every spliterator flavour
+/// and the whole run is one sequential leaf.
+#[test]
+fn singleton_powerlist_never_splits() {
+    let _shared = shared();
+    let p = PowerList::from_vec(vec![7i64]).unwrap();
+    let mut tie = TieSpliterator::over(p.clone());
+    assert!(tie.try_split().is_none(), "tie singleton must not split");
+    for ds in [Decomposition::Tie, Decomposition::Zip] {
+        let mut ps = PowerSpliterator::over(p.clone(), ds);
+        assert!(
+            ps.try_split().is_none(),
+            "power spliterator singleton must not split ({ds:?})"
+        );
+        assert_eq!(ps.estimate_size(), 1);
+    }
+}
