@@ -14,11 +14,15 @@ cargo test -q
 echo "==> cargo test -q --workspace (all crates incl. plobs, doc-tests)"
 cargo test -q --workspace
 
-echo "==> smoke: polynomial example emits a valid RunReport"
+echo "==> smoke: polynomial example emits a valid RunReport + takes the fused route"
 # The example validates its own RunReport JSON and panics on a
-# malformed document; grep pins the success marker so a silent skip
-# also fails.
-cargo run --release --example polynomial 16 | grep -q "run report JSON: valid"
+# malformed document; it also runs a mapped pipeline under a recorded
+# sink and asserts every leaf took the FusedBorrow route (zero cloning
+# drains). Grep pins both success markers so a silent skip also fails.
+POLY_LOG=target/ci-polynomial.log
+cargo run --release --example polynomial 16 | tee /dev/stderr >"$POLY_LOG"
+grep -q "run report JSON: valid" "$POLY_LOG"
+grep -q "mapped pipeline route: fused_borrow" "$POLY_LOG"
 
 echo "==> smoke: split-policy A/B bench emits validated rows"
 # The bin strict-validates every row against the JSON validator and
@@ -37,6 +41,17 @@ echo "==> smoke: try_collect happy path measured against legacy collect"
 # the paper-scale release run, not this 2^10 smoke input.)
 grep -q "try_collect overhead" "$SPLIT_LOG"
 grep -q '"try_overhead_ratio"' target/ci-splitpolicy/BENCH_splitpolicy_reduce.json
+
+echo "==> smoke: fused A/B bench emits validated rows with the route contract"
+# The bin asserts the route split itself (fused arm: zero cloning
+# leaves; cloning arm: zero fused leaves) and that filtered fused
+# leaves report survivor item counts; grep pins both rows so a
+# silently skipped workload also fails. (The ≥3x speedup acceptance is
+# judged on the paper-scale 2^18 release run, not this smoke input.)
+FUSED_LOG=target/ci-fused.log
+cargo run --release -p plbench --bin fused -- --runs 1 --exp 12 \
+    --out-dir target/ci-fused | tee /dev/stderr >"$FUSED_LOG"
+grep -c "wrote target/ci-fused/BENCH_fused_" "$FUSED_LOG" | grep -qx 2
 
 echo "==> plcheck: deterministic concurrency checker gate"
 # Fixed regression models + the pinned regression-seed set run inside

@@ -75,8 +75,11 @@ impl<T> ItemSource<T> for CountingSource<'_, T> {
 /// if the source exposes a borrowed run
 /// ([`LeafAccess`](crate::spliterator::LeafAccess)) *and* the
 /// collector has a matching slice kernel, the leaf is computed directly
-/// over the borrow and the source marked drained; otherwise the cloning
-/// drain ([`Collector::leaf`]) runs as before.
+/// over the borrow and the source marked drained; failing that, a fused
+/// adapter pipeline may take the fused-borrow route
+/// ([`LeafAccess::fused_leaf`](crate::spliterator::LeafAccess::fused_leaf)),
+/// driving its chain over the *underlying* source's borrow; otherwise
+/// the cloning drain ([`Collector::leaf`]) runs as before.
 ///
 /// When an observability sink is installed (`plobs`), every leaf emits
 /// one [`Event::Leaf`] tagged with the route taken; timing and size
@@ -113,6 +116,15 @@ where
         }
         None => None,
     };
+    // Fused-borrow route: a fused adapter pipeline exposes no borrowed
+    // run of *transformed* elements, but can drive its chain over the
+    // underlying source's borrow; `n` counts what reached the
+    // accumulator (survivors, for filtering chains).
+    let done = done.or_else(|| {
+        source
+            .fused_leaf(collector)
+            .map(|(acc, n)| (acc, LeafRoute::FusedBorrow, n))
+    });
     let (acc, route, items) = match done {
         Some((acc, route, n)) => {
             source.mark_drained();

@@ -45,6 +45,7 @@ pub mod characteristics;
 pub mod collect;
 pub mod collector;
 pub mod exec;
+pub mod fused;
 pub mod nway;
 pub mod ops;
 pub mod power;
@@ -65,6 +66,9 @@ pub use collector::{
 };
 pub use exec::{ExecConfig, ExecError, ExecMode, ExecSession, Interrupt};
 pub use forkjoin::{AdaptiveSplit, CancelReason, CancelToken, Deadline, SplitPolicy};
+pub use fused::{
+    FilterStage, FusePipe, FusedSpliterator, FusedStage, IdentityStage, InspectStage, MapStage,
+};
 pub use nway::{
     collect_nway_par, collect_nway_seq, NTieSpliterator, NWayCollector, NWayDecomposition,
     NWaySpliterator, NZipSpliterator, PListCollector,

@@ -74,6 +74,22 @@ pub trait LeafAccess<T> {
     /// default does nothing (correct for sources that never return
     /// `Some` above).
     fn mark_drained(&mut self) {}
+
+    /// Fused-borrow leaf: run this leaf by borrowing the *underlying
+    /// source's* run and driving a fused adapter chain push-style into
+    /// `collector`'s accumulator, returning the finished accumulator and
+    /// the number of items that reached it (survivors, for filtering
+    /// chains). `None` declines the route — the default for every plain
+    /// source and adapter; only
+    /// [`FusedSpliterator`](crate::fused::FusedSpliterator) overrides
+    /// it. Implementations must leave `self` drained on success.
+    fn fused_leaf<C>(&mut self, _collector: &C) -> Option<(C::Acc, u64)>
+    where
+        C: crate::collector::Collector<T> + ?Sized,
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// A splittable source of elements (Java's `Spliterator`).
@@ -141,12 +157,14 @@ pub struct SliceSpliterator<T> {
 impl<T> SliceSpliterator<T> {
     /// Spliterator over all elements of `data`.
     pub fn new(data: Vec<T>) -> Self {
+        SliceSpliterator::shared(std::sync::Arc::new(data))
+    }
+
+    /// Spliterator over shared storage — lets repeated runs (benchmarks,
+    /// retries) traverse the same buffer without re-copying it.
+    pub fn shared(data: std::sync::Arc<Vec<T>>) -> Self {
         let hi = data.len();
-        SliceSpliterator {
-            data: std::sync::Arc::new(data),
-            lo: 0,
-            hi,
-        }
+        SliceSpliterator { data, lo: 0, hi }
     }
 }
 

@@ -10,9 +10,9 @@
 use crate::collect::try_collect_with;
 use crate::collector::{Collector, CountCollector, ReduceCollector, VecCollector};
 use crate::exec::{ExecConfig, ExecError, ExecMode};
-use crate::ops::{FilterSpliterator, MapSpliterator};
+use crate::fused::{FilterStage, FusePipe, FusedSpliterator, InspectStage, MapStage};
 use crate::spliterator::Spliterator;
-use crate::truncate::{LimitSpliterator, PeekSpliterator, SkipSpliterator};
+use crate::truncate::{LimitSpliterator, SkipSpliterator};
 use forkjoin::{ForkJoinPool, SplitPolicy};
 use std::sync::Arc;
 
@@ -108,28 +108,49 @@ where
         self.source.estimate_size()
     }
 
-    /// Lazy element transformation (intermediate operation).
-    pub fn map<U, F>(self, f: F) -> Stream<U, MapSpliterator<T, S, F>>
+    /// Lazy element transformation (intermediate operation). Drops the
+    /// `SORTED`/`DISTINCT` characteristics (a non-monotone,
+    /// non-injective map breaks both) while keeping
+    /// `SIZED|SUBSIZED|POWER2`.
+    ///
+    /// Builds onto the stream's *fused chain* — repeated `map`/`filter`
+    /// calls extend one [`FusedSpliterator`] over the untouched source,
+    /// so leaves can still take the zero-copy fused-borrow route
+    /// (DESIGN.md §10) instead of the per-element cloning drain.
+    #[allow(clippy::type_complexity)]
+    pub fn map<U, F>(
+        self,
+        f: F,
+    ) -> Stream<U, FusedSpliterator<S::Base, S::Src, MapStage<S::Chain, F, T>, U>>
     where
+        S: FusePipe<T>,
         U: Send + 'static,
         F: Fn(T) -> U + Send + Sync + 'static,
     {
+        let (src, chain) = self.source.decompose();
         Stream {
-            source: MapSpliterator::new(self.source, Arc::new(f)),
+            source: FusedSpliterator::new(src, MapStage::new(chain, f)),
             cfg: self.cfg,
             _marker: std::marker::PhantomData,
         }
     }
 
     /// Lazy element filtering (intermediate operation). Drops the
-    /// `POWER2`/`SIZED` characteristics, so the result no longer accepts
-    /// PowerList collects.
-    pub fn filter<P>(self, pred: P) -> Stream<T, FilterSpliterator<S, P>>
+    /// `POWER2`/`SIZED`/`SUBSIZED` characteristics, so the result no
+    /// longer accepts PowerList collects. Extends the fused chain like
+    /// [`Stream::map`].
+    #[allow(clippy::type_complexity)]
+    pub fn filter<P>(
+        self,
+        pred: P,
+    ) -> Stream<T, FusedSpliterator<S::Base, S::Src, FilterStage<S::Chain, P>, T>>
     where
+        S: FusePipe<T>,
         P: Fn(&T) -> bool + Send + Sync + 'static,
     {
+        let (src, chain) = self.source.decompose();
         Stream {
-            source: FilterSpliterator::new(self.source, Arc::new(pred)),
+            source: FusedSpliterator::new(src, FilterStage::new(chain, pred)),
             cfg: self.cfg,
             _marker: std::marker::PhantomData,
         }
@@ -156,14 +177,20 @@ where
     }
 
     /// Observes each element as it flows past (Java's `peek`). The
-    /// observer may run concurrently on a parallel stream.
-    pub fn peek<F>(self, observer: F) -> Stream<T, PeekSpliterator<S, F>>
+    /// observer may run concurrently on a parallel stream. Drops no
+    /// characteristics; extends the fused chain like [`Stream::map`].
+    #[allow(clippy::type_complexity)]
+    pub fn peek<F>(
+        self,
+        observer: F,
+    ) -> Stream<T, FusedSpliterator<S::Base, S::Src, InspectStage<S::Chain, F>, T>>
     where
-        T: Clone,
+        S: FusePipe<T>,
         F: Fn(&T) + Send + Sync + 'static,
     {
+        let (src, chain) = self.source.decompose();
         Stream {
-            source: PeekSpliterator::new(self.source, Arc::new(observer)),
+            source: FusedSpliterator::new(src, InspectStage::new(chain, observer)),
             cfg: self.cfg,
             _marker: std::marker::PhantomData,
         }

@@ -11,8 +11,9 @@
 
 use jstreams::ops::FilterSpliterator;
 use jstreams::{
-    Characteristics, ItemSource, LimitSpliterator, PeekSpliterator, SkipSpliterator,
-    SliceSpliterator, Spliterator, TieSpliterator, ZipSpliterator,
+    Characteristics, FilterStage, FusedSpliterator, IdentityStage, ItemSource, LeafAccess,
+    LimitSpliterator, MapStage, PeekSpliterator, SkipSpliterator, SliceSpliterator, Spliterator,
+    TieSpliterator, VecCollector, ZipSpliterator,
 };
 use powerlist::tabulate;
 use proptest::prelude::*;
@@ -224,6 +225,108 @@ fn filtered_truncations_match_model_at_every_granularity() {
                 assert_eq!(got, model[k.min(model.len())..], "filter+skip");
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Truncation over fused chains: allowance math needs exact per-element
+// counting, so limit/skip must refuse both the fused-borrow leaf route
+// and (when the chain filters, dropping SIZED) any split at all.
+// ---------------------------------------------------------------------
+
+/// limit ∘ filter ∘ map as one fused chain under a LimitSpliterator:
+/// matches the model at every granularity, never splits (the filter
+/// stage drops SIZED|SUBSIZED), and never takes the fused-borrow route.
+#[test]
+fn limit_over_filtered_fused_chain_matches_model_and_refuses_routes() {
+    let chain_of = || {
+        FusedSpliterator::new(
+            SliceSpliterator::new((0..16i64).collect()),
+            FilterStage::new(MapStage::new(IdentityStage, |x: i64| x * 2), |x: &i64| {
+                x % 3 != 0
+            }),
+        )
+    };
+    // evens of 0..32 with multiples of 3 removed: 2,4,8,10,14,...
+    let model: Vec<i64> = (0..16i64).map(|x| x * 2).filter(|x| x % 3 != 0).collect();
+    for k in 0..=model.len() + 1 {
+        for leaf in [1usize, 2, 5, 16] {
+            let mut s = LimitSpliterator::new(chain_of(), k);
+            assert!(
+                s.try_split().is_none(),
+                "limit over a filtering fused chain must not split (k={k})"
+            );
+            assert!(
+                LeafAccess::<i64>::fused_leaf(&mut s, &VecCollector).is_none(),
+                "truncation must refuse the fused-borrow route (k={k})"
+            );
+            assert_eq!(
+                drained(s, leaf),
+                model[..k.min(model.len())],
+                "k={k} leaf={leaf}"
+            );
+        }
+    }
+}
+
+/// skip ∘ map as a fused chain under a SkipSpliterator: the chain is
+/// exact (no filter), so SIZED survives and skip may split — but the
+/// truncation adapter still refuses the fused-borrow leaf route, since
+/// its allowance debits elements one at a time.
+#[test]
+fn skip_over_mapped_fused_chain_matches_model_and_refuses_fused_route() {
+    let model: Vec<i64> = (0..16i64).map(|x| x + 100).collect();
+    for k in 0..=16usize + 1 {
+        for leaf in [1usize, 3, 8, 16] {
+            let inner = FusedSpliterator::new(
+                SliceSpliterator::new((0..16i64).collect()),
+                MapStage::new(IdentityStage, |x: i64| x + 100),
+            );
+            assert!(inner.has_characteristics(Characteristics::SIZED));
+            let mut s = SkipSpliterator::new(inner, k);
+            assert!(
+                LeafAccess::<i64>::fused_leaf(&mut s, &VecCollector).is_none(),
+                "truncation must refuse the fused-borrow route (k={k})"
+            );
+            assert_eq!(
+                drained(s, leaf),
+                model[k.min(model.len())..],
+                "k={k} leaf={leaf}"
+            );
+        }
+    }
+}
+
+/// The same compositions built through the Stream API (`map`/`filter`
+/// extend the fused chain, then `limit`/`skip` wrap it) agree with the
+/// iterator model, sequential and parallel.
+#[test]
+fn stream_truncation_over_fused_chains_matches_model() {
+    use jstreams::stream_support;
+    let raw: Vec<i64> = (0..64).collect();
+    let limited_model: Vec<i64> = raw
+        .iter()
+        .map(|x| x * 2)
+        .filter(|x| x % 3 != 0)
+        .take(10)
+        .collect();
+    let skipped_model: Vec<i64> = raw.iter().map(|x| x + 7).skip(20).collect();
+    for parallel in [false, true] {
+        let limited = stream_support(SliceSpliterator::new(raw.clone()), parallel)
+            .map(|x| x * 2)
+            .filter(|x| x % 3 != 0)
+            .limit(10)
+            .to_vec();
+        assert_eq!(
+            limited, limited_model,
+            "limit∘filter∘map, parallel={parallel}"
+        );
+
+        let skipped = stream_support(SliceSpliterator::new(raw.clone()), parallel)
+            .map(|x| x + 7)
+            .skip(20)
+            .to_vec();
+        assert_eq!(skipped, skipped_model, "skip∘map, parallel={parallel}");
     }
 }
 

@@ -13,6 +13,10 @@ pub enum LeafRoute {
     ZeroCopySlice,
     /// `Collector::leaf_strided` over a borrowed strided run.
     ZeroCopyStrided,
+    /// A fused adapter chain (map/filter/inspect stages) driven
+    /// push-style over the *source's* borrowed run into the collector's
+    /// accumulator — zero-copy traversal through adapters.
+    FusedBorrow,
     /// The generic fallback: items cloned out one by one via
     /// `try_advance` and fed to `accumulate`.
     CloningDrain,
@@ -27,6 +31,7 @@ impl LeafRoute {
         match self {
             LeafRoute::ZeroCopySlice => "zero_copy_slice",
             LeafRoute::ZeroCopyStrided => "zero_copy_strided",
+            LeafRoute::FusedBorrow => "fused_borrow",
             LeafRoute::CloningDrain => "cloning_drain",
             LeafRoute::Template => "template",
         }

@@ -41,9 +41,9 @@ struct Shard {
     splits_adaptive: AtomicU64,
     split_depths: [AtomicU64; MAX_DEPTH],
     descend_ns: AtomicU64,
-    // Indexed by `LeafRoute as usize` (4 routes).
-    route_leaves: [AtomicU64; 4],
-    route_items: [AtomicU64; 4],
+    // Indexed by `route_index` (5 routes).
+    route_leaves: [AtomicU64; 5],
+    route_items: [AtomicU64; 5],
     leaf_ns: AtomicU64,
     combines: AtomicU64,
     ascend_ns: AtomicU64,
@@ -163,8 +163,9 @@ fn route_index(route: LeafRoute) -> usize {
     match route {
         LeafRoute::ZeroCopySlice => 0,
         LeafRoute::ZeroCopyStrided => 1,
-        LeafRoute::CloningDrain => 2,
-        LeafRoute::Template => 3,
+        LeafRoute::FusedBorrow => 2,
+        LeafRoute::CloningDrain => 3,
+        LeafRoute::Template => 4,
     }
 }
 
@@ -243,7 +244,7 @@ impl RunRecorder {
         let mut send_bytes = [0u64; MAX_RANKS];
         let mut recvs = [0u64; MAX_RANKS];
         let mut recv_bytes = [0u64; MAX_RANKS];
-        let mut routes = [RouteStats::default(); 4];
+        let mut routes = [RouteStats::default(); 5];
 
         for shard in shards.iter() {
             report.splits += shard.splits.load(Relaxed);
@@ -299,8 +300,9 @@ impl RunRecorder {
         report.split_depths = trimmed(&split_depths);
         report.routes.zero_copy_slice = routes[0];
         report.routes.zero_copy_strided = routes[1];
-        report.routes.cloning_drain = routes[2];
-        report.routes.template = routes[3];
+        report.routes.fused_borrow = routes[2];
+        report.routes.cloning_drain = routes[3];
+        report.routes.template = routes[4];
         report.executed = executed.iter().sum();
 
         let used_workers = last_active(&[&executed, &injector_steals, &peer_steals, &parks]);

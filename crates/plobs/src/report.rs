@@ -18,6 +18,9 @@ pub struct RouteHistogram {
     pub zero_copy_slice: RouteStats,
     /// Leaves served by `Collector::leaf_strided`.
     pub zero_copy_strided: RouteStats,
+    /// Leaves served by a fused adapter chain driven over the source's
+    /// borrowed run.
+    pub fused_borrow: RouteStats,
     /// Leaves that fell back to the cloning drain.
     pub cloning_drain: RouteStats,
     /// Leaves computed by a JPLF template leaf case.
@@ -29,6 +32,7 @@ impl RouteHistogram {
     pub fn total_leaves(&self) -> u64 {
         self.zero_copy_slice.leaves
             + self.zero_copy_strided.leaves
+            + self.fused_borrow.leaves
             + self.cloning_drain.leaves
             + self.template.leaves
     }
@@ -37,6 +41,7 @@ impl RouteHistogram {
     pub fn total_items(&self) -> u64 {
         self.zero_copy_slice.items
             + self.zero_copy_strided.items
+            + self.fused_borrow.items
             + self.cloning_drain.items
             + self.template.items
     }
@@ -212,6 +217,8 @@ impl RunReport {
         out.push(',');
         push_route(&mut out, "zero_copy_strided", self.routes.zero_copy_strided);
         out.push(',');
+        push_route(&mut out, "fused_borrow", self.routes.fused_borrow);
+        out.push(',');
         push_route(&mut out, "cloning_drain", self.routes.cloning_drain);
         out.push(',');
         push_route(&mut out, "template", self.routes.template);
@@ -309,9 +316,10 @@ impl RunReport {
         );
         let _ = writeln!(
             out,
-            "  routes: slice {} / strided {} / cloned {} / template {} (leaves)",
+            "  routes: slice {} / strided {} / fused {} / cloned {} / template {} (leaves)",
             self.routes.zero_copy_slice.leaves,
             self.routes.zero_copy_strided.leaves,
+            self.routes.fused_borrow.leaves,
             self.routes.cloning_drain.leaves,
             self.routes.template.leaves
         );
@@ -374,6 +382,10 @@ mod tests {
                 zero_copy_slice: RouteStats {
                     leaves: 8,
                     items: 64,
+                },
+                fused_borrow: RouteStats {
+                    leaves: 2,
+                    items: 16,
                 },
                 ..Default::default()
             },
@@ -448,6 +460,9 @@ mod tests {
         assert!(json.contains("\"adaptive_splits\":3"));
         assert!(json.contains("\"split_depths\":[1,2,4]"));
         assert!(json.contains("\"zero_copy_slice\":{\"leaves\":8,\"items\":64}"));
+        assert!(json.contains("\"fused_borrow\":{\"leaves\":2,\"items\":16}"));
+        assert_eq!(r.routes.total_leaves(), 10);
+        assert_eq!(r.routes.total_items(), 80);
         assert!(json.contains("\"leaf_share\":0.700000"));
         assert!(json.contains("\"ranks\":[{\"rank\":0"));
         assert!(json.contains("\"sessions\":{\"cancels\":3,\"cancel_panic\":2"));

@@ -34,7 +34,7 @@ pub mod schedule;
 
 pub use dag::{Dag, TaskId, TaskNode};
 pub use dnc::{build_dnc, DncCosts, FnCosts};
-pub use machine::{MachineModel, ZERO_COPY_LEAF_FACTOR};
+pub use machine::{MachineModel, FUSED_LEAF_FACTOR, ZERO_COPY_LEAF_FACTOR};
 pub use predict::{
     adaptive_leaf_size, predict_map_collect, predict_poly, predict_poly_adaptive,
     predict_poly_sweep, predict_scaling, MapCostModel, PolyPrediction, JVM_ARTIFACT_FACTOR,

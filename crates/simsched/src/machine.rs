@@ -40,6 +40,16 @@ pub struct MachineModel {
 /// do more work per element.
 pub const ZERO_COPY_LEAF_FACTOR: f64 = 3.0;
 
+/// Per-element leaf-cost reduction of the *fused-borrow* leaf route:
+/// an adapted pipeline (map/filter chain) whose leaf drives the fused
+/// chain push-style over the source's borrowed run instead of cloning
+/// every element through nested adapter callbacks. Slightly below
+/// [`ZERO_COPY_LEAF_FACTOR`] because the chain still executes its
+/// per-element stages inside the loop — only the traversal machinery
+/// (per-element virtual dispatch, clones, adapter bookkeeping)
+/// disappears.
+pub const FUSED_LEAF_FACTOR: f64 = 2.5;
+
 impl MachineModel {
     /// The calibration used to regenerate Figures 3–4: an 8-core machine
     /// with JVM-ish per-element costs.
@@ -61,6 +71,18 @@ impl MachineModel {
     pub fn with_zero_copy_leaves(self) -> Self {
         MachineModel {
             par_elem_ns: self.par_elem_ns / ZERO_COPY_LEAF_FACTOR,
+            ..self
+        }
+    }
+
+    /// Cost model with the fused-borrow leaf route enabled for adapted
+    /// (map/filter) pipelines: the per-element cost inside a parallel
+    /// leaf drops by [`FUSED_LEAF_FACTOR`]. As with
+    /// [`MachineModel::with_zero_copy_leaves`], the change is strictly
+    /// leaf-phase.
+    pub fn with_fused_leaves(self) -> Self {
+        MachineModel {
+            par_elem_ns: self.par_elem_ns / FUSED_LEAF_FACTOR,
             ..self
         }
     }
@@ -111,6 +133,21 @@ mod tests {
         assert_eq!(z.combine_ns, m.combine_ns);
         assert_eq!(z.submit_ns, m.submit_ns);
         assert_eq!(z.cores, m.cores);
+    }
+
+    #[test]
+    fn fused_only_touches_leaf_cost() {
+        let m = MachineModel::paper_8core();
+        let f = m.with_fused_leaves();
+        assert_eq!(f.par_elem_ns, m.par_elem_ns / FUSED_LEAF_FACTOR);
+        assert_eq!(f.seq_elem_ns, m.seq_elem_ns);
+        assert_eq!(f.split_ns, m.split_ns);
+        assert_eq!(f.combine_ns, m.combine_ns);
+        assert_eq!(f.submit_ns, m.submit_ns);
+        assert_eq!(f.cores, m.cores);
+        // A fused leaf still runs the chain per element, so it cannot
+        // beat the unadapted zero-copy kernel in the model.
+        const { assert!(FUSED_LEAF_FACTOR < ZERO_COPY_LEAF_FACTOR) };
     }
 
     #[test]

@@ -108,6 +108,30 @@ fn main() {
         Ok(()) => println!("run report JSON: valid"),
         Err(e) => panic!("malformed RunReport JSON: {e}"),
     }
+
+    // A mapped pipeline over the same coefficients: `Stream::map`
+    // extends a fused chain over the untouched source, so every leaf
+    // must take the fused-borrow route — never the cloning drain.
+    let scaled: Vec<f64> = coeffs.iter().copied().collect();
+    let (sum, report) = plobs::recorded(move || {
+        jstreams::stream_support(jstreams::SliceSpliterator::new(scaled), true)
+            .map(|c| c * 0.5 + 1.0)
+            .reduce(0.0f64, |a, b| a + b)
+    });
+    assert!(sum.is_finite());
+    assert_eq!(
+        report.routes.cloning_drain.leaves, 0,
+        "mapped pipeline fell back to the cloning drain"
+    );
+    assert!(
+        report.routes.fused_borrow.leaves > 0,
+        "mapped pipeline took no fused-borrow leaves"
+    );
+    // ci.sh greps for this line as the fused-route gate.
+    println!(
+        "mapped pipeline route: fused_borrow x{} (cloning 0)",
+        report.routes.fused_borrow.leaves
+    );
 }
 
 fn ms(t: Instant) -> f64 {

@@ -20,9 +20,9 @@
 
 use jplf::{Decomp, Executor, ForkJoinExecutor, MpiExecutor, SequentialExecutor};
 use jstreams::{
-    stream_support, AdaptiveSplit, Characteristics, Decomposition, ItemSource, LeafAccess,
-    PowerMapCollector, PowerSpliterator, ReduceCollector, SliceSpliterator, SplitPolicy,
-    Spliterator, TieSpliterator,
+    stream_support, AdaptiveSplit, Characteristics, Decomposition, FusePipe, IdentityStage,
+    ItemSource, LeafAccess, PowerMapCollector, PowerSpliterator, ReduceCollector, SliceSpliterator,
+    SplitPolicy, Spliterator, TieSpliterator,
 };
 use powerlist::PowerList;
 use proptest::prelude::*;
@@ -76,6 +76,23 @@ impl<T, S: Spliterator<T>> Spliterator<T> for Opaque<S> {
 
     fn characteristics(&self) -> Characteristics {
         self.0.characteristics()
+    }
+}
+
+// Identity FusePipe: lets `.map`/`.filter` build a fused chain over an
+// Opaque source, whose hidden `LeafAccess` then refuses the fused-borrow
+// route — the same chain, forced down the cloning drain.
+impl<T, S> FusePipe<T> for Opaque<S>
+where
+    T: Clone + Send + 'static,
+    S: Spliterator<T> + 'static,
+{
+    type Base = T;
+    type Src = Self;
+    type Chain = IdentityStage;
+
+    fn decompose(self) -> (Self, IdentityStage) {
+        (self, IdentityStage)
     }
 }
 
@@ -384,6 +401,152 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Fused-pipeline equivalence: `Stream::map`/`filter` now build a fused
+// chain over the untouched source, whose leaves take the fused-borrow
+// route. Every adapted pipeline must agree with the sequential spec,
+// with the same chain forced down the cloning drain (Opaque source),
+// and — where the powerlist theory has a counterpart (map; there is no
+// length-breaking filter in PowerList algebra) — with the JPLF
+// fork-join executor.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// map + reduce: spec = cloning = fused-borrow = JPLF fork-join.
+    #[test]
+    fn fused_map_routes_agree(p in powerlist_i64(9), c in -7i64..7, leaf in 1usize..64) {
+        let _shared = shared();
+        let f = move |x: i64| x.wrapping_mul(c).wrapping_sub(5);
+        let spec = p.iter().map(|&x| f(x)).fold(0i64, i64::wrapping_add);
+
+        let fused = stream_support(TieSpliterator::over(p.clone()), true)
+            .with_leaf_size(leaf)
+            .map(f)
+            .reduce(0i64, i64::wrapping_add);
+        prop_assert_eq!(fused, spec);
+
+        let cloning = stream_support(Opaque(TieSpliterator::over(p.clone())), true)
+            .with_leaf_size(leaf)
+            .map(f)
+            .reduce(0i64, i64::wrapping_add);
+        prop_assert_eq!(cloning, spec);
+
+        // JPLF fork-join: map to the same values, then tie-reduce them.
+        let mf = plalgo::MapFunction::new(Decomp::Tie, move |x: &i64| f(*x));
+        let v = p.view();
+        let mapped = ForkJoinExecutor::new(2, leaf).execute(&mf, &v);
+        let rf = plalgo::ReduceFunction::new(Decomp::Tie, |a: &i64, b: &i64| {
+            a.wrapping_add(*b)
+        });
+        let mv = mapped.view();
+        prop_assert_eq!(ForkJoinExecutor::new(2, leaf).execute(&rf, &mv), spec);
+    }
+
+    /// filter + reduce and filter + to_vec (order-sensitive): spec =
+    /// cloning = fused-borrow, over Tie and Slice sources.
+    #[test]
+    fn fused_filter_routes_agree(p in powerlist_i64(9), m in 2i64..7, leaf in 1usize..64) {
+        let _shared = shared();
+        let keep = move |x: &i64| x.rem_euclid(m) != 0;
+        let spec_sum: i64 = p.iter().copied().filter(keep).sum();
+        let spec_vec: Vec<i64> = p.iter().copied().filter(keep).collect();
+
+        let fused = stream_support(TieSpliterator::over(p.clone()), true)
+            .with_leaf_size(leaf)
+            .filter(keep)
+            .reduce(0i64, |a, b| a + b);
+        prop_assert_eq!(fused, spec_sum);
+
+        let cloning = stream_support(Opaque(TieSpliterator::over(p.clone())), true)
+            .with_leaf_size(leaf)
+            .filter(keep)
+            .reduce(0i64, |a, b| a + b);
+        prop_assert_eq!(cloning, spec_sum);
+
+        let ordered = stream_support(SliceSpliterator::new(p.clone().into_vec()), true)
+            .with_leaf_size(leaf)
+            .filter(keep)
+            .to_vec();
+        prop_assert_eq!(ordered, spec_vec);
+    }
+
+    /// map ∘ filter with a **non-commutative** (but associative) reduce —
+    /// composition of affine maps — over a Tie source, whose splits
+    /// preserve contiguous order: spec = cloning = fused-borrow.
+    #[test]
+    fn fused_map_filter_noncommutative_routes_agree(
+        p in powerlist_i64(8),
+        leaf in 1usize..32,
+    ) {
+        let _shared = shared();
+        let to_affine = |x: i64| (x.rem_euclid(5) - 2, x.rem_euclid(7) - 3);
+        let keep = |t: &(i64, i64)| t.0 != 0;
+        let compose = |l: (i64, i64), r: (i64, i64)| {
+            (l.0.wrapping_mul(r.0), l.0.wrapping_mul(r.1).wrapping_add(l.1))
+        };
+        let spec = p
+            .iter()
+            .map(|&x| to_affine(x))
+            .filter(keep)
+            .fold((1i64, 0i64), compose);
+
+        let fused = stream_support(TieSpliterator::over(p.clone()), true)
+            .with_leaf_size(leaf)
+            .map(to_affine)
+            .filter(keep)
+            .collect(ReduceCollector::new((1i64, 0i64), compose));
+        prop_assert_eq!(fused, spec);
+
+        let cloning = stream_support(Opaque(TieSpliterator::over(p.clone())), true)
+            .with_leaf_size(leaf)
+            .map(to_affine)
+            .filter(keep)
+            .collect(ReduceCollector::new((1i64, 0i64), compose));
+        prop_assert_eq!(cloning, spec);
+    }
+
+    /// A panic inside the *mapper* surfaces identically through
+    /// `try_collect` on the fused-borrow route and on the forced cloning
+    /// route, parallel and sequential.
+    #[test]
+    fn panic_in_mapper_propagates_through_try_collect(
+        p in powerlist_i64(6),
+        ix in 0usize..64,
+        leaf in 1usize..16,
+    ) {
+        let _shared = shared();
+        let mut raw = p.into_vec();
+        let ix = ix % raw.len();
+        raw[ix] = 100_000;
+        let poison = raw[ix];
+        let msg = format!("mapper poison {poison}");
+        let p = PowerList::from_vec(raw).unwrap();
+        let mapper = move |x: i64| {
+            assert!(x != poison, "mapper poison {x}");
+            x + 1
+        };
+
+        for cfg in [jstreams::ExecConfig::par().with_leaf_size(leaf), jstreams::ExecConfig::seq()] {
+            // Fused-borrow route (Tie source borrows its leaves).
+            let err = stream_support(TieSpliterator::over(p.clone()), true)
+                .map(mapper)
+                .try_collect(ReduceCollector::new(0i64, |a, b| a + b), &cfg)
+                .expect_err("fused mapper panic must fail the collect");
+            prop_assert!(matches!(err, jstreams::ExecError::Panicked(_)));
+            prop_assert_eq!(err.panic_message(), Some(msg.as_str()));
+
+            // Same chain down the cloning drain.
+            let err = stream_support(Opaque(TieSpliterator::over(p.clone())), true)
+                .map(mapper)
+                .try_collect(ReduceCollector::new(0i64, |a, b| a + b), &cfg)
+                .expect_err("cloning mapper panic must fail the collect");
+            prop_assert_eq!(err.panic_message(), Some(msg.as_str()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Route accounting: the zero-copy dispatch is not just equivalent, it
 // is *taken*. These record the actual leaf routes through the plobs
 // sink and assert that zero-copy-capable pipelines never fall back to
@@ -448,6 +611,104 @@ fn hidden_leaf_access_takes_only_the_cloning_drain() {
         report.routes.cloning_drain.leaves > 0,
         "opaque collect must drain per element:\n{}",
         report.tree_summary()
+    );
+}
+
+/// Fused-capable pipelines (map / map∘filter over borrowing sources)
+/// must *take* the fused-borrow route on every leaf — zero cloning
+/// drains (the acceptance criterion of the fusion layer).
+#[test]
+fn fused_capable_pipelines_never_clone() {
+    let _exclusive = exclusive();
+    let n = 512i64;
+    let p = PowerList::from_vec((0..n).collect()).unwrap();
+
+    // map over a Tie source.
+    let q = p.clone();
+    let (sum, report) = plobs::recorded(move || {
+        stream_support(TieSpliterator::over(q), true)
+            .with_leaf_size(16)
+            .map(|x| x * 3 + 1)
+            .reduce(0i64, |a, b| a + b)
+    });
+    assert_eq!(sum, (0..n).map(|x| x * 3 + 1).sum::<i64>());
+    assert_eq!(
+        report.routes.cloning_drain.leaves,
+        0,
+        "fused map pipeline fell back to the cloning drain:\n{}",
+        report.tree_summary()
+    );
+    assert!(report.routes.fused_borrow.leaves > 0);
+    // Exact chain → every source element reaches the accumulator.
+    assert_eq!(report.routes.fused_borrow.items, n as u64);
+
+    // map over a strided Zip source.
+    let q = p.clone();
+    let (v, report) = plobs::recorded(move || {
+        stream_support(PowerSpliterator::over(q, Decomposition::Zip), true)
+            .with_leaf_size(16)
+            .map(|x| x - 7)
+            .collect(jstreams::VecCollector)
+    });
+    assert_eq!(v.len(), n as usize);
+    assert_eq!(report.routes.cloning_drain.leaves, 0);
+    assert!(report.routes.fused_borrow.leaves > 0);
+
+    // map ∘ filter over a Slice source: survivor item accounting.
+    let raw: Vec<i64> = (0..n).collect();
+    let survivors = raw.iter().filter(|x| (*x * 2) % 3 == 0).count() as u64;
+    let (sum, report) = plobs::recorded(move || {
+        stream_support(SliceSpliterator::new(raw), true)
+            .with_leaf_size(16)
+            .map(|x| x * 2)
+            .filter(|x| x % 3 == 0)
+            .reduce(0i64, |a, b| a + b)
+    });
+    assert_eq!(
+        sum,
+        (0..n).map(|x| x * 2).filter(|x| x % 3 == 0).sum::<i64>()
+    );
+    assert_eq!(
+        report.routes.cloning_drain.leaves,
+        0,
+        "fused map∘filter pipeline fell back to the cloning drain:\n{}",
+        report.tree_summary()
+    );
+    assert!(report.routes.fused_borrow.leaves > 0);
+    assert_eq!(
+        report.routes.fused_borrow.items, survivors,
+        "filtered fused leaves must report survivor counts, not borrow lengths"
+    );
+}
+
+/// The same fused chain over an Opaque source takes only the cloning
+/// drain — and its item totals agree with the fused run's (survivors,
+/// not reads), so `RunReport` totals stay comparable across routes.
+#[test]
+fn fused_chain_over_opaque_source_clones_with_matching_items() {
+    let _exclusive = exclusive();
+    let raw: Vec<i64> = (0..300).collect();
+    let survivors = raw.iter().filter(|x| (*x + 1) % 2 == 0).count() as u64;
+    let (sum, report) = plobs::recorded(move || {
+        stream_support(Opaque(SliceSpliterator::new(raw)), true)
+            .with_leaf_size(16)
+            .map(|x| x + 1)
+            .filter(|x| x % 2 == 0)
+            .reduce(0i64, |a, b| a + b)
+    });
+    assert_eq!(
+        sum,
+        (0..300).map(|x| x + 1).filter(|x| x % 2 == 0).sum::<i64>()
+    );
+    assert_eq!(report.routes.fused_borrow.leaves, 0);
+    assert!(
+        report.routes.cloning_drain.leaves > 0,
+        "opaque fused chain must drain per element:\n{}",
+        report.tree_summary()
+    );
+    assert_eq!(
+        report.routes.cloning_drain.items, survivors,
+        "cloning drain counts what reaches the accumulator"
     );
 }
 
