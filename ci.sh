@@ -53,6 +53,21 @@ cargo run --release -p plbench --bin fused -- --runs 1 --exp 12 \
     --out-dir target/ci-fused | tee /dev/stderr >"$FUSED_LOG"
 grep -c "wrote target/ci-fused/BENCH_fused_" "$FUSED_LOG" | grep -qx 2
 
+echo "==> smoke: autotune bench proves run-2 cache hits + persistence reload"
+# The bin runs each workload's tuned arm twice in one process against a
+# shared PlanCache and asserts in-process that run 2 was served by the
+# installed plan (tune.hits >= 1, tune.calibrations == 0), then
+# round-trips the cache through save/load and asserts the reloaded copy
+# also hits. Every row is strict-validated before writing (the bin
+# exits non-zero otherwise); the greps pin all markers per workload so
+# a silently skipped arm also fails.
+AUTOTUNE_LOG=target/ci-autotune.log
+cargo run --release -p plbench --bin autotune -- --runs 1 --exp 12 \
+    --out-dir target/ci-autotune | tee /dev/stderr >"$AUTOTUNE_LOG"
+grep -c "run-2 cache hit OK" "$AUTOTUNE_LOG" | grep -qx 2
+grep -c "persisted cache reload hit OK" "$AUTOTUNE_LOG" | grep -qx 2
+grep -c "wrote target/ci-autotune/BENCH_autotune_" "$AUTOTUNE_LOG" | grep -qx 2
+
 echo "==> plcheck: deterministic concurrency checker gate"
 # Fixed regression models + the pinned regression-seed set run inside
 # the normal suite; then a short randomized-schedule smoke walks fresh

@@ -103,8 +103,20 @@ impl SplitPolicy {
 ///
 /// Returns `(wants_split, steals_now)`; callers thread `steals_now`
 /// into child nodes so each level compares against its parent's
-/// observation. Off-pool callers always split (they are about to fork
-/// onto an idle pool).
+/// observation.
+///
+/// **Off-pool contract**: a caller with no worker context (an external
+/// thread, e.g. a shutdown-race fallback or a calibration probe run
+/// before install) always splits and leaves `steals_seen` untouched.
+/// This is correct — not over-eager — because an off-worker `join`
+/// migrates both halves onto the global pool, where the split buys real
+/// parallelism; once the halves land on workers, their own probes take
+/// over the decision. What off-pool callers must NOT reuse is a depth
+/// cap computed for some *other* pool's width: the cap has to budget
+/// the pool that will execute the joins (the caller's own pool for a
+/// worker thread, the global pool otherwise). Pinned by the
+/// `demand_split_off_pool_always_splits_deterministically` plcheck
+/// model and the drivers' fallback tests.
 pub fn demand_split(surplus: usize, steals_seen: u64) -> (bool, u64) {
     match current_probe() {
         Some(probe) => {

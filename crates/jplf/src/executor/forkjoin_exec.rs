@@ -22,6 +22,7 @@ use std::time::Instant;
 pub struct ForkJoinExecutor {
     pool: Arc<ForkJoinPool>,
     policy: SplitPolicy,
+    tuner: Option<Arc<pltune::PlanCache>>,
 }
 
 impl ForkJoinExecutor {
@@ -30,6 +31,13 @@ impl ForkJoinExecutor {
     /// [`SplitPolicy::adaptive`]) — the same resolution the streams
     /// front-end applies. The historical constructors are shims over
     /// this one.
+    ///
+    /// When the config carries a tuner ([`ExecConfig::auto_tune`]) and
+    /// no explicit policy, each execution resolves its policy from the
+    /// shared plan cache (calibrating on first sight of a
+    /// function-shape/size/pool fingerprint); [`Self::policy`] then
+    /// reports the untuned default. An explicit policy disables tuning,
+    /// same as the streams driver.
     pub fn from_config(cfg: &ExecConfig) -> Self {
         ForkJoinExecutor {
             pool: cfg
@@ -37,6 +45,11 @@ impl ForkJoinExecutor {
                 .cloned()
                 .unwrap_or_else(|| Arc::new(ForkJoinPool::with_default_parallelism())),
             policy: cfg.policy().unwrap_or_else(SplitPolicy::adaptive),
+            tuner: if cfg.policy().is_some() {
+                None
+            } else {
+                cfg.tuner().cloned()
+            },
         }
     }
 
@@ -83,6 +96,26 @@ impl ForkJoinExecutor {
     /// The split policy in force.
     pub fn policy(&self) -> SplitPolicy {
         self.policy
+    }
+
+    /// Resolves the policy for one execution: tuner plan (calibrated on
+    /// first sight) when attached, else the configured policy.
+    /// PowerViews are always exactly sized, so the fingerprint's size
+    /// is exact by construction.
+    fn resolve_policy(&self, pipe: &str, len: usize) -> SplitPolicy {
+        self.tuner
+            .as_ref()
+            .and_then(|cache| {
+                let fp = pltune::Fingerprint::new(
+                    pipe,
+                    "jplf::power_function",
+                    len,
+                    true,
+                    self.pool.threads(),
+                );
+                pltune::resolve(cache, &self.pool, &fp)
+            })
+            .unwrap_or(self.policy)
     }
 }
 
@@ -264,9 +297,9 @@ impl Executor for ForkJoinExecutor {
     where
         F: PowerFunction + Clone + Sync,
     {
+        let policy = self.resolve_policy(std::any::type_name::<F>(), input.len());
         let f = f.clone();
         let input = input.clone();
-        let policy = self.policy;
         let cap = policy.depth_cap(self.pool.threads());
         self.pool.install(move || {
             let steals = forkjoin::current_probe().map_or(0, |p| p.steal_pressure());
@@ -303,13 +336,23 @@ impl Executor for ForkJoinExecutor {
                 try_compute_sequential(f, input, &session)
             }
             None => {
+                let policy = self.resolve_policy(std::any::type_name::<F>(), input.len());
                 let f = f.clone();
                 let input = input.clone();
-                let policy = self.policy;
-                let cap = policy.depth_cap(self.pool.threads());
                 let s2 = session.clone();
                 match self.pool.try_install(move || {
-                    let steals = forkjoin::current_probe().map_or(0, |p| p.steal_pressure());
+                    // Like the streams driver, the depth cap budgets
+                    // the pool that actually executes: installed
+                    // normally that is this executor's pool, but on the
+                    // shutdown-race fallback below the closure runs on
+                    // the caller, whose joins stay on the caller's own
+                    // pool or migrate to the global one.
+                    let probe = forkjoin::current_probe();
+                    let threads = probe
+                        .as_ref()
+                        .map_or_else(|| forkjoin::global_pool().threads(), |p| p.threads());
+                    let cap = policy.depth_cap(threads);
+                    let steals = probe.map_or(0, |p| p.steal_pressure());
                     try_par_compute(f, input, policy, cap, 0, steals, &s2)
                 }) {
                     Ok(acc) => acc,
@@ -469,6 +512,49 @@ mod tests {
         assert!(ForkJoinExecutor::from_config(&ExecConfig::par())
             .policy()
             .is_adaptive());
+    }
+
+    #[test]
+    fn auto_tuned_executor_calibrates_once_then_hits() {
+        let cache = Arc::new(pltune::PlanCache::new());
+        let exec = ForkJoinExecutor::from_config(
+            &ExecConfig::par()
+                .with_pool(Arc::new(ForkJoinPool::new(2)))
+                .auto_tune(Arc::clone(&cache)),
+        );
+        let p = tabulate(1 << 11, |i| i as i64 % 7).unwrap();
+        let seq = SequentialExecutor::new().execute(&Sum, &p.clone().view());
+        let ((), report) = plobs::recorded(|| {
+            assert_eq!(exec.execute(&Sum, &p.clone().view()), seq);
+            assert_eq!(
+                exec.try_execute(&Sum, &p.clone().view(), &ExecConfig::par())
+                    .ok(),
+                Some(seq)
+            );
+        });
+        assert_eq!(report.tune_calibrations, 1, "first execution calibrates");
+        assert_eq!(report.tune_hits, 1, "second execution reuses the plan");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn explicit_policy_disables_the_tuner() {
+        let cache = Arc::new(pltune::PlanCache::new());
+        let exec = ForkJoinExecutor::from_config(
+            &ExecConfig::par()
+                .with_pool(Arc::new(ForkJoinPool::new(2)))
+                .with_leaf_size(32)
+                .auto_tune(Arc::clone(&cache)),
+        );
+        let p = tabulate(256, |i| i as i64).unwrap();
+        let (out, report) = plobs::recorded(|| exec.execute(&Sum, &p.clone().view()));
+        assert_eq!(out, (0..256).sum());
+        assert_eq!(
+            report.tunes(),
+            0,
+            "explicit policies never consult the cache"
+        );
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -31,7 +31,6 @@
 //! remain as thin shims that arm a private session and resume any
 //! contained panic on the caller.
 
-use crate::characteristics::Characteristics;
 use crate::collector::Collector;
 use crate::exec::{unwrap_interrupt, ExecConfig, ExecError, ExecMode, ExecSession, Interrupt};
 use crate::spliterator::{ItemSource, Spliterator};
@@ -317,12 +316,35 @@ where
                     try_leaf_all(&mut source, &*collector, &session)
                 }
                 None => {
-                    let policy = cfg.policy().unwrap_or_else(|| {
-                        SplitPolicy::Fixed(default_leaf_size(
-                            source.estimate_size(),
-                            pool.threads(),
-                        ))
-                    });
+                    // Policy precedence: an explicit `with_split_policy`
+                    // / `with_leaf_size` always wins; otherwise a tuner
+                    // attached via `auto_tune` resolves a cached (or
+                    // freshly calibrated) plan; otherwise the static
+                    // heuristic. The fingerprint's size/`sized` pair
+                    // comes from `exact_size()` so a non-SIZED upper
+                    // bound is bucketed as inexact, not mistaken for a
+                    // real length.
+                    let policy = cfg
+                        .policy()
+                        .or_else(|| {
+                            cfg.tuner().and_then(|cache| {
+                                let exact = source.exact_size();
+                                let fp = pltune::Fingerprint::new(
+                                    std::any::type_name::<S>(),
+                                    std::any::type_name::<C>(),
+                                    exact.unwrap_or_else(|| source.estimate_size()),
+                                    exact.is_some(),
+                                    pool.threads(),
+                                );
+                                pltune::resolve(cache, pool, &fp)
+                            })
+                        })
+                        .unwrap_or_else(|| {
+                            SplitPolicy::Fixed(default_leaf_size(
+                                source.estimate_size(),
+                                pool.threads(),
+                            ))
+                        });
                     try_par_core(pool, source, Arc::clone(&collector), policy, &session)
                 }
             }
@@ -353,10 +375,22 @@ where
     C: Collector<T> + 'static,
     C::Acc: 'static,
 {
-    let cap = policy.depth_cap(pool.threads());
     let s2 = session.clone();
     match pool.try_install(move || {
-        let steals = current_probe().map_or(0, |p| p.steal_pressure());
+        // The depth cap must budget the pool that actually *executes*
+        // the recursion, which is not always `pool`: on the shutdown
+        // race below the unexecuted closure runs on the caller, where
+        // joins stay on the caller's own pool (worker thread) or
+        // migrate to the global pool (external thread). Deriving the
+        // cap from the executing context here — instead of capturing
+        // `pool.threads()` outside — keeps the fallback from splitting
+        // for a dead pool's width.
+        let probe = current_probe();
+        let threads = probe
+            .as_ref()
+            .map_or_else(|| forkjoin::global_pool().threads(), |p| p.threads());
+        let cap = policy.depth_cap(threads);
+        let steals = probe.map_or(0, |p| p.steal_pressure());
         try_recurse(source, collector, policy, cap, 0, steals, &s2)
     }) {
         Ok(acc) => acc,
@@ -388,23 +422,21 @@ where
     // entry, so a cancelled run prunes whole subtrees here (one
     // `Event::Cancel` per pruned node).
     session.check()?;
-    // The size-based stop is only sound when the size is exact: for
-    // non-SIZED sources (filter adapters) the estimate is an upper
-    // bound, and stopping on it would serialize surviving work into one
+    // The size-based stop is only sound when the size is exact
+    // (`exact_size()` is `Some` iff SIZED): for non-SIZED sources
+    // (filter adapters, skip residues) the estimate is an upper bound,
+    // and stopping on it would serialize surviving work into one
     // oversized leaf. Unsized sources descend to the depth cap and let
     // `try_split` refusal terminate.
-    let sized = source.has_characteristics(Characteristics::SIZED);
+    let exact = source.exact_size();
     let mut steals_next = steals_seen;
     let stop = match policy {
-        SplitPolicy::Fixed(leaf_size) => {
-            if sized {
-                source.estimate_size() <= leaf_size
-            } else {
-                depth >= cap
-            }
-        }
+        SplitPolicy::Fixed(leaf_size) => match exact {
+            Some(size) => size <= leaf_size,
+            None => depth >= cap,
+        },
         SplitPolicy::Adaptive(a) => {
-            if depth >= cap || (sized && source.estimate_size() <= a.min_leaf) {
+            if depth >= cap || exact.is_some_and(|size| size <= a.min_leaf) {
                 true
             } else {
                 let (wants_split, now) = demand_split(a.surplus, steals_seen);
@@ -701,6 +733,228 @@ mod tests {
         gate.set();
         blocker.join().unwrap();
         assert_eq!(queued.join().unwrap(), 1);
+    }
+
+    /// Strips `SIZED | SUBSIZED` from a spliterator, turning its
+    /// estimate into an upper bound — the shape of a `filter` chain.
+    struct UnsizedUpperBound<S>(S);
+
+    impl<T, S: ItemSource<T>> ItemSource<T> for UnsizedUpperBound<S> {
+        fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+            self.0.try_advance(action)
+        }
+        fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+            self.0.for_each_remaining(action)
+        }
+        fn estimate_size(&self) -> usize {
+            self.0.estimate_size()
+        }
+    }
+
+    impl<T, S: Spliterator<T>> crate::spliterator::LeafAccess<T> for UnsizedUpperBound<S> {}
+
+    impl<T, S: Spliterator<T>> Spliterator<T> for UnsizedUpperBound<S> {
+        fn try_split(&mut self) -> Option<Self> {
+            self.0.try_split().map(UnsizedUpperBound)
+        }
+        fn characteristics(&self) -> crate::characteristics::Characteristics {
+            use crate::characteristics::Characteristics;
+            self.0
+                .characteristics()
+                .without(Characteristics::SIZED | Characteristics::SUBSIZED)
+        }
+    }
+
+    #[test]
+    fn non_sized_estimate_never_drives_the_size_cutoff() {
+        // The wrapper's estimate (4096) is an upper bound, not a size.
+        // A fixed leaf as large as the whole estimate must NOT make the
+        // root a leaf: the driver has to keep splitting to the depth
+        // cap, because the real survivor count is unknowable up front.
+        let p = Arc::new(pool());
+        let data: Vec<i64> = (0..4096).collect();
+        let cfg = ExecConfig::par()
+            .with_pool(Arc::clone(&p))
+            .with_leaf_size(4096);
+        let unsized_src = UnsizedUpperBound(SliceSpliterator::new(data.clone()));
+        assert_eq!(unsized_src.exact_size(), None);
+        let (out, report) = plobs::recorded(|| {
+            try_collect_with(unsized_src, ReduceCollector::new(0, |a, b| a + b), &cfg)
+        });
+        assert_eq!(out.unwrap(), 4095 * 4096 / 2);
+        let depth_cap = SplitPolicy::Fixed(4096).depth_cap(p.threads());
+        assert_eq!(
+            report.splits,
+            (1 << depth_cap) - 1,
+            "an unsized source must descend to the full depth cap"
+        );
+        // The same leaf on the SIZED original is sequential: its exact
+        // size equals the leaf, so the root really is one leaf.
+        let (out, report) = plobs::recorded(|| {
+            try_collect_with(
+                SliceSpliterator::new(data),
+                ReduceCollector::new(0, |a, b| a + b),
+                &cfg,
+            )
+        });
+        assert_eq!(out.unwrap(), 4095 * 4096 / 2);
+        assert_eq!(report.splits, 0);
+    }
+
+    #[test]
+    fn adaptive_min_leaf_ignores_upper_bound_estimates() {
+        // With `min_leaf` far above the estimate, a SIZED source stops
+        // at the root, while the unsized wrapper of the same data must
+        // still split (the cutoff cannot trust an upper bound).
+        let p = Arc::new(pool());
+        let tight = SplitPolicy::Adaptive(forkjoin::AdaptiveSplit {
+            min_leaf: 1 << 20,
+            ..forkjoin::AdaptiveSplit::default()
+        });
+        let data: Vec<i64> = (0..512).collect();
+        let cfg = ExecConfig::par()
+            .with_pool(Arc::clone(&p))
+            .with_split_policy(tight);
+        let (out, report) = plobs::recorded(|| {
+            try_collect_with(
+                SliceSpliterator::new(data.clone()),
+                ReduceCollector::new(0, |a, b| a + b),
+                &cfg,
+            )
+        });
+        assert_eq!(out.unwrap(), 511 * 512 / 2);
+        assert_eq!(report.splits, 0, "512 ≤ min_leaf: the sized root is a leaf");
+        let (out, report) = plobs::recorded(|| {
+            try_collect_with(
+                UnsizedUpperBound(SliceSpliterator::new(data)),
+                ReduceCollector::new(0, |a, b| a + b),
+                &cfg,
+            )
+        });
+        assert_eq!(out.unwrap(), 511 * 512 / 2);
+        assert!(
+            report.splits > 0,
+            "the unsized estimate must not reach the min_leaf cutoff"
+        );
+    }
+
+    #[test]
+    fn submit_race_fallback_recomputes_cap_from_executing_pool() {
+        // `try_par_core`'s shutdown-race fallback runs the recursion on
+        // this (external) thread, with joins migrating to the global
+        // pool. A depth cap captured from the dead 1-thread target pool
+        // (`ceil_log2(1) + 0 = 0` under zero slack) would stop an
+        // adaptive descent at the root with zero splits; the cap must
+        // instead budget the pool that executes.
+        if forkjoin::global_pool().threads() < 2 {
+            return; // single-core runner: both caps coincide
+        }
+        let dead = Arc::new(ForkJoinPool::new(1));
+        dead.shutdown();
+        let policy = SplitPolicy::Adaptive(forkjoin::AdaptiveSplit {
+            min_leaf: 1,
+            depth_slack: 0,
+            ..forkjoin::AdaptiveSplit::default()
+        });
+        let cfg = ExecConfig::par();
+        let session = ExecSession::new(&cfg);
+        let (out, report) = plobs::recorded(|| {
+            try_par_core(
+                &dead,
+                SliceSpliterator::new((0..4096i64).collect()),
+                Arc::new(ReduceCollector::new(0, |a, b| a + b)),
+                policy,
+                &session,
+            )
+        });
+        assert_eq!(out.unwrap(), 4095 * 4096 / 2);
+        assert_eq!(report.fallbacks_submit, 1);
+        assert!(
+            report.splits >= 1,
+            "fallback must split for the executing pool, not the dead target"
+        );
+    }
+
+    #[test]
+    fn auto_tuned_collect_calibrates_once_then_hits() {
+        let cache = Arc::new(pltune::PlanCache::new());
+        let cfg = ExecConfig::par()
+            .with_pool(Arc::new(pool()))
+            .auto_tune(Arc::clone(&cache));
+        let ((), report) = plobs::recorded(|| {
+            for _ in 0..3 {
+                let out = try_collect_with(
+                    SliceSpliterator::new((0..2048i64).collect()),
+                    ReduceCollector::new(0, |a, b| a + b),
+                    &cfg,
+                )
+                .unwrap();
+                assert_eq!(out, 2047 * 2048 / 2);
+            }
+        });
+        assert_eq!(report.tune_calibrations, 1, "first sight calibrates");
+        assert_eq!(report.tune_hits, 2, "repeat sights reuse the plan");
+        assert_eq!(report.tune_misses, 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn explicit_policy_bypasses_the_tuner() {
+        let cache = Arc::new(pltune::PlanCache::new());
+        let cfg = ExecConfig::par()
+            .with_pool(Arc::new(pool()))
+            .with_leaf_size(64)
+            .auto_tune(Arc::clone(&cache));
+        let (out, report) = plobs::recorded(|| {
+            try_collect_with(
+                SliceSpliterator::new((0..256i64).collect()),
+                ReduceCollector::new(0, |a, b| a + b),
+                &cfg,
+            )
+        });
+        assert_eq!(out.unwrap(), 255 * 256 / 2);
+        assert_eq!(
+            report.tunes(),
+            0,
+            "explicit policies never consult the cache"
+        );
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn tuner_fingerprints_unsized_pipelines_as_inexact() {
+        // Same data, same collector: the SIZED source and its unsized
+        // wrapper must occupy distinct cache slots (the `sized` flag is
+        // part of the fingerprint), so a plan tuned for an exact size
+        // is never served to an upper-bound pipeline of the same bucket.
+        let cache = Arc::new(pltune::PlanCache::new());
+        let cfg = ExecConfig::par()
+            .with_pool(Arc::new(pool()))
+            .auto_tune(Arc::clone(&cache));
+        let data: Vec<i64> = (0..1024).collect();
+        let ((), report) = plobs::recorded(|| {
+            let a = try_collect_with(
+                SliceSpliterator::new(data.clone()),
+                ReduceCollector::new(0, |a, b| a + b),
+                &cfg,
+            )
+            .unwrap();
+            let b = try_collect_with(
+                UnsizedUpperBound(SliceSpliterator::new(data)),
+                ReduceCollector::new(0, |a, b| a + b),
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(a, b);
+        });
+        assert_eq!(
+            report.tune_calibrations, 2,
+            "sized and unsized are distinct"
+        );
+        assert_eq!(cache.len(), 2);
+        let entries = cache.ready_entries();
+        let flags: Vec<bool> = entries.iter().map(|(fp, _)| fp.sized).collect();
+        assert!(flags.contains(&true) && flags.contains(&false));
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub struct ExecConfig {
     cancel: Option<CancelToken>,
     fallback_threshold: Option<usize>,
     ranks: Option<usize>,
+    tuner: Option<Arc<pltune::PlanCache>>,
 }
 
 impl ExecConfig {
@@ -128,6 +129,19 @@ impl ExecConfig {
         self
     }
 
+    /// Enables self-tuning execution against the shared plan cache:
+    /// when no explicit split policy is set, parallel drivers
+    /// fingerprint the pipeline and consult `cache` — first sight runs
+    /// a short calibration sweep and installs the winner; later runs
+    /// (including other processes, via [`pltune::PlanCache::load`])
+    /// reuse it. An explicit [`ExecConfig::with_split_policy`] /
+    /// [`ExecConfig::with_leaf_size`] always takes precedence over the
+    /// tuner.
+    pub fn auto_tune(mut self, cache: Arc<pltune::PlanCache>) -> Self {
+        self.tuner = Some(cache);
+        self
+    }
+
     /// The execution mode ([`ExecMode::Par`] unless set).
     pub fn mode(&self) -> ExecMode {
         self.mode.unwrap_or(ExecMode::Par)
@@ -161,6 +175,11 @@ impl ExecConfig {
     /// The simulated-MPI rank count, when set.
     pub fn ranks(&self) -> Option<usize> {
         self.ranks
+    }
+
+    /// The plan cache enabling self-tuning execution, when set.
+    pub fn tuner(&self) -> Option<&Arc<pltune::PlanCache>> {
+        self.tuner.as_ref()
     }
 }
 
@@ -382,6 +401,16 @@ mod tests {
         assert!(cfg.cancel_token().is_none());
         assert!(cfg.fallback_threshold().is_none());
         assert!(cfg.ranks().is_none());
+        assert!(cfg.tuner().is_none());
+    }
+
+    #[test]
+    fn auto_tune_attaches_a_shared_cache() {
+        let cache = Arc::new(pltune::PlanCache::new());
+        let cfg = ExecConfig::par().auto_tune(Arc::clone(&cache));
+        assert!(Arc::ptr_eq(cfg.tuner().unwrap(), &cache));
+        // Cloning the config shares the same cache.
+        assert!(Arc::ptr_eq(cfg.clone().tuner().unwrap(), &cache));
     }
 
     #[test]

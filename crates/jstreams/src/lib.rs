@@ -73,6 +73,7 @@ pub use nway::{
     collect_nway_par, collect_nway_seq, NTieSpliterator, NWayCollector, NWayDecomposition,
     NWaySpliterator, NZipSpliterator, PListCollector,
 };
+pub use pltune::{Fingerprint, Plan, PlanCache};
 pub use power::{
     collect_powerlist, power_stream, try_collect_powerlist, Decomposition, PowerListCollector,
     PowerMapCollector, PowerSpliterator,

@@ -37,6 +37,18 @@ pub trait NWaySpliterator<T>: ItemSource<T> + Send + Sized {
 
     /// Structural properties of this source.
     fn characteristics(&self) -> Characteristics;
+
+    /// The remaining element count only when it is exact
+    /// (`Some(estimate_size())` iff `SIZED`), mirroring
+    /// [`Spliterator::exact_size`](crate::spliterator::Spliterator::exact_size):
+    /// leaf cutoffs must not trust upper-bound estimates.
+    fn exact_size(&self) -> Option<usize> {
+        if self.characteristics().contains(Characteristics::SIZED) {
+            Some(self.estimate_size())
+        } else {
+            None
+        }
+    }
 }
 
 /// Shared descriptor for the two n-way spliterators: `(data, start,
@@ -315,7 +327,10 @@ where
     C: NWayCollector<T> + 'static,
     C::Acc: 'static,
 {
-    if source.estimate_size() <= leaf_size {
+    // The size cutoff only applies to exact sizes (SIZED): an
+    // upper-bound estimate must not stop the descent early — inexact
+    // sources split until `try_split_n` refuses.
+    if source.exact_size().is_some_and(|size| size <= leaf_size) {
         let mut acc = collector.supplier();
         source.for_each_remaining(&mut |x| collector.accumulate(&mut acc, x));
         return acc;

@@ -105,6 +105,25 @@ pub trait Spliterator<T>: ItemSource<T> + LeafAccess<T> + Send + Sized {
     fn has_characteristics(&self, c: Characteristics) -> bool {
         self.characteristics().contains(c)
     }
+
+    /// The remaining element count, but only when it is *exact*:
+    /// `Some(estimate_size())` iff the source advertises
+    /// [`Characteristics::SIZED`], `None` otherwise.
+    ///
+    /// `estimate_size` on a non-SIZED source (a `filter` chain, a `skip`
+    /// residue) is an **upper bound** — consumers that stop splitting or
+    /// pick leaf granularity from the size must use this method instead,
+    /// so an upper bound can never masquerade as a real size and
+    /// serialize surviving work into one oversized leaf. This is the
+    /// single place the SIZED gate lives; callers match on the `Option`
+    /// rather than re-checking characteristics.
+    fn exact_size(&self) -> Option<usize> {
+        if self.has_characteristics(Characteristics::SIZED) {
+            Some(self.estimate_size())
+        } else {
+            None
+        }
+    }
 }
 
 /// Verifies the `POWER2` contract of a spliterator: the flag must be

@@ -87,6 +87,18 @@ where
         self
     }
 
+    /// Attaches a shared [`pltune::PlanCache`] so the parallel collect
+    /// resolves its split policy from calibrated plans: first sight of
+    /// a pipeline shape runs a short candidate sweep and installs the
+    /// winner; later sights (and later runs, if the cache is persisted)
+    /// reuse it. An explicit [`Stream::with_split_policy`] /
+    /// [`Stream::with_leaf_size`] always takes precedence — shorthand
+    /// for [`ExecConfig::auto_tune`].
+    pub fn with_auto_tuning(mut self, cache: Arc<pltune::PlanCache>) -> Self {
+        self.cfg = self.cfg.auto_tune(cache);
+        self
+    }
+
     /// Replaces the stream's entire execution configuration at once.
     pub fn with_exec_config(mut self, cfg: ExecConfig) -> Self {
         self.cfg = cfg;
@@ -442,6 +454,26 @@ mod tests {
         let s = s.parallel();
         assert!(s.is_parallel());
         assert!(s.exec_config().pool().is_none());
+    }
+
+    #[test]
+    fn with_auto_tuning_threads_the_cache_through_collects() {
+        // One shared cache across two stream runs of the same pipeline
+        // shape: the first calibrates, the second hits. A fused
+        // map-over-slice pipeline exercises the fingerprint's adapter
+        // summary.
+        let cache = Arc::new(pltune::PlanCache::new());
+        let run = |cache: Arc<pltune::PlanCache>| {
+            stream_support(ints(2048), true)
+                .with_auto_tuning(cache)
+                .map(|x| x * 2)
+                .reduce(0, |a, b| a + b)
+        };
+        let (sums, report) = plobs::recorded(|| (run(Arc::clone(&cache)), run(Arc::clone(&cache))));
+        assert_eq!(sums.0, sums.1);
+        assert_eq!(report.tune_calibrations, 1);
+        assert_eq!(report.tune_hits, 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -309,6 +309,69 @@ mod tests {
         assert!(!s.has_characteristics(Characteristics::POWER2));
     }
 
+    /// A SIZED slice with the exactness flags stripped — models a
+    /// filtered inner whose estimate is only an upper bound.
+    struct Opaque(SliceSpliterator<i32>);
+
+    impl ItemSource<i32> for Opaque {
+        fn try_advance(&mut self, action: &mut dyn FnMut(i32)) -> bool {
+            self.0.try_advance(action)
+        }
+        fn for_each_remaining(&mut self, action: &mut dyn FnMut(i32)) {
+            self.0.for_each_remaining(action)
+        }
+        fn estimate_size(&self) -> usize {
+            self.0.estimate_size()
+        }
+    }
+
+    impl LeafAccess<i32> for Opaque {}
+
+    impl Spliterator<i32> for Opaque {
+        fn try_split(&mut self) -> Option<Self> {
+            self.0.try_split().map(Opaque)
+        }
+        fn characteristics(&self) -> Characteristics {
+            self.0
+                .characteristics()
+                .without(Characteristics::SIZED | Characteristics::SUBSIZED)
+        }
+    }
+
+    #[test]
+    fn exact_size_tracks_truncation_exactly() {
+        // Over a SIZED inner, truncated estimates are exact — including
+        // the saturating over-skip, which must report exactly zero
+        // rather than wrap.
+        let s = SkipSpliterator::new(SliceSpliterator::new((0..10).collect::<Vec<_>>()), 7);
+        assert_eq!(s.exact_size(), Some(3));
+        let s = SkipSpliterator::new(SliceSpliterator::new(vec![1, 2]), 5);
+        assert_eq!(s.exact_size(), Some(0));
+        let s = LimitSpliterator::new(SliceSpliterator::new(vec![1, 2]), 10);
+        assert_eq!(s.exact_size(), Some(2));
+        let s = LimitSpliterator::new(SliceSpliterator::new((0..10).collect::<Vec<_>>()), 4);
+        assert_eq!(s.exact_size(), Some(4));
+    }
+
+    #[test]
+    fn truncation_over_an_inexact_inner_stays_inexact() {
+        // skip 4 over an upper bound of 10: the residue estimate (6) is
+        // still only an upper bound, and `exact_size` must refuse it —
+        // this is the value the driver's leaf cutoff and the tuner's
+        // size bucketing consume.
+        let s = SkipSpliterator::new(Opaque(SliceSpliterator::new((0..10).collect())), 4);
+        assert_eq!(s.estimate_size(), 6);
+        assert_eq!(s.exact_size(), None);
+        let s = LimitSpliterator::new(Opaque(SliceSpliterator::new((0..10).collect())), 4);
+        assert_eq!(s.exact_size(), None);
+        // And allowance distribution refuses to split what it cannot
+        // count: inexact inners stay sequential.
+        let mut s = SkipSpliterator::new(Opaque(SliceSpliterator::new((0..10).collect())), 1);
+        assert!(s.try_split().is_none());
+        let mut s = LimitSpliterator::new(Opaque(SliceSpliterator::new((0..10).collect())), 8);
+        assert!(s.try_split().is_none());
+    }
+
     #[test]
     fn peek_observes_everything() {
         let seen = Arc::new(AtomicUsize::new(0));

@@ -1,0 +1,178 @@
+//! plcheck models of the `pltune` plan-cache protocol and the
+//! `demand_split` off-pool contract — the concurrency surface of the
+//! self-tuning execution layer.
+//!
+//! The cache's claim under scrutiny: across *every* interleaving of two
+//! threads that miss on the same fingerprint, exactly one claims the
+//! calibration ticket (the other proceeds untuned, never blocking), an
+//! installed plan is never lost, and an abandoned ticket reverts its
+//! slot so a later sight can retry.
+
+use forkjoin::{demand_split, SplitPolicy};
+use pltune::{Fingerprint, Lookup, Plan, PlanCache};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn fp(width: usize) -> Fingerprint {
+    Fingerprint::new("model<u64>", "sum", 1 << 12, true, width)
+}
+
+fn plan(leaf: usize) -> Plan {
+    Plan {
+        policy: SplitPolicy::Fixed(leaf),
+        score_ns: leaf as u64,
+        candidates: 1,
+    }
+}
+
+/// Two threads race a cold cache on the same fingerprint: exactly one
+/// gets [`Lookup::Claimed`] in every interleaving; the loser observes
+/// `Busy` (winner still calibrating) or `Hit` (winner already
+/// installed) — never a second claim, and never a lost install.
+#[test]
+fn racing_cache_misses_claim_exactly_once() {
+    let busy_seen = Arc::new(AtomicUsize::new(0));
+    let hit_seen = Arc::new(AtomicUsize::new(0));
+    let (bs, hs) = (Arc::clone(&busy_seen), Arc::clone(&hit_seen));
+    let report = plcheck::Explorer::exhaustive(5_000).run(move || {
+        let cache = Arc::new(PlanCache::new());
+        let claims = Arc::new(AtomicUsize::new(0));
+
+        let c2 = Arc::clone(&cache);
+        let cl2 = Arc::clone(&claims);
+        let (bs2, hs2) = (Arc::clone(&bs), Arc::clone(&hs));
+        let racer = plcheck::spawn(move || match c2.lookup(&fp(2)) {
+            Lookup::Claimed(ticket) => {
+                cl2.fetch_add(1, Ordering::SeqCst);
+                ticket.install(plan(64));
+            }
+            Lookup::Busy => {
+                bs2.fetch_add(1, Ordering::SeqCst);
+            }
+            Lookup::Hit(p) => {
+                hs2.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(
+                    p.policy,
+                    SplitPolicy::Fixed(32),
+                    "a hit must see a full install"
+                );
+            }
+        });
+
+        match cache.lookup(&fp(2)) {
+            Lookup::Claimed(ticket) => {
+                claims.fetch_add(1, Ordering::SeqCst);
+                ticket.install(plan(32));
+            }
+            Lookup::Busy => {}
+            Lookup::Hit(p) => assert_eq!(p.policy, SplitPolicy::Fixed(64)),
+        }
+        racer.join();
+
+        assert_eq!(
+            claims.load(Ordering::SeqCst),
+            1,
+            "exactly one thread may calibrate a fingerprint"
+        );
+        // The winner's install is never lost: the slot is Ready and a
+        // later sight hits.
+        assert_eq!(cache.len(), 1);
+        assert!(matches!(cache.lookup(&fp(2)), Lookup::Hit(_)));
+    });
+    report.assert_ok();
+    // The exploration must witness the loser in the Busy state (claimed
+    // but not yet installed) — that is the interleaving the non-blocking
+    // protocol exists for.
+    assert!(
+        busy_seen.load(Ordering::SeqCst) > 0,
+        "some interleaving must observe a calibration in flight"
+    );
+}
+
+/// A claimant that abandons its ticket (sweep panicked) reverts the
+/// slot in every interleaving: the racer is never wedged, and the next
+/// sight can claim again — no permanently-poisoned fingerprint.
+#[test]
+fn abandoned_ticket_reverts_for_retry() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let cache = Arc::new(PlanCache::new());
+        let c2 = Arc::clone(&cache);
+        let racer = plcheck::spawn(move || {
+            // The racer never blocks, whatever state it observes.
+            match c2.lookup(&fp(2)) {
+                Lookup::Claimed(t) => drop(t), // claim, then abandon
+                Lookup::Busy | Lookup::Hit(_) => {}
+            }
+        });
+        match cache.lookup(&fp(2)) {
+            Lookup::Claimed(t) => drop(t),
+            Lookup::Busy | Lookup::Hit(_) => {}
+        }
+        racer.join();
+        // Both tickets died uninstalled: the slot must be vacant again,
+        // so the next sight claims instead of starving.
+        assert!(cache.is_empty());
+        assert!(matches!(cache.lookup(&fp(2)), Lookup::Claimed(_)));
+    });
+    report.assert_ok();
+}
+
+/// Concurrent lookups at *different* pool widths: whichever width is
+/// observed last purges the other's plans, so the surviving entries are
+/// always width-consistent — a plan tuned for a 2-wide pool is never
+/// served to an 8-wide one.
+#[test]
+fn width_races_leave_a_width_consistent_cache() {
+    let report = plcheck::Explorer::exhaustive(5_000).run(|| {
+        let cache = Arc::new(PlanCache::new());
+        let c2 = Arc::clone(&cache);
+        let racer = plcheck::spawn(move || {
+            if let Lookup::Claimed(t) = c2.lookup(&fp(8)) {
+                t.install(plan(8));
+            }
+        });
+        if let Lookup::Claimed(t) = cache.lookup(&fp(2)) {
+            t.install(plan(2));
+        }
+        racer.join();
+        let entries = cache.ready_entries();
+        if let Some((first, _)) = entries.first() {
+            assert!(
+                entries
+                    .iter()
+                    .all(|(f, _)| f.pool_width == first.pool_width),
+                "entries of mixed widths survived: {entries:?}"
+            );
+        }
+        // A settling lookup at width 8 must leave only width-8 plans.
+        let _ = cache.lookup(&fp(8));
+        assert!(cache.ready_entries().iter().all(|(f, _)| f.pool_width == 8));
+    });
+    report.assert_ok();
+}
+
+/// The `demand_split` off-pool contract (satellite of the tuner's
+/// calibration probe, which may run on a non-worker thread): a caller
+/// with no worker context *always* splits and never perturbs the steal
+/// baseline — correct because its joins migrate onto the global pool,
+/// where parallelism is available. Pinned under concurrent callers so
+/// the decision is shown to be thread-independent.
+#[test]
+fn demand_split_off_pool_always_splits_deterministically() {
+    let report = plcheck::Explorer::exhaustive(2_000).run(|| {
+        let t = plcheck::spawn(|| {
+            assert_eq!(
+                demand_split(2, 7),
+                (true, 7),
+                "off-pool callers always split"
+            );
+        });
+        assert_eq!(
+            demand_split(2, 7),
+            (true, 7),
+            "off-pool callers always split"
+        );
+        t.join();
+    });
+    report.assert_ok();
+}

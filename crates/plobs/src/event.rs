@@ -85,6 +85,32 @@ impl FallbackReason {
     }
 }
 
+/// How the plan cache served one tuned execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TuneOutcome {
+    /// The pipeline's fingerprint was found in the plan cache; the
+    /// cached split policy was used with no measurement overhead.
+    Hit,
+    /// The fingerprint was absent (or invalidated) and another thread
+    /// already owned the calibration ticket, so this run proceeded with
+    /// the default policy instead of waiting.
+    Miss,
+    /// The fingerprint was absent and this thread ran the candidate
+    /// sweep, installing the winner in the cache.
+    Calibrate,
+}
+
+impl TuneOutcome {
+    /// Stable lowercase name, used as the JSON key for the outcome.
+    pub fn name(self) -> &'static str {
+        match self {
+            TuneOutcome::Hit => "hit",
+            TuneOutcome::Miss => "miss",
+            TuneOutcome::Calibrate => "calibrate",
+        }
+    }
+}
+
 /// Where a worker found a job it did not pop from its own deque.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StealSource {
@@ -173,6 +199,11 @@ pub enum Event {
     Fallback {
         /// Why the driver fell back.
         reason: FallbackReason,
+    },
+    /// A self-tuning driver consulted its plan cache before executing.
+    Tune {
+        /// How the cache served this run.
+        outcome: TuneOutcome,
     },
     /// One MPI-sim point-to-point message (collectives decompose into
     /// these).

@@ -1,4 +1,4 @@
-//! A minimal JSON validator (no external dependencies).
+//! A minimal JSON validator and value parser (no external dependencies).
 //!
 //! The repository has no serde; reports are emitted by hand-written
 //! formatting code, so CI needs an independent check that the output is
@@ -6,6 +6,11 @@
 //! RFC 8259 — it accepts exactly one top-level value and rejects
 //! trailing garbage, unescaped control characters, leading zeros, bare
 //! `NaN`, and the other classic hand-rolled-emitter mistakes.
+//!
+//! [`parse`] reuses the same grammar to build a [`Value`] tree, which
+//! the `pltune` plan cache uses to reload persisted tuning plans. It is
+//! deliberately small: objects are ordered key/value vectors, numbers
+//! are `f64` (plenty for leaf sizes and counters).
 
 /// Validates that `input` is one well-formed JSON value. Returns the
 /// byte offset and a short message on the first error.
@@ -21,6 +26,112 @@ pub fn validate(input: &str) -> Result<(), String> {
         return Err(p.err("trailing characters after top-level value"));
     }
     Ok(())
+}
+
+/// A parsed JSON value. Object members keep their source order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, as ordered `(key, value)` pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (`None` for other variants or a
+    /// missing key).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a `Num`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Arr`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `input` into a [`Value`] under the same strict grammar as
+/// [`validate`] (exactly one top-level value, no trailing garbage).
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after top-level value"));
+    }
+    Ok(v)
+}
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included). The inverse of the decoding [`parse`] performs.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 struct Parser<'a> {
@@ -192,11 +303,153 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
     }
+
+    // --- value-building counterparts (same grammar as the recognisers) ---
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b't') => self.literal(b"true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.literal(b"false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.literal(b"null").map(|_| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Obj(members)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut buf = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    // Unescaped spans come straight from a valid `&str`,
+                    // and decoded escapes are encoded as UTF-8 below.
+                    return String::from_utf8(buf).map_err(|_| self.err("invalid UTF-8"));
+                }
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => buf.push(b'"'),
+                    Some(b'\\') => buf.push(b'\\'),
+                    Some(b'/') => buf.push(b'/'),
+                    Some(b'b') => buf.push(0x08),
+                    Some(b'f') => buf.push(0x0c),
+                    Some(b'n') => buf.push(b'\n'),
+                    Some(b'r') => buf.push(b'\r'),
+                    Some(b't') => buf.push(b'\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xd800..0xdc00).contains(&hi) {
+                            // Surrogate pair: require the low half.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                        } else if (0xdc00..0xe000).contains(&hi) {
+                            return Err(self.err("unpaired surrogate"));
+                        } else {
+                            hi
+                        };
+                        match char::from_u32(code) {
+                            Some(c) => {
+                                let mut tmp = [0u8; 4];
+                                buf.extend_from_slice(c.encode_utf8(&mut tmp).as_bytes());
+                            }
+                            None => return Err(self.err("bad \\u escape")),
+                        }
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(b) => buf.push(b),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            match self.bump() {
+                Some(b) if b.is_ascii_hexdigit() => {
+                    v = v * 16 + (b as char).to_digit(16).unwrap();
+                }
+                _ => return Err(self.err("bad \\u escape")),
+            }
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        self.number()?;
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("unrepresentable number"))
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{escape, parse, validate, Value};
 
     #[test]
     fn accepts_well_formed_values() {
@@ -240,5 +493,46 @@ mod tests {
     fn errors_carry_position() {
         let err = validate("[1,]").unwrap_err();
         assert!(err.contains("byte 3"), "{err}");
+    }
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":0.125,"ok":true}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_f64), Some(0.125));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[2].get("b"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_decodes_escapes() {
+        let v = parse(r#""line\nbreak é 😀 \"q\"""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\nbreak é 😀 \"q\""));
+        assert!(parse(r#""\ud800""#).is_err(), "lone surrogate accepted");
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "[1,]", "{\"a\":}", "01", "{} extra"] {
+            assert!(parse(bad).is_err(), "{bad:?} wrongly parsed");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let original = "pipe<\"x\">\n\tτ\u{1}";
+        let json = format!("\"{}\"", escape(original));
+        validate(&json).unwrap();
+        assert_eq!(parse(&json).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Value::Num(3.0).as_u64(), Some(3));
+        assert_eq!(Value::Num(3.5).as_u64(), None);
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
     }
 }

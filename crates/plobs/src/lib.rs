@@ -57,7 +57,7 @@ pub mod json;
 pub mod recorder;
 pub mod report;
 
-pub use event::{CancelReason, Event, FallbackReason, LeafRoute, StealSource};
+pub use event::{CancelReason, Event, FallbackReason, LeafRoute, StealSource, TuneOutcome};
 pub use recorder::RunRecorder;
 pub use report::{RankStats, RouteHistogram, RouteStats, RunReport, WorkerStats};
 

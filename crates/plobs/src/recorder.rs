@@ -8,7 +8,7 @@
 //! only the first time a given thread records into a given recorder.
 //! [`RunRecorder::finish`] merges all shards into a [`RunReport`].
 
-use crate::event::{CancelReason, Event, FallbackReason, LeafRoute, StealSource};
+use crate::event::{CancelReason, Event, FallbackReason, LeafRoute, StealSource, TuneOutcome};
 use crate::report::{RankStats, RouteStats, RunReport, WorkerStats};
 use crate::EventSink;
 use parking_lot::Mutex;
@@ -63,6 +63,8 @@ struct Shard {
     cancels: [AtomicU64; 3],
     // Indexed by `fallback_index` (2 reasons).
     fallbacks: [AtomicU64; 2],
+    // Indexed by `tune_index` (3 outcomes).
+    tunes: [AtomicU64; 3],
 }
 
 impl Shard {
@@ -91,6 +93,7 @@ impl Shard {
             mpi_recv_bytes: zeroed(),
             cancels: zeroed(),
             fallbacks: zeroed(),
+            tunes: zeroed(),
         }
     }
 
@@ -147,6 +150,9 @@ impl Shard {
             Event::Fallback { reason } => {
                 self.fallbacks[fallback_index(reason)].fetch_add(1, Relaxed);
             }
+            Event::Tune { outcome } => {
+                self.tunes[tune_index(outcome)].fetch_add(1, Relaxed);
+            }
             Event::MpiSend { from, to, bytes } => {
                 let f = slot(from, MAX_RANKS);
                 let t = slot(to, MAX_RANKS);
@@ -181,6 +187,14 @@ fn fallback_index(reason: FallbackReason) -> usize {
     match reason {
         FallbackReason::PoolSaturated => 0,
         FallbackReason::SubmitFailed => 1,
+    }
+}
+
+fn tune_index(outcome: TuneOutcome) -> usize {
+    match outcome {
+        TuneOutcome::Hit => 0,
+        TuneOutcome::Miss => 1,
+        TuneOutcome::Calibrate => 2,
     }
 }
 
@@ -253,6 +267,9 @@ impl RunRecorder {
             report.cancels_deadline += shard.cancels[2].load(Relaxed);
             report.fallbacks_saturated += shard.fallbacks[0].load(Relaxed);
             report.fallbacks_submit += shard.fallbacks[1].load(Relaxed);
+            report.tune_hits += shard.tunes[0].load(Relaxed);
+            report.tune_misses += shard.tunes[1].load(Relaxed);
+            report.tune_calibrations += shard.tunes[2].load(Relaxed);
             report.splits_adaptive += shard.splits_adaptive.load(Relaxed);
             report.descend_ns += shard.descend_ns.load(Relaxed);
             report.leaf_ns += shard.leaf_ns.load(Relaxed);
@@ -468,6 +485,28 @@ mod tests {
         assert_eq!(report.cancels(), 3);
         assert_eq!(report.fallbacks_saturated, 1);
         assert_eq!(report.fallbacks(), 1);
+    }
+
+    #[test]
+    fn tunes_counted_by_outcome() {
+        let rec = RunRecorder::new();
+        rec.record(&Event::Tune {
+            outcome: TuneOutcome::Calibrate,
+        });
+        rec.record(&Event::Tune {
+            outcome: TuneOutcome::Hit,
+        });
+        rec.record(&Event::Tune {
+            outcome: TuneOutcome::Hit,
+        });
+        rec.record(&Event::Tune {
+            outcome: TuneOutcome::Miss,
+        });
+        let report = rec.finish();
+        assert_eq!(report.tune_hits, 2);
+        assert_eq!(report.tune_misses, 1);
+        assert_eq!(report.tune_calibrations, 1);
+        assert_eq!(report.tunes(), 4);
     }
 
     #[test]

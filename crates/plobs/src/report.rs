@@ -125,6 +125,14 @@ pub struct RunReport {
     pub fallbacks_saturated: u64,
     /// Parallel collects that degraded because pool submission failed.
     pub fallbacks_submit: u64,
+    /// Tuned executions served by a cached plan.
+    pub tune_hits: u64,
+    /// Tuned executions that found no plan and could not claim the
+    /// calibration ticket (another thread held it).
+    pub tune_misses: u64,
+    /// Tuned executions that ran the candidate sweep and installed a
+    /// plan.
+    pub tune_calibrations: u64,
 }
 
 impl RunReport {
@@ -179,6 +187,11 @@ impl RunReport {
     /// Total sequential-route fallbacks, over all reasons.
     pub fn fallbacks(&self) -> u64 {
         self.fallbacks_saturated + self.fallbacks_submit
+    }
+
+    /// Total plan-cache consultations, over all outcomes.
+    pub fn tunes(&self) -> u64 {
+        self.tune_hits + self.tune_misses + self.tune_calibrations
     }
 
     /// Renders the report as a self-describing JSON object (schema tag
@@ -274,6 +287,16 @@ impl RunReport {
             self.fallbacks(),
             self.fallbacks_saturated,
             self.fallbacks_submit,
+        );
+
+        let _ = write!(
+            out,
+            "\"tune\":{{\"consults\":{},\"hits\":{},\"misses\":{},\
+             \"calibrations\":{}}},",
+            self.tunes(),
+            self.tune_hits,
+            self.tune_misses,
+            self.tune_calibrations,
         );
 
         out.push_str("\"mpi\":{\"ranks\":[");
@@ -425,6 +448,9 @@ mod tests {
             cancels_deadline: 1,
             fallbacks_saturated: 1,
             fallbacks_submit: 0,
+            tune_hits: 4,
+            tune_misses: 1,
+            tune_calibrations: 2,
         }
     }
 
@@ -467,6 +493,9 @@ mod tests {
         assert!(json.contains("\"ranks\":[{\"rank\":0"));
         assert!(json.contains("\"sessions\":{\"cancels\":3,\"cancel_panic\":2"));
         assert!(json.contains("\"fallback_saturated\":1"));
+        assert!(
+            json.contains("\"tune\":{\"consults\":7,\"hits\":4,\"misses\":1,\"calibrations\":2}")
+        );
     }
 
     #[test]
@@ -474,7 +503,9 @@ mod tests {
         let r = sample();
         assert_eq!(r.cancels(), 3);
         assert_eq!(r.fallbacks(), 1);
+        assert_eq!(r.tunes(), 7);
         assert_eq!(RunReport::default().cancels(), 0);
+        assert_eq!(RunReport::default().tunes(), 0);
     }
 
     #[test]

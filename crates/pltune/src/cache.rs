@@ -1,0 +1,453 @@
+//! The concurrent plan cache: exactly-once calibration under races,
+//! width invalidation, JSON persistence.
+//!
+//! Concurrency protocol: all state lives behind one `parking_lot`
+//! mutex (the vendored, plcheck-instrumentable one). A lookup that
+//! finds the fingerprint vacant inserts a `Calibrating` marker *under
+//! the lock* and returns a [`CalibrationTicket`] — so exactly one
+//! thread ever owns the right to calibrate a fingerprint. Racing
+//! threads observe the marker and get [`Lookup::Busy`]: they proceed
+//! with their default policy instead of blocking on a sweep of unknown
+//! duration. Installing through the ticket publishes the plan; dropping
+//! it uninstalled (sweep panicked, caller bailed) reverts the slot to
+//! vacant so the next sighting can claim it — no lost install, no
+//! wedged slot.
+
+use crate::fingerprint::Fingerprint;
+use crate::plan::Plan;
+use parking_lot::Mutex;
+use plobs::json::{escape, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+enum Slot {
+    /// A ticket is outstanding for this fingerprint.
+    Calibrating,
+    /// A calibrated plan is installed.
+    Ready(Plan),
+}
+
+struct Inner {
+    plans: HashMap<Fingerprint, Slot>,
+    /// Pool width of the most recent lookup; a change purges plans
+    /// calibrated for other widths.
+    width: Option<u32>,
+}
+
+/// A concurrent, `Arc`-shared map from pipeline fingerprint to
+/// calibrated [`Plan`]. See the module docs for the claim/install
+/// protocol.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+}
+
+/// Outcome of one [`PlanCache::lookup`].
+pub enum Lookup {
+    /// A plan is installed; use its policy.
+    Hit(Plan),
+    /// Another thread holds the calibration ticket; proceed untuned.
+    Busy,
+    /// This thread claimed the vacant slot and must calibrate (or drop
+    /// the ticket to release the claim).
+    Claimed(CalibrationTicket),
+}
+
+/// Exclusive right to calibrate one fingerprint, claimed under the
+/// cache lock. [`CalibrationTicket::install`] publishes the plan;
+/// dropping the ticket uninstalled reverts the slot to vacant.
+pub struct CalibrationTicket {
+    cache: Arc<PlanCache>,
+    fp: Fingerprint,
+    installed: bool,
+}
+
+impl CalibrationTicket {
+    /// Publishes `plan` for the claimed fingerprint — unless a
+    /// concurrent lookup moved the cache to a different pool width
+    /// since the claim (purging this ticket's marker), in which case
+    /// the now-stale plan is discarded: a plan tuned for one width
+    /// must never outlive a width change. (Found by the plcheck width
+    /// race model; lookup-time purging alone lets a late install
+    /// resurrect a purged width.)
+    pub fn install(mut self, plan: Plan) {
+        let mut inner = self.cache.inner.lock();
+        if inner.width == Some(self.fp.pool_width) {
+            inner.plans.insert(self.fp.clone(), Slot::Ready(plan));
+        }
+        self.installed = true;
+    }
+
+    /// The fingerprint this ticket claims.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fp
+    }
+}
+
+impl Drop for CalibrationTicket {
+    fn drop(&mut self) {
+        if !self.installed {
+            let mut inner = self.cache.inner.lock();
+            // Only revert our own marker: a width purge may already
+            // have removed it, and (in pathological width flapping) the
+            // slot may have been re-claimed or even filled since.
+            if matches!(inner.plans.get(&self.fp), Some(Slot::Calibrating)) {
+                inner.plans.remove(&self.fp);
+            }
+        }
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                plans: HashMap::new(),
+                width: None,
+            }),
+        }
+    }
+
+    /// Looks up `fp`, claiming the slot when vacant. A lookup whose
+    /// pool width differs from the previous lookup's first invalidates
+    /// every plan calibrated for another width (the explicit
+    /// pool-width invalidation rule: granularity tuned for an 8-wide
+    /// pool is meaningless on a 2-wide one).
+    pub fn lookup(self: &Arc<Self>, fp: &Fingerprint) -> Lookup {
+        let mut inner = self.inner.lock();
+        if inner.width != Some(fp.pool_width) {
+            if inner.width.is_some() {
+                inner.plans.retain(|k, _| k.pool_width == fp.pool_width);
+            }
+            inner.width = Some(fp.pool_width);
+        }
+        match inner.plans.get(fp) {
+            Some(Slot::Ready(plan)) => Lookup::Hit(*plan),
+            Some(Slot::Calibrating) => Lookup::Busy,
+            None => {
+                inner.plans.insert(fp.clone(), Slot::Calibrating);
+                Lookup::Claimed(CalibrationTicket {
+                    cache: Arc::clone(self),
+                    fp: fp.clone(),
+                    installed: false,
+                })
+            }
+        }
+    }
+
+    /// Non-claiming peek: the installed plan for `fp`, if any.
+    pub fn get(&self, fp: &Fingerprint) -> Option<Plan> {
+        match self.inner.lock().plans.get(fp) {
+            Some(Slot::Ready(plan)) => Some(*plan),
+            _ => None,
+        }
+    }
+
+    /// Installs `plan` for `fp` directly (persistence reload, tests).
+    pub fn insert(&self, fp: Fingerprint, plan: Plan) {
+        self.inner.lock().plans.insert(fp, Slot::Ready(plan));
+    }
+
+    /// Drops every installed plan and outstanding claim marker.
+    /// Outstanding tickets remain valid: their install re-publishes.
+    pub fn invalidate_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.plans.clear();
+        inner.width = None;
+    }
+
+    /// Number of installed (ready) plans.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .plans
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// `true` when no plan is installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Installed plans, sorted by fingerprint for deterministic output.
+    pub fn ready_entries(&self) -> Vec<(Fingerprint, Plan)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<(Fingerprint, Plan)> = inner
+            .plans
+            .iter()
+            .filter_map(|(fp, slot)| match slot {
+                Slot::Ready(plan) => Some((fp.clone(), *plan)),
+                Slot::Calibrating => None,
+            })
+            .collect();
+        out.sort_by(|(a, _), (b, _)| {
+            (&a.pipe, &a.collector, a.size_bucket, a.sized, a.pool_width).cmp(&(
+                &b.pipe,
+                &b.collector,
+                b.size_bucket,
+                b.sized,
+                b.pool_width,
+            ))
+        });
+        out
+    }
+
+    /// Renders the installed plans as JSON (schema
+    /// `pltune.plan_cache.v1`). Calibrating markers are transient and
+    /// are not persisted. The output always passes
+    /// [`plobs::json::validate`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"pltune.plan_cache.v1\",\"plans\":[");
+        for (i, (fp, plan)) in self.ready_entries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"pipe\":\"{}\",\"collector\":\"{}\",\"size_bucket\":{},\
+                 \"sized\":{},\"width\":{},\"plan\":{}}}",
+                escape(&fp.pipe),
+                escape(&fp.collector),
+                fp.size_bucket,
+                fp.sized,
+                fp.pool_width,
+                plan.to_json()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Rebuilds a cache from [`PlanCache::to_json`] output. The width
+    /// marker starts unset, so the first lookup re-applies the
+    /// width-invalidation rule against the live pool.
+    pub fn from_json(input: &str) -> Result<PlanCache, String> {
+        let root = plobs::json::parse(input)?;
+        match root.get("schema").and_then(Value::as_str) {
+            Some("pltune.plan_cache.v1") => {}
+            other => return Err(format!("unexpected schema {other:?}")),
+        }
+        let cache = PlanCache::new();
+        let rows = root
+            .get("plans")
+            .and_then(Value::as_array)
+            .ok_or("missing \"plans\" array")?;
+        for row in rows {
+            let fp = Fingerprint {
+                pipe: row
+                    .get("pipe")
+                    .and_then(Value::as_str)
+                    .ok_or("row missing \"pipe\"")?
+                    .to_owned(),
+                collector: row
+                    .get("collector")
+                    .and_then(Value::as_str)
+                    .ok_or("row missing \"collector\"")?
+                    .to_owned(),
+                size_bucket: row
+                    .get("size_bucket")
+                    .and_then(Value::as_u64)
+                    .ok_or("row missing \"size_bucket\"")? as u32,
+                sized: row
+                    .get("sized")
+                    .and_then(Value::as_bool)
+                    .ok_or("row missing \"sized\"")?,
+                pool_width: row
+                    .get("width")
+                    .and_then(Value::as_u64)
+                    .ok_or("row missing \"width\"")? as u32,
+            };
+            let plan = Plan::from_value(row.get("plan").ok_or("row missing \"plan\"")?)?;
+            cache.inner.lock().plans.insert(fp, Slot::Ready(plan));
+        }
+        Ok(cache)
+    }
+
+    /// Persists the cache to `path` (validating the rendering first, so
+    /// a formatter bug can never corrupt the file).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = self.to_json();
+        plobs::json::validate(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Reloads a cache persisted by [`PlanCache::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<PlanCache, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+        PlanCache::from_json(&text)
+    }
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        let ready = inner
+            .plans
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count();
+        f.debug_struct("PlanCache")
+            .field("ready", &ready)
+            .field("calibrating", &(inner.plans.len() - ready))
+            .field("width", &inner.width)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkjoin::SplitPolicy;
+
+    fn fp(pipe: &str, width: usize) -> Fingerprint {
+        Fingerprint::new(pipe, "collector", 1 << 14, true, width)
+    }
+
+    fn plan(leaf: usize) -> Plan {
+        Plan {
+            policy: SplitPolicy::Fixed(leaf),
+            score_ns: 1000,
+            candidates: 4,
+        }
+    }
+
+    #[test]
+    fn first_lookup_claims_then_hits_after_install() {
+        let cache = Arc::new(PlanCache::new());
+        let key = fp("a", 8);
+        let ticket = match cache.lookup(&key) {
+            Lookup::Claimed(t) => t,
+            _ => panic!("fresh cache must claim"),
+        };
+        assert!(matches!(cache.lookup(&key), Lookup::Busy));
+        ticket.install(plan(512));
+        match cache.lookup(&key) {
+            Lookup::Hit(p) => assert_eq!(p.policy, SplitPolicy::Fixed(512)),
+            _ => panic!("installed plan must hit"),
+        }
+    }
+
+    #[test]
+    fn dropped_ticket_reverts_to_vacant() {
+        let cache = Arc::new(PlanCache::new());
+        let key = fp("a", 8);
+        match cache.lookup(&key) {
+            Lookup::Claimed(t) => drop(t),
+            _ => panic!(),
+        }
+        assert!(matches!(cache.lookup(&key), Lookup::Claimed(_)));
+    }
+
+    #[test]
+    fn width_change_purges_other_widths() {
+        let cache = Arc::new(PlanCache::new());
+        cache.insert(fp("a", 8), plan(512));
+        cache.insert(fp("b", 8), plan(256));
+        // Prime the width marker at 8.
+        assert!(matches!(cache.lookup(&fp("a", 8)), Lookup::Hit(_)));
+        assert_eq!(cache.len(), 2);
+        // A 4-wide lookup invalidates every 8-wide plan.
+        assert!(matches!(cache.lookup(&fp("a", 4)), Lookup::Claimed(_)));
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get(&fp("b", 8)).is_none());
+    }
+
+    #[test]
+    fn invalidate_all_empties_the_cache() {
+        let cache = Arc::new(PlanCache::new());
+        cache.insert(fp("a", 8), plan(512));
+        assert!(!cache.is_empty());
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        assert!(matches!(cache.lookup(&fp("a", 8)), Lookup::Claimed(_)));
+    }
+
+    #[test]
+    fn json_round_trips_installed_plans() {
+        let cache = Arc::new(PlanCache::new());
+        cache.insert(fp("pipe<\"quoted\">", 8), plan(512));
+        cache.insert(
+            Fingerprint::new("other", "sum", 1 << 20, false, 4),
+            Plan {
+                policy: SplitPolicy::adaptive(),
+                score_ns: 42,
+                candidates: 5,
+            },
+        );
+        // Calibrating markers must not be persisted.
+        let _ticket = match cache.lookup(&fp("transient", 8)) {
+            Lookup::Claimed(t) => t,
+            _ => panic!(),
+        };
+        let json = cache.to_json();
+        plobs::json::validate(&json).unwrap();
+        let back = PlanCache::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.ready_entries(), cache.ready_entries());
+        assert!(back.get(&fp("transient", 8)).is_none());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let cache = Arc::new(PlanCache::new());
+        cache.insert(fp("a", 8), plan(2048));
+        let path = std::env::temp_dir().join(format!("pltune_cache_{}.json", std::process::id()));
+        cache.save(&path).unwrap();
+        let back = PlanCache::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.ready_entries(), cache.ready_entries());
+    }
+
+    #[test]
+    fn from_json_rejects_other_schemas() {
+        assert!(PlanCache::from_json("{\"schema\":\"nope\",\"plans\":[]}").is_err());
+        assert!(PlanCache::from_json("[]").is_err());
+    }
+
+    #[test]
+    fn racing_lookups_calibrate_exactly_once() {
+        // Live-thread counterpart of the plcheck model: N threads race
+        // the same vacant fingerprint; exactly one claims, the rest are
+        // Busy until the install lands.
+        let cache = Arc::new(PlanCache::new());
+        let key = fp("raced", 8);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let key = key.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match cache.lookup(&key) {
+                        Lookup::Claimed(t) => {
+                            t.install(plan(128));
+                            1
+                        }
+                        Lookup::Busy => 0,
+                        Lookup::Hit(_) => 0,
+                    }
+                })
+            })
+            .collect();
+        let claims: Vec<i32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(claims.iter().sum::<i32>(), 1, "exactly one claim");
+        assert!(
+            matches!(cache.lookup(&key), Lookup::Hit(_)),
+            "no lost install"
+        );
+    }
+}

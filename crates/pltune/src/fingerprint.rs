@@ -1,0 +1,147 @@
+//! Pipeline fingerprints: the plan cache's key.
+//!
+//! A tuned plan is only transferable between executions that would
+//! build the same divide-and-conquer tree over comparable work. The
+//! fingerprint captures exactly the inputs the collect driver's policy
+//! resolution depends on: the monomorphised source/fused-chain type and
+//! collector type (Rust's `type_name` encodes the whole adapter stack),
+//! the input's power-of-two size bucket, whether that size is exact
+//! (`SIZED` — an upper-bound estimate must never share plans with an
+//! exactly-sized pipeline), and the executing pool's width.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Longest type summary kept verbatim; longer ones are truncated and
+/// suffixed with a hash of the full name so distinct chains stay
+/// distinct.
+const MAX_SUMMARY: usize = 160;
+
+/// Identity of a pipeline shape for plan-cache purposes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// Path-stripped summary of the source / fused-chain type.
+    pub pipe: String,
+    /// Path-stripped summary of the collector type.
+    pub collector: String,
+    /// `⌊log2(size)⌋` of the input size estimate (0 for empty inputs).
+    pub size_bucket: u32,
+    /// Whether the size estimate is exact (`SIZED` advertised). Plans
+    /// never cross the sized / upper-bound boundary.
+    pub sized: bool,
+    /// Width of the pool the plan was (or will be) calibrated on.
+    pub pool_width: u32,
+}
+
+impl Fingerprint {
+    /// Builds a fingerprint from raw `type_name` strings and the
+    /// pipeline's size/pool parameters.
+    pub fn new(
+        pipe_type: &str,
+        collector_type: &str,
+        size: usize,
+        sized: bool,
+        pool_width: usize,
+    ) -> Fingerprint {
+        Fingerprint {
+            pipe: summarize_type(pipe_type),
+            collector: summarize_type(collector_type),
+            size_bucket: size_bucket(size),
+            sized,
+            pool_width: pool_width as u32,
+        }
+    }
+}
+
+/// `⌊log2(n)⌋` with `n` clamped to at least 1 — the bucketing that lets
+/// one calibration serve all sizes of the same order of magnitude.
+pub fn size_bucket(n: usize) -> u32 {
+    usize::BITS - 1 - n.max(1).leading_zeros()
+}
+
+/// Compresses a `std::any::type_name` output: every path-qualified
+/// identifier keeps only its final segment, so
+/// `jstreams::tie::TieSpliterator<f64>` becomes `TieSpliterator<f64>`
+/// while the generic structure — which is what distinguishes one fused
+/// chain from another — survives intact. Summaries longer than 160
+/// bytes are truncated with a hash suffix of the full name.
+pub fn summarize_type(full: &str) -> String {
+    let mut out = String::with_capacity(full.len());
+    let mut ident = String::new();
+    let flush = |out: &mut String, ident: &mut String| {
+        if !ident.is_empty() {
+            out.push_str(ident.rsplit("::").next().unwrap_or(ident));
+            ident.clear();
+        }
+    };
+    for c in full.chars() {
+        if c.is_alphanumeric() || c == '_' || c == ':' {
+            ident.push(c);
+        } else {
+            flush(&mut out, &mut ident);
+            out.push(c);
+        }
+    }
+    flush(&mut out, &mut ident);
+
+    if out.len() > MAX_SUMMARY {
+        let mut hasher = DefaultHasher::new();
+        full.hash(&mut hasher);
+        let mut cut = MAX_SUMMARY;
+        while !out.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        out.truncate(cut);
+        out.push_str(&format!("#{:016x}", hasher.finish()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_strips_paths_keeps_generics() {
+        assert_eq!(
+            summarize_type("jstreams::tie::TieSpliterator<f64>"),
+            "TieSpliterator<f64>"
+        );
+        assert_eq!(
+            summarize_type("a::b::Outer<c::d::Inner<u64>, alloc::vec::Vec<f64>>"),
+            "Outer<Inner<u64>, Vec<f64>>"
+        );
+        assert_eq!(summarize_type("u64"), "u64");
+    }
+
+    #[test]
+    fn summarize_truncates_with_distinct_hashes() {
+        let a = format!("m::Chain<{}>", "x".repeat(400));
+        let b = format!("m::Chain<{}>", "y".repeat(400));
+        let (sa, sb) = (summarize_type(&a), summarize_type(&b));
+        assert!(sa.len() <= MAX_SUMMARY + 17);
+        assert_ne!(sa, sb, "distinct chains must stay distinct");
+        assert_eq!(summarize_type(&a), sa, "deterministic");
+    }
+
+    #[test]
+    fn size_buckets_are_floor_log2() {
+        assert_eq!(size_bucket(0), 0);
+        assert_eq!(size_bucket(1), 0);
+        assert_eq!(size_bucket(2), 1);
+        assert_eq!(size_bucket(3), 1);
+        assert_eq!(size_bucket(1 << 20), 20);
+        assert_eq!(size_bucket((1 << 20) + 5), 20);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_every_field() {
+        let base = Fingerprint::new("p", "c", 1 << 10, true, 8);
+        assert_eq!(base, Fingerprint::new("x::p", "y::c", 1 << 10, true, 8));
+        assert_ne!(base, Fingerprint::new("q", "c", 1 << 10, true, 8));
+        assert_ne!(base, Fingerprint::new("p", "d", 1 << 10, true, 8));
+        assert_ne!(base, Fingerprint::new("p", "c", 1 << 11, true, 8));
+        assert_ne!(base, Fingerprint::new("p", "c", 1 << 10, false, 8));
+        assert_ne!(base, Fingerprint::new("p", "c", 1 << 10, true, 4));
+    }
+}

@@ -1,0 +1,139 @@
+//! The unit the cache stores: a calibrated split policy plus the
+//! evidence that picked it.
+
+use forkjoin::{AdaptiveSplit, SplitPolicy};
+use plobs::json::Value;
+use std::fmt::Write as _;
+
+/// A calibrated execution plan for one pipeline fingerprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Plan {
+    /// The winning split policy.
+    pub policy: SplitPolicy,
+    /// The winner's probe time in nanoseconds (best observed run).
+    pub score_ns: u64,
+    /// How many candidates the sweep compared.
+    pub candidates: u32,
+}
+
+impl Plan {
+    /// Renders the plan as a JSON object fragment (used inside the plan
+    /// cache's serialisation). Always valid JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"policy\":");
+        match self.policy {
+            SplitPolicy::Fixed(leaf) => {
+                let _ = write!(out, "{{\"kind\":\"fixed\",\"leaf\":{}}}", leaf);
+            }
+            SplitPolicy::Adaptive(a) => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"adaptive\",\"min_leaf\":{},\"depth_slack\":{},\"surplus\":{}}}",
+                    a.min_leaf, a.depth_slack, a.surplus
+                );
+            }
+        }
+        let _ = write!(
+            out,
+            ",\"score_ns\":{},\"candidates\":{}}}",
+            self.score_ns, self.candidates
+        );
+        out
+    }
+
+    /// Rebuilds a plan from a parsed JSON object (the inverse of
+    /// [`Plan::to_json`]).
+    pub fn from_value(v: &Value) -> Result<Plan, String> {
+        let policy = v.get("policy").ok_or("plan missing \"policy\"")?;
+        let kind = policy
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("policy missing \"kind\"")?;
+        let policy = match kind {
+            "fixed" => SplitPolicy::Fixed(
+                policy
+                    .get("leaf")
+                    .and_then(Value::as_u64)
+                    .ok_or("fixed policy missing \"leaf\"")? as usize,
+            ),
+            "adaptive" => SplitPolicy::Adaptive(AdaptiveSplit {
+                min_leaf: policy
+                    .get("min_leaf")
+                    .and_then(Value::as_u64)
+                    .ok_or("adaptive policy missing \"min_leaf\"")?
+                    as usize,
+                depth_slack: policy
+                    .get("depth_slack")
+                    .and_then(Value::as_u64)
+                    .ok_or("adaptive policy missing \"depth_slack\"")?
+                    as u32,
+                surplus: policy
+                    .get("surplus")
+                    .and_then(Value::as_u64)
+                    .ok_or("adaptive policy missing \"surplus\"")?
+                    as usize,
+            }),
+            other => return Err(format!("unknown policy kind {other:?}")),
+        };
+        Ok(Plan {
+            policy,
+            score_ns: v
+                .get("score_ns")
+                .and_then(Value::as_u64)
+                .ok_or("plan missing \"score_ns\"")?,
+            candidates: v
+                .get("candidates")
+                .and_then(Value::as_u64)
+                .ok_or("plan missing \"candidates\"")? as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_plan_round_trips() {
+        let plan = Plan {
+            policy: SplitPolicy::Fixed(4096),
+            score_ns: 123_456,
+            candidates: 5,
+        };
+        let json = plan.to_json();
+        plobs::json::validate(&json).unwrap();
+        let back = Plan::from_value(&plobs::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn adaptive_plan_round_trips() {
+        let plan = Plan {
+            policy: SplitPolicy::Adaptive(AdaptiveSplit {
+                min_leaf: 512,
+                depth_slack: 3,
+                surplus: 1,
+            }),
+            score_ns: 9,
+            candidates: 4,
+        };
+        let json = plan.to_json();
+        plobs::json::validate(&json).unwrap();
+        let back = Plan::from_value(&plobs::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        for bad in [
+            "{}",
+            "{\"policy\":{\"kind\":\"magic\"},\"score_ns\":1,\"candidates\":1}",
+            "{\"policy\":{\"kind\":\"fixed\"},\"score_ns\":1,\"candidates\":1}",
+            "{\"policy\":{\"kind\":\"fixed\",\"leaf\":8},\"candidates\":1}",
+        ] {
+            let v = plobs::json::parse(bad).unwrap();
+            assert!(Plan::from_value(&v).is_err(), "{bad} wrongly accepted");
+        }
+    }
+}

@@ -547,6 +547,84 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Tuned-route equivalence: resolving the split policy from a pltune
+// plan cache is tree-shape-only — cold (calibrating), warm (cache-hit)
+// and invalidated (re-calibrating) runs must all agree with the
+// explicit fixed-policy route, for SIZED and filtered (upper-bound)
+// pipelines alike.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn tuned_routes_agree_with_fixed(
+        raw in proptest::collection::vec(-1000i64..1000, 1..500),
+        leaf in 1usize..64,
+    ) {
+        let _shared = shared();
+        let spec_map: i64 = raw.iter().map(|x| x * 3 - 1).sum();
+        let spec_survivors: Vec<i64> =
+            raw.iter().copied().filter(|x| x % 3 == 0).collect();
+
+        let fixed_map = stream_support(SliceSpliterator::new(raw.clone()), true)
+            .with_leaf_size(leaf)
+            .map(|x| x * 3 - 1)
+            .reduce(0, |a, b| a + b);
+        prop_assert_eq!(fixed_map, spec_map);
+
+        let cache = std::sync::Arc::new(jstreams::PlanCache::new());
+        for round in 0..3 {
+            // Round 0 calibrates cold, round 1 hits the warm cache,
+            // round 2 re-calibrates after explicit invalidation.
+            if round == 2 {
+                cache.invalidate_all();
+            }
+            let tuned_map = stream_support(SliceSpliterator::new(raw.clone()), true)
+                .with_auto_tuning(std::sync::Arc::clone(&cache))
+                .map(|x| x * 3 - 1)
+                .reduce(0, |a, b| a + b);
+            prop_assert_eq!(tuned_map, spec_map, "map+reduce round {}", round);
+
+            // Filtered pipeline: non-SIZED, order-sensitive output.
+            let tuned_vec = stream_support(SliceSpliterator::new(raw.clone()), true)
+                .with_auto_tuning(std::sync::Arc::clone(&cache))
+                .filter(|x| x % 3 == 0)
+                .to_vec();
+            prop_assert_eq!(&tuned_vec, &spec_survivors, "filter+to_vec round {}", round);
+        }
+    }
+}
+
+/// The tune counters across a cache lifetime: cold run calibrates, warm
+/// run hits without calibrating, invalidation forces one fresh
+/// calibration — and every run computes the same sum.
+#[test]
+fn tuner_counters_across_invalidation() {
+    let _exclusive = exclusive();
+    let cache = std::sync::Arc::new(jstreams::PlanCache::new());
+    let n = 4096i64;
+    let run = |cache: std::sync::Arc<jstreams::PlanCache>| {
+        stream_support(SliceSpliterator::new((0..n).collect()), true)
+            .with_auto_tuning(cache)
+            .reduce(0i64, |a, b| a + b)
+    };
+    let c = std::sync::Arc::clone(&cache);
+    let (sums, report) = plobs::recorded(move || {
+        let a = run(std::sync::Arc::clone(&c));
+        let b = run(std::sync::Arc::clone(&c));
+        c.invalidate_all();
+        let d = run(std::sync::Arc::clone(&c));
+        (a, b, d)
+    });
+    let spec: i64 = (0..n).sum();
+    assert_eq!(sums, (spec, spec, spec));
+    assert_eq!(report.tune_calibrations, 2, "cold + post-invalidation");
+    assert_eq!(report.tune_hits, 1, "warm run reuses the plan");
+    assert_eq!(report.tune_misses, 0);
+}
+
+// ---------------------------------------------------------------------
 // Route accounting: the zero-copy dispatch is not just equivalent, it
 // is *taken*. These record the actual leaf routes through the plobs
 // sink and assert that zero-copy-capable pipelines never fall back to
