@@ -68,6 +68,19 @@ grep -c "run-2 cache hit OK" "$AUTOTUNE_LOG" | grep -qx 2
 grep -c "persisted cache reload hit OK" "$AUTOTUNE_LOG" | grep -qx 2
 grep -c "wrote target/ci-autotune/BENCH_autotune_" "$AUTOTUNE_LOG" | grep -qx 2
 
+echo "==> smoke: short-circuiting search bench gates the front-needle speedup"
+# The bin plants needles across sweep positions, asserts the plobs
+# pruning contract in-process (late needles record Found cancellations
+# + pruned subtrees, absent needles record neither), and with
+# --min-front-speedup gates that a front needle beats the full-drain
+# baseline — the short-circuit must stay visible even at smoke sizes.
+# The greps pin both artifact rows so a silently skipped sweep fails.
+SEARCH_LOG=target/ci-search.log
+cargo run --release -p plbench --bin search -- --runs 3 --exp 12 \
+    --min-front-speedup 3 --out-dir target/ci-search | tee /dev/stderr >"$SEARCH_LOG"
+grep -q "wrote target/ci-search/BENCH_search_any.json" "$SEARCH_LOG"
+grep -q "wrote target/ci-search/BENCH_search_findfirst.json" "$SEARCH_LOG"
+
 echo "==> plcheck: deterministic concurrency checker gate"
 # Fixed regression models + the pinned regression-seed set run inside
 # the normal suite; then a short randomized-schedule smoke walks fresh

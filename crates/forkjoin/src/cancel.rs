@@ -27,6 +27,7 @@ fn reason_code(reason: CancelReason) -> u8 {
         CancelReason::Panic => 1,
         CancelReason::User => 2,
         CancelReason::Deadline => 3,
+        CancelReason::Found => 4,
     }
 }
 
@@ -35,6 +36,7 @@ fn code_reason(code: u8) -> Option<CancelReason> {
         1 => Some(CancelReason::Panic),
         2 => Some(CancelReason::User),
         3 => Some(CancelReason::Deadline),
+        4 => Some(CancelReason::Found),
         _ => None,
     }
 }

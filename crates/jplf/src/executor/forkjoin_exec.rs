@@ -102,7 +102,7 @@ impl ForkJoinExecutor {
     /// first sight) when attached, else the configured policy.
     /// PowerViews are always exactly sized, so the fingerprint's size
     /// is exact by construction.
-    fn resolve_policy(&self, pipe: &str, len: usize) -> SplitPolicy {
+    pub(crate) fn resolve_policy(&self, pipe: &str, len: usize) -> SplitPolicy {
         self.tuner
             .as_ref()
             .and_then(|cache| {

@@ -46,6 +46,7 @@ pub mod executor;
 pub mod function;
 pub mod mpisim;
 pub mod plist_function;
+pub mod search;
 pub mod trace;
 
 pub use executor::{
@@ -58,4 +59,5 @@ pub use function::{
 pub use plist_function::{
     compute_plist_parallel, compute_plist_sequential, NWayReduce, PListFunction,
 };
+pub use search::{Not, PowerSearchFunction, SearchExecutor};
 pub use trace::{compute_traced, compute_with_sink, PhaseTrace};

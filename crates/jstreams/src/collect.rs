@@ -160,6 +160,10 @@ where
 ///
 /// Shim over the fallible sequential route: a contained panic is resumed
 /// on the caller, so observable behaviour is unchanged.
+#[deprecated(
+    since = "0.9.0",
+    note = "build a stream and use `Stream::collect`, or `Stream::try_collect` with `ExecConfig::seq()` for the fallible surface"
+)]
 pub fn collect_seq<T, S, C>(mut source: S, collector: &C) -> C::Out
 where
     S: Spliterator<T>,
@@ -199,6 +203,11 @@ pub fn default_leaf_size(len: usize, threads: usize) -> usize {
 /// order is preserved (`combine(left, right)` with `left` the split-off
 /// prefix). Equivalent to [`collect_par_with`] under
 /// [`SplitPolicy::Fixed`].
+#[deprecated(
+    since = "0.9.0",
+    note = "use `Stream::try_collect` with `ExecConfig::par().with_pool(..).with_leaf_size(..)`"
+)]
+#[allow(deprecated)] // delegates to the sibling deprecated shim
 pub fn collect_par<T, S, C>(
     pool: &ForkJoinPool,
     source: S,
@@ -229,6 +238,10 @@ where
 /// Shim over the fallible parallel route: it arms a private session, so
 /// a panic anywhere in the tree still cancels sibling subtrees and is
 /// resumed on the caller once the tree has quiesced.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `Stream::try_collect` with `ExecConfig::par().with_pool(..).with_split_policy(..)`"
+)]
 pub fn collect_par_with<T, S, C>(
     pool: &ForkJoinPool,
     source: S,
@@ -504,6 +517,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims keep their direct coverage here
 mod tests {
     use super::*;
     use crate::collector::{CountCollector, JoiningCollector, ReduceCollector, VecCollector};

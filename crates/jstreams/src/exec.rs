@@ -362,6 +362,19 @@ impl ExecSession {
         }
     }
 
+    /// Like [`ExecSession::new`], but always arms a fresh private token,
+    /// even when `cfg` carries a caller-held one. Search drivers run on
+    /// a private session so their `Found` short-circuit (and panic
+    /// containment) never trips a token the caller may reuse across
+    /// runs; the caller's token is observed separately at every
+    /// checkpoint (see [`crate::search::SearchSession`]).
+    pub(crate) fn private(cfg: &ExecConfig) -> Self {
+        ExecSession {
+            token: CancelToken::new(),
+            deadline: cfg.deadline().map(Deadline::after),
+        }
+    }
+
     /// Converts a root-level [`Interrupt`] into the public error.
     pub fn error_of(&self, interrupt: Interrupt) -> ExecError {
         match interrupt {
@@ -384,6 +397,23 @@ pub(crate) fn unwrap_interrupt<R>(r: Result<R, Interrupt>) -> R {
         Err(Interrupt::Cancelled(reason)) => {
             unreachable!("legacy collect cancelled ({reason:?}) without a session")
         }
+    }
+}
+
+/// The single definition of infallible-shim semantics: every infallible
+/// terminal (`collect`, `reduce`, `count`, the quantifiers, …) is a
+/// documented shim that calls its fallible `try_` twin and finishes
+/// through here. A contained panic resumes on the caller, exactly as if
+/// the terminal had run inline; any other failure (cancellation,
+/// deadline, shape) aborts with a message pointing at the `try_` twin —
+/// those can only arise when the stream's [`ExecConfig`] armed
+/// fault-tolerance knobs, and callers who arm them should be calling
+/// the fallible surface.
+pub(crate) fn finish_infallible<R>(result: Result<R, ExecError>, op: &str) -> R {
+    match result {
+        Ok(v) => v,
+        Err(ExecError::Panicked(payload)) => std::panic::resume_unwind(payload),
+        Err(e) => panic!("stream {op} failed: {e}; use the try_ variant for fallible execution"),
     }
 }
 

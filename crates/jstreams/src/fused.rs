@@ -350,6 +350,45 @@ where
         self.source.mark_drained();
         Some((acc, delivered))
     }
+
+    fn fused_search(&mut self, visit: &mut dyn FnMut(&U) -> bool) -> Option<(bool, u64)> {
+        let (items, step) = self.source.try_as_strided()?;
+        let chain = &self.chain;
+        // A Cell so the sink (which owns the only &mut access) and the
+        // outer loop's early-exit test can both see the stop flag.
+        let stopped = std::cell::Cell::new(false);
+        let mut delivered: u64 = 0;
+        {
+            let mut sink = |u: U| {
+                if !stopped.get() {
+                    delivered += 1;
+                    if visit(&u) {
+                        stopped.set(true);
+                    }
+                }
+            };
+            if step == 1 {
+                for x in items {
+                    chain.push(x.clone(), &mut sink);
+                    if stopped.get() {
+                        break;
+                    }
+                }
+            } else {
+                for x in items.iter().step_by(step) {
+                    chain.push(x.clone(), &mut sink);
+                    if stopped.get() {
+                        break;
+                    }
+                }
+            }
+        }
+        let stopped = stopped.get();
+        if !stopped {
+            self.source.mark_drained();
+        }
+        Some((stopped, delivered))
+    }
 }
 
 impl<B, S, K, U> Spliterator<U> for FusedSpliterator<B, S, K, U>

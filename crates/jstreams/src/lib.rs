@@ -49,6 +49,8 @@ pub mod fused;
 pub mod nway;
 pub mod ops;
 pub mod power;
+pub mod prelude;
+pub mod search;
 pub mod shared;
 pub mod spliterator;
 pub mod stream;
@@ -57,6 +59,7 @@ pub mod truncate;
 pub mod zip;
 
 pub use characteristics::Characteristics;
+#[allow(deprecated)]
 pub use collect::{
     collect_par, collect_par_with, collect_seq, default_leaf_size, run_leaf, try_collect_with,
 };
@@ -77,6 +80,10 @@ pub use pltune::{Fingerprint, Plan, PlanCache};
 pub use power::{
     collect_powerlist, power_stream, try_collect_powerlist, Decomposition, PowerListCollector,
     PowerMapCollector, PowerSpliterator,
+};
+pub use search::{
+    try_all_match_with, try_any_match_with, try_find_any_with, try_find_first_with,
+    try_none_match_with, FirstHit, SearchSession,
 };
 pub use shared::SharedState;
 pub use spliterator::{

@@ -1,0 +1,28 @@
+//! The one-line import for stream programs:
+//! `use jstreams::prelude::*;`
+//!
+//! Re-exports the surface a typical pipeline touches — stream
+//! construction, the execution configuration and its error type, split
+//! policies, the collector set, the PowerList entry points, and the
+//! spliterator kinds streams are built from. Driver internals
+//! (`try_collect_with`, `run_leaf`, leaf-access traits) stay behind
+//! their modules: programs that reach that deep should name them
+//! explicitly.
+
+pub use crate::characteristics::Characteristics;
+pub use crate::collector::{
+    Collector, CountCollector, ExtremumCollector, FnCollector, JoiningCollector, ReduceCollector,
+    VecCollector,
+};
+pub use crate::exec::{ExecConfig, ExecError, ExecMode};
+pub use crate::power::{
+    collect_powerlist, power_stream, try_collect_powerlist, Decomposition, PowerListCollector,
+    PowerMapCollector, PowerSpliterator,
+};
+pub use crate::search::{FirstHit, SearchSession};
+pub use crate::shared::SharedState;
+pub use crate::spliterator::{SliceSpliterator, Spliterator};
+pub use crate::stream::{stream_support, Stream};
+pub use crate::tie::TieSpliterator;
+pub use crate::zip::{HookedZipSpliterator, ZipSpliterator};
+pub use forkjoin::{AdaptiveSplit, CancelReason, CancelToken, Deadline, ForkJoinPool, SplitPolicy};

@@ -1,0 +1,1038 @@
+//! Short-circuiting search terminals: the quantifier half of Java's
+//! Stream API (`anyMatch` / `allMatch` / `noneMatch` / `findFirst` /
+//! `findAny`), executed by a driver that prunes the fork-join tree
+//! instead of draining it.
+//!
+//! The driver reuses the collect machinery wholesale — split policies,
+//! the tuner's plan cache, pool fallbacks, and the fused-borrow leaf
+//! protocol (predicates run push-style over *borrowed* source runs, so
+//! a `map`/`filter` chain is searched without materializing it) — but
+//! replaces the combine phase with shared search state and adds two
+//! short-circuit mechanisms:
+//!
+//! * **`Found` cancellation** — when a leaf records a decisive hit
+//!   (`any_match`, `find_any`), it first publishes the hit to the shared
+//!   sink and *then* trips the run's internal
+//!   [`CancelToken`] with [`CancelReason::Found`]; every sibling subtree
+//!   observes the trip at its next split/leaf checkpoint and returns
+//!   without scanning (one [`Event::EarlyExit`] per pruned subtree
+//!   root). Record-before-cancel is the invariant that makes the
+//!   short-circuit lossless: any task that observes `Found` can rely on
+//!   the sink already holding an answer.
+//! * **Encounter-order pruning** (`find_first`) — a hit is never
+//!   decisive (a left-er subtree may still hold an earlier one), so
+//!   instead of cancelling, leaves record hits into a [`FirstHit`] cell
+//!   carrying a shared atomic "best prefix index"; a subtree whose base
+//!   encounter index is at or past the recorded best abandons itself at
+//!   its node-entry checkpoint.
+//!
+//! The indices compared are *virtual* encounter indices: at every
+//! split, the suffix subtree's base advances by the prefix's
+//! `estimate_size()`. For non-SIZED pipelines (filter chains) that
+//! estimate is an upper bound, so leaf survivor ranges stay disjoint
+//! and ordered — virtual indices increase strictly with encounter
+//! order, which is all the pruning comparison needs. Pruning at
+//! `bound ≤ base` can never lose the minimal hit: every index in the
+//! pruned subtree is ≥ its base ≥ an already-recorded hit.
+//!
+//! A search run executes on a **private** token
+//! ([`SearchSession`]): `Found` (and panic containment) must never trip
+//! a caller-held token that outlives the run. The caller's token is
+//! still observed at every checkpoint, so external cancellation and
+//! deadlines behave exactly as in `try_collect`.
+//!
+//! Before engaging the pool, the parallel driver scans a short root
+//! prefix of SIZED sources inline on the calling thread
+//! (`ROOT_PROBE` elements): a
+//! front-loaded hit — the case short-circuiting exists for — then
+//! answers without paying a single pool round-trip, and since the
+//! prefix is first in encounter order, a probe hit is globally first
+//! and decisive for every terminal, `find_first` included.
+
+use crate::collect::default_leaf_size;
+use crate::exec::{ExecConfig, ExecError, ExecMode, ExecSession, Interrupt};
+use crate::spliterator::Spliterator;
+use forkjoin::{
+    current_probe, demand_split, join, CancelReason, CancelToken, ForkJoinPool, SplitPolicy,
+};
+use parking_lot::Mutex;
+use plobs::{Event, FallbackReason, LeafRoute};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A search run's cancellation context: a fresh private token (the
+/// `Found` short-circuit channel, also used for panic containment)
+/// layered over the caller's optional token — observed at every
+/// checkpoint, never tripped by the search itself.
+///
+/// Exposed so the JPLF executors (and concurrency models) can drive
+/// their own search recursions through the exact protocol the streams
+/// driver uses.
+#[derive(Clone, Debug)]
+pub struct SearchSession {
+    inner: ExecSession,
+    caller: Option<CancelToken>,
+}
+
+impl SearchSession {
+    /// Arms a session from `cfg`: a private token plus `cfg`'s deadline;
+    /// `cfg`'s own cancel token is kept aside for observation only.
+    pub fn new(cfg: &ExecConfig) -> Self {
+        SearchSession {
+            inner: ExecSession::private(cfg),
+            caller: cfg.cancel_token().cloned(),
+        }
+    }
+
+    /// The run's private token (what `Found` trips).
+    pub fn token(&self) -> &CancelToken {
+        self.inner.token()
+    }
+
+    /// Publishes a decisive hit: trips the private token with
+    /// [`CancelReason::Found`]. Callers must have recorded the hit in
+    /// shared state *before* calling this (record-before-cancel).
+    /// Returns `true` when this call won the trip.
+    pub fn found(&self) -> bool {
+        self.token().cancel(CancelReason::Found)
+    }
+
+    /// A cooperative checkpoint. `Ok(false)` — keep going. `Ok(true)` —
+    /// the run short-circuited via `Found`: the subtree should count
+    /// itself pruned and return *success* (the answer is already in the
+    /// shared sink). `Err` — a real interruption (panic, caller cancel,
+    /// deadline) that must propagate to the root.
+    pub fn check(&self) -> Result<bool, Interrupt> {
+        if let Some(t) = &self.caller {
+            if let Some(r) = t.reason() {
+                // Propagate the caller's cancellation into the private
+                // token once, so sibling tasks observe it without
+                // re-reading the caller's token (first-cancel-wins keeps
+                // an earlier Found from being overwritten).
+                self.token().cancel(r);
+            }
+        }
+        match self.inner.check() {
+            Ok(()) => Ok(false),
+            Err(Interrupt::Cancelled(CancelReason::Found)) => Ok(true),
+            Err(i) => Err(i),
+        }
+    }
+
+    /// Runs user code (predicates) under panic containment; see
+    /// [`ExecSession::run`].
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> Result<R, Interrupt> {
+        self.inner.run(f)
+    }
+
+    /// Converts a root-level interrupt into the public error. `Found`
+    /// never reaches here: checkpoints convert it to success.
+    pub fn error_of(&self, interrupt: Interrupt) -> ExecError {
+        self.inner.error_of(interrupt)
+    }
+}
+
+/// The `find_first` protocol cell: the best (lowest encounter index)
+/// hit so far, plus an atomic copy of its index that subtrees read to
+/// decide pruning.
+///
+/// The mutex-guarded slot is the source of truth — `offer` only
+/// improves it, and the atomic bound is updated inside the critical
+/// section, so the bound is monotonically decreasing and never lower
+/// than a real recorded hit. A stale (too high) bound read merely
+/// fails to prune; it can never prune a subtree that could still win.
+#[derive(Debug, Default)]
+pub struct FirstHit<T> {
+    best: AtomicUsize,
+    slot: Mutex<Option<(usize, T)>>,
+}
+
+impl<T> FirstHit<T> {
+    /// An empty cell (bound = `usize::MAX`).
+    pub fn new() -> Self {
+        FirstHit {
+            best: AtomicUsize::new(usize::MAX),
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Offers a hit at encounter index `idx`; keeps it only when it is
+    /// strictly earlier than the current record. Returns `true` when
+    /// the record improved.
+    pub fn offer(&self, idx: usize, value: T) -> bool {
+        let mut slot = self.slot.lock();
+        let improves = slot.as_ref().is_none_or(|(best, _)| idx < *best);
+        if improves {
+            *slot = Some((idx, value));
+            self.best.store(idx, Ordering::Release);
+        }
+        improves
+    }
+
+    /// The recorded best index (`usize::MAX` while empty). An upper
+    /// bound on the final answer's index.
+    pub fn bound(&self) -> usize {
+        self.best.load(Ordering::Acquire)
+    }
+
+    /// `true` when a subtree whose encounter indices are all ≥ `base`
+    /// cannot improve the record and may be abandoned.
+    pub fn prunes(&self, base: usize) -> bool {
+        self.bound() <= base
+    }
+
+    /// Takes the recorded `(index, value)` pair, emptying the cell.
+    pub fn take(&self) -> Option<(usize, T)> {
+        self.slot.lock().take()
+    }
+
+    /// The recorded `(index, value)` pair, cloned.
+    pub fn get(&self) -> Option<(usize, T)>
+    where
+        T: Clone,
+    {
+        self.slot.lock().clone()
+    }
+}
+
+/// Where leaf hits go. One implementation per quantifier family; the
+/// recursion is generic over it so all five terminals share one driver.
+trait SearchSink<T>: Send + Sync + 'static {
+    /// Records a hit on `value` at virtual encounter index `idx`.
+    /// Returns `true` when the hit is decisive and the whole run should
+    /// short-circuit via `Found`.
+    fn hit(&self, idx: usize, value: &T) -> bool;
+
+    /// Encounter-order pruning bound: subtrees whose base index is ≥
+    /// this may be abandoned. `usize::MAX` disables pruning (the
+    /// default for first-hit-wins sinks).
+    fn bound(&self) -> usize {
+        usize::MAX
+    }
+}
+
+/// Existence sink (`any_match` / `all_match` / `none_match`): one
+/// decisive bit, no element is retained (so `T: Clone` is not needed).
+#[derive(Default)]
+struct ExistsSink {
+    found: AtomicBool,
+}
+
+impl<T> SearchSink<T> for ExistsSink {
+    fn hit(&self, _idx: usize, _value: &T) -> bool {
+        self.found.store(true, Ordering::Release);
+        true
+    }
+}
+
+/// First-hit-wins sink (`find_any`): keeps the first recorded element,
+/// decisively.
+struct AnySink<T> {
+    slot: Mutex<Option<T>>,
+}
+
+impl<T: Clone + Send + 'static> SearchSink<T> for AnySink<T> {
+    fn hit(&self, _idx: usize, value: &T) -> bool {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(value.clone());
+        }
+        true
+    }
+}
+
+/// Encounter-order sink (`find_first`): hits are never decisive (an
+/// earlier one may still turn up to the left); pruning comes from the
+/// shared bound instead.
+struct FirstSink<T> {
+    hit: FirstHit<T>,
+}
+
+impl<T: Clone + Send + 'static> SearchSink<T> for FirstSink<T> {
+    fn hit(&self, idx: usize, value: &T) -> bool {
+        self.hit.offer(idx, value.clone());
+        false
+    }
+
+    fn bound(&self) -> usize {
+        self.hit.bound()
+    }
+}
+
+/// Chunk width of the zero-copy scan: predicates are evaluated over a
+/// whole chunk branch-free (so simple predicates autovectorise like a
+/// reduce leaf does) before the stop test runs; a positive chunk is
+/// rescanned scalar to pin the exact first hit. The overrun is at most
+/// one chunk — well inside the search terminals' "stops at the next
+/// checkpoint" contract. 256 keeps the stop-test branch off the hot
+/// path (measured within ~1.1× of a plain reduce fold on an absent
+/// needle) while bounding the overrun to a few cache lines.
+const SCAN_CHUNK: usize = 256;
+
+/// Scans a contiguous run, returning `(elements_scanned, first_hit)`.
+/// The predicate may be invoked on up to `SCAN_CHUNK - 1` elements past
+/// the first hit, and twice on elements of the hit's chunk — search
+/// predicates must be pure (Java imposes the same statelessness rule).
+fn scan_run<T, P: Fn(&T) -> bool>(items: &[T], pred: &P) -> (u64, Option<usize>) {
+    let mut done = 0usize;
+    for chunk in items.chunks(SCAN_CHUNK) {
+        let mut any = false;
+        for x in chunk {
+            any |= pred(x);
+        }
+        if any {
+            let off = chunk.iter().position(pred).expect("chunk reported a hit");
+            return ((done + off + 1) as u64, Some(done + off));
+        }
+        done += chunk.len();
+    }
+    (done as u64, None)
+}
+
+/// One leaf node of the search recursion: scans the remaining elements
+/// in encounter order under panic containment, stopping at the first
+/// predicate match; the hit is recorded in the sink at its virtual
+/// encounter index (`base` + delivered-position) and, when decisive,
+/// trips `Found` — strictly *after* the sink recorded it.
+///
+/// Route selection mirrors [`crate::collect::run_leaf`]: a borrowed
+/// contiguous run takes the chunked [`scan_run`] (the predicate sees
+/// `&T`, no clones, vectorisable); a strided borrow scans scalar over
+/// the residue class; a fused adapter pipeline drives its chain
+/// push-style over the *underlying* source's borrow
+/// ([`crate::spliterator::LeafAccess::fused_search`]); everything else
+/// takes the per-element cloning drain. Observed runs emit one
+/// [`Event::Leaf`] counting the elements actually delivered to the
+/// predicate (survivors, for filtering chains).
+fn search_leaf<T, S, P, K>(
+    source: &mut S,
+    pred: &P,
+    sink: &K,
+    base: usize,
+    session: &SearchSession,
+) -> Result<(), Interrupt>
+where
+    S: Spliterator<T>,
+    P: Fn(&T) -> bool,
+    K: SearchSink<T> + ?Sized,
+{
+    let token = session.token().clone();
+    let observe = plobs::enabled();
+    let start = if observe { Some(Instant::now()) } else { None };
+    let (route, items) = session.run(|| {
+        // Record-before-cancel: the sink holds the hit before any
+        // sibling can observe the Found trip. Within a leaf the first
+        // match is the leaf's earliest delivered element, so every sink
+        // stops the scan there.
+        let record = |local: usize, x: &T| {
+            if sink.hit(base.saturating_add(local), x) {
+                token.cancel(CancelReason::Found);
+            }
+        };
+        if let Some((items, step)) = source.try_as_strided() {
+            let (scanned, hit) = if step == 1 {
+                scan_run(items, pred)
+            } else {
+                // Strided residue class (zip leaves): scalar early-exit
+                // scan — these runs are short by construction.
+                let mut scanned = 0u64;
+                let mut hit = None;
+                for (j, x) in items.iter().step_by(step).enumerate() {
+                    scanned += 1;
+                    if pred(x) {
+                        hit = Some(j);
+                        break;
+                    }
+                }
+                (scanned, hit)
+            };
+            let route = if step == 1 {
+                LeafRoute::ZeroCopySlice
+            } else {
+                LeafRoute::ZeroCopyStrided
+            };
+            match hit {
+                Some(local) => record(local, &items[local * step]),
+                None => source.mark_drained(),
+            }
+            return (route, scanned);
+        }
+        let mut delivered = 0usize;
+        // fused_search leaves a fully-scanned source drained itself.
+        if source
+            .fused_search(&mut |x| {
+                let local = delivered;
+                delivered += 1;
+                if pred(x) {
+                    record(local, x);
+                    true
+                } else {
+                    false
+                }
+            })
+            .is_some()
+        {
+            return (LeafRoute::FusedBorrow, delivered as u64);
+        }
+        // Cloning drain: advance one element at a time so a hit stops
+        // the scan with at most one element of overrun.
+        let mut stopped = false;
+        loop {
+            let more = source.try_advance(&mut |x| {
+                let local = delivered;
+                delivered += 1;
+                if !stopped && pred(&x) {
+                    record(local, &x);
+                    stopped = true;
+                }
+            });
+            if stopped || !more {
+                break;
+            }
+        }
+        (LeafRoute::CloningDrain, delivered as u64)
+    })?;
+    if let Some(start) = start {
+        plobs::emit(Event::Leaf {
+            route,
+            items,
+            ns: start.elapsed().as_nanos() as u64,
+        });
+    }
+    Ok(())
+}
+
+/// Elements the parallel driver scans *inline on the calling thread*
+/// before engaging the pool. Submitting to an external pool costs two
+/// context switches (inject + latch wake) — several microseconds that
+/// dominate a front-loaded hit, the best case short-circuiting exists
+/// for. A prefix probe answers those hits at memory speed; a miss costs
+/// one cloning pass over this many elements, noise against any input
+/// large enough to deserve the pool.
+const ROOT_PROBE: usize = 1024;
+
+/// What [`probe_root`] concluded.
+enum Probe {
+    /// The search is over: the prefix hit (recorded in the sink), the
+    /// source ran out inside the prefix, or a checkpoint pruned it.
+    Answered,
+    /// The prefix missed; this many elements were consumed, so the
+    /// parallel phase continues from that encounter-order base.
+    Miss(usize),
+}
+
+/// Scans the first [`ROOT_PROBE`] delivered elements inline. The prefix
+/// precedes everything in encounter order, so a probe hit is globally
+/// first — decisive for *every* sink, `find_first` included, and the
+/// whole un-scanned remainder is pruned (recorded as one `Found`
+/// cancellation plus one `EarlyExit`, the driver standing in for the
+/// node checkpoints that never got to observe the trip).
+///
+/// Only SIZED sources are probed (the caller checks `exact_size()`):
+/// there `try_advance` delivers exactly one element per call, so the
+/// delivered count bounds the work. On a filtering chain a single
+/// `try_advance` may scan the *entire* underlying source hunting for
+/// one survivor — an absent needle would be drained element-by-element
+/// on the calling thread instead of by the parallel kernels.
+fn probe_root<T, S, P, K>(
+    source: &mut S,
+    pred: &P,
+    sink: &K,
+    session: &SearchSession,
+) -> Result<Probe, Interrupt>
+where
+    S: Spliterator<T>,
+    P: Fn(&T) -> bool,
+    K: SearchSink<T> + ?Sized,
+{
+    // Honour a caller token that tripped before the search even began.
+    if session.check()? {
+        plobs::emit(Event::EarlyExit { leaves_pruned: 1 });
+        return Ok(Probe::Answered);
+    }
+    let token = session.token().clone();
+    let observe = plobs::enabled();
+    let start = if observe { Some(Instant::now()) } else { None };
+    let mut delivered = 0usize;
+    let mut hit = false;
+    let mut more = true;
+    session.run(|| {
+        while more && !hit && delivered < ROOT_PROBE {
+            more = source.try_advance(&mut |x| {
+                let local = delivered;
+                delivered += 1;
+                if !hit && pred(&x) {
+                    sink.hit(local, &x);
+                    token.cancel(CancelReason::Found);
+                    hit = true;
+                }
+            });
+        }
+    })?;
+    if let Some(start) = start {
+        plobs::emit(Event::Leaf {
+            route: LeafRoute::CloningDrain,
+            items: delivered as u64,
+            ns: start.elapsed().as_nanos() as u64,
+        });
+    }
+    if hit {
+        plobs::emit(Event::Cancel {
+            reason: CancelReason::Found,
+        });
+        plobs::emit(Event::EarlyExit { leaves_pruned: 1 });
+    }
+    if hit || !more {
+        Ok(Probe::Answered)
+    } else {
+        Ok(Probe::Miss(delivered))
+    }
+}
+
+/// The guarded sequential route: one checkpoint, then the whole source
+/// as a single leaf. Also the degradation target when the parallel
+/// route's pool is unavailable or saturated.
+fn search_leaf_all<T, S, P, K>(
+    source: &mut S,
+    pred: &P,
+    sink: &K,
+    session: &SearchSession,
+) -> Result<(), Interrupt>
+where
+    S: Spliterator<T>,
+    P: Fn(&T) -> bool,
+    K: SearchSink<T> + ?Sized,
+{
+    if session.check()? {
+        plobs::emit(Event::EarlyExit { leaves_pruned: 1 });
+        return Ok(());
+    }
+    search_leaf(source, pred, sink, 0, session)
+}
+
+/// The parallel search recursion — the collect driver's skeleton
+/// (`try_recurse`) with search checkpoints: node entry observes both
+/// the `Found` trip and the encounter-order bound, and sibling results
+/// merge by interrupt priority alone (there is no combine work; the
+/// answer lives in the shared sink).
+#[allow(clippy::too_many_arguments)] // mirrors collect::try_recurse's frame
+fn try_search_recurse<T, S, P, K>(
+    mut source: S,
+    pred: Arc<P>,
+    sink: Arc<K>,
+    policy: SplitPolicy,
+    cap: u32,
+    depth: u32,
+    steals_seen: u64,
+    base: usize,
+    session: &SearchSession,
+) -> Result<(), Interrupt>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    P: Fn(&T) -> bool + Send + Sync + 'static,
+    K: SearchSink<T>,
+{
+    // Node-entry checkpoint: a Found trip prunes this whole subtree as
+    // success (the split decision and leaf entry are both covered, so
+    // this is the "next split/leaf checkpoint" of the contract).
+    if session.check()? {
+        plobs::emit(Event::EarlyExit { leaves_pruned: 1 });
+        return Ok(());
+    }
+    // Encounter-order pruning: everything in this subtree sits at
+    // virtual index ≥ base, so a recorded hit at or before base makes
+    // the subtree irrelevant.
+    if sink.bound() <= base {
+        plobs::emit(Event::EarlyExit { leaves_pruned: 1 });
+        return Ok(());
+    }
+    // Stop decision — identical to the collect driver: exact sizes may
+    // stop on the leaf threshold; upper-bound estimates descend to the
+    // depth cap and let `try_split` refusal terminate.
+    let exact = source.exact_size();
+    let mut steals_next = steals_seen;
+    let stop = match policy {
+        SplitPolicy::Fixed(leaf_size) => match exact {
+            Some(size) => size <= leaf_size,
+            None => depth >= cap,
+        },
+        SplitPolicy::Adaptive(a) => {
+            if depth >= cap || exact.is_some_and(|size| size <= a.min_leaf) {
+                true
+            } else {
+                let (wants_split, now) = demand_split(a.surplus, steals_seen);
+                steals_next = now;
+                !wants_split
+            }
+        }
+    };
+    if stop {
+        return search_leaf(&mut source, &*pred, &*sink, base, session);
+    }
+    let observe = plobs::enabled();
+    let descend_start = if observe { Some(Instant::now()) } else { None };
+    match source.try_split() {
+        None => search_leaf(&mut source, &*pred, &*sink, base, session),
+        Some(prefix) => {
+            if let Some(start) = descend_start {
+                plobs::emit(Event::Split {
+                    depth,
+                    adaptive: policy.is_adaptive(),
+                });
+                plobs::emit(Event::DescendNs {
+                    ns: start.elapsed().as_nanos() as u64,
+                });
+            }
+            // The suffix's virtual base advances by the prefix's
+            // estimate — an upper bound on what the prefix can deliver,
+            // which keeps virtual indices strictly increasing with
+            // encounter order across the whole tree.
+            let suffix_base = base.saturating_add(prefix.estimate_size());
+            let p_left = Arc::clone(&pred);
+            let p_right = Arc::clone(&pred);
+            let k_left = Arc::clone(&sink);
+            let k_right = Arc::clone(&sink);
+            let s_left = session.clone();
+            let s_right = session.clone();
+            let (left, right) = join(
+                move || {
+                    try_search_recurse(
+                        prefix,
+                        p_left,
+                        k_left,
+                        policy,
+                        cap,
+                        depth + 1,
+                        steals_next,
+                        base,
+                        &s_left,
+                    )
+                },
+                move || {
+                    try_search_recurse(
+                        source,
+                        p_right,
+                        k_right,
+                        policy,
+                        cap,
+                        depth + 1,
+                        steals_next,
+                        suffix_base,
+                        &s_right,
+                    )
+                },
+            );
+            // No combine work to skip — merging is interrupt priority
+            // only, so the combine checkpoint of the collect driver has
+            // no analogue here.
+            match (left, right) {
+                (Ok(()), Ok(())) => Ok(()),
+                (Err(a), Err(b)) => Err(a.merge(b)),
+                (Err(a), Ok(())) | (Ok(()), Err(a)) => Err(a),
+            }
+        }
+    }
+}
+
+/// Submits the search recursion to `pool`, falling back to the calling
+/// thread when the submission loses a shutdown race — the same recorded
+/// degradation as [`crate::collect::try_par_core`].
+fn try_search_par_core<T, S, P, K>(
+    pool: &ForkJoinPool,
+    source: S,
+    pred: Arc<P>,
+    sink: Arc<K>,
+    policy: SplitPolicy,
+    base: usize,
+    session: &SearchSession,
+) -> Result<(), Interrupt>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    P: Fn(&T) -> bool + Send + Sync + 'static,
+    K: SearchSink<T>,
+{
+    let s2 = session.clone();
+    match pool.try_install(move || {
+        // Budget the depth cap for the pool that actually executes (the
+        // fallback runs on the caller; see collect::try_par_core).
+        let probe = current_probe();
+        let threads = probe
+            .as_ref()
+            .map_or_else(|| forkjoin::global_pool().threads(), |p| p.threads());
+        let cap = policy.depth_cap(threads);
+        let steals = probe.map_or(0, |p| p.steal_pressure());
+        try_search_recurse(source, pred, sink, policy, cap, 0, steals, base, &s2)
+    }) {
+        Ok(r) => r,
+        Err(f) => {
+            plobs::emit(Event::Fallback {
+                reason: FallbackReason::SubmitFailed,
+            });
+            f()
+        }
+    }
+}
+
+/// The unified fallible search driver: mode dispatch, pool resolution,
+/// saturation/shutdown fallbacks and split-policy precedence (explicit
+/// beats tuner beats static heuristic) exactly as
+/// [`crate::collect::try_collect_with`]; `kind` labels the terminal in
+/// the tuner's fingerprint so searches and collects over the same
+/// source tune independently.
+fn try_search_with<T, S, P, K>(
+    source: S,
+    pred: Arc<P>,
+    sink: Arc<K>,
+    cfg: &ExecConfig,
+    kind: &'static str,
+) -> Result<(), ExecError>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    P: Fn(&T) -> bool + Send + Sync + 'static,
+    K: SearchSink<T>,
+{
+    let session = SearchSession::new(cfg);
+    let result = match cfg.mode() {
+        ExecMode::Seq => {
+            let mut source = source;
+            search_leaf_all(&mut source, &*pred, &*sink, &session)
+        }
+        ExecMode::Par => {
+            let mut source = source;
+            let probed = if source.exact_size().is_some() {
+                probe_root(&mut source, &*pred, &*sink, &session)
+            } else {
+                // Non-SIZED (filtering) pipelines skip the probe: one
+                // try_advance may drain the whole underlying source.
+                Ok(Probe::Miss(0))
+            };
+            match probed {
+                Err(i) => Err(i),
+                Ok(Probe::Answered) => Ok(()),
+                Ok(Probe::Miss(probed)) => {
+                    let global;
+                    let pool: &ForkJoinPool = match cfg.pool() {
+                        Some(p) => p,
+                        None => {
+                            global = forkjoin::global_pool();
+                            global
+                        }
+                    };
+                    let fallback = if pool.is_shut_down() {
+                        Some(FallbackReason::SubmitFailed)
+                    } else if cfg
+                        .fallback_threshold()
+                        .is_some_and(|t| pool.queued_tasks() > t)
+                    {
+                        Some(FallbackReason::PoolSaturated)
+                    } else {
+                        None
+                    };
+                    match fallback {
+                        Some(reason) => {
+                            plobs::emit(Event::Fallback { reason });
+                            search_leaf(&mut source, &*pred, &*sink, probed, &session)
+                        }
+                        None => {
+                            let policy = cfg
+                                .policy()
+                                .or_else(|| {
+                                    cfg.tuner().and_then(|cache| {
+                                        let exact = source.exact_size();
+                                        let fp = pltune::Fingerprint::new(
+                                            std::any::type_name::<S>(),
+                                            kind,
+                                            exact.unwrap_or_else(|| source.estimate_size()),
+                                            exact.is_some(),
+                                            pool.threads(),
+                                        );
+                                        pltune::resolve(cache, pool, &fp)
+                                    })
+                                })
+                                .unwrap_or_else(|| {
+                                    SplitPolicy::Fixed(default_leaf_size(
+                                        source.estimate_size(),
+                                        pool.threads(),
+                                    ))
+                                });
+                            try_search_par_core(pool, source, pred, sink, policy, probed, &session)
+                        }
+                    }
+                }
+            }
+        }
+    };
+    result.map_err(|i| session.error_of(i))
+}
+
+/// Fallible `any_match` over a spliterator: `Ok(true)` iff some element
+/// satisfies `pred`. Short-circuits the whole tree via `Found` on the
+/// first hit.
+pub fn try_any_match_with<T, S, P>(source: S, pred: P, cfg: &ExecConfig) -> Result<bool, ExecError>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    P: Fn(&T) -> bool + Send + Sync + 'static,
+{
+    let sink = Arc::new(ExistsSink::default());
+    try_search_with(
+        source,
+        Arc::new(pred),
+        Arc::clone(&sink),
+        cfg,
+        "jstreams::search::any_match",
+    )?;
+    Ok(sink.found.load(Ordering::Acquire))
+}
+
+/// Fallible `all_match`: `Ok(true)` iff every element satisfies `pred`
+/// (vacuously true on an empty source). Runs the existence driver on
+/// the negated predicate, so one counterexample short-circuits.
+pub fn try_all_match_with<T, S, P>(source: S, pred: P, cfg: &ExecConfig) -> Result<bool, ExecError>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    P: Fn(&T) -> bool + Send + Sync + 'static,
+{
+    try_any_match_with(source, move |x: &T| !pred(x), cfg).map(|any_fails| !any_fails)
+}
+
+/// Fallible `none_match`: `Ok(true)` iff no element satisfies `pred`.
+pub fn try_none_match_with<T, S, P>(source: S, pred: P, cfg: &ExecConfig) -> Result<bool, ExecError>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    P: Fn(&T) -> bool + Send + Sync + 'static,
+{
+    try_any_match_with(source, pred, cfg).map(|any| !any)
+}
+
+/// Fallible `find_any`: some element of the pipeline, first-hit-wins
+/// across leaves (nondeterministic under parallel execution, like
+/// Java's `findAny`). `Ok(None)` on an empty pipeline.
+pub fn try_find_any_with<T, S>(source: S, cfg: &ExecConfig) -> Result<Option<T>, ExecError>
+where
+    T: Clone + Send + 'static,
+    S: Spliterator<T> + 'static,
+{
+    let sink = Arc::new(AnySink {
+        slot: Mutex::new(None),
+    });
+    try_search_with(
+        source,
+        Arc::new(|_: &T| true),
+        Arc::clone(&sink),
+        cfg,
+        "jstreams::search::find_any",
+    )?;
+    let hit = sink.slot.lock().take();
+    Ok(hit)
+}
+
+/// Fallible `find_first`: the pipeline's first element in encounter
+/// order, under every execution mode and schedule. Right subtrees are
+/// pruned through the shared [`FirstHit`] bound once a left-er hit
+/// exists.
+pub fn try_find_first_with<T, S>(source: S, cfg: &ExecConfig) -> Result<Option<T>, ExecError>
+where
+    T: Clone + Send + 'static,
+    S: Spliterator<T> + 'static,
+{
+    let sink = Arc::new(FirstSink {
+        hit: FirstHit::new(),
+    });
+    try_search_with(
+        source,
+        Arc::new(|_: &T| true),
+        Arc::clone(&sink),
+        cfg,
+        "jstreams::search::find_first",
+    )?;
+    Ok(sink.hit.take().map(|(_, v)| v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spliterator::SliceSpliterator;
+    use crate::stream::stream_support;
+    use forkjoin::ForkJoinPool;
+
+    fn pool() -> Arc<ForkJoinPool> {
+        Arc::new(ForkJoinPool::new(3))
+    }
+
+    fn par_cfg(leaf: usize) -> ExecConfig {
+        ExecConfig::par().with_pool(pool()).with_leaf_size(leaf)
+    }
+
+    fn ints(n: i64) -> SliceSpliterator<i64> {
+        SliceSpliterator::new((0..n).collect())
+    }
+
+    #[test]
+    fn any_match_agrees_across_modes_and_needle_positions() {
+        for needle in [0i64, 1000, 4095, -1] {
+            let seq =
+                try_any_match_with(ints(4096), move |x| *x == needle, &ExecConfig::seq()).unwrap();
+            let par = try_any_match_with(ints(4096), move |x| *x == needle, &par_cfg(64)).unwrap();
+            assert_eq!(seq, (0..4096).contains(&needle));
+            assert_eq!(par, seq, "needle {needle}");
+        }
+    }
+
+    #[test]
+    fn all_and_none_match_quantify_correctly() {
+        let cfg = par_cfg(32);
+        assert!(try_all_match_with(ints(512), |x| *x >= 0, &cfg).unwrap());
+        assert!(!try_all_match_with(ints(512), |x| *x < 511, &cfg).unwrap());
+        assert!(try_none_match_with(ints(512), |x| *x > 1000, &cfg).unwrap());
+        assert!(!try_none_match_with(ints(512), |x| *x == 200, &cfg).unwrap());
+        // Vacuous truth on the empty source.
+        assert!(try_all_match_with(ints(0), |_| false, &ExecConfig::seq()).unwrap());
+        assert!(try_none_match_with(ints(0), |_| true, &ExecConfig::seq()).unwrap());
+    }
+
+    #[test]
+    fn find_first_is_minimal_in_encounter_order() {
+        // Ascending data: the first element ≥ 1000 is 1000 itself.
+        let src = stream_support(ints(4096), true)
+            .filter(|x: &i64| *x >= 1000)
+            .into_spliterator();
+        assert_eq!(try_find_first_with(src, &par_cfg(16)).unwrap(), Some(1000));
+        // Descending data: the first element ≥ 1000 in encounter order
+        // is the very first element, 4095.
+        let desc = SliceSpliterator::new((0..4096i64).rev().collect());
+        let src = stream_support(desc, true)
+            .filter(|x: &i64| *x >= 1000)
+            .into_spliterator();
+        assert_eq!(try_find_first_with(src, &par_cfg(16)).unwrap(), Some(4095));
+    }
+
+    #[test]
+    fn find_any_returns_some_matching_element() {
+        let src = stream_support(ints(4096), true)
+            .filter(|x: &i64| x % 7 == 0)
+            .into_spliterator();
+        let hit = try_find_any_with(src, &par_cfg(64)).unwrap().unwrap();
+        assert_eq!(hit % 7, 0);
+        let empty = stream_support(ints(64), true)
+            .filter(|x: &i64| *x > 1000)
+            .into_spliterator();
+        assert_eq!(try_find_any_with(empty, &par_cfg(8)).unwrap(), None);
+    }
+
+    #[test]
+    fn late_needle_prunes_leaves_and_counts_found_cancels() {
+        // Needle deep in the suffix: by the time a leaf hits it, left
+        // siblings are done but *later* leaves must observe Found and
+        // record EarlyExit prunes. Whether any subtree is still pending
+        // at trip time is schedule-dependent (a single hardware thread
+        // can drain leaves in pure DFS order), so the pruning half of
+        // the assertion retries a few recorded runs — it must hold on
+        // at least one schedule, while the Found counter holds on all.
+        let cfg = par_cfg(16);
+        let mut pruned = false;
+        for _ in 0..20 {
+            let (hit, report) = plobs::recorded(|| {
+                try_any_match_with(ints(1 << 14), |x| *x == (1 << 14) - 5, &cfg)
+            });
+            assert!(hit.unwrap());
+            assert!(report.cancels_found >= 1);
+            if report.early_exits >= 1 && report.leaves_pruned >= 1 {
+                pruned = true;
+                break;
+            }
+        }
+        assert!(
+            pruned,
+            "no schedule in 20 runs pruned a subtree on a late needle"
+        );
+    }
+
+    #[test]
+    fn absent_needle_scans_everything_without_prunes() {
+        let cfg = par_cfg(64);
+        let (hit, report) = plobs::recorded(|| try_any_match_with(ints(4096), |x| *x < 0, &cfg));
+        assert!(!hit.unwrap());
+        assert_eq!(report.early_exits, 0);
+        assert_eq!(report.cancels_found, 0);
+        assert_eq!(
+            report.routes.total_items(),
+            4096,
+            "an absent needle must scan every element exactly once"
+        );
+    }
+
+    #[test]
+    fn fused_pipelines_search_over_borrowed_runs() {
+        let cfg = par_cfg(64);
+        let (hit, report) = plobs::recorded(|| {
+            let src = stream_support(ints(4096), true)
+                .map(|x: i64| x * 3)
+                .filter(|x: &i64| x % 2 == 0)
+                .into_spliterator();
+            try_any_match_with(src, |x| *x == 6000, &cfg)
+        });
+        assert!(hit.unwrap());
+        assert!(
+            report.routes.fused_borrow.leaves > 0,
+            "map/filter search must take the fused-borrow route: {report:?}"
+        );
+        // Non-SIZED pipelines skip the root probe, so no cloning pass
+        // of any kind is allowed here.
+        assert_eq!(report.routes.cloning_drain.leaves, 0);
+    }
+
+    #[test]
+    fn predicate_panic_surfaces_as_exec_error() {
+        let cfg = par_cfg(32);
+        let err = try_any_match_with(
+            ints(1024),
+            |x| {
+                if *x == 700 {
+                    panic!("poison predicate");
+                }
+                false
+            },
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err.panic_message(), Some("poison predicate"));
+    }
+
+    #[test]
+    fn found_never_trips_the_callers_token() {
+        let token = CancelToken::new();
+        let cfg = par_cfg(16).with_cancel_token(token.clone());
+        assert!(try_any_match_with(ints(4096), |x| *x == 9, &cfg).unwrap());
+        assert!(
+            !token.is_cancelled(),
+            "a search hit must stay on the private token"
+        );
+        // The caller's token still cancels the search.
+        token.cancel(CancelReason::User);
+        let err = try_any_match_with(ints(4096), |x| *x == 9, &cfg).unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled));
+    }
+
+    #[test]
+    fn first_hit_cell_keeps_the_minimum() {
+        let cell = FirstHit::new();
+        assert_eq!(cell.bound(), usize::MAX);
+        assert!(!cell.prunes(0));
+        assert!(cell.offer(40, "d"));
+        assert!(cell.offer(7, "a"));
+        assert!(!cell.offer(12, "b"), "later index must not replace");
+        assert_eq!(cell.bound(), 7);
+        assert!(cell.prunes(7));
+        assert!(!cell.prunes(6));
+        assert_eq!(cell.get(), Some((7, "a")));
+        assert_eq!(cell.take(), Some((7, "a")));
+        assert_eq!(cell.take(), None);
+    }
+}

@@ -90,6 +90,22 @@ pub trait LeafAccess<T> {
     {
         None
     }
+
+    /// Fused-borrow **search** leaf: run this leaf by borrowing the
+    /// underlying source's run and driving the fused adapter chain
+    /// push-style into `visit`, stopping at the first element for which
+    /// `visit` returns `true`. Returns `Some((stopped, delivered))` when
+    /// the route was taken — `stopped` says whether the scan
+    /// short-circuited, `delivered` counts the elements that reached
+    /// `visit` (survivors, for filtering chains). `None` declines the
+    /// route — the default for every plain source and adapter; only
+    /// [`FusedSpliterator`](crate::fused::FusedSpliterator) overrides
+    /// it. Implementations must leave `self` drained on a *full* scan;
+    /// after a stop the source state is unspecified (the search driver
+    /// abandons it).
+    fn fused_search(&mut self, _visit: &mut dyn FnMut(&T) -> bool) -> Option<(bool, u64)> {
+        None
+    }
 }
 
 /// A splittable source of elements (Java's `Spliterator`).

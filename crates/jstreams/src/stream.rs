@@ -8,13 +8,32 @@
 //! creates a stream from a specialised spliterator.
 
 use crate::collect::try_collect_with;
-use crate::collector::{Collector, CountCollector, ReduceCollector, VecCollector};
-use crate::exec::{ExecConfig, ExecError, ExecMode};
+use crate::collector::{
+    Collector, CountCollector, ExtremumCollector, ReduceCollector, VecCollector,
+};
+use crate::exec::{finish_infallible, ExecConfig, ExecError, ExecMode};
 use crate::fused::{FilterStage, FusePipe, FusedSpliterator, InspectStage, MapStage};
+use crate::search;
 use crate::spliterator::Spliterator;
 use crate::truncate::{LimitSpliterator, SkipSpliterator};
 use forkjoin::{ForkJoinPool, SplitPolicy};
 use std::sync::Arc;
+
+/// The `for_each` terminal as a collector: side-effect-only
+/// accumulation with unit state, shared by the infallible and fallible
+/// entry points.
+struct ForEach<F>(F);
+
+impl<T, F: Fn(T) + Send + Sync> Collector<T> for ForEach<F> {
+    type Acc = ();
+    type Out = ();
+    fn supplier(&self) {}
+    fn accumulate(&self, _: &mut (), item: T) {
+        (self.0)(item)
+    }
+    fn combine(&self, _: (), _: ()) {}
+    fn finish(&self, _: ()) {}
+}
 
 /// A (possibly parallel) stream over a splittable source.
 ///
@@ -120,6 +139,23 @@ where
         self.source.estimate_size()
     }
 
+    /// The element count when the source is `SIZED` (so its estimate is
+    /// exact), `None` when the estimate is only an upper bound — e.g.
+    /// after a `filter`. Mirrors
+    /// [`Spliterator::exact_size`].
+    pub fn exact_size(&self) -> Option<usize> {
+        self.source.exact_size()
+    }
+
+    /// Dismantles the stream into its source spliterator, discarding
+    /// the execution configuration — the inverse of [`stream_support`].
+    /// Useful for handing a built-up fused pipeline to machinery that
+    /// works on spliterators directly (e.g. the [`crate::search`] free
+    /// functions).
+    pub fn into_spliterator(self) -> S {
+        self.source
+    }
+
     /// Lazy element transformation (intermediate operation). Drops the
     /// `SORTED`/`DISTINCT` characteristics (a non-monotone,
     /// non-injective map breaks both) while keeping
@@ -209,41 +245,58 @@ where
     }
 
     /// Terminal: the minimum element under `Ord`, or `None` on an empty
-    /// stream.
+    /// stream. Infallible shim over [`Stream::try_min`].
     pub fn min(self) -> Option<T>
     where
         T: Ord + Clone + Sync,
     {
-        self.collect(crate::collector::ExtremumCollector::min())
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_min(&cfg), "min")
+    }
+
+    /// Terminal: the fallible minimum — [`Stream::min`] with the full
+    /// [`ExecConfig`] surface (cancellation, deadlines, degradation).
+    pub fn try_min(self, cfg: &ExecConfig) -> Result<Option<T>, ExecError>
+    where
+        T: Ord + Clone + Sync,
+    {
+        self.try_collect(ExtremumCollector::min(), cfg)
     }
 
     /// Terminal: the maximum element under `Ord`, or `None` on an empty
-    /// stream.
+    /// stream. Infallible shim over [`Stream::try_max`].
     pub fn max(self) -> Option<T>
     where
         T: Ord + Clone + Sync,
     {
-        self.collect(crate::collector::ExtremumCollector::max())
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_max(&cfg), "max")
+    }
+
+    /// Terminal: the fallible maximum — [`Stream::max`] with the full
+    /// [`ExecConfig`] surface.
+    pub fn try_max(self, cfg: &ExecConfig) -> Result<Option<T>, ExecError>
+    where
+        T: Ord + Clone + Sync,
+    {
+        self.try_collect(ExtremumCollector::max(), cfg)
     }
 
     /// Terminal: runs the full mutable reduction described by
     /// `collector` — the template method of the PowerList adaptation.
     ///
-    /// Shim over [`Stream::try_collect`] with the stream's own config: a
-    /// contained panic is resumed on the caller, so behaviour matches
-    /// the pre-session API. Cancellation and deadlines require the
-    /// fallible entry point.
+    /// Infallible shim over [`Stream::try_collect`] with the stream's
+    /// own config: a contained panic is resumed on the caller, so
+    /// behaviour matches the pre-session API; any other failure mode
+    /// (cancellation, deadline) panics with a pointer at the fallible
+    /// entry point, which is the only way to opt into those.
     pub fn collect<C>(self, collector: C) -> C::Out
     where
         C: Collector<T> + 'static,
         C::Acc: 'static,
     {
         let cfg = self.cfg.clone();
-        match self.try_collect(collector, &cfg) {
-            Ok(out) => out,
-            Err(ExecError::Panicked(payload)) => std::panic::resume_unwind(payload),
-            Err(e) => panic!("stream collect failed: {e}; use try_collect for fallible execution"),
-        }
+        finish_infallible(self.try_collect(collector, &cfg), "collect")
     }
 
     /// Terminal: the fallible mutable reduction. Runs under `cfg` —
@@ -262,46 +315,182 @@ where
     }
 
     /// Terminal: reduction with an identity and an associative operator.
+    /// Infallible shim over [`Stream::try_reduce`].
     pub fn reduce<Op>(self, identity: T, op: Op) -> T
     where
         T: Clone + Sync,
         Op: Fn(T, T) -> T + Send + Sync + 'static,
     {
-        self.collect(ReduceCollector::new(identity, op))
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_reduce(identity, op, &cfg), "reduce")
     }
 
-    /// Terminal: number of elements.
+    /// Terminal: the fallible reduction — [`Stream::reduce`] with the
+    /// full [`ExecConfig`] surface.
+    pub fn try_reduce<Op>(self, identity: T, op: Op, cfg: &ExecConfig) -> Result<T, ExecError>
+    where
+        T: Clone + Sync,
+        Op: Fn(T, T) -> T + Send + Sync + 'static,
+    {
+        self.try_collect(ReduceCollector::new(identity, op), cfg)
+    }
+
+    /// Terminal: number of elements. Infallible shim over
+    /// [`Stream::try_count`].
     pub fn count(self) -> usize {
-        self.collect(CountCollector)
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_count(&cfg), "count")
+    }
+
+    /// Terminal: the fallible element count.
+    pub fn try_count(self, cfg: &ExecConfig) -> Result<usize, ExecError> {
+        self.try_collect(CountCollector, cfg)
     }
 
     /// Terminal: gathers the elements into a vector (encounter order).
+    /// Infallible shim over [`Stream::try_to_vec`].
     pub fn to_vec(self) -> Vec<T>
     where
         T: Clone,
     {
-        self.collect(VecCollector)
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_to_vec(&cfg), "to_vec")
+    }
+
+    /// Terminal: the fallible vector collect.
+    pub fn try_to_vec(self, cfg: &ExecConfig) -> Result<Vec<T>, ExecError>
+    where
+        T: Clone,
+    {
+        self.try_collect(VecCollector, cfg)
     }
 
     /// Terminal: applies `f` to every element. Runs through the collect
     /// machinery so parallel streams fan out; `f` must therefore be
-    /// shareable.
+    /// shareable. Infallible shim over [`Stream::try_for_each`].
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(T) + Send + Sync + 'static,
     {
-        struct ForEach<F>(F);
-        impl<T, F: Fn(T) + Send + Sync> Collector<T> for ForEach<F> {
-            type Acc = ();
-            type Out = ();
-            fn supplier(&self) {}
-            fn accumulate(&self, _: &mut (), item: T) {
-                (self.0)(item)
-            }
-            fn combine(&self, _: (), _: ()) {}
-            fn finish(&self, _: ()) {}
-        }
-        self.collect(ForEach(f))
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_for_each(f, &cfg), "for_each")
+    }
+
+    /// Terminal: the fallible `for_each` — a panicking `f` is contained
+    /// and reported as [`ExecError::Panicked`]; cancellation and
+    /// deadlines stop the traversal early (some elements may have been
+    /// visited).
+    pub fn try_for_each<F>(self, f: F, cfg: &ExecConfig) -> Result<(), ExecError>
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        self.try_collect(ForEach(f), cfg)
+    }
+
+    /// Short-circuiting terminal: `true` iff some element satisfies
+    /// `pred` (Java's `anyMatch`). The first hit trips the run's
+    /// internal `Found` cancellation, so sibling subtrees stop at their
+    /// next checkpoint instead of draining — see DESIGN.md §12.
+    /// Infallible shim over [`Stream::try_any_match`].
+    pub fn any_match<P>(self, pred: P) -> bool
+    where
+        P: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_any_match(pred, &cfg), "any_match")
+    }
+
+    /// Short-circuiting terminal: the fallible `any_match`. A panicking
+    /// predicate is contained ([`ExecError::Panicked`]); the caller's
+    /// cancel token and deadline are observed at every checkpoint, while
+    /// the `Found` short-circuit stays on a run-private token.
+    pub fn try_any_match<P>(self, pred: P, cfg: &ExecConfig) -> Result<bool, ExecError>
+    where
+        P: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        search::try_any_match_with(self.source, pred, cfg)
+    }
+
+    /// Short-circuiting terminal: `true` iff every element satisfies
+    /// `pred` (Java's `allMatch`; vacuously true when empty). One
+    /// counterexample short-circuits. Infallible shim over
+    /// [`Stream::try_all_match`].
+    pub fn all_match<P>(self, pred: P) -> bool
+    where
+        P: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_all_match(pred, &cfg), "all_match")
+    }
+
+    /// Short-circuiting terminal: the fallible `all_match`.
+    pub fn try_all_match<P>(self, pred: P, cfg: &ExecConfig) -> Result<bool, ExecError>
+    where
+        P: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        search::try_all_match_with(self.source, pred, cfg)
+    }
+
+    /// Short-circuiting terminal: `true` iff no element satisfies
+    /// `pred` (Java's `noneMatch`; vacuously true when empty).
+    /// Infallible shim over [`Stream::try_none_match`].
+    pub fn none_match<P>(self, pred: P) -> bool
+    where
+        P: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_none_match(pred, &cfg), "none_match")
+    }
+
+    /// Short-circuiting terminal: the fallible `none_match`.
+    pub fn try_none_match<P>(self, pred: P, cfg: &ExecConfig) -> Result<bool, ExecError>
+    where
+        P: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        search::try_none_match_with(self.source, pred, cfg)
+    }
+
+    /// Short-circuiting terminal: the first element in encounter order
+    /// (Java's `findFirst`), deterministic under every execution mode.
+    /// Combine with `filter` to search: `.filter(p).find_first()` runs
+    /// the predicate over borrowed source runs and prunes subtrees that
+    /// sit past the best hit so far. Infallible shim over
+    /// [`Stream::try_find_first`].
+    pub fn find_first(self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_find_first(&cfg), "find_first")
+    }
+
+    /// Short-circuiting terminal: the fallible `find_first`.
+    pub fn try_find_first(self, cfg: &ExecConfig) -> Result<Option<T>, ExecError>
+    where
+        T: Clone,
+    {
+        search::try_find_first_with(self.source, cfg)
+    }
+
+    /// Short-circuiting terminal: some element of the stream (Java's
+    /// `findAny`) — first-hit-wins, so which element you get is
+    /// schedule-dependent on a parallel stream, in exchange for the
+    /// strongest short-circuit (the first hit anywhere cancels all
+    /// remaining work). Infallible shim over [`Stream::try_find_any`].
+    pub fn find_any(self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let cfg = self.cfg.clone();
+        finish_infallible(self.try_find_any(&cfg), "find_any")
+    }
+
+    /// Short-circuiting terminal: the fallible `find_any`.
+    pub fn try_find_any(self, cfg: &ExecConfig) -> Result<Option<T>, ExecError>
+    where
+        T: Clone,
+    {
+        search::try_find_any_with(self.source, cfg)
     }
 }
 

@@ -6,6 +6,9 @@
 //! their size degrade to correct (if suboptimal) execution rather than
 //! corrupting results.
 
+// These tests deliberately exercise the legacy collect entry points.
+#![allow(deprecated)]
+
 use forkjoin::ForkJoinPool;
 use jstreams::{
     collect_par, stream_support, Characteristics, Collector, ItemSource, LeafAccess,

@@ -6,6 +6,9 @@
 //! slice kernel, and that the zero-copy dispatch actually bypasses the
 //! cloning drain.
 
+// These tests deliberately exercise the legacy collect entry points.
+#![allow(deprecated)]
+
 use forkjoin::ForkJoinPool;
 use jstreams::{
     collect_par, collect_seq, power_stream, require_power2, run_leaf, Collector, Decomposition,

@@ -1,5 +1,8 @@
 //! Ad-hoc timing breakdown of the reduce_stream path (dev diagnostics).
 
+// Profiles the legacy entry points alongside the stream route.
+#![allow(deprecated)]
+
 use jstreams::Decomposition;
 use plbench::random_ints;
 use std::hint::black_box;

@@ -64,6 +64,23 @@ pub fn time_avg<R>(runs: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
     (last.expect("runs >= 1"), total / runs as u32)
 }
 
+/// Runs `f` `runs` times and keeps the *minimum* wall time; the last
+/// result is returned for checking. The minimum is the robust estimator
+/// for short-circuiting benches on a shared or single-core box, where a
+/// single preemption inside a microsecond-scale run would otherwise
+/// dominate an average.
+pub fn time_min<R>(runs: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    assert!(runs >= 1);
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..runs {
+        let (r, d) = time_once(&mut f);
+        best = best.min(d);
+        last = Some(r);
+    }
+    (last.expect("runs >= 1"), best)
+}
+
 /// Milliseconds as f64, for table printing.
 pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3

@@ -52,6 +52,11 @@ pub enum CancelReason {
     User,
     /// The session's deadline expired.
     Deadline,
+    /// A short-circuiting search terminal found its answer; the search
+    /// driver tripped its internal token so every sibling subtree prunes
+    /// at its next checkpoint. Success, not failure — search drivers
+    /// intercept this reason instead of surfacing it as an error.
+    Found,
 }
 
 impl CancelReason {
@@ -61,6 +66,7 @@ impl CancelReason {
             CancelReason::Panic => "panic",
             CancelReason::User => "user",
             CancelReason::Deadline => "deadline",
+            CancelReason::Found => "found",
         }
     }
 }
@@ -193,6 +199,16 @@ pub enum Event {
     Cancel {
         /// Why the session was cancelled.
         reason: CancelReason,
+    },
+    /// A search driver abandoned a subtree without scanning it — either
+    /// a sibling's hit tripped the `Found` cancellation, or (for
+    /// `find_first`) the shared best-prefix index proved the subtree
+    /// cannot contain an earlier hit. One event per pruned subtree root.
+    EarlyExit {
+        /// Pruned subtree roots this event accounts for (currently
+        /// always 1; the field keeps the schema open for batched
+        /// emission).
+        leaves_pruned: u64,
     },
     /// A parallel driver degraded to the sequential route instead of
     /// submitting to its pool.

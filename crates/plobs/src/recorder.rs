@@ -59,12 +59,14 @@ struct Shard {
     mpi_send_bytes: [AtomicU64; MAX_RANKS],
     mpi_recvs: [AtomicU64; MAX_RANKS],
     mpi_recv_bytes: [AtomicU64; MAX_RANKS],
-    // Indexed by `cancel_index` (3 reasons).
-    cancels: [AtomicU64; 3],
+    // Indexed by `cancel_index` (4 reasons).
+    cancels: [AtomicU64; 4],
     // Indexed by `fallback_index` (2 reasons).
     fallbacks: [AtomicU64; 2],
     // Indexed by `tune_index` (3 outcomes).
     tunes: [AtomicU64; 3],
+    early_exits: AtomicU64,
+    leaves_pruned: AtomicU64,
 }
 
 impl Shard {
@@ -94,6 +96,8 @@ impl Shard {
             cancels: zeroed(),
             fallbacks: zeroed(),
             tunes: zeroed(),
+            early_exits: AtomicU64::new(0),
+            leaves_pruned: AtomicU64::new(0),
         }
     }
 
@@ -147,6 +151,10 @@ impl Shard {
             Event::Cancel { reason } => {
                 self.cancels[cancel_index(reason)].fetch_add(1, Relaxed);
             }
+            Event::EarlyExit { leaves_pruned } => {
+                self.early_exits.fetch_add(1, Relaxed);
+                self.leaves_pruned.fetch_add(leaves_pruned, Relaxed);
+            }
             Event::Fallback { reason } => {
                 self.fallbacks[fallback_index(reason)].fetch_add(1, Relaxed);
             }
@@ -180,6 +188,7 @@ fn cancel_index(reason: CancelReason) -> usize {
         CancelReason::Panic => 0,
         CancelReason::User => 1,
         CancelReason::Deadline => 2,
+        CancelReason::Found => 3,
     }
 }
 
@@ -265,6 +274,9 @@ impl RunRecorder {
             report.cancels_panic += shard.cancels[0].load(Relaxed);
             report.cancels_user += shard.cancels[1].load(Relaxed);
             report.cancels_deadline += shard.cancels[2].load(Relaxed);
+            report.cancels_found += shard.cancels[3].load(Relaxed);
+            report.early_exits += shard.early_exits.load(Relaxed);
+            report.leaves_pruned += shard.leaves_pruned.load(Relaxed);
             report.fallbacks_saturated += shard.fallbacks[0].load(Relaxed);
             report.fallbacks_submit += shard.fallbacks[1].load(Relaxed);
             report.tune_hits += shard.tunes[0].load(Relaxed);
@@ -485,6 +497,21 @@ mod tests {
         assert_eq!(report.cancels(), 3);
         assert_eq!(report.fallbacks_saturated, 1);
         assert_eq!(report.fallbacks(), 1);
+    }
+
+    #[test]
+    fn early_exits_counted_with_found_cancels() {
+        let rec = RunRecorder::new();
+        rec.record(&Event::Cancel {
+            reason: CancelReason::Found,
+        });
+        rec.record(&Event::EarlyExit { leaves_pruned: 1 });
+        rec.record(&Event::EarlyExit { leaves_pruned: 3 });
+        let report = rec.finish();
+        assert_eq!(report.cancels_found, 1);
+        assert_eq!(report.cancels(), 1);
+        assert_eq!(report.early_exits, 2);
+        assert_eq!(report.leaves_pruned, 4);
     }
 
     #[test]

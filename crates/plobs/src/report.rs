@@ -120,6 +120,13 @@ pub struct RunReport {
     pub cancels_user: u64,
     /// Subtrees pruned by an expired deadline.
     pub cancels_deadline: u64,
+    /// Checkpoints that observed a search's `Found` short-circuit.
+    pub cancels_found: u64,
+    /// Subtrees a search driver abandoned without scanning (one per
+    /// [`Event::EarlyExit`](crate::Event::EarlyExit)).
+    pub early_exits: u64,
+    /// Total pruned subtree roots those early exits accounted for.
+    pub leaves_pruned: u64,
     /// Parallel collects that degraded to the sequential route because
     /// the pool backlog exceeded the saturation threshold.
     pub fallbacks_saturated: u64,
@@ -181,7 +188,7 @@ impl RunReport {
 
     /// Total subtrees pruned by session cancellation, over all reasons.
     pub fn cancels(&self) -> u64 {
-        self.cancels_panic + self.cancels_user + self.cancels_deadline
+        self.cancels_panic + self.cancels_user + self.cancels_deadline + self.cancels_found
     }
 
     /// Total sequential-route fallbacks, over all reasons.
@@ -278,12 +285,16 @@ impl RunReport {
         let _ = write!(
             out,
             "\"sessions\":{{\"cancels\":{},\"cancel_panic\":{},\"cancel_user\":{},\
-             \"cancel_deadline\":{},\"fallbacks\":{},\"fallback_saturated\":{},\
+             \"cancel_deadline\":{},\"cancel_found\":{},\"early_exits\":{},\
+             \"leaves_pruned\":{},\"fallbacks\":{},\"fallback_saturated\":{},\
              \"fallback_submit\":{}}},",
             self.cancels(),
             self.cancels_panic,
             self.cancels_user,
             self.cancels_deadline,
+            self.cancels_found,
+            self.early_exits,
+            self.leaves_pruned,
             self.fallbacks(),
             self.fallbacks_saturated,
             self.fallbacks_submit,
@@ -446,6 +457,9 @@ mod tests {
             cancels_panic: 2,
             cancels_user: 0,
             cancels_deadline: 1,
+            cancels_found: 1,
+            early_exits: 2,
+            leaves_pruned: 2,
             fallbacks_saturated: 1,
             fallbacks_submit: 0,
             tune_hits: 4,
@@ -491,7 +505,10 @@ mod tests {
         assert_eq!(r.routes.total_items(), 80);
         assert!(json.contains("\"leaf_share\":0.700000"));
         assert!(json.contains("\"ranks\":[{\"rank\":0"));
-        assert!(json.contains("\"sessions\":{\"cancels\":3,\"cancel_panic\":2"));
+        assert!(json.contains("\"sessions\":{\"cancels\":4,\"cancel_panic\":2"));
+        assert!(json.contains("\"cancel_found\":1"));
+        assert!(json.contains("\"early_exits\":2"));
+        assert!(json.contains("\"leaves_pruned\":2"));
         assert!(json.contains("\"fallback_saturated\":1"));
         assert!(
             json.contains("\"tune\":{\"consults\":7,\"hits\":4,\"misses\":1,\"calibrations\":2}")
@@ -501,7 +518,7 @@ mod tests {
     #[test]
     fn session_totals_sum_reasons() {
         let r = sample();
-        assert_eq!(r.cancels(), 3);
+        assert_eq!(r.cancels(), 4);
         assert_eq!(r.fallbacks(), 1);
         assert_eq!(r.tunes(), 7);
         assert_eq!(RunReport::default().cancels(), 0);

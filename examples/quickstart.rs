@@ -6,7 +6,7 @@
 //! ```
 
 use jplf::{Decomp, Executor, ForkJoinExecutor, SequentialExecutor};
-use jstreams::{collect_powerlist, power_stream, Decomposition};
+use jstreams::prelude::*;
 use powerlist::{tabulate, PowerList};
 
 fn main() {
@@ -52,7 +52,27 @@ fn main() {
     let total = plalgo::reduce_stream(data.clone(), Decomposition::Tie, 0.0, |a, b| a + b);
     println!("reduce: sum = {total}");
 
-    // --- 3. JPLF executors ------------------------------------------
+    // --- 3. Short-circuiting search terminals -----------------------
+    // Quantifiers stop the whole tree the moment the answer is known:
+    // a Found cancellation prunes every subtree behind the hit.
+    let ints: Vec<i64> = (0..(1 << 14)).collect();
+    let hit =
+        stream_support(SliceSpliterator::new(ints.clone()), true).any_match(|x: &i64| *x == 12_000);
+    let first = stream_support(SliceSpliterator::new(ints.clone()), true)
+        .filter(|x: &i64| x % 4_097 == 0 && *x > 0)
+        .find_first();
+    assert!(hit && first == Some(4_097));
+    println!("search terminals: any_match ✓, find_first = {first:?} ✓");
+
+    // The fallible twins take an ExecConfig like every other terminal.
+    let cfg = ExecConfig::par().with_leaf_size(256);
+    let none = stream_support(SliceSpliterator::new(ints), true)
+        .try_none_match(|x: &i64| *x < 0, &cfg)
+        .expect("no deadline, no cancel: must succeed");
+    assert!(none);
+    println!("try_none_match under ExecConfig ✓");
+
+    // --- 4. JPLF executors ------------------------------------------
     // One function definition, three execution strategies.
     let sum_fn = plalgo::ReduceFunction::new(Decomp::Tie, |a: &f64, b: &f64| a + b);
     let view = data.view();
