@@ -409,6 +409,24 @@ where
     fn characteristics(&self) -> Characteristics {
         self.source.characteristics().without(self.chain.drops())
     }
+
+    // Splitting splits the source, so split/encounter geometry is the
+    // source's too.
+    fn prefix_splits(&self) -> bool {
+        self.source.prefix_splits()
+    }
+
+    // An exact (filter-free) chain delivers exactly one element per
+    // source element, in source order, so source ranks are pipeline
+    // ranks. A filtering chain breaks the j-th-delivered ↔ j-th-source
+    // correspondence and must not claim ranks.
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        if self.chain.exact() {
+            self.source.encounter_rank()
+        } else {
+            None
+        }
+    }
 }
 
 /// Decomposes a pipeline spliterator into `(underlying source, pending

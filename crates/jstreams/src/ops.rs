@@ -78,6 +78,17 @@ where
             .characteristics()
             .without(Characteristics::SORTED | Characteristics::DISTINCT)
     }
+
+    // Splits delegate to the source; so does split/encounter geometry.
+    // Mapping is one-to-one and order-preserving, so source ranks are
+    // pipeline ranks.
+    fn prefix_splits(&self) -> bool {
+        self.inner.prefix_splits()
+    }
+
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        self.inner.encounter_rank()
+    }
 }
 
 /// Lazily drops elements failing a predicate.
@@ -157,6 +168,13 @@ where
         self.inner
             .characteristics()
             .without(Characteristics::SIZED | Characteristics::SUBSIZED | Characteristics::POWER2)
+    }
+
+    // Splits delegate to the source, so split geometry is the source's;
+    // ranks are NOT forwarded (the default `None` stands) because the
+    // j-th surviving element is no longer the source's j-th.
+    fn prefix_splits(&self) -> bool {
+        self.inner.prefix_splits()
     }
 }
 

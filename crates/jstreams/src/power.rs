@@ -99,6 +99,20 @@ impl<T: Clone + Send + Sync> Spliterator<T> for PowerSpliterator<T> {
             PowerSpliterator::Zip(s) => s.characteristics(),
         }
     }
+
+    fn prefix_splits(&self) -> bool {
+        match self {
+            PowerSpliterator::Tie(s) => s.prefix_splits(),
+            PowerSpliterator::Zip(s) => s.prefix_splits(),
+        }
+    }
+
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        match self {
+            PowerSpliterator::Tie(s) => s.encounter_rank(),
+            PowerSpliterator::Zip(s) => s.encounter_rank(),
+        }
+    }
 }
 
 /// Creates a (parallel by default) stream over a PowerList, decomposed by

@@ -26,14 +26,33 @@
 //!   encounter index is at or past the recorded best abandons itself at
 //!   its node-entry checkpoint.
 //!
-//! The indices compared are *virtual* encounter indices: at every
-//! split, the suffix subtree's base advances by the prefix's
-//! `estimate_size()`. For non-SIZED pipelines (filter chains) that
-//! estimate is an upper bound, so leaf survivor ranges stay disjoint
-//! and ordered — virtual indices increase strictly with encounter
-//! order, which is all the pruning comparison needs. Pruning at
-//! `bound ≤ base` can never lose the minimal hit: every index in the
-//! pruned subtree is ≥ its base ≥ an already-recorded hit.
+//! The indices compared come from one of two keyspaces, fixed once per
+//! run (the private `OrderMode`):
+//!
+//! * **Ranked** — when the root source publishes exact encounter ranks
+//!   ([`Spliterator::encounter_rank`]: descriptor-backed sources report
+//!   physical storage indices, monotone in encounter order), every hit
+//!   is keyed by its true rank and every subtree prunes against its own
+//!   rank base. This is the only sound keyspace over sources whose
+//!   splits *interleave* (zip decomposition: the split-off "prefix" is
+//!   the even positions, not an encounter-order prefix), and it is what
+//!   keeps `find_first` deterministic — and parallel — over
+//!   zip-decomposed power streams (the same protocol as the JPLF
+//!   mirror's physical-index `FirstHit`).
+//! * **Virtual** — otherwise, indices are derived from split structure:
+//!   at every split, the suffix subtree's base advances by the prefix's
+//!   `estimate_size()`. For non-SIZED pipelines (filter chains) that
+//!   estimate is an upper bound, so leaf survivor ranges stay disjoint
+//!   and ordered — virtual indices increase strictly with encounter
+//!   order, which is all the pruning comparison needs. This is only
+//!   sound when `try_split` cuts true prefixes
+//!   ([`Spliterator::prefix_splits`]); a rank-less source that also
+//!   interleaves (a filter chain over a zip decomposition) sends
+//!   `find_first` down a guarded sequential scan instead.
+//!
+//! In either keyspace, pruning at `bound ≤ base` can never lose the
+//! minimal hit: every index in the pruned subtree is ≥ its base ≥ an
+//! already-recorded hit.
 //!
 //! A search run executes on a **private** token
 //! ([`SearchSession`]): `Found` (and panic containment) must never trip
@@ -109,7 +128,15 @@ impl SearchSession {
                 // Propagate the caller's cancellation into the private
                 // token once, so sibling tasks observe it without
                 // re-reading the caller's token (first-cancel-wins keeps
-                // an earlier Found from being overwritten).
+                // an earlier Found from being overwritten). A caller
+                // token carrying `Found` (reused from some earlier
+                // search) is demoted to `User`: only *this* run's leaves
+                // may claim the answered state, and a foreign `Found`
+                // has no hit in this run's sink to back it.
+                let r = match r {
+                    CancelReason::Found => CancelReason::User,
+                    other => other,
+                };
                 self.token().cancel(r);
             }
         }
@@ -130,6 +157,46 @@ impl SearchSession {
     /// never reaches here: checkpoints convert it to success.
     pub fn error_of(&self, interrupt: Interrupt) -> ExecError {
         self.inner.error_of(interrupt)
+    }
+}
+
+/// Which keyspace a search run's encounter indices live in. Fixed once
+/// at the root before the recursion starts, so every hit and every
+/// pruning comparison in one run speaks the same language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OrderMode {
+    /// Indices are derived from split structure: each suffix subtree's
+    /// base advances by the prefix's size estimate. Sound only over
+    /// sources whose `try_split` cuts true encounter-order prefixes
+    /// ([`Spliterator::prefix_splits`]).
+    Virtual,
+    /// Indices are the source's own exact encounter ranks
+    /// ([`Spliterator::encounter_rank`]): each node prunes against its
+    /// own rank base and each leaf keys hits at `base + j·step`. Sound
+    /// under arbitrary split geometry, including zip's interleaving
+    /// parity splits.
+    Ranked,
+}
+
+/// The leaf hit-key lattice for `mode`: the leaf's j-th delivered
+/// element is keyed `base + j·step`.
+///
+/// In `Ranked` mode the source *must* still carry a rank — rank-ness is
+/// preserved under `try_split` by contract, and the mode was chosen at
+/// the root because the root had one. The release fallback `(0, 1)`
+/// merely under-keys hits (debug builds assert instead).
+fn leaf_keys<T, S: Spliterator<T>>(source: &S, mode: OrderMode, base: usize) -> (usize, usize) {
+    match mode {
+        OrderMode::Virtual => (base, 1),
+        OrderMode::Ranked => {
+            let rank = source.encounter_rank();
+            debug_assert!(
+                rank.is_some(),
+                "Ranked search reached a rank-less node: encounter_rank \
+                 must be preserved under try_split"
+            );
+            rank.unwrap_or((0, 1))
+        }
     }
 }
 
@@ -199,9 +266,10 @@ impl<T> FirstHit<T> {
 /// Where leaf hits go. One implementation per quantifier family; the
 /// recursion is generic over it so all five terminals share one driver.
 trait SearchSink<T>: Send + Sync + 'static {
-    /// Records a hit on `value` at virtual encounter index `idx`.
-    /// Returns `true` when the hit is decisive and the whole run should
-    /// short-circuit via `Found`.
+    /// Records a hit on `value` at encounter index `idx` (virtual or
+    /// ranked, per the run's [`OrderMode`]). Returns `true` when the
+    /// hit is decisive and the whole run should short-circuit via
+    /// `Found`.
     fn hit(&self, idx: usize, value: &T) -> bool;
 
     /// Encounter-order pruning bound: subtrees whose base index is ≥
@@ -292,9 +360,11 @@ fn scan_run<T, P: Fn(&T) -> bool>(items: &[T], pred: &P) -> (u64, Option<usize>)
 
 /// One leaf node of the search recursion: scans the remaining elements
 /// in encounter order under panic containment, stopping at the first
-/// predicate match; the hit is recorded in the sink at its virtual
-/// encounter index (`base` + delivered-position) and, when decisive,
-/// trips `Found` — strictly *after* the sink recorded it.
+/// predicate match; the hit is recorded in the sink at its encounter
+/// key (`keys.0 + delivered-position · keys.1`, so virtual keys pass
+/// `(base, 1)` and ranked leaves pass their `(rank_base, rank_step)`)
+/// and, when decisive, trips `Found` — strictly *after* the sink
+/// recorded it.
 ///
 /// Route selection mirrors [`crate::collect::run_leaf`]: a borrowed
 /// contiguous run takes the chunked [`scan_run`] (the predicate sees
@@ -309,7 +379,7 @@ fn search_leaf<T, S, P, K>(
     source: &mut S,
     pred: &P,
     sink: &K,
-    base: usize,
+    keys: (usize, usize),
     session: &SearchSession,
 ) -> Result<(), Interrupt>
 where
@@ -317,6 +387,7 @@ where
     P: Fn(&T) -> bool,
     K: SearchSink<T> + ?Sized,
 {
+    let (key_base, key_step) = keys;
     let token = session.token().clone();
     let observe = plobs::enabled();
     let start = if observe { Some(Instant::now()) } else { None };
@@ -326,7 +397,8 @@ where
         // match is the leaf's earliest delivered element, so every sink
         // stops the scan there.
         let record = |local: usize, x: &T| {
-            if sink.hit(base.saturating_add(local), x) {
+            let key = key_base.saturating_add(local.saturating_mul(key_step));
+            if sink.hit(key, x) {
                 token.cancel(CancelReason::Found);
             }
         };
@@ -492,7 +564,11 @@ where
 
 /// The guarded sequential route: one checkpoint, then the whole source
 /// as a single leaf. Also the degradation target when the parallel
-/// route's pool is unavailable or saturated.
+/// route's pool is unavailable or saturated, and the ordered-terminal
+/// escape hatch for *opaque* sources (no encounter rank AND
+/// interleaving splits — e.g. a filter chain over a zip decomposition),
+/// where neither keyspace can order parallel hits but a single
+/// `try_advance` drain is encounter order by definition.
 fn search_leaf_all<T, S, P, K>(
     source: &mut S,
     pred: &P,
@@ -508,7 +584,9 @@ where
         plobs::emit(Event::EarlyExit { leaves_pruned: 1 });
         return Ok(());
     }
-    search_leaf(source, pred, sink, 0, session)
+    // One whole-source leaf: its first delivered match is the global
+    // encounter-order first, so the key lattice `(0, 1)` is exact.
+    search_leaf(source, pred, sink, (0, 1), session)
 }
 
 /// The parallel search recursion — the collect driver's skeleton
@@ -525,6 +603,7 @@ fn try_search_recurse<T, S, P, K>(
     cap: u32,
     depth: u32,
     steals_seen: u64,
+    mode: OrderMode,
     base: usize,
     session: &SearchSession,
 ) -> Result<(), Interrupt>
@@ -542,9 +621,17 @@ where
         return Ok(());
     }
     // Encounter-order pruning: everything in this subtree sits at
-    // virtual index ≥ base, so a recorded hit at or before base makes
-    // the subtree irrelevant.
-    if sink.bound() <= base {
+    // encounter key ≥ the subtree's key base — the threaded virtual
+    // base, or (Ranked) the node's own rank base, which each split
+    // keeps as the minimum remaining rank. A recorded hit at or before
+    // that base makes the subtree irrelevant. A rank-less node in
+    // Ranked mode (contract violation, asserted in `leaf_keys`)
+    // degrades to base 0, which never wrongly prunes.
+    let prune_base = match mode {
+        OrderMode::Virtual => base,
+        OrderMode::Ranked => source.encounter_rank().map_or(0, |(b, _)| b),
+    };
+    if sink.bound() <= prune_base {
         plobs::emit(Event::EarlyExit { leaves_pruned: 1 });
         return Ok(());
     }
@@ -569,12 +656,16 @@ where
         }
     };
     if stop {
-        return search_leaf(&mut source, &*pred, &*sink, base, session);
+        let keys = leaf_keys(&source, mode, base);
+        return search_leaf(&mut source, &*pred, &*sink, keys, session);
     }
     let observe = plobs::enabled();
     let descend_start = if observe { Some(Instant::now()) } else { None };
     match source.try_split() {
-        None => search_leaf(&mut source, &*pred, &*sink, base, session),
+        None => {
+            let keys = leaf_keys(&source, mode, base);
+            search_leaf(&mut source, &*pred, &*sink, keys, session)
+        }
         Some(prefix) => {
             if let Some(start) = descend_start {
                 plobs::emit(Event::Split {
@@ -585,11 +676,16 @@ where
                     ns: start.elapsed().as_nanos() as u64,
                 });
             }
-            // The suffix's virtual base advances by the prefix's
-            // estimate — an upper bound on what the prefix can deliver,
-            // which keeps virtual indices strictly increasing with
-            // encounter order across the whole tree.
-            let suffix_base = base.saturating_add(prefix.estimate_size());
+            // Virtual keyspace only: the suffix's base advances by the
+            // prefix's estimate — an upper bound on what the prefix can
+            // deliver, which keeps virtual indices strictly increasing
+            // with encounter order across the whole tree (sound because
+            // Virtual mode implies prefix-order splits). Ranked nodes
+            // ignore the threaded base and re-derive their own.
+            let suffix_base = match mode {
+                OrderMode::Virtual => base.saturating_add(prefix.estimate_size()),
+                OrderMode::Ranked => base,
+            };
             let p_left = Arc::clone(&pred);
             let p_right = Arc::clone(&pred);
             let k_left = Arc::clone(&sink);
@@ -606,6 +702,7 @@ where
                         cap,
                         depth + 1,
                         steals_next,
+                        mode,
                         base,
                         &s_left,
                     )
@@ -619,6 +716,7 @@ where
                         cap,
                         depth + 1,
                         steals_next,
+                        mode,
                         suffix_base,
                         &s_right,
                     )
@@ -639,12 +737,14 @@ where
 /// Submits the search recursion to `pool`, falling back to the calling
 /// thread when the submission loses a shutdown race — the same recorded
 /// degradation as [`crate::collect::try_par_core`].
+#[allow(clippy::too_many_arguments)] // mirrors try_search_recurse's frame
 fn try_search_par_core<T, S, P, K>(
     pool: &ForkJoinPool,
     source: S,
     pred: Arc<P>,
     sink: Arc<K>,
     policy: SplitPolicy,
+    mode: OrderMode,
     base: usize,
     session: &SearchSession,
 ) -> Result<(), Interrupt>
@@ -664,7 +764,7 @@ where
             .map_or_else(|| forkjoin::global_pool().threads(), |p| p.threads());
         let cap = policy.depth_cap(threads);
         let steals = probe.map_or(0, |p| p.steal_pressure());
-        try_search_recurse(source, pred, sink, policy, cap, 0, steals, base, &s2)
+        try_search_recurse(source, pred, sink, policy, cap, 0, steals, mode, base, &s2)
     }) {
         Ok(r) => r,
         Err(f) => {
@@ -682,12 +782,22 @@ where
 /// [`crate::collect::try_collect_with`]; `kind` labels the terminal in
 /// the tuner's fingerprint so searches and collects over the same
 /// source tune independently.
+///
+/// `ordered` marks the one terminal whose answer depends on encounter
+/// order (`find_first`). The order keyspace is fixed here at the root:
+/// ranked when the source publishes exact ranks, virtual when its
+/// splits cut true prefixes — and when it offers *neither* (opaque: a
+/// filter chain over zip's interleaving decomposition), an ordered
+/// search degrades to the guarded sequential whole-scan, because no
+/// parallel keyspace can rank its hits. Unordered terminals never
+/// consult keys decisively, so they keep the parallel route regardless.
 fn try_search_with<T, S, P, K>(
     source: S,
     pred: Arc<P>,
     sink: Arc<K>,
     cfg: &ExecConfig,
     kind: &'static str,
+    ordered: bool,
 ) -> Result<(), ExecError>
 where
     T: Send + 'static,
@@ -696,8 +806,22 @@ where
     K: SearchSink<T>,
 {
     let session = SearchSession::new(cfg);
+    let mode = if source.encounter_rank().is_some() {
+        OrderMode::Ranked
+    } else {
+        OrderMode::Virtual
+    };
     let result = match cfg.mode() {
         ExecMode::Seq => {
+            let mut source = source;
+            search_leaf_all(&mut source, &*pred, &*sink, &session)
+        }
+        ExecMode::Par if ordered && mode == OrderMode::Virtual && !source.prefix_splits() => {
+            // Opaque source + ordered terminal: splitting would
+            // interleave encounter order with no ranks to re-sort hits,
+            // so correctness wins over parallelism — one sequential
+            // whole-scan (its first delivered match is the global
+            // first).
             let mut source = source;
             search_leaf_all(&mut source, &*pred, &*sink, &session)
         }
@@ -735,7 +859,11 @@ where
                     match fallback {
                         Some(reason) => {
                             plobs::emit(Event::Fallback { reason });
-                            search_leaf(&mut source, &*pred, &*sink, probed, &session)
+                            // Degraded single-leaf scan of the (post-
+                            // probe) remainder; in Virtual mode the
+                            // probe consumed the first `probed` keys.
+                            let keys = leaf_keys(&source, mode, probed);
+                            search_leaf(&mut source, &*pred, &*sink, keys, &session)
                         }
                         None => {
                             let policy = cfg
@@ -759,7 +887,9 @@ where
                                         pool.threads(),
                                     ))
                                 });
-                            try_search_par_core(pool, source, pred, sink, policy, probed, &session)
+                            try_search_par_core(
+                                pool, source, pred, sink, policy, mode, probed, &session,
+                            )
                         }
                     }
                 }
@@ -785,6 +915,7 @@ where
         Arc::clone(&sink),
         cfg,
         "jstreams::search::any_match",
+        false,
     )?;
     Ok(sink.found.load(Ordering::Acquire))
 }
@@ -828,6 +959,7 @@ where
         Arc::clone(&sink),
         cfg,
         "jstreams::search::find_any",
+        false,
     )?;
     let hit = sink.slot.lock().take();
     Ok(hit)
@@ -851,6 +983,7 @@ where
         Arc::clone(&sink),
         cfg,
         "jstreams::search::find_first",
+        true,
     )?;
     Ok(sink.hit.take().map(|(_, v)| v))
 }
@@ -1016,6 +1149,75 @@ mod tests {
         );
         // The caller's token still cancels the search.
         token.cancel(CancelReason::User);
+        let err = try_any_match_with(ints(4096), |x| *x == 9, &cfg).unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled));
+    }
+
+    #[test]
+    fn ranked_zip_recursion_finds_minimal_physical_index() {
+        // Exercises the Ranked keyspace below the root probe: the
+        // recursion runs directly over a zip spliterator (interleaving
+        // parity splits) with single-element leaves, and the FirstHit
+        // winner must be the minimal *physical* index — value 1 at rank
+        // 1 beats value 2 at rank 2 no matter which leaf lands first.
+        use crate::zip::ZipSpliterator;
+        use powerlist::tabulate;
+        let p = pool();
+        let cfg = ExecConfig::par()
+            .with_pool(Arc::clone(&p))
+            .with_leaf_size(1);
+        let pred = |x: &i64| *x == 1 || *x == 2;
+        for _ in 0..50 {
+            let src = ZipSpliterator::over(tabulate(16, |i| i as i64).unwrap());
+            assert_eq!(src.encounter_rank(), Some((0, 1)));
+            assert!(!src.prefix_splits());
+            let sink = Arc::new(FirstSink {
+                hit: FirstHit::new(),
+            });
+            let session = SearchSession::new(&cfg);
+            try_search_par_core(
+                &p,
+                src,
+                Arc::new(pred),
+                Arc::clone(&sink),
+                SplitPolicy::Fixed(1),
+                OrderMode::Ranked,
+                0,
+                &session,
+            )
+            .unwrap();
+            assert_eq!(sink.hit.take(), Some((1, 1)));
+        }
+    }
+
+    #[test]
+    fn zip_find_first_degrades_to_encounter_order_scan() {
+        // Public-API regression for the same hazard: a filtered zip
+        // power stream is opaque (interleaving splits, no ranks), so
+        // parallel find_first must take the guarded sequential scan and
+        // agree with the sequential route on every schedule.
+        use crate::power::{power_stream, Decomposition};
+        use powerlist::tabulate;
+        let list = tabulate(16, |i| i as i64).unwrap();
+        let p = pool();
+        for _ in 0..50 {
+            let par = power_stream(list.clone(), Decomposition::Zip)
+                .with_pool(Arc::clone(&p))
+                .with_leaf_size(1)
+                .filter(|x: &i64| *x == 1 || *x == 2)
+                .find_first();
+            assert_eq!(par, Some(1));
+        }
+    }
+
+    #[test]
+    fn caller_token_found_reason_is_demoted_to_cancellation() {
+        // A caller token that already carries Found (reused from some
+        // earlier search) must cancel this run, not masquerade as its
+        // answered state.
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Found);
+        let cfg = par_cfg(16).with_cancel_token(token);
         let err = try_any_match_with(ints(4096), |x| *x == 9, &cfg).unwrap_err();
         assert!(matches!(err, ExecError::Cancelled));
     }

@@ -12,7 +12,13 @@
 //! As in Java, `try_split` partitions off a **prefix** of the remaining
 //! elements into the returned spliterator, leaving `self` with the
 //! suffix; returning `None` means "too small to split" and the driver
-//! processes the rest sequentially.
+//! processes the rest sequentially. One family of sources bends the
+//! prefix rule: zip decomposition splits by *parity*, interleaving the
+//! two halves. Such sources answer `false` from
+//! [`Spliterator::prefix_splits`] so order-sensitive consumers (the
+//! search driver's `find_first`) know not to derive encounter order
+//! from split structure, and publish exact ranks through
+//! [`Spliterator::encounter_rank`] instead.
 
 use crate::characteristics::Characteristics;
 use powerlist::{is_power_of_two, Error};
@@ -120,6 +126,39 @@ pub trait Spliterator<T>: ItemSource<T> + LeafAccess<T> + Send + Sized {
     /// `true` when all flags in `c` are advertised.
     fn has_characteristics(&self, c: Characteristics) -> bool {
         self.characteristics().contains(c)
+    }
+
+    /// `true` when every `try_split` cuts an encounter-order **prefix**:
+    /// all elements of the returned spliterator precede all elements
+    /// left in `self`. This is the module-level `try_split` contract and
+    /// the default; interleaving splitters (zip: evens vs odds) return
+    /// `false`, and adapters must forward their source's answer because
+    /// they split by splitting the source.
+    ///
+    /// Consumers that derive encounter order from split *structure* —
+    /// the search driver's virtual-index bookkeeping for `find_first` —
+    /// are only sound over prefix-splitting sources; over interleaving
+    /// sources they must key on [`Spliterator::encounter_rank`] or fall
+    /// back to an ordered sequential scan.
+    fn prefix_splits(&self) -> bool {
+        true
+    }
+
+    /// Exact encounter-order locator for the remaining elements:
+    /// `Some((base, step))` when the `j`-th remaining element sits at
+    /// rank `base + j·step` of the **root source's** encounter order, in
+    /// a keyspace consistent across every spliterator split from the
+    /// same root (descriptor-backed sources report physical storage
+    /// indices, which are monotone in encounter order). `None` (the
+    /// default) when ranks are unknown — e.g. behind a filtering chain,
+    /// where delivered positions no longer map to source positions.
+    ///
+    /// Implementations must preserve rank-ness under `try_split`: if a
+    /// spliterator reports `Some`, both halves of a split report `Some`
+    /// in the same keyspace. This is what lets `find_first` stay
+    /// parallel (and keep pruning) over zip-decomposed sources.
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        None
     }
 
     /// The remaining element count, but only when it is *exact*:
@@ -249,6 +288,10 @@ impl<T: Clone + Send + Sync> Spliterator<T> for SliceSpliterator<T> {
         };
         self.lo = mid;
         Some(prefix)
+    }
+
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        Some((self.lo, 1))
     }
 
     fn characteristics(&self) -> Characteristics {

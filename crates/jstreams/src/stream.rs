@@ -451,10 +451,14 @@ where
     }
 
     /// Short-circuiting terminal: the first element in encounter order
-    /// (Java's `findFirst`), deterministic under every execution mode.
-    /// Combine with `filter` to search: `.filter(p).find_first()` runs
-    /// the predicate over borrowed source runs and prunes subtrees that
-    /// sit past the best hit so far. Infallible shim over
+    /// (Java's `findFirst`), deterministic under every execution mode
+    /// and split geometry — sources with interleaving splits (zip
+    /// decomposition) are ordered by their exact encounter ranks, and
+    /// when a filter has erased those, the driver degrades to a
+    /// sequential encounter-order scan rather than risk a misordered
+    /// answer. Combine with `filter` to search: `.filter(p).find_first()`
+    /// runs the predicate over borrowed source runs and prunes subtrees
+    /// that sit past the best hit so far. Infallible shim over
     /// [`Stream::try_find_first`].
     pub fn find_first(self) -> Option<T>
     where

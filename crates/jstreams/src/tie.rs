@@ -178,6 +178,13 @@ impl<T: Clone + Send + Sync> Spliterator<T> for TieSpliterator<T> {
     fn characteristics(&self) -> Characteristics {
         Characteristics::powerlist_default()
     }
+
+    // Physical storage indices, monotone in encounter order — the same
+    // keyspace ZipSpliterator reports, so tie- and zip-derived leaves of
+    // a shared storage rank consistently.
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        Some((self.start, self.incr))
+    }
 }
 
 #[cfg(test)]

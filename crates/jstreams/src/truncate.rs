@@ -60,13 +60,15 @@ impl<T, S: ItemSource<T>> ItemSource<T> for LimitSpliterator<S> {
 // inner run no longer matches the logical run, so no borrowed access.
 impl<T, S> LeafAccess<T> for LimitSpliterator<S> {}
 
-/// Allowance distribution treats the prefix's reported size as exact,
-/// which only `SIZED | SUBSIZED` sources guarantee. A filtered inner
-/// reports an upper bound: splitting there would hand the prefix
-/// allowance (or skip debt) it cannot fulfil, dropping or leaking
-/// elements. Such pipelines stay sequential — always correct.
+/// Allowance distribution treats the prefix's reported size as exact
+/// (only `SIZED | SUBSIZED` sources guarantee that) and assumes the
+/// split-off prefix *precedes* the suffix in encounter order (zip's
+/// parity splits interleave instead, so allowance and skip debt would
+/// land on the wrong elements). Pipelines failing either condition stay
+/// sequential — always correct.
 fn splittable_exactly<T>(inner: &impl Spliterator<T>) -> bool {
     inner.has_characteristics(Characteristics::SIZED | Characteristics::SUBSIZED)
+        && inner.prefix_splits()
 }
 
 impl<T, S: Spliterator<T>> Spliterator<T> for LimitSpliterator<S> {
@@ -90,6 +92,12 @@ impl<T, S: Spliterator<T>> Spliterator<T> for LimitSpliterator<S> {
         self.inner
             .characteristics()
             .without(Characteristics::POWER2)
+    }
+
+    // Limit only truncates the tail: while allowance remains, the j-th
+    // delivered element is the inner's j-th, so ranks forward as-is.
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        self.inner.encounter_rank()
     }
 }
 
@@ -160,6 +168,14 @@ impl<T, S: Spliterator<T>> Spliterator<T> for SkipSpliterator<S> {
             .characteristics()
             .without(Characteristics::POWER2)
     }
+
+    // The j-th delivered element is the inner's (to_skip + j)-th
+    // remaining one, so the rank base advances by the unpaid skip debt.
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        self.inner
+            .encounter_rank()
+            .map(|(base, step)| (base.saturating_add(self.to_skip.saturating_mul(step)), step))
+    }
 }
 
 /// Runs an observer on every element as it flows past (Java's `peek`).
@@ -221,6 +237,15 @@ where
 
     fn characteristics(&self) -> Characteristics {
         self.inner.characteristics()
+    }
+
+    // Observation changes nothing structural: forward both queries.
+    fn prefix_splits(&self) -> bool {
+        self.inner.prefix_splits()
+    }
+
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        self.inner.encounter_rank()
     }
 }
 

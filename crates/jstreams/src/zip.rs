@@ -195,6 +195,20 @@ impl<T: Clone + Send + Sync> Spliterator<T> for ZipSpliterator<T> {
     fn characteristics(&self) -> Characteristics {
         Characteristics::powerlist_default()
     }
+
+    // Parity splits interleave the halves: the returned "prefix" holds
+    // the even positions, not an encounter-order prefix.
+    fn prefix_splits(&self) -> bool {
+        false
+    }
+
+    // Physical storage indices are monotone in the original list's
+    // encounter order, and both halves of every split keep addressing
+    // the same storage — the rank keyspace order-sensitive terminals
+    // (find_first) need under interleaving.
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        Some((self.start, self.incr))
+    }
 }
 
 /// A [`ZipSpliterator`] with splitting-phase state: the Rust rendering of
@@ -281,6 +295,14 @@ where
 
     fn characteristics(&self) -> Characteristics {
         self.base.characteristics()
+    }
+
+    fn prefix_splits(&self) -> bool {
+        self.base.prefix_splits()
+    }
+
+    fn encounter_rank(&self) -> Option<(usize, usize)> {
+        self.base.encounter_rank()
     }
 }
 

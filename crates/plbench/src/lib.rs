@@ -9,6 +9,12 @@
 //! The experiment index in DESIGN.md maps every figure/ablation to a
 //! bench target in this crate; `src/bin/figures.rs` regenerates the
 //! paper's Figure 3 and Figure 4 series directly.
+//!
+//! Build bench binaries with `RUSTFLAGS="-C target-cpu=native"` (as
+//! `ci.sh` does for its smoke invocations): baseline x86-64 codegen
+//! vectorizes i64 additions but not i64 equality, which skews every
+//! scan-vs-reduce ratio. The flag is deliberately *not* a committed
+//! `[build]` default so ordinary builds stay portable.
 
 #![warn(missing_docs)]
 

@@ -22,7 +22,7 @@
 
 use forkjoin::ForkJoinPool;
 use jplf::{Decomp, PowerSearchFunction, SearchExecutor};
-use jstreams::{stream_support, ExecConfig, SliceSpliterator};
+use jstreams::{power_stream, stream_support, Decomposition, ExecConfig, SliceSpliterator};
 use powerlist::PowerList;
 use proptest::prelude::*;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -177,6 +177,44 @@ proptest! {
         }
     }
 
+    /// Zip decomposition interleaves halves at every split (the
+    /// split-off "prefix" is the even positions, not an encounter-order
+    /// prefix), so find_first cannot rely on split structure for
+    /// ordering. The ranked keyspace (bare/mapped zip) and the
+    /// sequential degradation (filtered zip, where ranks are forfeited)
+    /// must both still answer the encounter-order minimum, matching the
+    /// streams sequential route exactly.
+    #[test]
+    fn zip_power_stream_search_agrees(v in pow2_ints(9), needle in -40i64..40,
+                                      leaf in 1usize..64) {
+        let _shared = shared();
+        let pred = move |x: &i64| *x == needle;
+        let spec_any = v.iter().any(&pred);
+        let spec_first = v.iter().copied().find(|x| pred(x));
+        let p = pool();
+        let pl = PowerList::from_vec(v.clone()).unwrap();
+
+        let par = || power_stream(pl.clone(), Decomposition::Zip)
+            .with_pool(Arc::clone(&p))
+            .with_leaf_size(leaf);
+        prop_assert_eq!(par().any_match(pred), spec_any);
+        prop_assert_eq!(par().filter(pred).find_first(), spec_first);
+        let seq_first = power_stream(pl.clone(), Decomposition::Zip)
+            .sequential()
+            .filter(pred)
+            .find_first();
+        prop_assert_eq!(seq_first, spec_first);
+
+        // A mapped-then-filtered chain over zip: the filter forfeits
+        // the physical ranks, so this is the opaque degradation route.
+        let spec_mapped = v.iter().map(|x| x * 3).find(|x| *x == needle);
+        let mapped = par()
+            .map(|x: i64| x * 3)
+            .filter(move |x: &i64| *x == needle)
+            .find_first();
+        prop_assert_eq!(mapped, spec_mapped);
+    }
+
     /// A panicking predicate surfaces as `ExecError` with its payload
     /// intact, on the sized and the fused (non-SIZED) parallel routes.
     #[test]
@@ -205,6 +243,26 @@ proptest! {
             .try_any_match(pred, &cfg)
             .unwrap_err();
         prop_assert_eq!(err.panic_message(), Some("trapped predicate"));
+    }
+}
+
+/// Regression: parallel `find_first` over a filtered zip power stream
+/// with single-element leaves returned `Some(2)` on some schedules
+/// while the sequential route returned `Some(1)` — the driver's
+/// virtual-index pruning assumed prefix-order splits, which zip's
+/// parity decomposition violates. Repeated to cover schedules.
+#[test]
+fn zip_filtered_find_first_is_deterministic() {
+    let _shared = shared();
+    let pl = PowerList::from_vec((0..16i64).collect()).unwrap();
+    let p = pool();
+    for _ in 0..50 {
+        let par = power_stream(pl.clone(), Decomposition::Zip)
+            .with_pool(Arc::clone(&p))
+            .with_leaf_size(1)
+            .filter(|x: &i64| *x == 1 || *x == 2)
+            .find_first();
+        assert_eq!(par, Some(1));
     }
 }
 
