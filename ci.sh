@@ -94,6 +94,21 @@ cargo run --release -p plbench --bin search -- --runs 3 --exp 12 \
 grep -q "wrote target/ci-search/BENCH_search_any.json" "$SEARCH_LOG"
 grep -q "wrote target/ci-search/BENCH_search_findfirst.json" "$SEARCH_LOG"
 
+echo "==> smoke: placement A/B bench gates the destination-passing speedup"
+# The bin asserts the route contract in-process (placement arm: >= 1
+# placed leaf and zero splice combines; splice arm: zero placed leaves)
+# and both arms must agree on the collected value; --min-speedup gates
+# that root-allocated output windows beat splice-combining even at
+# smoke sizes. (The >= 3x acceptance is judged on the paper-scale 2^18
+# release run, not this 2^16 smoke input.)
+PLACEMENT_LOG=target/ci-placement.log
+RUSTFLAGS="$BENCH_RUSTFLAGS" \
+cargo run --release -p plbench --bin placement -- --runs 5 --exp 16 \
+    --min-speedup 2 --out-dir target/ci-placement | tee /dev/stderr >"$PLACEMENT_LOG"
+grep -q "wrote target/ci-placement/BENCH_placement_tovec.json" "$PLACEMENT_LOG"
+grep -q "wrote target/ci-placement/BENCH_placement_powerlist.json" "$PLACEMENT_LOG"
+grep -q "placement gate passed" "$PLACEMENT_LOG"
+
 echo "==> plcheck: deterministic concurrency checker gate"
 # Fixed regression models + the pinned regression-seed set run inside
 # the normal suite; then a short randomized-schedule smoke walks fresh

@@ -198,6 +198,7 @@ where
         plobs::emit(Event::Combine {
             depth,
             ns: t0.elapsed().as_nanos() as u64,
+            placement: false,
         });
     }
     out
@@ -287,6 +288,7 @@ where
         plobs::emit(Event::Combine {
             depth,
             ns: t0.elapsed().as_nanos() as u64,
+            placement: false,
         });
     }
     Ok(out)

@@ -144,6 +144,7 @@ fn go<F: PowerFunction>(
     sink.record(&Event::Combine {
         depth,
         ns: t0.elapsed().as_nanos() as u64,
+        placement: false,
     });
     out
 }

@@ -31,8 +31,10 @@
 //! remain as thin shims that arm a private session and resume any
 //! contained panic on the caller.
 
+use crate::characteristics::Characteristics;
 use crate::collector::Collector;
 use crate::exec::{unwrap_interrupt, ExecConfig, ExecError, ExecMode, ExecSession, Interrupt};
+use crate::placement::{descend, fixed_leaves, OutputBuffer, PlacementSpec, Window, WindowRule};
 use crate::spliterator::{ItemSource, Spliterator};
 use forkjoin::{current_probe, demand_split, join, ForkJoinPool, SplitPolicy};
 use plobs::{Event, FallbackReason, LeafRoute};
@@ -295,12 +297,16 @@ where
     S: Spliterator<T> + 'static,
     C: Collector<T> + 'static,
     C::Acc: 'static,
+    C::Out: 'static,
 {
     let session = ExecSession::new(cfg);
     let collector = Arc::new(collector);
     let acc = match cfg.mode() {
         ExecMode::Seq => {
             let mut source = source;
+            if let Some(out) = try_placement_single(&mut source, &*collector, cfg, &session) {
+                return out;
+            }
             try_leaf_all(&mut source, &*collector, &session)
         }
         ExecMode::Par => {
@@ -326,6 +332,10 @@ where
                 Some(reason) => {
                     plobs::emit(Event::Fallback { reason });
                     let mut source = source;
+                    if let Some(out) = try_placement_single(&mut source, &*collector, cfg, &session)
+                    {
+                        return out;
+                    }
                     try_leaf_all(&mut source, &*collector, &session)
                 }
                 None => {
@@ -358,7 +368,17 @@ where
                                 pool.threads(),
                             ))
                         });
-                    try_par_core(pool, source, Arc::clone(&collector), policy, &session)
+                    // Destination-passing route: when the collector and
+                    // pipeline are eligible, allocate the output once
+                    // and write leaves straight into disjoint windows.
+                    // Non-eligible pipelines fall through to the splice
+                    // recursion untouched.
+                    match try_placement_par(pool, source, &collector, policy, cfg, &session) {
+                        PlacementOutcome::Done(out) => return out,
+                        PlacementOutcome::Splice(source) => {
+                            try_par_core(pool, source, Arc::clone(&collector), policy, &session)
+                        }
+                    }
                 }
             }
         }
@@ -509,9 +529,414 @@ where
                 plobs::emit(Event::Combine {
                     depth,
                     ns: start.elapsed().as_nanos() as u64,
+                    placement: false,
                 });
             }
             Ok(out)
+        }
+    }
+}
+
+/// What the root placement probe decided for an eligible pipeline.
+struct PlacementPlan {
+    spec: PlacementSpec,
+    /// Exact element count of the source.
+    n: usize,
+    /// Measured slot count (non-`unit` collectors: joining bytes),
+    /// excluding separator slots; `None` for unit collectors.
+    measure: Option<usize>,
+}
+
+/// The root eligibility gate of the destination-passing route. `None`
+/// falls back to the splice route. Eligibility requires:
+///
+/// * the config allows placement and the collector opts in;
+/// * the source is `SIZED | SUBSIZED` with the exact size known and
+///   non-zero (windows must stay exactly sized down the whole tree);
+/// * the leaves can fill windows without a fallback: the source
+///   exposes a borrowed strided run, or an exact (filter-free) fused
+///   chain can push-fill
+///   ([`LeafAccess::can_fused_fill`](crate::LeafAccess::can_fused_fill));
+/// * an interleaving rule gets a power-of-two length (equal halves at
+///   every level);
+/// * non-`unit` collectors (joining) get a raw borrowed run to
+///   measure — an adapter chain would change what is being measured.
+fn placement_plan<T, S, C>(source: &S, collector: &C, cfg: &ExecConfig) -> Option<PlacementPlan>
+where
+    S: Spliterator<T>,
+    C: Collector<T> + ?Sized,
+{
+    if !cfg.placement() {
+        return None;
+    }
+    let spec = collector.placement_spec()?;
+    if !source.has_characteristics(Characteristics::SIZED | Characteristics::SUBSIZED) {
+        return None;
+    }
+    let n = source.exact_size()?;
+    if n == 0 {
+        return None;
+    }
+    if spec.rule == WindowRule::Interleave && !n.is_power_of_two() {
+        return None;
+    }
+    if spec.unit {
+        if source.try_as_strided().is_none() && !source.can_fused_fill() {
+            return None;
+        }
+        Some(PlacementPlan {
+            spec,
+            n,
+            measure: None,
+        })
+    } else {
+        let (items, step) = source.try_as_strided()?;
+        let measure = collector.placement_measure(items, step);
+        Some(PlacementPlan {
+            spec,
+            n,
+            measure: Some(measure),
+        })
+    }
+}
+
+/// Runs an eligible pipeline as **one** placement leaf over the whole
+/// output window — the sequential mode and the saturation/shutdown
+/// fallback. A single leaf has no combines, so non-`unit` collectors
+/// get no separator slots (matching the splice route, where the
+/// sequential leaf kernel never invokes the combiner).
+fn try_placement_single<T, S, C>(
+    source: &mut S,
+    collector: &C,
+    cfg: &ExecConfig,
+    session: &ExecSession,
+) -> Option<Result<C::Out, ExecError>>
+where
+    S: Spliterator<T>,
+    C: Collector<T> + ?Sized,
+{
+    let plan = placement_plan(source, collector, cfg)?;
+    let slots = plan.measure.unwrap_or(plan.n);
+    let buf = collector.try_reserve(slots)?;
+    let res = session
+        .check()
+        .and_then(|()| session.run(|| placement_leaf(source, &*buf, Window::root(slots))))
+        .and_then(|_| session.run(|| buf.finish()));
+    Some(res.map_err(|i| session.error_of(i)))
+}
+
+/// Outcome of the parallel placement attempt: either the route ran to
+/// completion (or to a contained error), or the pipeline was handed
+/// back untouched for the splice recursion.
+enum PlacementOutcome<S, O> {
+    Done(Result<O, ExecError>),
+    Splice(S),
+}
+
+/// Parallel placement gate + driver. Beyond [`placement_plan`], the
+/// parallel route needs the root allocation to budget combine-inserted
+/// separator slots exactly, which requires the deterministic
+/// [`SplitPolicy::Fixed`] tree shape — a `gap > 0` collector under an
+/// adaptive policy falls back to splice.
+fn try_placement_par<T, S, C>(
+    pool: &ForkJoinPool,
+    source: S,
+    collector: &Arc<C>,
+    policy: SplitPolicy,
+    cfg: &ExecConfig,
+    session: &ExecSession,
+) -> PlacementOutcome<S, C::Out>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    C: Collector<T> + 'static,
+    C::Out: 'static,
+{
+    let Some(plan) = placement_plan(&source, &**collector, cfg) else {
+        return PlacementOutcome::Splice(source);
+    };
+    let gap_leaf = if plan.spec.gap == 0 {
+        0
+    } else {
+        match policy {
+            SplitPolicy::Fixed(leaf_size) => leaf_size,
+            SplitPolicy::Adaptive(_) => return PlacementOutcome::Splice(source),
+        }
+    };
+    let slots = match plan.measure {
+        None => plan.n,
+        Some(m) => m + (fixed_leaves(plan.n, gap_leaf) - 1) * plan.spec.gap,
+    };
+    let Some(buf) = collector.try_reserve(slots) else {
+        return PlacementOutcome::Splice(source);
+    };
+    let res = try_par_core_placement(
+        pool,
+        source,
+        Arc::clone(collector),
+        Arc::clone(&buf),
+        Window::root(slots),
+        plan.spec,
+        gap_leaf,
+        policy,
+        session,
+    );
+    let out = match res {
+        Ok(()) => session
+            .run(|| buf.finish())
+            .map_err(|i| session.error_of(i)),
+        Err(i) => Err(session.error_of(i)),
+    };
+    PlacementOutcome::Done(out)
+}
+
+/// Placement analogue of [`try_par_core`]: submits the window-passing
+/// recursion, deriving the depth cap from the executing context (the
+/// same shutdown-race contract).
+#[allow(clippy::too_many_arguments)]
+fn try_par_core_placement<T, S, C>(
+    pool: &ForkJoinPool,
+    source: S,
+    collector: Arc<C>,
+    buf: Arc<dyn OutputBuffer<T, C::Out>>,
+    w: Window,
+    spec: PlacementSpec,
+    gap_leaf: usize,
+    policy: SplitPolicy,
+    session: &ExecSession,
+) -> Result<(), Interrupt>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    C: Collector<T> + 'static,
+    C::Out: 'static,
+{
+    let s2 = session.clone();
+    match pool.try_install(move || {
+        let probe = current_probe();
+        let threads = probe
+            .as_ref()
+            .map_or_else(|| forkjoin::global_pool().threads(), |p| p.threads());
+        let cap = policy.depth_cap(threads);
+        let steals = probe.map_or(0, |p| p.steal_pressure());
+        try_recurse_placement(
+            source, collector, buf, w, spec, gap_leaf, policy, cap, 0, steals, &s2,
+        )
+    }) {
+        Ok(r) => r,
+        Err(f) => {
+            plobs::emit(Event::Fallback {
+                reason: FallbackReason::SubmitFailed,
+            });
+            f()
+        }
+    }
+}
+
+/// Slot count of the left sibling after a split — the descent's input.
+/// Interleaving rules always halve; concatenating rules take the left
+/// child's element count (unit collectors) or its measured slots plus
+/// the separator budget of its own predicted subtree (joining).
+fn left_slot_count<T, S, C>(
+    prefix: &S,
+    collector: &C,
+    spec: PlacementSpec,
+    gap_leaf: usize,
+    w: Window,
+) -> usize
+where
+    S: Spliterator<T>,
+    C: Collector<T> + ?Sized,
+{
+    match spec.rule {
+        WindowRule::Interleave => w.len / 2,
+        WindowRule::Concat => {
+            let m = prefix
+                .exact_size()
+                .unwrap_or_else(|| prefix.estimate_size());
+            if spec.unit {
+                m
+            } else {
+                let (items, step) = prefix
+                    .try_as_strided()
+                    .expect("placement split lost its strided run");
+                let separators = if spec.gap == 0 {
+                    0
+                } else {
+                    (fixed_leaves(m, gap_leaf) - 1) * spec.gap
+                };
+                collector.placement_measure(items, step) + separators
+            }
+        }
+    }
+}
+
+/// One placement leaf: write the leaf's elements straight into its
+/// window — via the borrowed strided run when the source has one, via
+/// the fused push-fill otherwise — and record the
+/// [`LeafRoute::Placement`] event.
+fn placement_leaf<T, O, S>(source: &mut S, buf: &dyn OutputBuffer<T, O>, w: Window) -> u64
+where
+    S: Spliterator<T>,
+{
+    fn fill_strided<T, O, S: Spliterator<T>>(
+        source: &S,
+        buf: &dyn OutputBuffer<T, O>,
+        w: Window,
+    ) -> Option<u64> {
+        let (items, step) = source.try_as_strided()?;
+        Some(buf.fill_run(w, items, step))
+    }
+    let observe = plobs::enabled();
+    let start = if observe { Some(Instant::now()) } else { None };
+    let wrote = match fill_strided(source, buf, w) {
+        Some(n) => n,
+        None => buf.fill_with(w, &mut |sink| {
+            // The root gate verified `can_fused_fill`, which is stable
+            // under splits — a refusal here is a driver bug, and the
+            // panic is contained by the session wrapping every leaf.
+            source
+                .fused_fill(sink)
+                .expect("placement leaf lost its borrowed-fill capability");
+        }),
+    };
+    source.mark_drained();
+    if let Some(start) = start {
+        plobs::emit(Event::Leaf {
+            route: LeafRoute::Placement,
+            items: wrote,
+            ns: start.elapsed().as_nanos() as u64,
+        });
+    }
+    wrote
+}
+
+/// The window-passing recursion: the placement mirror of
+/// [`try_recurse`], with identical stop rules, checkpoints and events —
+/// but leaves write into their window and the ascend phase is the
+/// buffer's (constant-size) `combine` instead of a splice.
+#[allow(clippy::too_many_arguments)]
+fn try_recurse_placement<T, S, C>(
+    mut source: S,
+    collector: Arc<C>,
+    buf: Arc<dyn OutputBuffer<T, C::Out>>,
+    w: Window,
+    spec: PlacementSpec,
+    gap_leaf: usize,
+    policy: SplitPolicy,
+    cap: u32,
+    depth: u32,
+    steals_seen: u64,
+    session: &ExecSession,
+) -> Result<(), Interrupt>
+where
+    T: Send + 'static,
+    S: Spliterator<T> + 'static,
+    C: Collector<T> + 'static,
+    C::Out: 'static,
+{
+    session.check()?;
+    let exact = source.exact_size();
+    let mut steals_next = steals_seen;
+    let stop = match policy {
+        SplitPolicy::Fixed(leaf_size) => match exact {
+            Some(size) => size <= leaf_size,
+            None => depth >= cap,
+        },
+        SplitPolicy::Adaptive(a) => {
+            if depth >= cap || exact.is_some_and(|size| size <= a.min_leaf) {
+                true
+            } else {
+                let (wants_split, now) = demand_split(a.surplus, steals_seen);
+                steals_next = now;
+                !wants_split
+            }
+        }
+    };
+    if stop {
+        return session
+            .run(|| placement_leaf(&mut source, &*buf, w))
+            .map(|_| ());
+    }
+    let observe = plobs::enabled();
+    let descend_start = if observe { Some(Instant::now()) } else { None };
+    match source.try_split() {
+        None => session
+            .run(|| placement_leaf(&mut source, &*buf, w))
+            .map(|_| ()),
+        Some(prefix) => {
+            if let Some(start) = descend_start {
+                plobs::emit(Event::Split {
+                    depth,
+                    adaptive: policy.is_adaptive(),
+                });
+                plobs::emit(Event::DescendNs {
+                    ns: start.elapsed().as_nanos() as u64,
+                });
+            }
+            // Window bookkeeping (including the non-unit measure of the
+            // left run) is descend-phase work; it runs contained so a
+            // violated window invariant surfaces as `Panicked`, never
+            // as an unwind through the pool.
+            let (left_slots, w_left, w_right) = session.run(|| {
+                let left_slots = left_slot_count(&prefix, &*collector, spec, gap_leaf, w);
+                let (w_left, w_right) = descend(w, spec.rule, left_slots, spec.gap);
+                (left_slots, w_left, w_right)
+            })?;
+            let c_left = Arc::clone(&collector);
+            let c_right = Arc::clone(&collector);
+            let b_left = Arc::clone(&buf);
+            let b_right = Arc::clone(&buf);
+            let s_left = session.clone();
+            let s_right = session.clone();
+            let (left, right) = join(
+                move || {
+                    try_recurse_placement(
+                        prefix,
+                        c_left,
+                        b_left,
+                        w_left,
+                        spec,
+                        gap_leaf,
+                        policy,
+                        cap,
+                        depth + 1,
+                        steals_next,
+                        &s_left,
+                    )
+                },
+                move || {
+                    try_recurse_placement(
+                        source,
+                        c_right,
+                        b_right,
+                        w_right,
+                        spec,
+                        gap_leaf,
+                        policy,
+                        cap,
+                        depth + 1,
+                        steals_next,
+                        &s_right,
+                    )
+                },
+            );
+            match (left, right) {
+                (Ok(()), Ok(())) => {}
+                (Err(a), Err(b)) => return Err(a.merge(b)),
+                (Err(a), Ok(())) | (Ok(()), Err(a)) => return Err(a),
+            }
+            session.check()?;
+            let combine_start = if observe { Some(Instant::now()) } else { None };
+            session.run(|| buf.combine(w, left_slots))?;
+            if let Some(start) = combine_start {
+                plobs::emit(Event::Combine {
+                    depth,
+                    ns: start.elapsed().as_nanos() as u64,
+                    placement: true,
+                });
+            }
+            Ok(())
         }
     }
 }

@@ -17,7 +17,11 @@
 //!   element-by-element default with a specialised sequential kernel
 //!   (e.g. Horner for the polynomial, sequential FFT at the leaves).
 
+use crate::placement::{
+    self, JoiningPlacement, OutputBuffer, PlacementSpec, VecPlacement, WindowRule,
+};
 use crate::spliterator::ItemSource;
+use std::sync::Arc;
 
 /// A mutable-reduction recipe: Java's `Collector<T, A, R>`.
 ///
@@ -76,6 +80,31 @@ pub trait Collector<T>: Send + Sync {
     fn leaf_strided(&self, _items: &[T], _step: usize) -> Option<Self::Acc> {
         None
     }
+
+    /// Destination-passing capability: `Some` when this collector can
+    /// collect through a root-allocated output buffer with per-leaf
+    /// write windows (see [`crate::placement`]), `None` (the default)
+    /// to always use the splice route. A `Some` answer must come with a
+    /// matching [`Collector::try_reserve`] override.
+    fn placement_spec(&self) -> Option<PlacementSpec> {
+        None
+    }
+
+    /// Slot count of the borrowed strided run for a non-`unit`
+    /// placement collector (joining: total bytes of the run's strings).
+    /// Only called when [`Collector::placement_spec`] returns a spec
+    /// with `unit == false`; the default is never consulted.
+    fn placement_measure(&self, _items: &[T], _step: usize) -> usize {
+        0
+    }
+
+    /// Allocates the destination buffer for a placement collect of
+    /// `slots` output slots. `None` (the default, and the required
+    /// answer when [`Collector::placement_spec`] is `None`) falls back
+    /// to the splice route.
+    fn try_reserve(&self, _slots: usize) -> Option<Arc<dyn OutputBuffer<T, Self::Out>>> {
+        None
+    }
 }
 
 /// Builds a collector from three closures (plus an identity finisher),
@@ -129,7 +158,7 @@ where
 /// (tie-compatible) list collector.
 pub struct VecCollector;
 
-impl<T: Clone + Send> Collector<T> for VecCollector {
+impl<T: Clone + Send + 'static> Collector<T> for VecCollector {
     type Acc = Vec<T>;
     type Out = Vec<T>;
 
@@ -142,8 +171,17 @@ impl<T: Clone + Send> Collector<T> for VecCollector {
     }
 
     fn combine(&self, mut left: Vec<T>, mut right: Vec<T>) -> Vec<T> {
-        left.append(&mut right);
-        left
+        if left.len() >= right.len() {
+            left.append(&mut right);
+            left
+        } else {
+            // Small-side merge: prepend the smaller left in one splice
+            // (a single reserve + shift of the larger side) instead of
+            // growing the small vector and copying the large one into
+            // it element range by element range.
+            right.splice(0..0, left.drain(..));
+            right
+        }
     }
 
     fn finish(&self, acc: Vec<T>) -> Vec<T> {
@@ -156,6 +194,18 @@ impl<T: Clone + Send> Collector<T> for VecCollector {
 
     fn leaf_strided(&self, items: &[T], step: usize) -> Option<Vec<T>> {
         Some(items.iter().step_by(step).cloned().collect())
+    }
+
+    fn placement_spec(&self) -> Option<PlacementSpec> {
+        Some(PlacementSpec {
+            rule: WindowRule::Concat,
+            gap: 0,
+            unit: true,
+        })
+    }
+
+    fn try_reserve(&self, slots: usize) -> Option<Arc<dyn OutputBuffer<T, Vec<T>>>> {
+        placement::reserve(VecPlacement::new(slots))
     }
 }
 
@@ -400,6 +450,25 @@ impl Collector<String> for JoiningCollector {
         }
         Some(acc)
     }
+
+    fn placement_spec(&self) -> Option<PlacementSpec> {
+        Some(PlacementSpec {
+            rule: WindowRule::Concat,
+            gap: self.separator.len(),
+            unit: false,
+        })
+    }
+
+    // Byte-length prepass: output slots are bytes, so a subtree's slot
+    // count is the summed length of its strings (separator slots are
+    // budgeted by the driver from the combine count).
+    fn placement_measure(&self, items: &[String], step: usize) -> usize {
+        items.iter().step_by(step).map(String::len).sum()
+    }
+
+    fn try_reserve(&self, slots: usize) -> Option<Arc<dyn OutputBuffer<String, String>>> {
+        placement::reserve(JoiningPlacement::new(slots, &self.separator))
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +502,21 @@ mod tests {
         let c = VecCollector;
         let merged = c.combine(vec![1, 2], vec![3]);
         assert_eq!(c.finish(merged), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn vec_combine_merges_into_the_larger_side_preserving_order() {
+        let c = VecCollector;
+        // Small left, large right: the prepend-splice branch must still
+        // put left before right in encounter order.
+        assert_eq!(c.combine(vec![1], vec![2, 3, 4, 5]), vec![1, 2, 3, 4, 5]);
+        // Large left absorbs a small right (the append branch).
+        assert_eq!(c.combine(vec![1, 2, 3, 4], vec![5]), vec![1, 2, 3, 4, 5]);
+        // Equal sides stay on the append branch.
+        assert_eq!(c.combine(vec![1, 2], vec![3, 4]), vec![1, 2, 3, 4]);
+        // Empty sides on either branch.
+        assert_eq!(c.combine(vec![], vec![7]), vec![7]);
+        assert_eq!(c.combine(vec![7], vec![]), vec![7]);
     }
 
     #[test]

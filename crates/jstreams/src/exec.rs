@@ -59,6 +59,7 @@ pub struct ExecConfig {
     fallback_threshold: Option<usize>,
     ranks: Option<usize>,
     tuner: Option<Arc<pltune::PlanCache>>,
+    placement: Option<bool>,
 }
 
 impl ExecConfig {
@@ -180,6 +181,21 @@ impl ExecConfig {
     /// The plan cache enabling self-tuning execution, when set.
     pub fn tuner(&self) -> Option<&Arc<pltune::PlanCache>> {
         self.tuner.as_ref()
+    }
+
+    /// Enables or disables the destination-passing (placement) collect
+    /// route for eligible pipelines (see [`crate::placement`]). On by
+    /// default; `with_placement(false)` forces the splice route — the
+    /// A/B switch the placement benchmarks use.
+    pub fn with_placement(mut self, enabled: bool) -> Self {
+        self.placement = Some(enabled);
+        self
+    }
+
+    /// Whether the placement collect route may be used (`true` unless
+    /// disabled).
+    pub fn placement(&self) -> bool {
+        self.placement.unwrap_or(true)
     }
 }
 
@@ -432,6 +448,7 @@ mod tests {
         assert!(cfg.fallback_threshold().is_none());
         assert!(cfg.ranks().is_none());
         assert!(cfg.tuner().is_none());
+        assert!(cfg.placement(), "placement route is on by default");
     }
 
     #[test]
@@ -451,8 +468,10 @@ mod tests {
             .with_deadline(Duration::from_millis(5))
             .with_cancel_token(token.clone())
             .with_fallback_threshold(8)
-            .with_ranks(4);
+            .with_ranks(4)
+            .with_placement(false);
         assert_eq!(cfg.mode(), ExecMode::Seq);
+        assert!(!cfg.placement());
         assert_eq!(cfg.policy(), Some(SplitPolicy::Fixed(1)));
         assert_eq!(cfg.deadline(), Some(Duration::from_millis(5)));
         assert_eq!(cfg.fallback_threshold(), Some(8));

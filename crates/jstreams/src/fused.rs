@@ -351,6 +351,40 @@ where
         Some((acc, delivered))
     }
 
+    fn can_fused_fill(&self) -> bool {
+        // Stable under splits: splitting splits the source (which keeps
+        // its borrowable run — every descriptor source in this crate
+        // answers `try_as_strided` on all of its splits) and clones the
+        // chain (exactness is a property of the stage types).
+        self.chain.exact() && self.source.try_as_strided().is_some()
+    }
+
+    fn fused_fill(&mut self, sink: &mut dyn FnMut(U)) -> Option<u64> {
+        if !self.chain.exact() {
+            return None;
+        }
+        let (items, step) = self.source.try_as_strided()?;
+        let chain = &self.chain;
+        let mut delivered: u64 = 0;
+        {
+            let mut sink = |u: U| {
+                delivered += 1;
+                sink(u);
+            };
+            if step == 1 {
+                for x in items {
+                    chain.push(x.clone(), &mut sink);
+                }
+            } else {
+                for x in items.iter().step_by(step) {
+                    chain.push(x.clone(), &mut sink);
+                }
+            }
+        }
+        self.source.mark_drained();
+        Some(delivered)
+    }
+
     fn fused_search(&mut self, visit: &mut dyn FnMut(&U) -> bool) -> Option<(bool, u64)> {
         let (items, step) = self.source.try_as_strided()?;
         let chain = &self.chain;

@@ -48,6 +48,7 @@ pub mod exec;
 pub mod fused;
 pub mod nway;
 pub mod ops;
+pub mod placement;
 pub mod power;
 pub mod prelude;
 pub mod search;
@@ -75,6 +76,10 @@ pub use fused::{
 pub use nway::{
     collect_nway_par, collect_nway_seq, NTieSpliterator, NWayCollector, NWayDecomposition,
     NWaySpliterator, NZipSpliterator, PListCollector,
+};
+pub use placement::{
+    descend, fixed_leaves, JoiningPlacement, OutputBuffer, PlacementBuf, PlacementSpec,
+    VecPlacement, Window, WindowRule,
 };
 pub use pltune::{Fingerprint, Plan, PlanCache};
 pub use power::{

@@ -4,6 +4,7 @@
 
 use crate::characteristics::Characteristics;
 use crate::collector::Collector;
+use crate::placement::{self, OutputBuffer, PlacementBuf, PlacementSpec, Window, WindowRule};
 use crate::spliterator::{ItemSource, LeafAccess, Spliterator};
 use crate::stream::{stream_support, Stream};
 use crate::tie::TieSpliterator;
@@ -144,7 +145,33 @@ impl PowerListCollector {
     }
 }
 
-impl<T: Clone + Send> Collector<T> for PowerListCollector {
+/// [`OutputBuffer`] for [`PowerListCollector`]: identical to the plain
+/// vector destination except that `finish` promotes to a
+/// [`PowerArray`]. The window rule (chosen by the collector) carries
+/// the tie/zip recomposition: combine itself is a true no-op.
+struct PowerPlacement<T> {
+    buf: PlacementBuf<T>,
+}
+
+impl<T: Clone + Send + 'static> OutputBuffer<T, PowerArray<T>> for PowerPlacement<T> {
+    fn fill_run(&self, w: Window, items: &[T], step: usize) -> u64 {
+        let mut writer = self.buf.writer(w);
+        writer.push_run(items, step);
+        writer.count()
+    }
+
+    fn fill_with(&self, w: Window, drive: &mut dyn FnMut(&mut dyn FnMut(T))) -> u64 {
+        self.buf.write(w, drive)
+    }
+
+    fn combine(&self, _parent: Window, _left_slots: usize) {}
+
+    fn finish(&self) -> PowerArray<T> {
+        PowerArray::from(self.buf.finish_vec())
+    }
+}
+
+impl<T: Clone + Send + 'static> Collector<T> for PowerListCollector {
     type Acc = PowerArray<T>;
     type Out = PowerArray<T>;
 
@@ -176,6 +203,28 @@ impl<T: Clone + Send> Collector<T> for PowerListCollector {
         Some(PowerArray::from(
             items.iter().step_by(step).cloned().collect::<Vec<T>>(),
         ))
+    }
+
+    // The window rule mirrors the *combine algebra*, not the split
+    // geometry: `tie_all` concatenates, `zip_all` interleaves. This is
+    // what keeps placement identical to splice even for mismatched
+    // decompositions (zip-split source recombined with tie, and vice
+    // versa).
+    fn placement_spec(&self) -> Option<PlacementSpec> {
+        Some(PlacementSpec {
+            rule: match self.decomposition {
+                Decomposition::Tie => WindowRule::Concat,
+                Decomposition::Zip => WindowRule::Interleave,
+            },
+            gap: 0,
+            unit: true,
+        })
+    }
+
+    fn try_reserve(&self, slots: usize) -> Option<Arc<dyn OutputBuffer<T, PowerArray<T>>>> {
+        placement::reserve(PowerPlacement {
+            buf: PlacementBuf::new(slots),
+        })
     }
 }
 

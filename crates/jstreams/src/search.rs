@@ -1068,9 +1068,11 @@ mod tests {
         // can drain leaves in pure DFS order), so the pruning half of
         // the assertion retries a few recorded runs — it must hold on
         // at least one schedule, while the Found counter holds on all.
+        // (100 retries: under full-suite load a 1-CPU box can drain in
+        // DFS order for many consecutive runs.)
         let cfg = par_cfg(16);
         let mut pruned = false;
-        for _ in 0..20 {
+        for _ in 0..100 {
             let (hit, report) = plobs::recorded(|| {
                 try_any_match_with(ints(1 << 14), |x| *x == (1 << 14) - 5, &cfg)
             });
@@ -1083,7 +1085,7 @@ mod tests {
         }
         assert!(
             pruned,
-            "no schedule in 20 runs pruned a subtree on a late needle"
+            "no schedule in 100 runs pruned a subtree on a late needle"
         );
     }
 

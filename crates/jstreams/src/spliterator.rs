@@ -112,6 +112,30 @@ pub trait LeafAccess<T> {
     fn fused_search(&mut self, _visit: &mut dyn FnMut(&T) -> bool) -> Option<(bool, u64)> {
         None
     }
+
+    /// Placement-capability probe: `true` when [`LeafAccess::fused_fill`]
+    /// is guaranteed to succeed on this source *and every spliterator
+    /// split from it*. The placement collect driver consults this once
+    /// at the root — a leaf deep in a window-partitioned tree has no
+    /// fallback, so the answer must be stable under `try_split`. The
+    /// default is `false`; only
+    /// [`FusedSpliterator`](crate::fused::FusedSpliterator) (over an
+    /// exact, filter-free chain and a borrowable source) answers `true`.
+    fn can_fused_fill(&self) -> bool {
+        false
+    }
+
+    /// Fused-borrow **placement** leaf: drives the fused adapter chain
+    /// push-style over the borrowed source run, delivering every
+    /// transformed element to `sink` in encounter order, and returns
+    /// the count delivered. Only meaningful for *exact* (filter-free)
+    /// chains, where the count equals the source run's length — the
+    /// precondition [`LeafAccess::can_fused_fill`] advertises. `None`
+    /// declines the route (the default). Implementations must leave
+    /// `self` drained on success.
+    fn fused_fill(&mut self, _sink: &mut dyn FnMut(T)) -> Option<u64> {
+        None
+    }
 }
 
 /// A splittable source of elements (Java's `Spliterator`).

@@ -106,6 +106,14 @@ where
         self
     }
 
+    /// Enables or disables the destination-passing placement collect
+    /// route (default: enabled) — shorthand for
+    /// [`ExecConfig::with_placement`].
+    pub fn with_placement(mut self, enabled: bool) -> Self {
+        self.cfg = self.cfg.with_placement(enabled);
+        self
+    }
+
     /// Attaches a shared [`pltune::PlanCache`] so the parallel collect
     /// resolves its split policy from calibrated plans: first sight of
     /// a pipeline shape runs a short candidate sweep and installs the

@@ -26,8 +26,12 @@
 
 use crate::complex::Complex;
 use jplf::{Decomp, PowerFunction};
-use jstreams::{power_stream, Collector, Decomposition};
+use jstreams::{
+    power_stream, Collector, Decomposition, OutputBuffer, PlacementBuf, PlacementSpec, Window,
+    WindowRule,
+};
 use powerlist::{PowerArray, PowerList};
+use std::sync::Arc;
 
 /// The `powers` function of Eq. 3: `(w⁰, …, wⁿ⁻¹)` with `w` the `2n`-th
 /// principal root of unity (sign convention: forward transform uses
@@ -201,6 +205,90 @@ impl Collector<Complex> for FftCollector {
         }
         Some(PowerArray::from(fft_rec(items, step, 0, n, false)))
     }
+
+    /// Placement windows concatenate — the butterfly writes
+    /// `(P + u×Q) | (P − u×Q)` over the two sub-spectra sitting
+    /// side-by-side, so the combined result occupies exactly the
+    /// parent's contiguous window.
+    fn placement_spec(&self) -> Option<PlacementSpec> {
+        Some(PlacementSpec {
+            rule: WindowRule::Concat,
+            gap: 0,
+            unit: true,
+        })
+    }
+
+    fn try_reserve(
+        &self,
+        slots: usize,
+    ) -> Option<Arc<dyn OutputBuffer<Complex, PowerList<Complex>>>> {
+        Some(Arc::new(FftPlacement {
+            buf: PlacementBuf::new(slots),
+        }))
+    }
+}
+
+/// Destination-passing output for [`FftCollector`]: each leaf writes
+/// the sub-spectrum of its residue class straight into its window, and
+/// `combine` runs the butterfly **in place** over the parent window —
+/// no intermediate `Vec` per tree level at all.
+struct FftPlacement {
+    buf: PlacementBuf<Complex>,
+}
+
+impl OutputBuffer<Complex, PowerList<Complex>> for FftPlacement {
+    fn fill_run(&self, w: Window, items: &[Complex], step: usize) -> u64 {
+        if items.is_empty() {
+            return 0;
+        }
+        let n = (items.len() - 1) / step + 1;
+        let hat = if n == 1 {
+            vec![items[0]]
+        } else {
+            fft_rec(items, step, 0, n, false)
+        };
+        let mut writer = self.buf.writer(w);
+        writer.push_run(&hat, 1);
+        writer.count()
+    }
+
+    fn fill_with(&self, w: Window, drive: &mut dyn FnMut(&mut dyn FnMut(Complex))) -> u64 {
+        let mut elems = Vec::with_capacity(w.len);
+        drive(&mut |z| elems.push(z));
+        let n = elems.len();
+        let hat = if n <= 1 {
+            elems
+        } else {
+            fft_rec(&elems, 1, 0, n, false)
+        };
+        let mut writer = self.buf.writer(w);
+        writer.push_run(&hat, 1);
+        writer.count()
+    }
+
+    fn combine(&self, parent: Window, left_slots: usize) {
+        let h = left_slots;
+        let u = powers(h, false);
+        // SAFETY: the driver combines a node only after both children
+        // returned, so the parent window is fully initialised and no
+        // other thread can touch it (sibling windows are disjoint).
+        unsafe {
+            self.buf.with_initialized_mut(parent, &mut |w| {
+                // (P + u×Q) | (P − u×Q), expression-identical to the
+                // splice `butterfly` so both routes agree bit-for-bit.
+                for i in 0..h {
+                    let p = w[i];
+                    let q = w[h + i];
+                    w[i] = p + u[i] * q;
+                    w[h + i] = p - u[i] * q;
+                }
+            });
+        }
+    }
+
+    fn finish(&self) -> PowerList<Complex> {
+        PowerList::from_vec(self.buf.finish_vec()).expect("fft preserves the shape invariant")
+    }
 }
 
 /// FFT through the parallel streams adaptation.
@@ -324,6 +412,24 @@ mod tests {
             let expected = fft_seq(&s);
             let got = fft_stream(s);
             assert_close(got.as_slice(), expected.as_slice());
+        }
+    }
+
+    /// The placement butterfly runs the same expressions over the same
+    /// operands as the splice butterfly, so the two routes must agree
+    /// **bit-for-bit**, not just within epsilon.
+    #[test]
+    fn placement_and_splice_spectra_are_bit_identical() {
+        for k in [1usize, 4, 8] {
+            let s = signal(1 << k);
+            let splice = power_stream(s.clone(), Decomposition::Zip)
+                .with_leaf_size(16)
+                .with_placement(false)
+                .collect(FftCollector);
+            let placed = power_stream(s, Decomposition::Zip)
+                .with_leaf_size(16)
+                .collect(FftCollector);
+            assert_eq!(placed.as_slice(), splice.as_slice());
         }
     }
 

@@ -23,6 +23,10 @@ pub enum LeafRoute {
     /// A leaf computed by a template/executor leaf case (JPLF) rather
     /// than a streams collector kernel.
     Template,
+    /// A destination-passing leaf: the leaf wrote its results straight
+    /// into its `(base, step, len)` window of the root-allocated output
+    /// buffer, so the ancestors' combines are no-op window merges.
+    Placement,
 }
 
 impl LeafRoute {
@@ -34,6 +38,7 @@ impl LeafRoute {
             LeafRoute::FusedBorrow => "fused_borrow",
             LeafRoute::CloningDrain => "cloning_drain",
             LeafRoute::Template => "template",
+            LeafRoute::Placement => "placement",
         }
     }
 }
@@ -163,6 +168,10 @@ pub enum Event {
         depth: u32,
         /// Nanoseconds spent in the combiner.
         ns: u64,
+        /// `true` when this was a destination-passing window merge (an
+        /// O(1) bookkeeping step over the shared output buffer) rather
+        /// than a splice of two materialized partial containers.
+        placement: bool,
     },
     /// A pool worker executed one job.
     PoolExecute {

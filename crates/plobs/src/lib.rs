@@ -39,7 +39,7 @@
 //!     plobs::emit(Event::Split { depth: 0, adaptive: false });
 //!     plobs::emit(Event::Leaf { route: LeafRoute::ZeroCopySlice, items: 8, ns: 120 });
 //!     plobs::emit(Event::Leaf { route: LeafRoute::ZeroCopySlice, items: 8, ns: 110 });
-//!     plobs::emit(Event::Combine { depth: 0, ns: 40 });
+//!     plobs::emit(Event::Combine { depth: 0, ns: 40, placement: false });
 //!     42
 //! });
 //! assert_eq!(value, 42);
@@ -222,7 +222,11 @@ mod tests {
     fn global_sink_forwards() {
         let ((), report) = recorded(|| {
             let fwd = GlobalSink;
-            fwd.record(&Event::Combine { depth: 2, ns: 99 });
+            fwd.record(&Event::Combine {
+                depth: 2,
+                ns: 99,
+                placement: false,
+            });
         });
         assert_eq!(report.combines, 1);
         assert_eq!(report.ascend_ns, 99);

@@ -41,11 +41,12 @@ struct Shard {
     splits_adaptive: AtomicU64,
     split_depths: [AtomicU64; MAX_DEPTH],
     descend_ns: AtomicU64,
-    // Indexed by `route_index` (5 routes).
-    route_leaves: [AtomicU64; 5],
-    route_items: [AtomicU64; 5],
+    // Indexed by `route_index` (6 routes).
+    route_leaves: [AtomicU64; 6],
+    route_items: [AtomicU64; 6],
     leaf_ns: AtomicU64,
     combines: AtomicU64,
+    combines_placement: AtomicU64,
     ascend_ns: AtomicU64,
     executed: [AtomicU64; MAX_WORKERS],
     injector_steals: [AtomicU64; MAX_WORKERS],
@@ -80,6 +81,7 @@ impl Shard {
             route_items: zeroed(),
             leaf_ns: AtomicU64::new(0),
             combines: AtomicU64::new(0),
+            combines_placement: AtomicU64::new(0),
             ascend_ns: AtomicU64::new(0),
             executed: zeroed(),
             injector_steals: zeroed(),
@@ -119,8 +121,11 @@ impl Shard {
                 self.route_items[r].fetch_add(items, Relaxed);
                 self.leaf_ns.fetch_add(ns, Relaxed);
             }
-            Event::Combine { ns, .. } => {
+            Event::Combine { ns, placement, .. } => {
                 self.combines.fetch_add(1, Relaxed);
+                if placement {
+                    self.combines_placement.fetch_add(1, Relaxed);
+                }
                 self.ascend_ns.fetch_add(ns, Relaxed);
             }
             Event::PoolExecute { worker } => {
@@ -180,6 +185,7 @@ fn route_index(route: LeafRoute) -> usize {
         LeafRoute::FusedBorrow => 2,
         LeafRoute::CloningDrain => 3,
         LeafRoute::Template => 4,
+        LeafRoute::Placement => 5,
     }
 }
 
@@ -267,7 +273,7 @@ impl RunRecorder {
         let mut send_bytes = [0u64; MAX_RANKS];
         let mut recvs = [0u64; MAX_RANKS];
         let mut recv_bytes = [0u64; MAX_RANKS];
-        let mut routes = [RouteStats::default(); 5];
+        let mut routes = [RouteStats::default(); 6];
 
         for shard in shards.iter() {
             report.splits += shard.splits.load(Relaxed);
@@ -286,6 +292,7 @@ impl RunRecorder {
             report.descend_ns += shard.descend_ns.load(Relaxed);
             report.leaf_ns += shard.leaf_ns.load(Relaxed);
             report.combines += shard.combines.load(Relaxed);
+            report.combines_placement += shard.combines_placement.load(Relaxed);
             report.ascend_ns += shard.ascend_ns.load(Relaxed);
             report.joins += shard.joins.load(Relaxed);
             report.joins_stolen += shard.joins_stolen.load(Relaxed);
@@ -332,6 +339,7 @@ impl RunRecorder {
         report.routes.fused_borrow = routes[2];
         report.routes.cloning_drain = routes[3];
         report.routes.template = routes[4];
+        report.routes.placement = routes[5];
         report.executed = executed.iter().sum();
 
         let used_workers = last_active(&[&executed, &injector_steals, &peer_steals, &parks]);

@@ -25,6 +25,9 @@ pub struct RouteHistogram {
     pub cloning_drain: RouteStats,
     /// Leaves computed by a JPLF template leaf case.
     pub template: RouteStats,
+    /// Leaves that wrote straight into a destination-passing output
+    /// window (the placement collect route).
+    pub placement: RouteStats,
 }
 
 impl RouteHistogram {
@@ -35,6 +38,7 @@ impl RouteHistogram {
             + self.fused_borrow.leaves
             + self.cloning_drain.leaves
             + self.template.leaves
+            + self.placement.leaves
     }
 
     /// Total items across all routes.
@@ -44,6 +48,7 @@ impl RouteHistogram {
             + self.fused_borrow.items
             + self.cloning_drain.items
             + self.template.items
+            + self.placement.items
     }
 }
 
@@ -97,6 +102,9 @@ pub struct RunReport {
     pub leaf_ns: u64,
     /// Number of combine steps in the ascending phase.
     pub combines: u64,
+    /// Combine steps that were destination-passing window merges (O(1)
+    /// bookkeeping over the shared output buffer, no splice).
+    pub combines_placement: u64,
     /// Nanoseconds spent combining.
     pub ascend_ns: u64,
     /// Jobs executed across all pool workers.
@@ -202,11 +210,12 @@ impl RunReport {
     }
 
     /// Renders the report as a self-describing JSON object (schema tag
-    /// `plobs.run_report.v1`). The output always passes
+    /// `plobs.run_report.v2`; v2 added the `placement` route and
+    /// `combines_placement`). The output always passes
     /// [`crate::json::validate`].
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\"schema\":\"plobs.run_report.v1\",");
+        out.push_str("{\"schema\":\"plobs.run_report.v2\",");
 
         out.push_str("\"tree\":{");
         let _ = write!(
@@ -217,7 +226,11 @@ impl RunReport {
             self.max_split_depth()
         );
         push_u64_list(&mut out, self.split_depths.iter().copied());
-        let _ = write!(out, "],\"combines\":{}}},", self.combines);
+        let _ = write!(
+            out,
+            "],\"combines\":{},\"combines_placement\":{}}},",
+            self.combines, self.combines_placement
+        );
 
         out.push_str("\"phases\":{");
         let _ = write!(
@@ -242,6 +255,8 @@ impl RunReport {
         push_route(&mut out, "cloning_drain", self.routes.cloning_drain);
         out.push(',');
         push_route(&mut out, "template", self.routes.template);
+        out.push(',');
+        push_route(&mut out, "placement", self.routes.placement);
         let _ = write!(
             out,
             ",\"total_leaves\":{},\"total_items\":{}}},",
@@ -350,12 +365,13 @@ impl RunReport {
         );
         let _ = writeln!(
             out,
-            "  routes: slice {} / strided {} / fused {} / cloned {} / template {} (leaves)",
+            "  routes: slice {} / strided {} / fused {} / cloned {} / template {} / placement {} (leaves)",
             self.routes.zero_copy_slice.leaves,
             self.routes.zero_copy_strided.leaves,
             self.routes.fused_borrow.leaves,
             self.routes.cloning_drain.leaves,
-            self.routes.template.leaves
+            self.routes.template.leaves,
+            self.routes.placement.leaves
         );
         let _ = write!(
             out,
@@ -421,10 +437,15 @@ mod tests {
                     leaves: 2,
                     items: 16,
                 },
+                placement: RouteStats {
+                    leaves: 4,
+                    items: 32,
+                },
                 ..Default::default()
             },
             leaf_ns: 700,
             combines: 7,
+            combines_placement: 3,
             ascend_ns: 200,
             executed: 14,
             per_worker: vec![
@@ -496,13 +517,15 @@ mod tests {
         let r = sample();
         let json = r.to_json();
         crate::json::validate(&json).unwrap();
-        assert!(json.starts_with("{\"schema\":\"plobs.run_report.v1\""));
+        assert!(json.starts_with("{\"schema\":\"plobs.run_report.v2\""));
         assert!(json.contains("\"adaptive_splits\":3"));
         assert!(json.contains("\"split_depths\":[1,2,4]"));
         assert!(json.contains("\"zero_copy_slice\":{\"leaves\":8,\"items\":64}"));
         assert!(json.contains("\"fused_borrow\":{\"leaves\":2,\"items\":16}"));
-        assert_eq!(r.routes.total_leaves(), 10);
-        assert_eq!(r.routes.total_items(), 80);
+        assert!(json.contains("\"placement\":{\"leaves\":4,\"items\":32}"));
+        assert!(json.contains("\"combines_placement\":3"));
+        assert_eq!(r.routes.total_leaves(), 14);
+        assert_eq!(r.routes.total_items(), 112);
         assert!(json.contains("\"leaf_share\":0.700000"));
         assert!(json.contains("\"ranks\":[{\"rank\":0"));
         assert!(json.contains("\"sessions\":{\"cancels\":4,\"cancel_panic\":2"));

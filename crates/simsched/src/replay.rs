@@ -48,7 +48,11 @@ pub fn replay(dag: &Dag, schedule: &Schedule, sink: &dyn EventSink) {
         });
         let ns = t.cost as u64;
         if t.deps.len() == 2 {
-            sink.record(&Event::Combine { depth: t.label, ns });
+            sink.record(&Event::Combine {
+                depth: t.label,
+                ns,
+                placement: false,
+            });
         } else if out_degree[id] == 2 {
             sink.record(&Event::Split {
                 depth: t.label,

@@ -20,9 +20,10 @@
 
 use jplf::{Decomp, Executor, ForkJoinExecutor, MpiExecutor, SequentialExecutor};
 use jstreams::{
-    stream_support, AdaptiveSplit, Characteristics, Decomposition, FusePipe, IdentityStage,
-    ItemSource, LeafAccess, PowerMapCollector, PowerSpliterator, ReduceCollector, SliceSpliterator,
-    SplitPolicy, Spliterator, TieSpliterator,
+    stream_support, AdaptiveSplit, Characteristics, Decomposition, ExecConfig, FusePipe,
+    IdentityStage, ItemSource, JoiningCollector, LeafAccess, PowerListCollector, PowerMapCollector,
+    PowerSpliterator, ReduceCollector, SliceSpliterator, SplitPolicy, Spliterator, TieSpliterator,
+    VecCollector,
 };
 use powerlist::PowerList;
 use proptest::prelude::*;
@@ -720,7 +721,9 @@ fn fused_capable_pipelines_never_clone() {
     // Exact chain → every source element reaches the accumulator.
     assert_eq!(report.routes.fused_borrow.items, n as u64);
 
-    // map over a strided Zip source.
+    // map over a strided Zip source: an exact chain into VecCollector
+    // is placement-eligible, so the default route is now the
+    // destination-passing fill (still zero cloning drains).
     let q = p.clone();
     let (v, report) = plobs::recorded(move || {
         stream_support(PowerSpliterator::over(q, Decomposition::Zip), true)
@@ -730,7 +733,21 @@ fn fused_capable_pipelines_never_clone() {
     });
     assert_eq!(v.len(), n as usize);
     assert_eq!(report.routes.cloning_drain.leaves, 0);
+    assert!(report.routes.placement.leaves > 0);
+
+    // ... and with placement off, the fused-borrow route is preserved.
+    let q = p.clone();
+    let (v, report) = plobs::recorded(move || {
+        stream_support(PowerSpliterator::over(q, Decomposition::Zip), true)
+            .with_leaf_size(16)
+            .with_placement(false)
+            .map(|x| x - 7)
+            .collect(jstreams::VecCollector)
+    });
+    assert_eq!(v.len(), n as usize);
+    assert_eq!(report.routes.cloning_drain.leaves, 0);
     assert!(report.routes.fused_borrow.leaves > 0);
+    assert_eq!(report.routes.placement.leaves, 0);
 
     // map ∘ filter over a Slice source: survivor item accounting.
     let raw: Vec<i64> = (0..n).collect();
@@ -992,6 +1009,351 @@ fn singleton_powerlist_agrees_on_every_route() {
         assert_eq!(ForkJoinExecutor::new(2, 1).execute(&f, &v), spec.clone());
         assert_eq!(MpiExecutor::new(4).execute(&f, &v), spec);
     }
+}
+
+// ---------------------------------------------------------------------
+// Placement-route equivalence: the destination-passing collect (root
+// allocation + disjoint output windows, combine a no-op) must agree
+// with the splice route and the sequential specification on every
+// eligible pipeline — and must *not* run on ineligible ones. The fft
+// leg lives next to its collector
+// (`plalgo::fft::tests::placement_and_splice_spectra_are_bit_identical`),
+// and `fft_routes_agree` above now exercises the placement route by
+// default.
+// ---------------------------------------------------------------------
+
+/// Strips `SIZED | SUBSIZED` from a spliterator, turning its estimate
+/// into an upper bound — an exact-size-unknown source that placement
+/// must refuse.
+struct UnsizedUpperBound<S>(S);
+
+impl<T, S: ItemSource<T>> ItemSource<T> for UnsizedUpperBound<S> {
+    fn try_advance(&mut self, action: &mut dyn FnMut(T)) -> bool {
+        self.0.try_advance(action)
+    }
+    fn for_each_remaining(&mut self, action: &mut dyn FnMut(T)) {
+        self.0.for_each_remaining(action)
+    }
+    fn estimate_size(&self) -> usize {
+        self.0.estimate_size()
+    }
+}
+
+impl<T, S> LeafAccess<T> for UnsizedUpperBound<S> {}
+
+impl<T, S: Spliterator<T>> Spliterator<T> for UnsizedUpperBound<S> {
+    fn try_split(&mut self) -> Option<Self> {
+        self.0.try_split().map(UnsizedUpperBound)
+    }
+    fn characteristics(&self) -> Characteristics {
+        self.0
+            .characteristics()
+            .without(Characteristics::SIZED | Characteristics::SUBSIZED)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `to_vec`: sequential spec = splice route = placement route, for
+    /// sequential and parallel execution at arbitrary leaf sizes.
+    #[test]
+    fn placement_to_vec_routes_agree(
+        raw in proptest::collection::vec(-1000i64..1000, 1..700),
+        leaf in 1usize..64,
+    ) {
+        let _shared = shared();
+        for cfg in [ExecConfig::par().with_leaf_size(leaf), ExecConfig::seq()] {
+            let placed = stream_support(SliceSpliterator::new(raw.clone()), true)
+                .try_collect(VecCollector, &cfg)
+                .unwrap();
+            let spliced = stream_support(SliceSpliterator::new(raw.clone()), true)
+                .try_collect(VecCollector, &cfg.clone().with_placement(false))
+                .unwrap();
+            prop_assert_eq!(&placed, &raw);
+            prop_assert_eq!(&spliced, &raw);
+        }
+    }
+
+    /// PowerList collect through every split × collect decomposition
+    /// pairing — including the mismatched pairings whose splice result
+    /// is a permutation, which the interleaving/concatenating window
+    /// descent must reproduce exactly.
+    #[test]
+    fn placement_powerlist_routes_agree(
+        p in powerlist_i64(9),
+        split_zip in any::<bool>(),
+        collect_zip in any::<bool>(),
+        leaf in 1usize..64,
+    ) {
+        let _shared = shared();
+        let (ds, _) = decomp_of(split_zip);
+        let (dc, _) = decomp_of(collect_zip);
+        for cfg in [ExecConfig::par().with_leaf_size(leaf), ExecConfig::seq()] {
+            let placed = stream_support(PowerSpliterator::over(p.clone(), ds), true)
+                .try_collect(PowerListCollector::new(dc), &cfg)
+                .unwrap();
+            let spliced = stream_support(PowerSpliterator::over(p.clone(), ds), true)
+                .try_collect(PowerListCollector::new(dc), &cfg.clone().with_placement(false))
+                .unwrap();
+            prop_assert_eq!(placed, spliced);
+        }
+    }
+
+    /// Joining: the byte-measured windows plus combine-written
+    /// separator gaps must spell exactly what the splice route spells.
+    /// This collector inserts its separator only at *combine* points
+    /// (the paper's Section IV semantics), so the sequential spec is
+    /// plain concatenation and the parallel answer depends on the tree
+    /// shape — placement must reproduce the splice tree's string
+    /// byte-for-byte at every leaf size, word mix (including empty
+    /// words) and separator (including empty).
+    #[test]
+    fn placement_joining_routes_agree(
+        seeds in proptest::collection::vec(-1000i32..1000, 1..120),
+        sep_ix in 0usize..4,
+        leaf in 1usize..32,
+    ) {
+        let _shared = shared();
+        let words: Vec<String> = seeds
+            .iter()
+            .map(|v| if v % 5 == 0 { String::new() } else { format!("w{v}") })
+            .collect();
+        let sep = ["", ",", ", ", "##"][sep_ix].to_string();
+
+        // Sequential: one leaf, no combines, no separators — on both routes.
+        let concat = words.concat();
+        let seq = ExecConfig::seq();
+        let placed = stream_support(SliceSpliterator::new(words.clone()), true)
+            .try_collect(JoiningCollector::new(sep.clone()), &seq)
+            .unwrap();
+        let spliced = stream_support(SliceSpliterator::new(words.clone()), true)
+            .try_collect(JoiningCollector::new(sep.clone()), &seq.clone().with_placement(false))
+            .unwrap();
+        prop_assert_eq!(&placed, &concat);
+        prop_assert_eq!(&spliced, &concat);
+
+        // Parallel fixed-leaf tree: identical combine points, so the
+        // separator-bearing strings must match exactly.
+        let par = ExecConfig::par().with_leaf_size(leaf);
+        let placed = stream_support(SliceSpliterator::new(words.clone()), true)
+            .try_collect(JoiningCollector::new(sep.clone()), &par)
+            .unwrap();
+        let spliced = stream_support(SliceSpliterator::new(words.clone()), true)
+            .try_collect(JoiningCollector::new(sep.clone()), &par.clone().with_placement(false))
+            .unwrap();
+        prop_assert_eq!(&placed, &spliced);
+    }
+
+    /// A panic inside the mapper of a placement-eligible pipeline
+    /// surfaces as `ExecError::Panicked` with the payload intact — the
+    /// partially-written output buffer is reclaimed, not finished. The
+    /// `String` leg runs the same poison through a drop-heavy payload,
+    /// so a leak or double-drop of the partial window would trip the
+    /// allocator / sanitizer rather than pass silently.
+    #[test]
+    fn panic_in_mapper_through_placement_run(
+        p in powerlist_i64(6),
+        ix in 0usize..64,
+        leaf in 1usize..16,
+    ) {
+        let _shared = shared();
+        let mut raw = p.into_vec();
+        let ix = ix % raw.len();
+        raw[ix] = 100_000;
+        let poison = raw[ix];
+        let msg = format!("mapper poison {poison}");
+        let n = raw.len();
+
+        for cfg in [ExecConfig::par().with_leaf_size(leaf), ExecConfig::seq()] {
+            // Copy payload into a Vec destination.
+            let err = stream_support(SliceSpliterator::new(raw.clone()), true)
+                .map(move |x: i64| {
+                    assert!(x != poison, "mapper poison {x}");
+                    x + 1
+                })
+                .try_collect(VecCollector, &cfg)
+                .expect_err("placement mapper panic must fail the collect");
+            prop_assert!(matches!(err, jstreams::ExecError::Panicked(_)));
+            prop_assert_eq!(err.panic_message(), Some(msg.as_str()));
+
+            // Drop-heavy payload through the same poisoned run.
+            let words: Vec<String> = raw.iter().map(|x| format!("w{x}")).collect();
+            let poison_word = format!("w{poison}");
+            let err = stream_support(SliceSpliterator::new(words), true)
+                .map(move |s: String| {
+                    assert!(s != poison_word, "mapper poison {s}");
+                    s
+                })
+                .try_collect(VecCollector, &cfg)
+                .expect_err("string placement mapper panic must fail the collect");
+            prop_assert!(matches!(err, jstreams::ExecError::Panicked(_)));
+
+            // The same input minus the poison still completes cleanly
+            // afterwards (the pool survived the contained panic).
+            let ok: Vec<i64> = stream_support(SliceSpliterator::new(raw.clone()), true)
+                .map(|x: i64| x - 1)
+                .try_collect(VecCollector, &cfg)
+                .unwrap();
+            prop_assert_eq!(ok.len(), n);
+        }
+    }
+}
+
+/// Route accounting for the tentpole acceptance: an eligible placement
+/// run takes the placement route on **every** leaf and never performs a
+/// splice combine — all recorded combines carry the placement tag.
+#[test]
+fn eligible_placement_runs_never_splice_combine() {
+    let _exclusive = exclusive();
+    let n = 1usize << 10;
+    let p = PowerList::from_vec((0..n as i64).collect()).unwrap();
+    let words: Vec<String> = (0..200).map(|i| format!("w{i}")).collect();
+    // Reference string from the splice route (separators appear at its
+    // combine points), taken before recording starts.
+    let joined_spec = stream_support(SliceSpliterator::new(words.clone()), true)
+        .with_leaf_size(16)
+        .with_placement(false)
+        .collect(JoiningCollector::new(", "));
+    let signal = powerlist::tabulate(256, |i| {
+        plalgo::Complex::new((i % 23) as f64 - 11.0, (i % 7) as f64)
+    })
+    .unwrap();
+
+    let q = p.clone();
+    type EligibleRun = (&'static str, Box<dyn FnOnce() + Send>);
+    let runs: [EligibleRun; 4] = [
+        (
+            "to_vec",
+            Box::new(move || {
+                let v = stream_support(SliceSpliterator::new((0..n as i64).collect()), true)
+                    .with_leaf_size(16)
+                    .to_vec();
+                assert_eq!(v.len(), n);
+            }),
+        ),
+        (
+            "powerlist-zip",
+            Box::new(move || {
+                let out = stream_support(PowerSpliterator::over(q, Decomposition::Zip), true)
+                    .with_leaf_size(16)
+                    .collect(PowerListCollector::new(Decomposition::Zip));
+                assert_eq!(out.len(), n);
+            }),
+        ),
+        (
+            "joining",
+            Box::new(move || {
+                let s = stream_support(SliceSpliterator::new(words), true)
+                    .with_leaf_size(16)
+                    .collect(JoiningCollector::new(", "));
+                assert_eq!(s, joined_spec);
+            }),
+        ),
+        (
+            "fft",
+            Box::new(move || {
+                let out = jstreams::power_stream(signal, Decomposition::Zip)
+                    .with_leaf_size(16)
+                    .collect(plalgo::FftCollector);
+                assert_eq!(out.len(), 256);
+            }),
+        ),
+    ];
+
+    for (name, run) in runs {
+        let ((), report) = plobs::recorded(run);
+        assert!(
+            report.routes.placement.leaves >= 1,
+            "{name}: eligible run took no placement leaves:\n{}",
+            report.tree_summary()
+        );
+        assert_eq!(
+            report.routes.placement.leaves,
+            report.routes.total_leaves(),
+            "{name}: a leaf escaped the placement route:\n{}",
+            report.tree_summary()
+        );
+        assert_eq!(
+            report.combines,
+            report.combines_placement,
+            "{name}: an eligible placement run performed a splice combine:\n{}",
+            report.tree_summary()
+        );
+    }
+}
+
+/// Ineligible pipelines must leave the splice route untouched: filters
+/// (inexact chains), sources with unknown exact size, and
+/// limit-over-filter truncations all record **zero** placement leaves
+/// and still produce the sequential specification's answer.
+#[test]
+fn ineligible_pipelines_fall_back_to_splice() {
+    let _exclusive = exclusive();
+    let n = 600i64;
+    let raw: Vec<i64> = (0..n).collect();
+
+    // Filter chain: survivor count unknowable up front.
+    let data = raw.clone();
+    let (v, report) = plobs::recorded(move || {
+        stream_support(SliceSpliterator::new(data), true)
+            .with_leaf_size(16)
+            .filter(|x| x % 3 == 0)
+            .collect(VecCollector)
+    });
+    assert_eq!(
+        v,
+        raw.iter()
+            .copied()
+            .filter(|x| x % 3 == 0)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        report.routes.placement.leaves,
+        0,
+        "filtered collect must not take the placement route:\n{}",
+        report.tree_summary()
+    );
+    assert_eq!(report.combines_placement, 0);
+
+    // Non-SIZED source: the estimate is an upper bound, not a length.
+    let data = raw.clone();
+    let (v, report) = plobs::recorded(move || {
+        stream_support(UnsizedUpperBound(SliceSpliterator::new(data)), true)
+            .with_leaf_size(16)
+            .collect(VecCollector)
+    });
+    assert_eq!(v, raw);
+    assert_eq!(
+        report.routes.placement.leaves,
+        0,
+        "non-SIZED collect must not take the placement route:\n{}",
+        report.tree_summary()
+    );
+
+    // Limit over filter: truncation on top of an inexact chain.
+    let data = raw.clone();
+    let (v, report) = plobs::recorded(move || {
+        stream_support(SliceSpliterator::new(data), true)
+            .with_leaf_size(16)
+            .filter(|x| x % 2 == 0)
+            .limit(40)
+            .collect(VecCollector)
+    });
+    assert_eq!(
+        v,
+        raw.iter()
+            .copied()
+            .filter(|x| x % 2 == 0)
+            .take(40)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        report.routes.placement.leaves,
+        0,
+        "limit-over-filter must not take the placement route:\n{}",
+        report.tree_summary()
+    );
 }
 
 /// A singleton never splits: whatever the policy says, there is nothing
